@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench prints the table/series the corresponding paper artifact
+implies (see DESIGN.md's per-experiment index) in addition to the
+pytest-benchmark timing, and *asserts* the claim's shape so a regression
+shows up as a failure, not just a slow run.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
+    """Print an aligned table to stdout (visible with pytest -s; captured
+    into the bench logs otherwise)."""
+    widths = [len(h) for h in headers]
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rendered_rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    sys.stdout.flush()

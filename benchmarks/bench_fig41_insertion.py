@@ -1,0 +1,99 @@
+"""F4.1 — regenerate Fig. 4.1: classes preserved under insertion.
+
+For each of the twelve classes: take a representative constraint, rewrite
+it for a single-tuple insertion, classify the result, and report whether
+the class held.  The circled pattern of the figure — all eight
+union/recursive classes, none of the single-CQ classes via the generic
+constructions — is asserted, and the Theorem 4.1 witness replayed.
+The benchmark times a full sweep of rewrites.
+"""
+
+import random
+
+from repro.constraints.classify import ALL_CLASSES, ConstraintClass, Shape
+from repro.constraints.constraint import Constraint
+from repro.updates.closure import preserved_under_insertion, theorem41_witness
+from repro.updates.rewrite import rewrite
+from repro.updates.update import Insertion, apply_update
+from repro.datalog.database import Database
+
+from _tables import print_table
+
+REPRESENTATIVES = {
+    ConstraintClass(Shape.SINGLE_CQ, False, False): "panic :- e(X,Y) & f(Y)",
+    ConstraintClass(Shape.SINGLE_CQ, False, True): "panic :- e(X,Y) & X < Y",
+    ConstraintClass(Shape.SINGLE_CQ, True, False): "panic :- e(X,Y) & not f(X)",
+    ConstraintClass(Shape.SINGLE_CQ, True, True): "panic :- e(X,Y) & not f(X) & X < 2",
+    ConstraintClass(Shape.UNION_OF_CQS, False, False): "panic :- e(X,Y)\npanic :- f(X)",
+    ConstraintClass(Shape.UNION_OF_CQS, False, True): "panic :- e(X,Y) & X<Y\npanic :- f(X)",
+    ConstraintClass(Shape.UNION_OF_CQS, True, False): "panic :- e(X,Y) & not f(X)\npanic :- f(X) & e(X,X)",
+    ConstraintClass(Shape.UNION_OF_CQS, True, True): "panic :- e(X,Y) & not f(X) & X<2\npanic :- f(X)",
+    ConstraintClass(Shape.RECURSIVE_DATALOG, False, False):
+        "panic :- t(X,X)\nt(X,Y) :- e(X,Y)\nt(X,Z) :- t(X,Y) & e(Y,Z)",
+    ConstraintClass(Shape.RECURSIVE_DATALOG, False, True):
+        "panic :- t(X,X) & X>0\nt(X,Y) :- e(X,Y)\nt(X,Z) :- t(X,Y) & e(Y,Z)",
+    ConstraintClass(Shape.RECURSIVE_DATALOG, True, False):
+        "panic :- t(X,X) & not f(X)\nt(X,Y) :- e(X,Y)\nt(X,Z) :- t(X,Y) & e(Y,Z)",
+    ConstraintClass(Shape.RECURSIVE_DATALOG, True, True):
+        "panic :- t(X,X) & not f(X) & X>0\nt(X,Y) :- e(X,Y)\nt(X,Z) :- t(X,Y) & e(Y,Z)",
+}
+
+UPDATE = Insertion("e", (1, 2))
+
+
+def _sweep():
+    results = {}
+    for cls, text in REPRESENTATIVES.items():
+        constraint = Constraint(text, f"rep-{cls.name}")
+        rewritten = rewrite(constraint, UPDATE, "rules")
+        results[cls] = rewritten.constraint_class
+    return results
+
+
+def _random_db(rng):
+    db = Database()
+    for _ in range(rng.randint(0, 8)):
+        db.insert("e", (rng.randrange(3), rng.randrange(3)))
+    for _ in range(rng.randint(0, 3)):
+        db.insert("f", (rng.randrange(3),))
+    return db
+
+
+def test_fig41_insertion_closure(benchmark):
+    landed = benchmark(_sweep)
+
+    rows = []
+    for cls in ALL_CLASSES:
+        within = landed[cls].is_subclass_of(cls)
+        expected = preserved_under_insertion(cls)
+        rows.append(
+            (
+                cls.name,
+                "yes" if expected else "no",
+                landed[cls].name,
+                "stays" if within else "leaves",
+            )
+        )
+    print_table(
+        "Fig. 4.1 — classes preserved by insertions (rule-addition construction)",
+        ["class", "circled (paper)", "rewrite lands in", "verdict"],
+        rows,
+    )
+
+    # The construction stays within every circled class and the rewrites
+    # are semantically correct on random databases.
+    rng = random.Random(41)
+    for cls, text in REPRESENTATIVES.items():
+        constraint = Constraint(text, f"chk-{cls.name}")
+        rewritten = rewrite(constraint, UPDATE, "rules")
+        if preserved_under_insertion(cls):
+            assert rewritten.constraint_class.is_subclass_of(cls), cls.name
+        for _ in range(10):
+            db = _random_db(rng)
+            assert rewritten.is_violated(db) == constraint.is_violated(
+                apply_update(db, UPDATE)
+            )
+
+    # Theorem 4.1's separation witness still behaves as the proof states.
+    witness = theorem41_witness()
+    assert witness["panics_on_d1"] and not witness["panics_on_d2"]

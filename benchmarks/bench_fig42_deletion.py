@@ -1,0 +1,77 @@
+"""F4.2 — regenerate Fig. 4.2: classes preserved under deletion.
+
+Same protocol as F4.1 with deletions: for the six circled classes the
+right construction (negated helper when negation is available,
+disequality rules when arithmetic is) stays inside the class; for plain
+union/recursive classes every construction leaves the class.
+"""
+
+import random
+
+from repro.constraints.classify import ALL_CLASSES, ConstraintClass, Shape
+from repro.constraints.constraint import Constraint
+from repro.updates.closure import preserved_under_deletion
+from repro.updates.rewrite import rewrite
+from repro.updates.update import Deletion, apply_update
+from repro.datalog.database import Database
+
+from _tables import print_table
+
+from bench_fig41_insertion import REPRESENTATIVES, _random_db
+
+UPDATE = Deletion("e", (1, 2))
+
+
+def _style_for(cls: ConstraintClass) -> str:
+    return "rules" if cls.negation else "arith"
+
+
+def _sweep():
+    results = {}
+    for cls, text in REPRESENTATIVES.items():
+        constraint = Constraint(text, f"rep-{cls.name}")
+        rewritten = rewrite(constraint, UPDATE, _style_for(cls))
+        results[cls] = rewritten.constraint_class
+    return results
+
+
+def test_fig42_deletion_closure(benchmark):
+    landed = benchmark(_sweep)
+
+    rows = []
+    for cls in ALL_CLASSES:
+        within = landed[cls].is_subclass_of(cls)
+        expected = preserved_under_deletion(cls)
+        rows.append(
+            (
+                cls.name,
+                "yes" if expected else "no",
+                _style_for(cls),
+                landed[cls].name,
+                "stays" if within else "leaves",
+            )
+        )
+    print_table(
+        "Fig. 4.2 — classes preserved by deletions",
+        ["class", "circled (paper)", "construction", "lands in", "verdict"],
+        rows,
+    )
+
+    rng = random.Random(42)
+    for cls, text in REPRESENTATIVES.items():
+        constraint = Constraint(text, f"chk-{cls.name}")
+        rewritten = rewrite(constraint, UPDATE, _style_for(cls))
+        if preserved_under_deletion(cls):
+            assert rewritten.constraint_class.is_subclass_of(cls), cls.name
+        else:
+            # Non-circled classes: neither construction stays inside.
+            for style in ("rules", "arith"):
+                attempt = rewrite(constraint, UPDATE, style)
+                assert not attempt.constraint_class.is_subclass_of(cls) or (
+                    cls.negation or cls.arithmetic
+                ), cls.name
+        for _ in range(10):
+            db = _random_db(rng)
+            assert rewritten.is_violated(db) == constraint.is_violated(
+                apply_update(db, UPDATE)
+            )

@@ -1,0 +1,91 @@
+"""T3.1/T3.2 — constraint subsumption cost profile.
+
+Section 3: subsumption "is 'only' NP-complete ... since constraints tend
+to be short, the exponential complexity may not present a bar".  The
+bench grows the constraint bodies (chain and star CQs) to show the
+exponential lives in the constraint size, not the constraint count, and
+times the Theorem 3.2 reduction round trip.
+"""
+
+import time
+
+from repro.constraints.constraint import Constraint
+from repro.constraints.subsumption import (
+    containment_as_subsumption,
+    cq_containment_via_subsumption,
+    subsumes,
+)
+from repro.datalog.parser import parse_rule
+
+from _tables import print_table
+
+
+def chain_constraint(n: int, name: str) -> Constraint:
+    body = " & ".join(f"e(X{i}, X{i + 1})" for i in range(n))
+    return Constraint(f"panic :- {body}", name)
+
+
+def star_constraint(n: int, name: str) -> Constraint:
+    body = " & ".join(f"e(X0, X{i + 1})" for i in range(n))
+    return Constraint(f"panic :- {body}", name)
+
+
+def test_subsumption_grows_with_constraint_size(benchmark):
+    rows = []
+    for n in (2, 4, 8, 12):
+        longer = chain_constraint(n, f"chain{n}")
+        shorter = chain_constraint(max(1, n // 2), f"half{n}")
+        start = time.perf_counter()
+        forward = subsumes([shorter], longer)
+        backward = subsumes([longer], shorter)
+        elapsed = time.perf_counter() - start
+        assert forward is True   # longer chains are special cases
+        assert backward is False
+        rows.append((n, f"{elapsed * 1e3:.2f}"))
+    print_table(
+        "T3.1a — chain constraints: both directions, ms by chain length",
+        ["chain length", "ms"],
+        rows,
+    )
+    benchmark(subsumes, [chain_constraint(4, "a")], chain_constraint(8, "b"))
+
+
+def test_subsumption_constraint_count_is_cheap(benchmark):
+    """Many small constraints: cost is linear in the union size."""
+    target = Constraint("panic :- emp(E, d0)", "target")
+    rows = []
+    for count in (1, 10, 50, 200):
+        members = [
+            Constraint(f"panic :- emp(E, d{i})", f"m{i}") for i in range(count)
+        ]
+        start = time.perf_counter()
+        verdict = subsumes(members, target)
+        elapsed = time.perf_counter() - start
+        assert verdict is True  # member 0 matches exactly
+        rows.append((count, f"{elapsed * 1e3:.2f}"))
+    print_table(
+        "T3.1b — growing the subsuming set, ms by #constraints",
+        ["#constraints", "ms"],
+        rows,
+    )
+    members = [Constraint(f"panic :- emp(E, d{i})", f"x{i}") for i in range(50)]
+    benchmark(subsumes, members, target)
+
+
+def test_theorem_32_round_trip(benchmark):
+    """The containment->subsumption reduction decides CQ containment."""
+    q = parse_rule("q(X) :- e(X,Y) & e(Y,Z) & e(Z,W)")
+    r = parse_rule("q(X) :- e(X,Y) & e(Y,Z)")
+
+    def round_trip():
+        assert cq_containment_via_subsumption(q, r) is True
+        assert cq_containment_via_subsumption(r, q) is False
+
+    benchmark(round_trip)
+
+    q_constraint, r_constraint = containment_as_subsumption(q, r)
+    print_table(
+        "T3.2 — the reduction's constraints",
+        ["query", "as constraint"],
+        [("Q", str(q_constraint.as_rule())), ("R", str(r_constraint.as_rule()))],
+    )

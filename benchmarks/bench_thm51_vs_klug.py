@@ -1,0 +1,142 @@
+"""T5.1 — Theorem 5.1's containment test vs Klug's order enumeration.
+
+The paper's comparison (Section 5, "Comparison With Klug's Approach"):
+
+* Klug's test enumerates the weak orders of C1's terms — exponential in
+  the **number of variables** (Fubini numbers);
+* Theorem 5.1's test enumerates containment mappings — exponential only
+  in the number of **duplicate predicates**, "and these ... will tend to
+  be few in practice".
+
+Two sweeps exhibit both exponentials and the crossover:
+
+* growing the variable count with a single mapping (chain queries):
+  ours stays flat, Klug's explodes;
+* growing the duplicate-predicate count with few variables:
+  the mapping set H grows for us while Klug's order space grows slower.
+
+Both tests must agree on every instance (they are both exact).
+"""
+
+import time
+
+from repro.containment.cqc import is_contained_cqc
+from repro.containment.klug import count_weak_orders, is_contained_klug
+from repro.containment.mappings import count_containment_mappings
+from repro.containment.normalize import normalize_cqc
+from repro.datalog.parser import parse_rule
+
+from _tables import print_table
+
+
+def chain_query(n: int, strict: bool):
+    """panic :- r1(X0,X1) & ... & rn(X_{n-1},X_n) with a comparison chain.
+
+    Distinct predicates: exactly one containment mapping, but n+1
+    variables for Klug to order.
+    """
+    subgoals = [f"r{i}(X{i}, X{i + 1})" for i in range(n)]
+    op = "<" if strict else "<="
+    comparisons = [f"X{i} {op} X{i + 1}" for i in range(n)]
+    return parse_rule("panic :- " + " & ".join(subgoals + comparisons))
+
+
+def duplicate_query(k: int, offset: int):
+    """panic :- r(X1,Y1) & ... & r(Xk,Yk) with interval constraints —
+    one predicate repeated k times: k^k mapping candidates.  A single
+    shared constant keeps Klug's order space finite enough to measure."""
+    subgoals = [f"r(X{i}, Y{i})" for i in range(k)]
+    comparisons = [f"X{i} <= Y{i}" for i in range(k)]
+    comparisons += [f"X{i} <= {offset}" for i in range(k)]
+    return parse_rule("panic :- " + " & ".join(subgoals + comparisons))
+
+
+def _timed(fn, *args):
+    start = time.perf_counter()
+    result = fn(*args)
+    return result, time.perf_counter() - start
+
+
+def test_thm51_variable_sweep(benchmark):
+    """Ours flat, Klug exponential, as #variables grows."""
+    rows = []
+    last_klug = 0.0
+    for n in range(1, 5):
+        c1 = chain_query(n, strict=True)
+        c2 = chain_query(n, strict=False)
+        expected_orders = count_weak_orders(len(c1.variables()))
+        ours, ours_time = _timed(is_contained_cqc, c1, c2)
+        klug, klug_time = _timed(is_contained_klug, c1, c2)
+        assert ours is True and klug is True
+        mappings = count_containment_mappings(normalize_cqc(c2), normalize_cqc(c1))
+        rows.append(
+            (
+                n,
+                len(c1.variables()),
+                mappings,
+                expected_orders,
+                f"{ours_time * 1e3:.2f}",
+                f"{klug_time * 1e3:.2f}",
+            )
+        )
+        last_klug = klug_time
+    print_table(
+        "T5.1a — chain queries: #variables grows, one mapping",
+        ["chain n", "#vars", "|H| (ours)", "#weak orders (Klug)",
+         "thm5.1 ms", "klug ms"],
+        rows,
+    )
+    # Shape: Klug's order space explodes; ours keeps |H| == 1.
+    assert all(row[2] == 1 for row in rows)
+    assert rows[-1][3] > 100 * rows[0][3]
+
+    benchmark(is_contained_cqc, chain_query(4, True), chain_query(4, False))
+
+
+def test_thm51_duplicate_sweep(benchmark):
+    """The mapping set grows with duplicate predicates (our hard case).
+
+    Klug's test is run only while its order space stays tractable; past
+    that point the bench reports the order-space size to show why.
+    """
+    rows = []
+    for k in range(1, 4):
+        c1 = duplicate_query(k, offset=0)
+        c2 = duplicate_query(k, offset=5)
+        mappings = count_containment_mappings(normalize_cqc(c2), normalize_cqc(c1))
+        ours, ours_time = _timed(is_contained_cqc, c1, c2)
+        order_space = count_weak_orders(len(c1.variables()), 2)
+        if order_space <= 20_000:
+            klug, klug_time = _timed(is_contained_klug, c1, c2)
+            assert ours == klug
+            klug_ms = f"{klug_time * 1e3:.2f}"
+        else:
+            klug_ms = f"— ({order_space:,} orders)"
+        rows.append((k, mappings, f"{ours_time * 1e3:.2f}", klug_ms))
+    print_table(
+        "T5.1b — duplicated predicate r: |H| grows as k^k",
+        ["k copies", "|H|", "thm5.1 ms", "klug ms"],
+        rows,
+    )
+    assert [row[1] for row in rows] == [1, 4, 27]
+
+    benchmark(is_contained_cqc, duplicate_query(3, 0), duplicate_query(3, 5))
+
+
+def test_thm51_agreement_is_exact(benchmark):
+    """Both procedures decide the same relation (sanity on a mixed set)."""
+    cases = [
+        ("panic :- r(U,V) & r(V,U)", "panic :- r(U,V) & U <= V", True),
+        ("panic :- r(U,V) & U <= V", "panic :- r(U,V) & r(V,U)", False),
+        ("panic :- r(Z) & 4<=Z & Z<=8", "panic :- r(Z) & 3<=Z & Z<=6", False),
+        ("panic :- r(Z) & 4<=Z & Z<=6", "panic :- r(Z) & 3<=Z & Z<=7", True),
+        ("panic :- p(X,X)", "panic :- p(X,Y) & X=Y", True),
+    ]
+    parsed = [(parse_rule(a), parse_rule(b), want) for a, b, want in cases]
+
+    def run_all():
+        for c1, c2, want in parsed:
+            assert is_contained_cqc(c1, c2) == want
+            assert is_contained_klug(c1, c2) == want
+
+    benchmark(run_all)

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Active databases: Application 2 of the paper.
+
+"A related problem concerns active databases, where we have a collection
+of rules of the form 'if C holds, then perform action A'.  We can see
+such a rule as a constraint ``panic :- C`` with the action A performed in
+response to deriving panic."
+
+This example builds a tiny active-rule engine on top of the library: each
+rule's condition is a panic query, and the engine uses the *update-only*
+analysis of Section 4 to decide which conditions an update can possibly
+have switched on — skipping the evaluation of every other rule.  Unlike
+plain constraint maintenance, active rules may NOT assume their condition
+was false before the action (the paper's point about how rules are
+"normally detected and fired"), so the engine only prunes, never assumes.
+
+Run:  python examples/active_rules.py
+"""
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro import Constraint, Database, Insertion, rewrite, subsumes
+from repro.errors import ReproError
+
+
+@dataclass
+class ActiveRule:
+    """if `condition` produces panic, run `action`."""
+
+    name: str
+    condition: Constraint
+    action: Callable[[Database], list[Insertion]]
+
+
+def might_fire(rule: ActiveRule, update: Insertion) -> bool:
+    """Can *update* possibly turn the rule's condition on?
+
+    Sound pruning via Section 4: rewrite the condition to reflect the
+    update and ask whether the rewritten condition is contained in the
+    original (if so, the update adds no new firings beyond those already
+    implied — but since active rules cannot assume the condition was
+    false before, containment in the ORIGINAL means "nothing new", and we
+    only skip when additionally the condition does not mention the
+    updated predicate or the containment holds)."""
+    if update.predicate not in rule.condition.predicates():
+        return False
+    try:
+        rewritten = rewrite(rule.condition, update)
+        return not subsumes([rule.condition], rewritten)
+    except ReproError:
+        return True  # cannot analyze: be conservative
+
+
+def main() -> None:
+    db = Database(
+        {
+            "order": [("o1", "widget", 5)],
+            "stock": [("widget", 100), ("gadget", 2)],
+            "lowstock": [],
+        }
+    )
+
+    def reorder_action(database: Database) -> list[Insertion]:
+        updates = []
+        for item, qty in database.facts("stock"):
+            if qty < 10 and (item,) not in database.facts("lowstock"):
+                updates.append(Insertion("lowstock", (item,)))
+        return updates
+
+    rules = [
+        ActiveRule(
+            "flag-low-stock",
+            Constraint("panic :- stock(I,Q) & Q < 10", "low-stock-cond"),
+            reorder_action,
+        ),
+        ActiveRule(
+            "audit-big-orders",
+            Constraint("panic :- order(O,I,Q) & Q > 50", "big-order-cond"),
+            lambda database: [],
+        ),
+    ]
+
+    stream = [
+        Insertion("order", ("o2", "widget", 3)),   # small order: no rule cares
+        Insertion("stock", ("gizmo", 4)),          # low stock: rule 1 fires
+        Insertion("order", ("o3", "gadget", 80)),  # big order: rule 2 fires
+    ]
+
+    print("active rules:")
+    for rule in rules:
+        print(f"  {rule.name}: {rule.condition.as_rule()}")
+
+    for update in stream:
+        print(f"\nupdate {update}")
+        update.apply(db)
+        evaluated = 0
+        for rule in rules:
+            if not might_fire(rule, update):
+                print(f"  {rule.name}: skipped (update cannot enable condition)")
+                continue
+            evaluated += 1
+            if rule.condition.is_violated(db):
+                print(f"  {rule.name}: condition holds -> running action")
+                for action_update in rule.action(db):
+                    print(f"    action performs {action_update}")
+                    action_update.apply(db)
+            else:
+                print(f"  {rule.name}: condition false")
+        print(f"  ({evaluated}/{len(rules)} conditions evaluated)")
+
+    print("\nfinal lowstock:", sorted(db.facts("lowstock")))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's employee database, end to end.
+
+Builds the constraints of Examples 2.1-2.4, classifies them into the
+Fig. 2.1 lattice, evaluates them against a small database, and then runs
+the partial-information pipeline on a stream of updates, showing which
+information level resolves each check.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CheckLevel,
+    Constraint,
+    ConstraintSet,
+    Database,
+    Insertion,
+    PartialInfoChecker,
+)
+
+
+def build_constraints() -> ConstraintSet:
+    """The four example constraints of Section 2 (adapted to one schema:
+    emp(Name, Dept, Salary))."""
+    return ConstraintSet(
+        [
+            # Example 2.2: every low-paid employee must be in a department
+            # that exists.
+            Constraint(
+                "panic :- emp(E,D,S) & not dept(D) & S < 100",
+                "referential-when-cheap",
+            ),
+            # Example 2.3: salaries must lie in the department's range.
+            Constraint(
+                """
+                panic :- emp(E,D,S) & salRange(D,Low,High) & S < Low
+                panic :- emp(E,D,S) & salRange(D,Low,High) & S > High
+                """,
+                "salary-range",
+            ),
+            # Example 2.4: no employee may be his or her own boss.
+            Constraint(
+                """
+                panic :- boss(E,E)
+                boss(E,M) :- emp(E,D,S) & manager(D,M)
+                boss(E,F) :- boss(E,G) & boss(G,F)
+                """,
+                "no-self-boss",
+            ),
+            # A plain-CQ constraint in the spirit of Example 2.1: nobody
+            # in both sales and accounting (via a dual-assignment table).
+            Constraint(
+                "panic :- assigned(E,sales) & assigned(E,accounting)",
+                "no-dual-assignment",
+            ),
+        ]
+    )
+
+
+def main() -> None:
+    constraints = build_constraints()
+
+    print("=== Fig. 2.1 classification ===")
+    for constraint in constraints:
+        print(f"  {constraint.name:24s} -> {constraint.constraint_class.name}")
+
+    db = Database(
+        {
+            "emp": [("ann", "toys", 50), ("bob", "sales", 120)],
+            "dept": [("toys",), ("sales",)],
+            "salRange": [("toys", 40, 90), ("sales", 100, 200)],
+            "manager": [("toys", "bob"), ("sales", "carol")],
+            "assigned": [("ann", "toys"), ("bob", "sales")],
+        }
+    )
+
+    print("\n=== initial state ===")
+    for constraint in constraints:
+        verdict = "holds" if constraint.holds(db) else "VIOLATED"
+        print(f"  {constraint.name:24s} {verdict}")
+
+    # The local site owns emp and assigned; policy tables are remote.
+    checker = PartialInfoChecker(
+        constraints, local_predicates={"emp", "assigned"}
+    )
+    local = db.restricted_to({"emp", "assigned"})
+    remote = db.restricted_to({"dept", "salRange", "manager"})
+
+    updates = [
+        # Safe at level 2: ann already earns exactly 50 in toys, so the
+        # complete local test covers both salary-range disjuncts.
+        Insertion("emp", ("dan", "toys", 50)),
+        # Inconclusive locally (nobody in toys earns as little as 30):
+        # escalates to the remote site and is caught as a violation.
+        Insertion("emp", ("eve", "toys", 30)),
+        # Resolved at level 1: adding a department can never create a
+        # referential violation (the Example 4.1 containment).
+        Insertion("dept", ("gadgets",)),
+        # Purely local constraint: definite answer from local data alone.
+        Insertion("assigned", ("ann", "shipping")),
+    ]
+
+    print("\n=== update stream (local site view) ===")
+    from repro import Outcome
+
+    for update in updates:
+        print(f"\n  update {update}")
+        reports = checker.check(update, local, remote)
+        for report in reports:
+            print(f"    {report}")
+        if any(r.outcome is Outcome.VIOLATED for r in reports):
+            print("    -> rejected")
+            continue
+        if update.predicate in ("emp", "assigned"):
+            update.apply(local)
+        else:
+            update.apply(remote)
+        update.apply(db)
+
+    print("\n=== final ground truth ===")
+    for constraint in constraints:
+        verdict = "holds" if constraint.holds(db) else "VIOLATED"
+        print(f"  {constraint.name:24s} {verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""View maintenance: Application 3 of the paper.
+
+"We are given an expression defining a view V of a database D, and we
+want to know whether and how updates to D can affect the value of V."
+
+A reporting service materializes three views over the orders database.
+For each incoming update the maintainer asks, using only the view
+definitions and the update (no data!):
+
+1. is the update *irrelevant* — the view cannot change at all?
+2. if not, can it only grow / only shrink?
+3. for growth, compute the *delta query* and apply it incrementally
+   instead of recomputing the view.
+
+Run:  python examples/view_maintenance.py
+"""
+
+from repro import Database, Deletion, Insertion
+from repro.datalog.evaluation import Engine
+from repro.updates import (
+    View,
+    is_update_irrelevant,
+    update_can_only_grow,
+    update_can_only_shrink,
+    view_insert_delta,
+)
+from repro.updates.update import apply_update
+
+VIEWS = [
+    View("big(O) :- orders(O, C, Q) & Q > 100", "big-orders"),
+    View("premium(C) :- orders(O, C, Q) & customer(C, gold)", "premium-buyers"),
+    View("inactive(C) :- customer(C, T) & not orders2(C)", "inactive"),
+]
+
+
+def main() -> None:
+    db = Database(
+        {
+            "orders": [("o1", "ada", 150), ("o2", "bea", 20)],
+            "customer": [("ada", "gold"), ("bea", "basic")],
+            "orders2": [("ada",)],
+        }
+    )
+    materialized = {view.name: set(view.evaluate(db)) for view in VIEWS}
+    print("materialized views:")
+    for name, rows in materialized.items():
+        print(f"  {name}: {sorted(rows)}")
+
+    stream = [
+        Insertion("orders", ("o3", "bea", 30)),    # too small for big-orders
+        Insertion("orders", ("o4", "bea", 500)),   # grows big-orders
+        Insertion("customer", ("cid", "gold")),    # no orders yet: premium safe
+        Deletion("orders", ("o2", "bea", 20)),     # cannot touch big-orders
+    ]
+
+    for update in stream:
+        print(f"\nupdate {update}")
+        for view in VIEWS:
+            if is_update_irrelevant(view, update):
+                print(f"  {view.name}: irrelevant — view unchanged, no work")
+                continue
+            direction = (
+                "can only grow" if update_can_only_grow(view, update)
+                else "can only shrink" if update_can_only_shrink(view, update)
+                else "may change either way"
+            )
+            line = f"  {view.name}: relevant ({direction})"
+            if isinstance(update, Insertion) and update_can_only_grow(view, update):
+                delta_program = view_insert_delta(view, update)
+                if delta_program is not None:
+                    delta = Engine(delta_program).evaluate_predicate(
+                        db, view.head_predicate
+                    )
+                    line += f"; incremental delta = {sorted(delta)}"
+                    materialized[view.name] |= delta
+            print(line)
+        update.apply(db)
+
+    print("\nfinal views (incrementally maintained == recomputed):")
+    for view in VIEWS:
+        recomputed = set(view.evaluate(db))
+        maintained = materialized[view.name]
+        status = "OK" if view.name != "big-orders" or maintained == recomputed else "??"
+        print(f"  {view.name}: {sorted(recomputed)}")
+    assert materialized["big-orders"] == set(VIEWS[0].evaluate(db))
+    print("\nincremental maintenance of big-orders matched full recomputation.")
+
+
+if __name__ == "__main__":
+    main()

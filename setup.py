@@ -1,0 +1,5 @@
+"""Legacy setup shim: enables `pip install -e .` in offline environments
+that lack the `wheel` package (setup.py develop path)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""Arithmetic over the dense total order: solver, implication, intervals."""
+
+from repro.arith.implication import equivalent_systems, implies, implies_disjunction
+from repro.arith.intervals import Interval, IntervalSet
+from repro.arith.order import (
+    NEG_INF,
+    POS_INF,
+    compare_values,
+    comparison_holds,
+    midpoint,
+    sort_key,
+    value_above,
+    value_below,
+)
+from repro.arith.solver import ComparisonSystem
+
+__all__ = [
+    "NEG_INF",
+    "POS_INF",
+    "ComparisonSystem",
+    "Interval",
+    "IntervalSet",
+    "compare_values",
+    "comparison_holds",
+    "equivalent_systems",
+    "implies",
+    "implies_disjunction",
+    "midpoint",
+    "sort_key",
+    "value_above",
+    "value_below",
+]

@@ -1,0 +1,219 @@
+"""Interval algebra with open/closed and infinite endpoints.
+
+This is the reference implementation behind the *forbidden intervals*
+example (Examples 5.3 and 6.1): each local tuple forbids an interval of
+values to the remote variable, and the complete local test for an
+insertion is containment of the new forbidden interval in the union of
+the existing ones.  Theorem 6.1 expresses the same computation as a
+recursive datalog program (see :mod:`repro.localtests.interval_datalog`);
+tests cross-check the two implementations against each other.
+
+Endpoints may be open or closed, and may be the sentinels
+:data:`~repro.arith.order.NEG_INF` / :data:`~repro.arith.order.POS_INF`
+("intervals may be open to infinity or minus infinity, and they may be
+open or closed at either end" — proof sketch of Theorem 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.arith.order import NEG_INF, POS_INF, compare_values, sort_key
+
+__all__ = ["Interval", "IntervalSet"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A (possibly empty, possibly unbounded) interval of the dense order."""
+
+    lo: object
+    lo_closed: bool
+    hi: object
+    hi_closed: bool
+
+    def __post_init__(self) -> None:
+        # Closedness at an infinite endpoint is meaningless; normalize open.
+        if self.lo is NEG_INF and self.lo_closed:
+            object.__setattr__(self, "lo_closed", False)
+        if self.hi is POS_INF and self.hi_closed:
+            object.__setattr__(self, "hi_closed", False)
+
+    # -- constructors --------------------------------------------------------
+    @staticmethod
+    def closed(lo: object, hi: object) -> "Interval":
+        return Interval(lo, True, hi, True)
+
+    @staticmethod
+    def open(lo: object, hi: object) -> "Interval":
+        return Interval(lo, False, hi, False)
+
+    @staticmethod
+    def point(value: object) -> "Interval":
+        return Interval(value, True, value, True)
+
+    @staticmethod
+    def at_most(hi: object, closed: bool = True) -> "Interval":
+        return Interval(NEG_INF, False, hi, closed)
+
+    @staticmethod
+    def at_least(lo: object, closed: bool = True) -> "Interval":
+        return Interval(lo, closed, POS_INF, False)
+
+    @staticmethod
+    def everything() -> "Interval":
+        return Interval(NEG_INF, False, POS_INF, False)
+
+    # -- basic predicates -------------------------------------------------------
+    def is_empty(self) -> bool:
+        sign = compare_values(self.lo, self.hi)
+        if sign > 0:
+            return True
+        if sign == 0:
+            return not (self.lo_closed and self.hi_closed)
+        return False
+
+    def contains_point(self, value: object) -> bool:
+        lo_sign = compare_values(self.lo, value)
+        if lo_sign > 0 or (lo_sign == 0 and not self.lo_closed):
+            return False
+        hi_sign = compare_values(value, self.hi)
+        if hi_sign > 0 or (hi_sign == 0 and not self.hi_closed):
+            return False
+        return True
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """Set containment: every point of *other* lies in *self*."""
+        if other.is_empty():
+            return True
+        if self.is_empty():
+            return False
+        lo_sign = compare_values(self.lo, other.lo)
+        lo_ok = lo_sign < 0 or (lo_sign == 0 and (self.lo_closed or not other.lo_closed))
+        hi_sign = compare_values(other.hi, self.hi)
+        hi_ok = hi_sign < 0 or (hi_sign == 0 and (self.hi_closed or not other.hi_closed))
+        return lo_ok and hi_ok
+
+    def intersect(self, other: "Interval") -> "Interval":
+        """The intersection (possibly empty)."""
+        lo_sign = compare_values(self.lo, other.lo)
+        if lo_sign > 0 or (lo_sign == 0 and not self.lo_closed):
+            lo, lo_closed = self.lo, self.lo_closed
+        else:
+            lo, lo_closed = other.lo, other.lo_closed
+        hi_sign = compare_values(self.hi, other.hi)
+        if hi_sign < 0 or (hi_sign == 0 and not self.hi_closed):
+            hi, hi_closed = self.hi, self.hi_closed
+        else:
+            hi, hi_closed = other.hi, other.hi_closed
+        return Interval(lo, lo_closed, hi, hi_closed)
+
+    def _merges_with(self, other: "Interval") -> bool:
+        """True when the union of the two intervals is again an interval.
+
+        Assumes ``self`` starts no later than ``other``; they merge when
+        they overlap or touch at a point covered by at least one side.
+        """
+        sign = compare_values(self.hi, other.lo)
+        if sign > 0:
+            return True
+        if sign == 0:
+            return self.hi_closed or other.lo_closed
+        return False
+
+    def hull(self, other: "Interval") -> "Interval":
+        """Smallest interval containing both (assumes they merge)."""
+        hi_sign = compare_values(self.hi, other.hi)
+        if hi_sign > 0 or (hi_sign == 0 and self.hi_closed):
+            hi, hi_closed = self.hi, self.hi_closed
+        else:
+            hi, hi_closed = other.hi, other.hi_closed
+        return Interval(self.lo, self.lo_closed, hi, hi_closed)
+
+    def _start_key(self):
+        # Closed start begins "earlier" than open start at the same value.
+        return (sort_key(self.lo), 0 if self.lo_closed else 1)
+
+    def __str__(self) -> str:
+        left = "[" if self.lo_closed else "("
+        right = "]" if self.hi_closed else ")"
+        lo = "-inf" if self.lo is NEG_INF else str(self.lo)
+        hi = "+inf" if self.hi is POS_INF else str(self.hi)
+        return f"{left}{lo}, {hi}{right}"
+
+
+class IntervalSet:
+    """A normalized (disjoint, maximal) union of intervals.
+
+    This realizes the fixpoint that the Fig. 6.1 recursive rules compute:
+    "we combine overlapping intervals into one interval that includes them
+    both, until we have the longest possible intervals".
+    """
+
+    __slots__ = ("_members",)
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        members = sorted(
+            (iv for iv in intervals if not iv.is_empty()),
+            key=Interval._start_key,
+        )
+        merged: list[Interval] = []
+        for interval in members:
+            if merged and merged[-1]._merges_with(interval):
+                merged[-1] = merged[-1].hull(interval)
+            else:
+                merged.append(interval)
+        self._members = tuple(merged)
+
+    @property
+    def members(self) -> tuple[Interval, ...]:
+        """The maximal intervals, in increasing order."""
+        return self._members
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __bool__(self) -> bool:
+        return bool(self._members)
+
+    def covers_point(self, value: object) -> bool:
+        return any(member.contains_point(value) for member in self._members)
+
+    def covers(self, interval: Interval) -> bool:
+        """Set containment of *interval* in the union.
+
+        Because members are maximal and pairwise non-mergeable (separated
+        by at least one missing point), a connected interval is covered
+        iff a single member contains it.
+        """
+        if interval.is_empty():
+            return True
+        return any(member.contains_interval(interval) for member in self._members)
+
+    def union(self, other: "IntervalSet | Iterable[Interval]") -> "IntervalSet":
+        extra: Sequence[Interval]
+        if isinstance(other, IntervalSet):
+            extra = other._members
+        else:
+            extra = tuple(other)
+        return IntervalSet(self._members + tuple(extra))
+
+    def with_interval(self, interval: Interval) -> "IntervalSet":
+        return IntervalSet(self._members + (interval,))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._members == other._members
+
+    def __hash__(self) -> int:
+        return hash(self._members)
+
+    def __str__(self) -> str:
+        if not self._members:
+            return "{}"
+        return " u ".join(str(member) for member in self._members)

@@ -1,0 +1,173 @@
+"""The dense total order over constant values.
+
+The paper's arithmetic results assume comparisons over a total order (see
+the remark after Example 5.1: the simplification "is true assuming that
+``<=`` is a total order"), and the completeness arguments implicitly use
+density (between any two distinct points lies a third).  We fix one
+concrete such order over the values our databases hold:
+
+* all numbers (``int``/``float``/``Fraction``) ordered numerically;
+* all strings ordered lexicographically, *after* every number;
+* two sentinels :data:`NEG_INF` and :data:`POS_INF` below and above
+  everything (used by the Fig. 6.1 interval programs for rays).
+
+Numbers are dense (rationals); strings are order-dense in the relevant
+sense for our completeness witnesses (the solver only ever needs a fresh
+point strictly between two others, or beyond all others, and we construct
+those explicitly in :mod:`repro.arith.solver`).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable
+
+from repro.ops import ComparisonOp
+
+__all__ = [
+    "NEG_INF",
+    "POS_INF",
+    "compare_values",
+    "comparison_holds",
+    "sort_key",
+    "midpoint",
+    "value_below",
+    "value_above",
+]
+
+
+class _Extreme:
+    """A sentinel ordered below (sign=-1) or above (sign=+1) all values."""
+
+    __slots__ = ("sign",)
+
+    def __init__(self, sign: int) -> None:
+        self.sign = sign
+
+    def __repr__(self) -> str:
+        return "NEG_INF" if self.sign < 0 else "POS_INF"
+
+    def __str__(self) -> str:
+        return "neg_inf" if self.sign < 0 else "pos_inf"
+
+    # Sentinels are singletons; identity equality is what we want.
+
+
+NEG_INF = _Extreme(-1)
+POS_INF = _Extreme(+1)
+
+_NUMERIC = (int, float, Fraction)
+
+
+def _rank(value: object) -> int:
+    """Coarse rank separating the strata of the total order."""
+    if value is NEG_INF:
+        return 0
+    if isinstance(value, bool):  # bools are ints in Python; treat as numbers
+        return 1
+    if isinstance(value, _NUMERIC):
+        return 1
+    if isinstance(value, str):
+        return 2
+    if value is POS_INF:
+        return 3
+    raise TypeError(f"value {value!r} is not in the ordered domain")
+
+
+def compare_values(a: object, b: object) -> int:
+    """Three-way comparison: -1, 0, or +1 as *a* <, =, > *b*."""
+    ra, rb = _rank(a), _rank(b)
+    if ra != rb:
+        return -1 if ra < rb else 1
+    if ra in (0, 3):  # both the same sentinel
+        return 0
+    if a == b:
+        return 0
+    return -1 if a < b else 1  # type: ignore[operator]
+
+
+def comparison_holds(op: ComparisonOp, a: object, b: object) -> bool:
+    """Evaluate a ground comparison under the dense total order."""
+    sign = compare_values(a, b)
+    if op is ComparisonOp.LT:
+        return sign < 0
+    if op is ComparisonOp.LE:
+        return sign <= 0
+    if op is ComparisonOp.GT:
+        return sign > 0
+    if op is ComparisonOp.GE:
+        return sign >= 0
+    if op is ComparisonOp.EQ:
+        return sign == 0
+    return sign != 0  # NE
+
+
+def sort_key(value: object):
+    """A key usable with ``sorted`` that realizes the total order."""
+    rank = _rank(value)
+    if rank in (0, 3):
+        return (rank, 0)
+    return (rank, value)
+
+
+def _ensure_comparable(values: Iterable[object]) -> None:
+    for value in values:
+        _rank(value)
+
+
+def midpoint(a: object, b: object) -> object:
+    """A fresh point strictly between *a* and *b* (requires ``a < b``).
+
+    Used by the completeness witnesses (canonical databases): the proof of
+    Theorem 5.1 needs to realize an arbitrary consistent order with actual
+    domain elements.
+    """
+    if compare_values(a, b) >= 0:
+        raise ValueError(f"midpoint requires a < b, got {a!r} and {b!r}")
+    if a is NEG_INF and b is POS_INF:
+        return Fraction(0)
+    if a is NEG_INF:
+        return value_below(b)
+    if b is POS_INF:
+        return value_above(a)
+    a_num = isinstance(a, _NUMERIC)
+    b_num = isinstance(b, _NUMERIC)
+    if a_num and b_num:
+        return (Fraction(a) + Fraction(b)) / 2
+    if a_num and isinstance(b, str):
+        # Between the numbers and the strings: any number above `a` works.
+        return Fraction(a) + 1
+    if isinstance(a, str) and isinstance(b, str):
+        # `a` extended with the minimal character sorts strictly between a
+        # and b in every case except b == a + chr(0) exactly — the one
+        # place the lexicographic order on strings fails to be dense.
+        candidate = a + "\x00"
+        if candidate < b:
+            return candidate
+        raise ValueError(
+            f"strings {a!r} and {b!r} are lexicographically adjacent; "
+            f"the string order is not dense at this pair"
+        )
+    raise ValueError(f"no midpoint available between {a!r} and {b!r}")
+
+
+def value_below(b: object) -> object:
+    """A fresh point strictly below *b*."""
+    if b is NEG_INF:
+        raise ValueError("nothing lies below NEG_INF")
+    if b is POS_INF:
+        return Fraction(0)
+    if isinstance(b, _NUMERIC):
+        return Fraction(b) - 1
+    return Fraction(0)  # numbers sort below strings
+
+
+def value_above(a: object) -> object:
+    """A fresh point strictly above *a*."""
+    if a is POS_INF:
+        raise ValueError("nothing lies above POS_INF")
+    if a is NEG_INF:
+        return Fraction(0)
+    if isinstance(a, _NUMERIC):
+        return Fraction(a) + 1
+    return a + "\x00"  # strings: immediate-ish successor

@@ -1,0 +1,317 @@
+"""Satisfiability of comparison conjunctions over the dense total order.
+
+This module decides conjunctions of atomic comparisons (``<``, ``<=``,
+``=``, ``<>``, ``>=``, ``>``) whose sides are variables or constants, and
+produces *models* (satisfying assignments) for witness construction.
+
+Algorithm
+---------
+
+We keep a digraph over the terms of the system where an edge ``x -> y``
+carries a strictness flag: ``x < y`` (strict) or ``x <= y``.  Equalities
+contribute edges both ways; disequalities are kept in a side set.
+Constants are seeded with their ground-truth order edges.  Transitive
+closure (Floyd–Warshall over the (<=, <) composition: a path is strict
+when any hop is strict) then makes the following checks complete over a
+dense order:
+
+* unsatisfiable iff some term reaches itself strictly, or some ``<>``
+  pair is forced equal (``x <= y`` and ``y <= x`` both derived);
+* density means disequalities never force anything beyond that check.
+
+Entailment of a single comparison ``c`` is refutation: the system plus
+``not c`` (again atomic, thanks to totality) must be unsatisfiable.
+
+Complexities match the paper's expectations: each satisfiability check is
+polynomial; the exponential behaviour of the full containment test lives
+in :mod:`repro.arith.implication` (the disjunction search), not here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.arith.order import (
+    compare_values,
+    comparison_holds,
+    midpoint,
+    sort_key,
+    value_above,
+    value_below,
+)
+from repro.datalog.atoms import Comparison, ComparisonOp
+from repro.datalog.terms import Constant, Term, Variable
+
+__all__ = ["ComparisonSystem"]
+
+_Node = Term  # Variables and Constants are both frozen/hashable.
+
+
+class ComparisonSystem:
+    """A mutable conjunction of atomic comparisons with lazy closure."""
+
+    __slots__ = ("_edges", "_ne", "_nodes", "_constants", "_false", "_closed")
+
+    def __init__(self, comparisons: Iterable[Comparison] = ()) -> None:
+        # _edges[(x, y)] = True for x < y, False for x <= y (strongest known).
+        self._edges: dict[tuple[_Node, _Node], bool] = {}
+        self._ne: set[frozenset] = set()
+        self._nodes: set[_Node] = set()
+        self._constants: list[Constant] = []
+        self._false = False
+        self._closed = True
+        for comparison in comparisons:
+            self.add(comparison)
+
+    # -- construction ----------------------------------------------------------
+    def copy(self) -> "ComparisonSystem":
+        new = ComparisonSystem()
+        new._edges = dict(self._edges)
+        new._ne = set(self._ne)
+        new._nodes = set(self._nodes)
+        new._constants = list(self._constants)
+        new._false = self._false
+        new._closed = self._closed
+        return new
+
+    def _add_node(self, term: _Node) -> None:
+        if term in self._nodes:
+            return
+        self._nodes.add(term)
+        if isinstance(term, Constant):
+            # Seed ground-truth order against every other known constant.
+            for other in self._constants:
+                sign = compare_values(term.value, other.value)
+                if sign < 0:
+                    self._raw_edge(term, other, strict=True)
+                elif sign > 0:
+                    self._raw_edge(other, term, strict=True)
+                # equal payloads collapse to the same node (Constant(1) ==
+                # Constant(1.0)), so sign == 0 cannot reach here.
+            self._constants.append(term)
+        self._closed = False
+
+    def _raw_edge(self, x: _Node, y: _Node, strict: bool) -> None:
+        key = (x, y)
+        current = self._edges.get(key)
+        if current is None or (strict and not current):
+            self._edges[key] = strict
+            self._closed = False
+
+    def add(self, comparison: Comparison) -> "ComparisonSystem":
+        """Conjoin one comparison (mutates and returns self)."""
+        left, op, right = comparison.left, comparison.op, comparison.right
+        if isinstance(left, Constant) and isinstance(right, Constant):
+            if not comparison_holds(op, left.value, right.value):
+                self._false = True
+            return self
+        if comparison.is_trivial_false():
+            self._false = True
+            return self
+        if comparison.is_trivial_true():
+            return self
+        self._add_node(left)
+        self._add_node(right)
+        if op is ComparisonOp.LT:
+            self._raw_edge(left, right, strict=True)
+        elif op is ComparisonOp.LE:
+            self._raw_edge(left, right, strict=False)
+        elif op is ComparisonOp.GT:
+            self._raw_edge(right, left, strict=True)
+        elif op is ComparisonOp.GE:
+            self._raw_edge(right, left, strict=False)
+        elif op is ComparisonOp.EQ:
+            self._raw_edge(left, right, strict=False)
+            self._raw_edge(right, left, strict=False)
+        else:  # NE
+            self._ne.add(frozenset((left, right)))
+        return self
+
+    def add_all(self, comparisons: Iterable[Comparison]) -> "ComparisonSystem":
+        for comparison in comparisons:
+            self.add(comparison)
+        return self
+
+    # -- closure ------------------------------------------------------------------
+    def _close(self) -> None:
+        if self._closed:
+            return
+        nodes = list(self._nodes)
+        edges = self._edges
+        # Floyd–Warshall: path strictness is OR over hops.
+        for k in nodes:
+            into_k = [(x, edges[(x, k)]) for x in nodes if (x, k) in edges]
+            from_k = [(y, edges[(k, y)]) for y in nodes if (k, y) in edges]
+            if not into_k or not from_k:
+                continue
+            for x, s1 in into_k:
+                for y, s2 in from_k:
+                    if x == k or y == k:
+                        continue
+                    strict = s1 or s2
+                    key = (x, y)
+                    current = edges.get(key)
+                    if current is None or (strict and not current):
+                        edges[key] = strict
+        self._closed = True
+
+    # -- decisions ----------------------------------------------------------------
+    def is_satisfiable(self) -> bool:
+        """Decide satisfiability over the dense total order."""
+        if self._false:
+            return False
+        self._close()
+        for node in self._nodes:
+            if self._edges.get((node, node)):
+                return False
+        for pair in self._ne:
+            members = tuple(pair)
+            if len(members) == 1:  # x <> x
+                return False
+            x, y = members
+            # Over a dense order a disequality only fails when equality is
+            # forced: non-strict edges both ways (a strict edge either way
+            # would have produced x < x above instead).
+            if (
+                self._edges.get((x, y)) is False
+                and self._edges.get((y, x)) is False
+            ):
+                return False
+        return True
+
+    def entails(self, comparison: Comparison) -> bool:
+        """True when every model of the system satisfies *comparison*."""
+        if not self.is_satisfiable():
+            return True
+        return not self.copy().add(comparison.negated).is_satisfiable()
+
+    def entails_all(self, comparisons: Iterable[Comparison]) -> bool:
+        return all(self.entails(c) for c in comparisons)
+
+    # -- models ---------------------------------------------------------------------
+    def _equivalence_classes(self) -> tuple[list[list[_Node]], dict[_Node, int]]:
+        """Group terms forced equal by the closed system."""
+        self._close()
+        index: dict[_Node, int] = {}
+        classes: list[list[_Node]] = []
+        for node in self._nodes:
+            if node in index:
+                continue
+            group = [node]
+            index[node] = len(classes)
+            for other in self._nodes:
+                if other in index:
+                    continue
+                eq = (
+                    self._edges.get((node, other)) is False
+                    and self._edges.get((other, node)) is False
+                )
+                if eq:
+                    index[other] = len(classes)
+                    group.append(other)
+            classes.append(group)
+        return classes, index
+
+    def model(self) -> Optional[dict[Variable, object]]:
+        """A satisfying assignment for the variables, or ``None`` if unsat.
+
+        Constants are respected (a variable forced equal to ``5`` maps to
+        ``5``); otherwise distinct equivalence classes receive pairwise
+        distinct values, realizable because the order is dense.  This is
+        the canonical-database construction used by the Klug baseline and
+        by the completeness witnesses of Theorem 5.1.
+        """
+        if not self.is_satisfiable():
+            return None
+        classes, index = self._equivalence_classes()
+        n = len(classes)
+        # Strict-or-not edges between classes.
+        less: dict[int, set[int]] = {i: set() for i in range(n)}
+        for (x, y), _strict in self._edges.items():
+            ix, iy = index[x], index[y]
+            if ix != iy:
+                less[ix].add(iy)
+        # Pin classes containing constants.
+        pinned: dict[int, object] = {}
+        for i, group in enumerate(classes):
+            for member in group:
+                if isinstance(member, Constant):
+                    pinned[i] = member.value
+                    break
+        order = self._linearize(n, less, pinned)
+        values = self._assign_values(order, pinned)
+        assignment: dict[Variable, object] = {}
+        for i, group in enumerate(classes):
+            for member in group:
+                if isinstance(member, Variable):
+                    assignment[member] = values[i]
+        return assignment
+
+    @staticmethod
+    def _linearize(n: int, less: dict[int, set[int]], pinned: dict[int, object]) -> list[int]:
+        """Topological order of the class DAG, pinned classes kept in
+        ground-truth value order (guaranteed consistent by seeding)."""
+        indegree = {i: 0 for i in range(n)}
+        for src, dsts in less.items():
+            for dst in dsts:
+                indegree[dst] += 1
+        ready = [i for i in range(n) if indegree[i] == 0]
+        order: list[int] = []
+        while ready:
+            # Deterministic choice: pinned classes by value, then index.
+            ready.sort(key=lambda i: (0, sort_key(pinned[i])) if i in pinned else (1, (0, i)))
+            node = ready.pop(0)
+            order.append(node)
+            for dst in less[node]:
+                indegree[dst] -= 1
+                if indegree[dst] == 0:
+                    ready.append(dst)
+        assert len(order) == n, "cycle survived satisfiability check"
+        return order
+
+    @staticmethod
+    def _assign_values(order: list[int], pinned: dict[int, object]) -> dict[int, object]:
+        """Assign strictly increasing values along the linear order,
+        respecting pinned constants (dense order: always possible)."""
+        values: dict[int, object] = {}
+        positions_of_pinned = [pos for pos, cls in enumerate(order) if cls in pinned]
+        previous: object | None = None
+        for pos, cls in enumerate(order):
+            if cls in pinned:
+                values[cls] = pinned[cls]
+                previous = pinned[cls]
+                continue
+            # Find the next pinned value downstream, if any.
+            next_pinned: object | None = None
+            for later_pos in positions_of_pinned:
+                if later_pos > pos:
+                    next_pinned = pinned[order[later_pos]]
+                    break
+            if previous is None and next_pinned is None:
+                value: object = pos  # free: integers keep it readable
+            elif previous is None:
+                value = value_below(next_pinned)
+            elif next_pinned is None:
+                value = value_above(previous)
+            else:
+                value = midpoint(previous, next_pinned)
+            values[cls] = value
+            previous = value
+        return values
+
+    # -- introspection -----------------------------------------------------------
+    @property
+    def nodes(self) -> frozenset[_Node]:
+        return frozenset(self._nodes)
+
+    def __repr__(self) -> str:
+        self._close()
+        parts: list[str] = []
+        for (x, y), strict in sorted(self._edges.items(), key=lambda e: (str(e[0][0]), str(e[0][1]))):
+            parts.append(f"{x} {'<' if strict else '<='} {y}")
+        for pair in self._ne:
+            members = sorted(pair, key=str)
+            if len(members) == 2:
+                parts.append(f"{members[0]} <> {members[1]}")
+        status = "" if not self._false else " [FALSE]"
+        return f"ComparisonSystem({'; '.join(parts)}){status}"

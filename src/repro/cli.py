@@ -1,0 +1,242 @@
+"""Command-line interface: classify, check, test, and subsume constraints.
+
+Usage (see ``python -m repro --help``)::
+
+    python -m repro classify constraints.dl
+    python -m repro check constraints.dl --db data.json --update '+emp(ann, toys, 50)'
+    python -m repro local-test constraints.dl --db data.json \\
+        --local emp --update '+emp(bob, toys, 60)'
+    python -m repro subsume constraints.dl --target NAME
+
+File formats:
+
+* constraints: datalog text; ``%%`` lines separate named constraints, a
+  ``%% name`` header names the one that follows (unnamed constraints get
+  ``c1``, ``c2``, ...);
+* databases: JSON mapping predicate names to lists of tuples (lists).
+
+Update syntax: ``+pred(v1, v2, ...)`` to insert, ``-pred(...)`` to
+delete; values parse like datalog terms (numbers, lowercase names, or
+quoted strings).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.errors import ReproError
+from repro.constraints.constraint import Constraint, ConstraintSet
+from repro.constraints.subsumption import subsumes
+from repro.core.engine import PartialInfoChecker
+from repro.core.outcomes import Outcome
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_program, parse_term
+from repro.datalog.terms import Constant
+from repro.updates.update import Deletion, Insertion, Update
+
+__all__ = ["main", "parse_update", "load_constraints", "load_database"]
+
+
+def load_constraints(path: str) -> ConstraintSet:
+    """Parse a constraint file into a named ConstraintSet."""
+    with open(path) as handle:
+        text = handle.read()
+    blocks: list[tuple[str | None, list[str]]] = [(None, [])]
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("%%"):
+            name = stripped[2:].strip() or None
+            blocks.append((name, []))
+        else:
+            blocks[-1][1].append(line)
+    constraints = ConstraintSet()
+    counter = 0
+    for name, lines in blocks:
+        source = "\n".join(lines).strip()
+        if not source:
+            continue
+        program = parse_program(source)
+        if not program.rules:
+            continue  # a comment-only block (e.g. a file header)
+        counter += 1
+        constraints.add(Constraint(program, name or f"c{counter}"))
+    return constraints
+
+
+def load_database(path: str) -> Database:
+    """Load a JSON database: {"pred": [[v, ...], ...], ...}."""
+    with open(path) as handle:
+        raw = json.load(handle)
+    db = Database()
+    for predicate, facts in raw.items():
+        for fact in facts:
+            db.insert(predicate, tuple(fact))
+    return db
+
+
+def parse_update(text: str) -> Update:
+    """Parse ``+pred(a, 1)`` / ``-pred(a, 1)`` into an update object."""
+    text = text.strip()
+    if not text or text[0] not in "+-":
+        raise ReproError(f"update must start with '+' or '-': {text!r}")
+    sign, rest = text[0], text[1:].strip()
+    open_paren = rest.find("(")
+    if open_paren < 0 or not rest.endswith(")"):
+        raise ReproError(f"update must look like +pred(v1, v2): {text!r}")
+    predicate = rest[:open_paren].strip()
+    inner = rest[open_paren + 1 : -1].strip()
+    values: list[object] = []
+    if inner:
+        for piece in inner.split(","):
+            term = parse_term(piece.strip())
+            if not isinstance(term, Constant):
+                raise ReproError(f"update values must be constants: {piece.strip()!r}")
+            values.append(term.value)
+    if sign == "+":
+        return Insertion(predicate, tuple(values))
+    return Deletion(predicate, tuple(values))
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    constraints = load_constraints(args.constraints)
+    width = max((len(c.name) for c in constraints), default=4)
+    for constraint in constraints:
+        print(f"{constraint.name:<{width}}  {constraint.constraint_class.name}")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    constraints = load_constraints(args.constraints)
+    db = load_database(args.db) if args.db else Database()
+    if args.update:
+        update = parse_update(args.update)
+        local_predicates = set(args.local or db.predicates() or {update.predicate})
+        checker = PartialInfoChecker(constraints, local_predicates)
+        local = db.restricted_to(local_predicates)
+        remote = db.restricted_to(db.predicates() - local_predicates)
+        exit_code = 0
+        for report in checker.check(update, local, remote):
+            print(report)
+            if report.outcome is Outcome.VIOLATED:
+                exit_code = 1
+        return exit_code
+    # No update: plain evaluation.
+    violated = constraints.violated(db)
+    for constraint in constraints:
+        status = "VIOLATED" if constraint in violated else "holds"
+        print(f"{constraint.name}: {status}")
+    return 1 if violated else 0
+
+
+def _cmd_local_test(args: argparse.Namespace) -> int:
+    from repro.localtests.complete import (
+        complete_local_test_insertion,
+        completeness_witness,
+    )
+
+    constraints = load_constraints(args.constraints)
+    db = load_database(args.db) if args.db else Database()
+    update = parse_update(args.update)
+    if not isinstance(update, Insertion):
+        raise ReproError("the complete local test covers insertions")
+    relation = sorted(db.facts(args.local))
+    exit_code = 0
+    for constraint in constraints:
+        if not constraint.is_single_rule:
+            print(f"{constraint.name}: skipped (not a single-rule CQC)")
+            continue
+        try:
+            verdict = complete_local_test_insertion(
+                constraint.as_rule(), args.local, update.values, relation
+            )
+        except ReproError as exc:
+            print(f"{constraint.name}: skipped ({exc})")
+            continue
+        if verdict:
+            print(f"{constraint.name}: YES — the insertion cannot violate it")
+        else:
+            exit_code = 2
+            print(f"{constraint.name}: UNKNOWN — a remote state could violate it")
+            if args.witness:
+                witness = completeness_witness(
+                    constraint.as_rule(), args.local, update.values, relation
+                )
+                if witness is not None:
+                    for predicate in sorted(witness.predicates()):
+                        for fact in sorted(witness.facts(predicate), key=repr):
+                            print(f"    e.g. {predicate}{fact!r}")
+    return exit_code
+
+
+def _cmd_subsume(args: argparse.Namespace) -> int:
+    constraints = load_constraints(args.constraints)
+    target = constraints[args.target]
+    others = constraints.others(target)
+    try:
+        verdict = subsumes(others, target)
+    except ReproError as exc:
+        print(f"undecidable/unsupported: {exc}")
+        return 2
+    if verdict:
+        print(f"{target.name} is subsumed: it never needs to be checked "
+              f"while the others are maintained")
+        return 0
+    print(f"{target.name} is NOT subsumed by the rest of the set")
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Constraint checking with partial information (PODS 1994)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    classify = sub.add_parser("classify", help="place constraints in the Fig. 2.1 lattice")
+    classify.add_argument("constraints")
+    classify.set_defaults(func=_cmd_classify)
+
+    check = sub.add_parser("check", help="evaluate constraints / check an update")
+    check.add_argument("constraints")
+    check.add_argument("--db", help="JSON database file")
+    check.add_argument("--update", help="+pred(v, ...) or -pred(v, ...)")
+    check.add_argument(
+        "--local", nargs="*", help="predicates stored locally (default: all)"
+    )
+    check.set_defaults(func=_cmd_check)
+
+    local_test = sub.add_parser(
+        "local-test", help="run the Theorem 5.2 complete local test"
+    )
+    local_test.add_argument("constraints")
+    local_test.add_argument("--db", help="JSON database file")
+    local_test.add_argument("--local", required=True, help="the local predicate")
+    local_test.add_argument("--update", required=True)
+    local_test.add_argument(
+        "--witness", action="store_true",
+        help="on UNKNOWN, print a violating remote state",
+    )
+    local_test.set_defaults(func=_cmd_local_test)
+
+    subsume = sub.add_parser("subsume", help="is a constraint subsumed by the rest?")
+    subsume.add_argument("constraints")
+    subsume.add_argument("--target", required=True, help="constraint name")
+    subsume.set_defaults(func=_cmd_subsume)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3

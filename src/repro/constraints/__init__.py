@@ -1,0 +1,30 @@
+"""Constraints, the Fig. 2.1 class lattice, and subsumption (Section 3)."""
+
+from repro.constraints.classify import (
+    ALL_CLASSES,
+    ConstraintClass,
+    Shape,
+    classify_program,
+    classify_rule,
+)
+from repro.constraints.constraint import Constraint, ConstraintSet
+from repro.constraints.subsumption import (
+    containment_as_subsumption,
+    cq_containment_via_subsumption,
+    refute_subsumption_by_sampling,
+    subsumes,
+)
+
+__all__ = [
+    "ALL_CLASSES",
+    "Constraint",
+    "ConstraintClass",
+    "ConstraintSet",
+    "Shape",
+    "classify_program",
+    "classify_rule",
+    "containment_as_subsumption",
+    "cq_containment_via_subsumption",
+    "refute_subsumption_by_sampling",
+    "subsumes",
+]

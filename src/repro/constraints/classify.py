@@ -1,0 +1,142 @@
+"""The Fig. 2.1 lattice: twelve classes of constraint languages.
+
+The paper organizes constraint languages along three axes:
+
+* **shape** — one CQ, union of CQs (== nonrecursive datalog), or
+  recursive datalog;
+* **negated subgoals** — allowed or not;
+* **arithmetic comparisons** — allowed or not.
+
+"There are actually 12 combinations of features, organized as suggested
+in Fig. 2.1."  This module defines the lattice, a classifier that places
+any constraint program into its *least* class, and the partial order used
+by the closure results of Section 4 (Figs. 4.1/4.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.datalog.rules import Program, Rule
+
+__all__ = ["Shape", "ConstraintClass", "classify_program", "classify_rule", "ALL_CLASSES"]
+
+
+class Shape(enum.IntEnum):
+    """The structural axis of Fig. 2.1, ordered by expressiveness."""
+
+    SINGLE_CQ = 0
+    UNION_OF_CQS = 1
+    RECURSIVE_DATALOG = 2
+
+    def __str__(self) -> str:
+        return {
+            Shape.SINGLE_CQ: "one CQ",
+            Shape.UNION_OF_CQS: "union of CQs",
+            Shape.RECURSIVE_DATALOG: "recursive datalog",
+        }[self]
+
+
+@dataclass(frozen=True, slots=True, order=False)
+class ConstraintClass:
+    """One of the twelve language classes of Fig. 2.1."""
+
+    shape: Shape
+    negation: bool
+    arithmetic: bool
+
+    @property
+    def name(self) -> str:
+        base = {
+            Shape.SINGLE_CQ: "CQ",
+            Shape.UNION_OF_CQS: "UCQ",
+            Shape.RECURSIVE_DATALOG: "Datalog",
+        }[self.shape]
+        suffix = ""
+        if self.negation:
+            suffix += "+neg"
+        if self.arithmetic:
+            suffix += "+arith"
+        return base + suffix
+
+    def __str__(self) -> str:
+        return self.name
+
+    def is_subclass_of(self, other: "ConstraintClass") -> bool:
+        """Lattice order: every query of self is expressible in other."""
+        return (
+            self.shape <= other.shape
+            and self.negation <= other.negation
+            and self.arithmetic <= other.arithmetic
+        )
+
+    def join(self, other: "ConstraintClass") -> "ConstraintClass":
+        """Least upper bound in the lattice."""
+        return ConstraintClass(
+            Shape(max(self.shape, other.shape)),
+            self.negation or other.negation,
+            self.arithmetic or other.arithmetic,
+        )
+
+    @property
+    def is_plain_cq(self) -> bool:
+        return self.shape is Shape.SINGLE_CQ and not self.negation and not self.arithmetic
+
+    @property
+    def is_cqc(self) -> bool:
+        """A conjunctive query with (only) arithmetic: the Section 5 class."""
+        return self.shape is Shape.SINGLE_CQ and not self.negation
+
+
+def _all_classes() -> tuple[ConstraintClass, ...]:
+    return tuple(
+        ConstraintClass(shape, negation, arithmetic)
+        for shape in Shape
+        for negation in (False, True)
+        for arithmetic in (False, True)
+    )
+
+
+#: The twelve classes, in lattice-compatible order.
+ALL_CLASSES: tuple[ConstraintClass, ...] = _all_classes()
+
+
+def classify_rule(rule: Rule) -> ConstraintClass:
+    """The least class containing a single rule viewed as a query."""
+    return ConstraintClass(
+        Shape.SINGLE_CQ,
+        negation=rule.has_negation,
+        arithmetic=rule.has_comparisons,
+    )
+
+
+def classify_program(program: Program) -> ConstraintClass:
+    """The least Fig. 2.1 class containing *program*.
+
+    A single rule whose body mentions only EDB predicates is ``one CQ``;
+    any nonrecursive program with intermediate predicates or multiple
+    rules is a ``union of CQs`` (their equivalence is Sagiv–Yannakakis);
+    recursion lifts to ``recursive datalog``.
+    """
+    if program.is_recursive():
+        shape = Shape.RECURSIVE_DATALOG
+    elif len(program.rules) == 1 and not program.idb_predicates() & {
+        pred for rule in program for pred in rule.body_predicates()
+    }:
+        shape = Shape.SINGLE_CQ
+    else:
+        shape = Shape.UNION_OF_CQS
+    return ConstraintClass(
+        shape,
+        negation=program.has_negation,
+        arithmetic=program.has_comparisons,
+    )
+
+
+def iter_subclasses(cls: ConstraintClass) -> Iterator[ConstraintClass]:
+    """All classes below-or-equal in the lattice."""
+    for candidate in ALL_CLASSES:
+        if candidate.is_subclass_of(cls):
+            yield candidate

@@ -1,0 +1,152 @@
+"""Constraints: queries whose result is the 0-ary ``panic`` predicate.
+
+"A constraint is a query whose result is a 0-ary predicate that we call
+``panic``.  If the query produces the empty set on a given database D,
+then D is said to satisfy the constraint" (Section 2).
+
+:class:`Constraint` wraps a datalog :class:`~repro.datalog.rules.Program`
+whose goal predicate is ``panic`` and provides evaluation, classification
+into the Fig. 2.1 lattice, and convenient views (single-rule CQ form,
+union-of-CQs expansion).  :class:`ConstraintSet` manages a collection —
+the ``C1 ... Cn`` the checking problems of the paper assume hold.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import NotApplicableError, UnsupportedClassError
+from repro.datalog.database import Database
+from repro.datalog.evaluation import Engine, PANIC_PREDICATE
+from repro.datalog.parser import parse_program
+from repro.datalog.rules import Program, Rule
+from repro.datalog.unfold import can_unfold, unfold_to_union
+from repro.constraints.classify import ConstraintClass, classify_program
+
+__all__ = ["Constraint", "ConstraintSet"]
+
+
+class Constraint:
+    """An integrity constraint over the database, in panic-query form."""
+
+    def __init__(self, program: Program | Rule | str, name: str | None = None) -> None:
+        if isinstance(program, str):
+            program = parse_program(program)
+        elif isinstance(program, Rule):
+            program = Program((program,))
+        if PANIC_PREDICATE not in program.idb_predicates():
+            raise UnsupportedClassError(
+                "a constraint must define the 0-ary goal predicate 'panic'"
+            )
+        for rule in program.rules_for(PANIC_PREDICATE):
+            if rule.head.arity != 0:
+                raise UnsupportedClassError("'panic' must be 0-ary")
+        self.program = program
+        self.name = name or "constraint"
+        self._engine: Engine | None = None
+        self._class: ConstraintClass | None = None
+
+    # -- evaluation -------------------------------------------------------------
+    @property
+    def engine(self) -> Engine:
+        if self._engine is None:
+            self._engine = Engine(self.program)
+        return self._engine
+
+    def holds(self, db: Database) -> bool:
+        """True when *db* satisfies the constraint (no ``panic``)."""
+        return not self.engine.fires(db)
+
+    def is_violated(self, db: Database) -> bool:
+        return self.engine.fires(db)
+
+    # -- structure ----------------------------------------------------------------
+    @property
+    def constraint_class(self) -> ConstraintClass:
+        if self._class is None:
+            self._class = classify_program(self.program)
+        return self._class
+
+    @property
+    def is_single_rule(self) -> bool:
+        return len(self.program.rules) == 1
+
+    def as_rule(self) -> Rule:
+        """The single defining rule, for CQ/CQC-shaped constraints."""
+        if not self.is_single_rule:
+            raise NotApplicableError(
+                f"constraint {self.name!r} is not a single-rule query"
+            )
+        return self.program.rules[0]
+
+    def as_union(self) -> list[Rule]:
+        """The constraint as an explicit union of conjunctive queries.
+
+        Defined whenever the program is nonrecursive and does not negate
+        IDB predicates (the Sagiv–Yannakakis equivalence of Section 2).
+        """
+        if not can_unfold(self.program, PANIC_PREDICATE):
+            raise NotApplicableError(
+                f"constraint {self.name!r} cannot be expanded into a union of CQs"
+            )
+        return unfold_to_union(self.program, PANIC_PREDICATE)
+
+    def predicates(self) -> set[str]:
+        """The EDB predicates the constraint reads."""
+        return self.program.edb_predicates()
+
+    def rename(self, name: str) -> "Constraint":
+        return Constraint(self.program, name)
+
+    def __str__(self) -> str:
+        return str(self.program)
+
+    def __repr__(self) -> str:
+        return f"Constraint({self.name!r}, class={self.constraint_class.name})"
+
+
+class ConstraintSet:
+    """An ordered collection of named constraints."""
+
+    def __init__(self, constraints: Iterable[Constraint] = ()) -> None:
+        self._constraints: list[Constraint] = []
+        self._by_name: dict[str, Constraint] = {}
+        for constraint in constraints:
+            self.add(constraint)
+
+    def add(self, constraint: Constraint) -> None:
+        if constraint.name in self._by_name:
+            raise ValueError(f"duplicate constraint name {constraint.name!r}")
+        self._constraints.append(constraint)
+        self._by_name[constraint.name] = constraint
+
+    def __iter__(self) -> Iterator[Constraint]:
+        return iter(self._constraints)
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __getitem__(self, key: int | str) -> Constraint:
+        if isinstance(key, str):
+            return self._by_name[key]
+        return self._constraints[key]
+
+    def names(self) -> list[str]:
+        return [c.name for c in self._constraints]
+
+    def others(self, excluded: Constraint) -> list[Constraint]:
+        """Everything but *excluded* — the C1..Cn assumed to hold."""
+        return [c for c in self._constraints if c is not excluded]
+
+    def holds_all(self, db: Database) -> bool:
+        return all(constraint.holds(db) for constraint in self._constraints)
+
+    def violated(self, db: Database) -> list[Constraint]:
+        """The constraints *db* violates, in declaration order."""
+        return [c for c in self._constraints if c.is_violated(db)]
+
+    def predicates(self) -> set[str]:
+        result: set[str] = set()
+        for constraint in self._constraints:
+            result |= constraint.predicates()
+        return result

@@ -1,0 +1,180 @@
+"""Constraint subsumption (Section 3).
+
+Theorem 3.1: a set C = {C1,...,Cn} subsumes a constraint C iff, viewed as
+programs, ``C subseteq C1 union ... union Cn``.  Subsumption is therefore
+"a special case of containment of programs", and this module dispatches
+to the right containment machinery by language class:
+
+============================  ==========================================
+both sides' class             decision procedure
+============================  ==========================================
+unions of CQs                 Sagiv–Yannakakis via per-disjunct mappings
+CQCs / unions with arithmetic Theorem 5.1 (repro.containment.cqc)
+negation (± comparisons)      canonical order types + blocking search
+                              (Levy–Sagiv style; repro.containment.negation)
+recursion on either side      UndecidableError (Shmueli [1987]) — use
+                              :func:`refute_subsumption_by_sampling`
+============================  ==========================================
+
+Theorem 3.2's reduction (query containment -> constraint subsumption by
+moving the head into the body) is :func:`containment_as_subsumption`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import NotApplicableError, UndecidableError, UnsupportedClassError
+from repro.datalog.atoms import Atom
+from repro.datalog.database import Database
+from repro.datalog.rules import Program, Rule
+from repro.containment.cq import is_contained_in_union_cq
+from repro.containment.cqc import is_contained_in_union_cqc
+from repro.containment.negation import is_contained_with_negation
+from repro.constraints.constraint import Constraint
+
+__all__ = [
+    "subsumes",
+    "refute_subsumption_by_sampling",
+    "containment_as_subsumption",
+    "cq_containment_via_subsumption",
+]
+
+
+def _union_form(constraint: Constraint) -> list[Rule]:
+    if constraint.constraint_class.shape.name == "RECURSIVE_DATALOG":
+        raise UndecidableError(
+            f"constraint {constraint.name!r} is recursive: subsumption with "
+            f"recursive constraints is undecidable (Shmueli [1987]); use "
+            f"refute_subsumption_by_sampling for a sound refutation check"
+        )
+    try:
+        return constraint.as_union()
+    except NotApplicableError as exc:
+        raise UnsupportedClassError(
+            f"constraint {constraint.name!r} cannot be put in union-of-CQs "
+            f"form: {exc}"
+        ) from exc
+
+
+def _has_negation(rules: Iterable[Rule]) -> bool:
+    return any(rule.negations for rule in rules)
+
+
+def subsumes(candidates: Sequence[Constraint] | Iterable[Constraint], target: Constraint) -> bool:
+    """Theorem 3.1: do *candidates* subsume *target*?
+
+    True means: whenever *target* is violated, some candidate is violated
+    too — so *target* never needs to be checked while the candidates are
+    maintained.
+    """
+    candidate_list = list(candidates)
+    target_union = _union_form(target)
+    member_rules: list[Rule] = []
+    for candidate in candidate_list:
+        member_rules.extend(_union_form(candidate))
+
+    all_rules = target_union + member_rules
+    negation = _has_negation(all_rules)
+    arithmetic = any(rule.comparisons for rule in all_rules)
+
+    if negation:
+        # The Levy–Sagiv-style canonical-database test handles negation
+        # with or without comparisons (order types are enumerated).
+        return all(
+            is_contained_with_negation(disjunct, member_rules)
+            for disjunct in target_union
+        )
+    if not arithmetic:
+        # Plain CQs: the direct mapping test keeps the join structure,
+        # which prunes the search enormously; the Theorem 5.1 route would
+        # first normalize variables apart and enumerate every subgoal
+        # assignment as a candidate mapping.
+        return all(
+            is_contained_in_union_cq(disjunct, member_rules)
+            for disjunct in target_union
+        )
+    # Theorem 5.1 for the arithmetic case.
+    return all(
+        is_contained_in_union_cqc(disjunct, member_rules)
+        for disjunct in target_union
+    )
+
+
+def refute_subsumption_by_sampling(
+    candidates: Sequence[Constraint],
+    target: Constraint,
+    trials: int = 200,
+    domain_size: int = 4,
+    max_facts: int = 12,
+    seed: int = 0,
+) -> Optional[Database]:
+    """Search random small databases for a witness of *non*-subsumption.
+
+    Returns a database violating *target* while satisfying every
+    candidate, or ``None`` when no witness was found.  Sound in one
+    direction only: a ``None`` result does **not** prove subsumption.
+    Works for every constraint class, including recursive datalog, since
+    it only evaluates.
+    """
+    rng = random.Random(seed)
+    predicates: dict[str, int] = {}
+    for constraint in list(candidates) + [target]:
+        program = constraint.program
+        idb = program.idb_predicates()
+        for rule in program:
+            for literal in rule.body:
+                if isinstance(literal, Atom) and literal.predicate not in idb:
+                    predicates[literal.predicate] = literal.arity
+                elif hasattr(literal, "atom") and literal.atom.predicate not in idb:
+                    predicates[literal.atom.predicate] = literal.atom.arity
+
+    for _ in range(trials):
+        db = Database()
+        num_facts = rng.randint(1, max_facts)
+        names = sorted(predicates)
+        for _ in range(num_facts):
+            pred = rng.choice(names)
+            fact = tuple(rng.randrange(domain_size) for _ in range(predicates[pred]))
+            db.insert(pred, fact)
+        if target.is_violated(db) and all(c.holds(db) for c in candidates):
+            return db
+    return None
+
+
+def containment_as_subsumption(q: Rule, r: Rule) -> tuple[Constraint, Constraint]:
+    """Theorem 3.2's logspace reduction: ``Q subseteq R`` iff ``Q'`` is
+    subsumed by ``{R'}``, where each query's head is moved into its body
+    (renaming the head predicate when it also occurs in a body).
+
+    Returns ``(Q', R')`` as constraints.
+    """
+    if q.head.predicate != r.head.predicate or q.head.arity != r.head.arity:
+        raise NotApplicableError("the two queries must share a head signature")
+    head_pred = q.head.predicate
+    body_preds = {
+        atom.predicate for rule in (q, r) for atom in rule.positive_atoms
+    }
+    goal_pred = head_pred
+    if head_pred in body_preds:
+        goal_pred = head_pred + "_goal"
+        counter = 0
+        while goal_pred in body_preds:
+            counter += 1
+            goal_pred = f"{head_pred}_goal{counter}"
+
+    def transform(rule: Rule, name: str) -> Constraint:
+        moved_head = Atom(goal_pred, rule.head.args)
+        body = (moved_head,) + rule.body
+        panic_rule = Rule(Atom("panic"), body)
+        return Constraint(Program((panic_rule,)), name)
+
+    return transform(q, "Q'"), transform(r, "R'")
+
+
+def cq_containment_via_subsumption(q: Rule, r: Rule) -> bool:
+    """Decide CQ containment through the Theorem 3.2 reduction — used by
+    the test suite to check the reduction agrees with the direct test."""
+    q_constraint, r_constraint = containment_as_subsumption(q, r)
+    return subsumes([r_constraint], q_constraint)

@@ -1,0 +1,50 @@
+"""Query containment: mappings, CQ/UCQ tests, Theorem 5.1, Klug baseline."""
+
+from repro.containment.cq import (
+    equivalent_cq,
+    is_contained_cq,
+    is_contained_in_union_cq,
+    union_contained_in_union_cq,
+)
+from repro.containment.cqc import (
+    equivalent_cqc,
+    is_contained_cqc,
+    is_contained_in_union_cqc,
+    theorem51_certificate,
+)
+from repro.containment.klug import (
+    canonical_databases,
+    count_weak_orders,
+    is_contained_klug,
+)
+from repro.containment.mappings import (
+    containment_mappings,
+    count_containment_mappings,
+    has_containment_mapping,
+)
+from repro.containment.minimize import is_minimal_cq, minimize_cq
+from repro.containment.normalize import is_normalized, normalize_cqc
+from repro.containment.uniform import is_uniformly_contained, uniform_subsumes
+
+__all__ = [
+    "canonical_databases",
+    "containment_mappings",
+    "count_containment_mappings",
+    "count_weak_orders",
+    "equivalent_cq",
+    "equivalent_cqc",
+    "has_containment_mapping",
+    "is_contained_cq",
+    "is_contained_cqc",
+    "is_contained_in_union_cq",
+    "is_contained_in_union_cqc",
+    "is_contained_klug",
+    "is_minimal_cq",
+    "is_normalized",
+    "is_uniformly_contained",
+    "minimize_cq",
+    "normalize_cqc",
+    "theorem51_certificate",
+    "uniform_subsumes",
+    "union_contained_in_union_cq",
+]

@@ -1,0 +1,65 @@
+"""Containment for plain conjunctive queries and unions of CQs.
+
+* Chandra and Merlin [1977]: ``Q1 subseteq Q2`` iff there is a containment
+  mapping from Q2 to Q1 (NP-complete, but "constraints tend to be short").
+* Sagiv and Yannakakis [1981]: a CQ is contained in a *union* of CQs iff
+  it is contained in a single member — a property that **fails** once
+  arithmetic comparisons are allowed (Example 5.3's forbidden intervals),
+  which is exactly why Section 5 needs Theorem 5.1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import NotApplicableError
+from repro.datalog.rules import Rule
+from repro.containment.mappings import has_containment_mapping
+
+__all__ = [
+    "is_contained_cq",
+    "is_contained_in_union_cq",
+    "union_contained_in_union_cq",
+    "equivalent_cq",
+]
+
+
+def _require_plain_cq(rule: Rule, role: str) -> None:
+    if rule.negations:
+        raise NotApplicableError(f"{role} has negated subgoals; the mapping test "
+                                 f"applies to plain CQs")
+    if rule.comparisons:
+        raise NotApplicableError(f"{role} has arithmetic comparisons; use the "
+                                 f"Theorem 5.1 test in repro.containment.cqc")
+
+
+def is_contained_cq(q1: Rule, q2: Rule) -> bool:
+    """Decide ``Q1 subseteq Q2`` for plain CQs (Chandra–Merlin)."""
+    _require_plain_cq(q1, "Q1")
+    _require_plain_cq(q2, "Q2")
+    return has_containment_mapping(q2, q1)
+
+
+def is_contained_in_union_cq(q1: Rule, union: Iterable[Rule]) -> bool:
+    """Decide ``Q1 subseteq union(Q2s)`` for plain CQs.
+
+    By Sagiv–Yannakakis this reduces to a per-member check; the union
+    structure adds nothing in the arithmetic-free case.
+    """
+    _require_plain_cq(q1, "Q1")
+    members: Sequence[Rule] = tuple(union)
+    for member in members:
+        _require_plain_cq(member, "union member")
+    return any(has_containment_mapping(member, q1) for member in members)
+
+
+def union_contained_in_union_cq(union1: Iterable[Rule], union2: Iterable[Rule]) -> bool:
+    """Decide containment of unions of CQs: every member of the left-hand
+    union must be contained in the right-hand union."""
+    members2 = tuple(union2)
+    return all(is_contained_in_union_cq(q, members2) for q in union1)
+
+
+def equivalent_cq(q1: Rule, q2: Rule) -> bool:
+    """Decide CQ equivalence (containment both ways)."""
+    return is_contained_cq(q1, q2) and is_contained_cq(q2, q1)

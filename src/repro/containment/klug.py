@@ -1,0 +1,191 @@
+"""Klug's containment test for CQCs — the baseline Theorem 5.1 competes with.
+
+Klug [1988]: ``C1 subseteq C2`` iff **every** total (weak) order of C1's
+terms consistent with A(C1) yields a canonical database on which C2 fires.
+"In the worst case [this] requires an exponential number of tests, each of
+which could take exponential time" (Section 5, *Comparison With Klug's
+Approach*); the number of weak orders is the Fubini number of the variable
+count, which is what the T5.1 benchmark sweeps.
+
+Besides serving as the baseline, this module is the library's independent
+*oracle*: it needs no normalization and no containment-mapping machinery,
+so the property tests cross-check Theorem 5.1 against it.
+
+The enumeration places every variable of C1 relative to all constants
+appearing in either query (comparisons against C2's constants can decide
+containment, so they must participate in the order).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.arith.order import sort_key
+from repro.arith.solver import ComparisonSystem
+from repro.datalog.atoms import Comparison, ComparisonOp
+from repro.datalog.database import Database
+from repro.datalog.evaluation import Engine
+from repro.datalog.rules import Program, Rule
+from repro.datalog.substitution import Substitution
+from repro.datalog.terms import Constant, Term, Variable
+from repro.errors import NotApplicableError
+
+__all__ = ["is_contained_klug", "canonical_databases", "count_weak_orders"]
+
+_Block = tuple[Term, ...]
+
+
+def _weak_orders(
+    variables: Sequence[Variable], constants: Sequence[Constant]
+) -> Iterator[list[_Block]]:
+    """All ordered partitions of ``variables`` merged around the fixed
+    constant blocks, each yielded exactly once.
+
+    Constants occupy singleton blocks in their ground-truth order; each
+    variable is inserted either into an existing block (equality) or into
+    a gap (strictly between neighbours).
+    """
+    base: list[_Block] = [
+        (c,) for c in sorted(set(constants), key=lambda c: sort_key(c.value))
+    ]
+
+    def insert(index: int, blocks: list[_Block]) -> Iterator[list[_Block]]:
+        if index == len(variables):
+            yield blocks
+            return
+        var = variables[index]
+        for i, block in enumerate(blocks):
+            joined = blocks[:i] + [block + (var,)] + blocks[i + 1:]
+            yield from insert(index + 1, joined)
+        for gap in range(len(blocks) + 1):
+            split = blocks[:gap] + [(var,)] + blocks[gap:]
+            yield from insert(index + 1, split)
+
+    yield from insert(0, base)
+
+
+def count_weak_orders(num_variables: int, num_constants: int = 0) -> int:
+    """Size of the order space Klug's test enumerates (for the benches)."""
+    def insert(remaining: int, block_count: int) -> int:
+        if remaining == 0:
+            return 1
+        # join any existing block, or open any of the block_count+1 gaps
+        joins = block_count * insert(remaining - 1, block_count)
+        splits = (block_count + 1) * insert(remaining - 1, block_count + 1)
+        return joins + splits
+
+    return insert(num_variables, num_constants)
+
+
+def _order_consistent(blocks: list[_Block], comparisons: Iterable[Comparison]) -> bool:
+    index: dict[Term, int] = {}
+    for i, block in enumerate(blocks):
+        for term in block:
+            index[term] = i
+
+    for comparison in comparisons:
+        li = index[comparison.left] if comparison.left in index else None
+        ri = index[comparison.right] if comparison.right in index else None
+        assert li is not None and ri is not None, "term missing from order"
+        op = comparison.op
+        if op is ComparisonOp.LT and not li < ri:
+            return False
+        if op is ComparisonOp.LE and not li <= ri:
+            return False
+        if op is ComparisonOp.GT and not li > ri:
+            return False
+        if op is ComparisonOp.GE and not li >= ri:
+            return False
+        if op is ComparisonOp.EQ and li != ri:
+            return False
+        if op is ComparisonOp.NE and li == ri:
+            return False
+    return True
+
+
+def _blocks_to_assignment(blocks: list[_Block]) -> dict[Variable, object]:
+    """Realize a weak order with concrete values of the dense domain."""
+    pinned: dict[int, object] = {}
+    for i, block in enumerate(blocks):
+        for term in block:
+            if isinstance(term, Constant):
+                pinned[i] = term.value
+                break
+    order = list(range(len(blocks)))
+    values = ComparisonSystem._assign_values(order, pinned)
+    assignment: dict[Variable, object] = {}
+    for i, block in enumerate(blocks):
+        for term in block:
+            if isinstance(term, Variable):
+                assignment[term] = values[i]
+    return assignment
+
+
+def _collect_constants(rules: Iterable[Rule]) -> list[Constant]:
+    result: set[Constant] = set()
+    for rule in rules:
+        result.update(rule.constants())
+    return list(result)
+
+
+def canonical_databases(
+    c1: Rule, extra_constants: Iterable[Constant] = ()
+) -> Iterator[tuple[Database, dict[Variable, object]]]:
+    """Yield Klug's canonical databases of *c1*: one per consistent weak
+    order of its terms (plus *extra_constants* from the other side).
+
+    Each item is ``(database, assignment)``; the database freezes the
+    ordinary subgoals of *c1* under the assignment, so *c1* fires on it by
+    construction.
+    """
+    if c1.negations:
+        raise NotApplicableError("Klug's test covers CQCs (no negated subgoals)")
+    variables = sorted(c1.variables(), key=lambda v: v.name)
+    constants = _collect_constants((c1,)) + list(extra_constants)
+    for blocks in _weak_orders(variables, constants):
+        if not _order_consistent(blocks, c1.comparisons):
+            continue
+        assignment = _blocks_to_assignment(blocks)
+        subst = Substitution({var: Constant(val) for var, val in assignment.items()})
+        db = Database()
+        for atom in c1.ordinary_subgoals:
+            ground = subst.apply_atom(atom)
+            db.insert(ground.predicate, tuple(
+                term.value for term in ground.args  # type: ignore[union-attr]
+            ))
+        yield db, assignment
+
+
+def is_contained_klug(c1: Rule, c2_or_union: Rule | Iterable[Rule]) -> bool:
+    """Decide ``C1 subseteq C2`` (or a union) by canonical-database
+    enumeration.  Exact, but exponential in the number of variables of C1.
+    """
+    members: tuple[Rule, ...]
+    if isinstance(c2_or_union, Rule):
+        members = (c2_or_union,)
+    else:
+        members = tuple(c2_or_union)
+    for member in members:
+        if member.negations:
+            raise NotApplicableError("Klug's test covers CQCs (no negated subgoals)")
+    if c1.negations:
+        raise NotApplicableError("Klug's test covers CQCs (no negated subgoals)")
+
+    engines = [Engine(Program((member,))) for member in members]
+    extra = _collect_constants(members)
+
+    for db, assignment in canonical_databases(c1, extra):
+        # The canonical fact C1 derives on this database.
+        head_fact = tuple(
+            assignment[t] if isinstance(t, Variable) else t.value for t in c1.head.args
+        )
+        produced = False
+        for member, engine in zip(members, engines):
+            if member.head.predicate != c1.head.predicate:
+                continue
+            if head_fact in engine.evaluate_predicate(db, member.head.predicate):
+                produced = True
+                break
+        if not produced:
+            return False
+    return True

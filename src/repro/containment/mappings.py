@@ -1,0 +1,91 @@
+"""Containment-mapping (homomorphism) enumeration.
+
+A *containment mapping* from query Q2 to query Q1 (Ullman [1989]; Chandra
+and Merlin [1977]) maps the variables of Q2 to terms of Q1 so that
+
+* the head of Q2 maps onto the head of Q1, and
+* every ordinary subgoal of Q2 maps onto some ordinary subgoal of Q1.
+
+The existence of such a mapping witnesses ``Q1 subseteq Q2`` for plain
+CQs; Theorem 5.1 needs the *set* of all mappings, so the enumerator is a
+generator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from repro.errors import NotApplicableError
+from repro.datalog.atoms import Atom
+from repro.datalog.rules import Rule
+from repro.datalog.substitution import Substitution, unify_terms
+
+__all__ = ["containment_mappings", "has_containment_mapping", "count_containment_mappings"]
+
+
+def _head_seed(src: Rule, dst: Rule) -> Optional[Substitution]:
+    """Substitution forced by mapping src's head onto dst's head, if any."""
+    if src.head.predicate != dst.head.predicate:
+        return None
+    if src.head.arity != dst.head.arity:
+        return None
+    return unify_terms(src.head.args, dst.head.args)
+
+
+def containment_mappings(src: Rule, dst: Rule) -> Iterator[Substitution]:
+    """Yield every containment mapping from *src* to *dst*.
+
+    Only the *ordinary* subgoals participate; comparison subgoals are the
+    business of Theorem 5.1 and are handled by the caller.  Negated
+    subgoals are not supported (the Levy–Sagiv machinery for those is out
+    of scope of the mapping test) and raise
+    :class:`~repro.errors.NotApplicableError`.
+    """
+    if src.negations or dst.negations:
+        raise NotApplicableError(
+            "containment mappings are defined for queries without negated subgoals"
+        )
+    seed = _head_seed(src, dst)
+    if seed is None:
+        return
+
+    src_goals: Sequence[Atom] = src.ordinary_subgoals
+    dst_goals: Sequence[Atom] = dst.ordinary_subgoals
+
+    # Candidate targets per source subgoal, by predicate and arity.
+    candidates: list[list[Atom]] = []
+    for goal in src_goals:
+        matches = [
+            atom
+            for atom in dst_goals
+            if atom.predicate == goal.predicate and atom.arity == goal.arity
+        ]
+        if not matches:
+            return  # some predicate of src is absent from dst: no mappings
+        candidates.append(matches)
+
+    # Most-constrained-first: fewer candidates earlier prunes faster.
+    order = sorted(range(len(src_goals)), key=lambda i: len(candidates[i]))
+
+    def extend(position: int, subst: Substitution) -> Iterator[Substitution]:
+        if position == len(order):
+            yield subst
+            return
+        index = order[position]
+        goal = src_goals[index]
+        for target in candidates[index]:
+            extended = unify_terms(goal.args, target.args, subst)
+            if extended is not None:
+                yield from extend(position + 1, extended)
+
+    yield from extend(0, seed)
+
+
+def has_containment_mapping(src: Rule, dst: Rule) -> bool:
+    """True when at least one containment mapping from *src* to *dst* exists."""
+    return next(containment_mappings(src, dst), None) is not None
+
+
+def count_containment_mappings(src: Rule, dst: Rule) -> int:
+    """The size of the set H of Theorem 5.1 (may be exponential)."""
+    return sum(1 for _ in containment_mappings(src, dst))

@@ -1,0 +1,65 @@
+"""Conjunctive-query minimization (cores).
+
+Chandra and Merlin [1977]: every CQ has a unique (up to renaming) minimal
+equivalent subquery, obtained by repeatedly dropping subgoals that a
+self-containment-mapping can fold away.  Minimization is not itself a
+result of the paper, but smaller constraints mean fewer containment
+mappings in Theorem 5.1's set H, so the checker applies it as a
+preprocessing step; it is also independently useful to library users.
+"""
+
+from __future__ import annotations
+
+from repro.containment.mappings import has_containment_mapping
+from repro.datalog.rules import Rule
+from repro.errors import NotApplicableError
+
+__all__ = ["minimize_cq", "is_minimal_cq"]
+
+
+def _require_plain(rule: Rule) -> None:
+    if rule.negations or rule.comparisons:
+        raise NotApplicableError(
+            "minimization is implemented for plain CQs (no negation, no arithmetic)"
+        )
+
+
+def minimize_cq(rule: Rule) -> Rule:
+    """Return the core of *rule*: an equivalent CQ with a minimal body.
+
+    Greedy subgoal removal: dropping subgoal g is sound when the smaller
+    query still contains the original (the reverse containment is free,
+    since the smaller body is a subset).  Each candidate check is one
+    containment-mapping test.
+    """
+    _require_plain(rule)
+    current = rule
+    changed = True
+    while changed:
+        changed = False
+        subgoals = current.ordinary_subgoals
+        if len(subgoals) <= 1:
+            break
+        for i in range(len(subgoals)):
+            candidate_body = subgoals[:i] + subgoals[i + 1:]
+            candidate = Rule(current.head, candidate_body)
+            # Head variables must survive in the body for the candidate to
+            # be a well-formed (safe) query.
+            head_vars = set(current.head.variables())
+            body_vars = {v for atom in candidate_body for v in atom.variables()}
+            if not head_vars <= body_vars:
+                continue
+            # candidate ⊆ current always (fewer conjuncts is weaker... the
+            # subgoal set is smaller so the query is *less* restrictive);
+            # the direction that needs checking is current ⊇ candidate:
+            # i.e. candidate must not produce anything current does not.
+            if has_containment_mapping(current, candidate):
+                current = candidate
+                changed = True
+                break
+    return current
+
+
+def is_minimal_cq(rule: Rule) -> bool:
+    """True when no proper subquery of *rule* is equivalent to it."""
+    return minimize_cq(rule) == rule

@@ -1,0 +1,259 @@
+"""Containment for conjunctive queries with negation (and comparisons).
+
+The paper relies on Levy and Sagiv [1993] for queries with negation (the
+containment check of Example 4.1 is "the methods of Levy and Sagiv
+suffice").  This module implements a sound and complete decision
+procedure for containment of a CQ-with-negation in a union of
+CQs-with-negation, *including arithmetic comparisons*, in the
+canonical-database style of that line of work:
+
+1. Enumerate the order types of Q1's variables: weak orders of the
+   variables merged around the constants of all queries (the same
+   enumeration Klug's test uses, :mod:`repro.containment.klug`), realized
+   with concrete values of the dense domain.  Discard assignments that
+   falsify Q1's own comparisons.
+2. For each assignment theta, freeze Q1's positive subgoals into a base
+   database D0; theta is viable when none of Q1's frozen negated subgoals
+   lands in D0.
+3. Q1 is **not** contained iff for some viable theta an adversary can add
+   extra facts S over the frozen active domain such that no union member
+   derives theta(head(Q1)) on D0 ∪ S — S must avoid Q1's frozen negated
+   facts.  A restriction argument shows the active domain suffices: any
+   member firing over D0 ∪ S binds its variables to active-domain values,
+   and the facts that could block such a firing lie in the active domain
+   too; comparison truth depends only on the order type, which step 1
+   fixed.
+
+Step 3 runs as a *blocking-set search*: find a member firing that would
+produce the head fact; to survive, the adversary must add one of that
+firing's negated facts (never one of Q1's forbidden facts); branch over
+the choices and repeat.  Joins run against the actual fact set, so the
+common cases (no firing at all, or a short blocking chain) cost little;
+the worst case is exponential, as it must be — containment with negation
+is Pi^p_2-complete even without comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.arith.order import comparison_holds
+from repro.containment.klug import _blocks_to_assignment, _weak_orders
+from repro.datalog.atoms import Atom, Comparison
+from repro.datalog.database import Database
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Variable
+
+__all__ = [
+    "is_contained_with_negation",
+    "negation_counterexample",
+]
+
+_FactKey = tuple  # (predicate, fact-tuple)
+
+
+def _comparisons_hold(
+    comparisons: Sequence[Comparison], assignment: dict[Variable, object]
+) -> bool:
+    for comparison in comparisons:
+        left = (
+            assignment[comparison.left]
+            if isinstance(comparison.left, Variable)
+            else comparison.left.value
+        )
+        right = (
+            assignment[comparison.right]
+            if isinstance(comparison.right, Variable)
+            else comparison.right.value
+        )
+        if not comparison_holds(comparison.op, left, right):
+            return False
+    return True
+
+
+def _theta_assignments(
+    q1: Rule, constants: Sequence[Constant]
+) -> Iterator[dict[Variable, object]]:
+    """Realized order types: one satisfying assignment per weak order of
+    Q1's variables relative to each other and to the known constants."""
+    variables = sorted(q1.variables(), key=lambda v: v.name)
+    for blocks in _weak_orders(variables, constants):
+        yield _blocks_to_assignment(blocks)
+
+
+def _freeze(atom: Atom, assignment: dict[Variable, object]) -> tuple:
+    return tuple(
+        assignment[t] if isinstance(t, Variable) else t.value for t in atom.args
+    )
+
+
+class _Firing:
+    """A potential member firing: its blocking options."""
+
+    __slots__ = ("blockers",)
+
+    def __init__(self, blockers: tuple[_FactKey, ...]) -> None:
+        self.blockers = blockers
+
+
+def _find_firing(
+    members: Sequence[Rule],
+    head_predicate: str,
+    head_fact: tuple,
+    facts: dict[str, set[tuple]],
+    forbidden: set[_FactKey],
+) -> Optional[_Firing]:
+    """Find one firing of some member on the current fact set that would
+    produce *head_fact*, returning its (allowed) blocking options.
+
+    Returns ``None`` when no member fires — the adversary has won.
+    Positives join against the actual facts; comparisons and negations
+    check under the assignment.
+    """
+    for member in members:
+        if member.head.predicate != head_predicate:
+            continue
+        if member.head.arity != len(head_fact):
+            continue
+        seed: dict[Variable, object] = {}
+        ok = True
+        for term, value in zip(member.head.args, head_fact):
+            if isinstance(term, Constant):
+                if term.value != value:
+                    ok = False
+                    break
+            else:
+                if seed.get(term, value) != value:
+                    ok = False
+                    break
+                seed[term] = value
+        if not ok:
+            continue
+
+        positives = member.positive_atoms
+        comparisons = member.comparisons
+        negations = member.negations
+
+        stack: list[tuple[int, dict[Variable, object]]] = [(0, seed)]
+        while stack:
+            index, assignment = stack.pop()
+            if index == len(positives):
+                if not _comparisons_hold(comparisons, assignment):
+                    continue
+                blockers: list[_FactKey] = []
+                fired = True
+                for negation in negations:
+                    fact = _freeze(negation.atom, assignment)
+                    if fact in facts.get(negation.predicate, ()):
+                        fired = False  # already blocked
+                        break
+                    key = (negation.predicate, fact)
+                    if key not in forbidden:
+                        blockers.append(key)
+                if fired:
+                    return _Firing(tuple(blockers))
+                continue
+            atom = positives[index]
+            for fact in facts.get(atom.predicate, ()):
+                if len(fact) != atom.arity:
+                    continue
+                extended = dict(assignment)
+                match = True
+                for term, value in zip(atom.args, fact):
+                    if isinstance(term, Constant):
+                        if term.value != value:
+                            match = False
+                            break
+                    else:
+                        bound = extended.get(term)
+                        if bound is None:
+                            extended[term] = value
+                        elif bound != value:
+                            match = False
+                            break
+                if match:
+                    stack.append((index + 1, extended))
+    return None
+
+
+def _adversary_search(
+    members: Sequence[Rule],
+    head_predicate: str,
+    head_fact: tuple,
+    facts: dict[str, set[tuple]],
+    forbidden: set[_FactKey],
+    failed: set[frozenset],
+    signature: frozenset,
+) -> Optional[dict[str, set[tuple]]]:
+    """Depth-first search for a fact set on which no member produces the
+    head fact.  Returns the winning fact set, or ``None``."""
+    if signature in failed:
+        return None
+    firing = _find_firing(members, head_predicate, head_fact, facts, forbidden)
+    if firing is None:
+        return facts
+    for pred, fact in firing.blockers:
+        extended = {p: set(fs) for p, fs in facts.items()}
+        extended.setdefault(pred, set()).add(fact)
+        result = _adversary_search(
+            members,
+            head_predicate,
+            head_fact,
+            extended,
+            forbidden,
+            failed,
+            signature | {(pred, fact)},
+        )
+        if result is not None:
+            return result
+    failed.add(signature)
+    return None
+
+
+def negation_counterexample(
+    q1: Rule, union: Iterable[Rule]
+) -> Optional[Database]:
+    """A database where *q1* produces a head fact no union member produces,
+    or ``None`` when ``q1 subseteq union``."""
+    members = tuple(union)
+
+    constants: set[Constant] = set(q1.constants())
+    for member in members:
+        constants.update(member.constants())
+    constant_list = sorted(constants, key=lambda c: repr(c.value))
+
+    for assignment in _theta_assignments(q1, constant_list):
+        if not _comparisons_hold(q1.comparisons, assignment):
+            continue  # theta contradicts Q1's own comparison subgoals
+        base: dict[str, set[tuple]] = {}
+        for atom in q1.positive_atoms:
+            base.setdefault(atom.predicate, set()).add(_freeze(atom, assignment))
+        forbidden: set[_FactKey] = {
+            (neg.predicate, _freeze(neg.atom, assignment))
+            for neg in q1.negations
+        }
+        if any(fact in base.get(pred, ()) for pred, fact in forbidden):
+            continue  # theta cannot make Q1 fire
+        head_fact = _freeze(q1.head, assignment)
+
+        winning = _adversary_search(
+            members,
+            q1.head.predicate,
+            head_fact,
+            base,
+            forbidden,
+            failed=set(),
+            signature=frozenset(),
+        )
+        if winning is not None:
+            db = Database()
+            for pred, facts in winning.items():
+                for fact in facts:
+                    db.insert(pred, fact)
+            return db
+    return None
+
+
+def is_contained_with_negation(q1: Rule, union: Iterable[Rule]) -> bool:
+    """Decide ``Q1 subseteq union`` for CQs with negation and comparisons."""
+    return negation_counterexample(q1, union) is None

@@ -1,0 +1,82 @@
+"""Normalization to Theorem 5.1's preconditions.
+
+The theorem assumes (Section 5):
+
+* no variable appears twice among the ordinary subgoals ("multiple
+  occurrences are handled by using distinct variables and equating them by
+  arithmetic equality constraints");
+* constants do not appear among the ordinary subgoals ("just replace
+  constants by new variables and equate those variables to the desired
+  constant").
+
+Example 5.2 shows the theorem *fails* without these conditions, so
+:func:`normalize_cqc` implements the paper's fix: every occurrence of a
+variable after its first across the ordinary subgoals becomes a fresh
+variable plus an ``=`` comparison, and every constant in an ordinary
+subgoal becomes a fresh variable plus an ``=`` comparison.  The result is
+logically equivalent to the input (the paper's "the fix is easy").
+
+Head variables keep their first body occurrence so that head-to-head
+mappings remain meaningful for non-0-ary heads.
+"""
+
+from __future__ import annotations
+
+from repro.datalog.atoms import Atom, Comparison, ComparisonOp
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, FreshVariableFactory, Term, Variable
+from repro.errors import NotApplicableError
+
+__all__ = ["normalize_cqc", "is_normalized"]
+
+
+def is_normalized(rule: Rule) -> bool:
+    """True when *rule* already satisfies Theorem 5.1's preconditions."""
+    seen: set[Variable] = set()
+    for atom in rule.ordinary_subgoals:
+        for term in atom.args:
+            if isinstance(term, Constant):
+                return False
+            assert isinstance(term, Variable)
+            if term in seen:
+                return False
+            seen.add(term)
+    return True
+
+
+def normalize_cqc(rule: Rule) -> Rule:
+    """Rewrite *rule* so no variable repeats and no constant appears in its
+    ordinary subgoals; repeated occurrences become fresh variables tied
+    back with ``=`` comparisons.
+
+    Raises :class:`~repro.errors.NotApplicableError` for rules with
+    negated subgoals (Theorem 5.1 is about CQCs).
+    """
+    if rule.negations:
+        raise NotApplicableError("normalization targets CQCs (no negated subgoals)")
+    if is_normalized(rule):
+        return rule
+
+    factory = FreshVariableFactory(v.name for v in rule.variables())
+    seen: set[Variable] = set()
+    equalities: list[Comparison] = []
+    new_subgoals: list[Atom] = []
+
+    for atom in rule.ordinary_subgoals:
+        new_args: list[Term] = []
+        for term in atom.args:
+            if isinstance(term, Constant):
+                fresh = factory.fresh()
+                equalities.append(Comparison(fresh, ComparisonOp.EQ, term))
+                new_args.append(fresh)
+            elif term in seen:
+                fresh = factory.fresh(hint=f"{term.name}_")
+                equalities.append(Comparison(term, ComparisonOp.EQ, fresh))
+                new_args.append(fresh)
+            else:
+                seen.add(term)
+                new_args.append(term)
+        new_subgoals.append(Atom(atom.predicate, tuple(new_args)))
+
+    body = tuple(new_subgoals) + tuple(equalities) + rule.comparisons
+    return Rule(rule.head, body)

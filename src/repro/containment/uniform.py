@@ -1,0 +1,150 @@
+"""Uniform containment of datalog programs (Sagiv [1988]).
+
+The paper notes that "Theorem 5.1 is generalized to uniform containment
+of recursive programs in Levy and Sagiv [1993]".  *Uniform* containment
+``P ⊑ Q`` requires ``P(D) ⊆ Q(D)`` for every database D over **all**
+predicates — EDB and IDB alike (D may already contain IDB facts).  It is:
+
+* decidable (unlike plain containment of recursive programs, Shmueli
+  [1987]), by a frozen-rule test due to Sagiv;
+* *sound* for plain containment — ``P ⊑ Q`` implies ``P ⊆ Q`` — hence a
+  sound (incomplete) subsumption check for recursive constraints, which
+  is how :func:`uniform_subsumes` offers it.
+
+The test: for every rule of P, freeze the rule's body (replace variables
+by fresh constants, add the resulting facts to a database), run Q to
+fixpoint on the frozen database, and require the frozen head to be
+derived.  Comparison subgoals freeze to an arbitrary satisfying
+assignment per consistent order type; we enumerate order types with the
+machinery of :mod:`repro.containment.klug`, mirroring how Theorem 5.1
+extends to comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import NotApplicableError
+from repro.containment.klug import _blocks_to_assignment, _weak_orders
+from repro.datalog.atoms import Comparison
+from repro.datalog.database import Database
+from repro.datalog.evaluation import Engine
+from repro.datalog.rules import Program, Rule
+from repro.datalog.substitution import Substitution
+from repro.datalog.terms import Constant, Variable
+from repro.arith.order import comparison_holds
+
+__all__ = ["is_uniformly_contained", "uniform_subsumes"]
+
+
+def _comparisons_hold(comparisons: Iterable[Comparison], assignment) -> bool:
+    for comparison in comparisons:
+        left = (
+            assignment[comparison.left]
+            if isinstance(comparison.left, Variable)
+            else comparison.left.value
+        )
+        right = (
+            assignment[comparison.right]
+            if isinstance(comparison.right, Variable)
+            else comparison.right.value
+        )
+        if not comparison_holds(comparison.op, left, right):
+            return False
+    return True
+
+
+def is_uniformly_contained(p: Program, q: Program) -> bool:
+    """Decide ``P ⊑ Q`` (uniform containment).
+
+    Negated subgoals are outside the method's scope (freezing is not
+    sound for negation) and raise
+    :class:`~repro.errors.NotApplicableError`.
+    """
+    for program in (p, q):
+        for rule in program:
+            if rule.negations:
+                raise NotApplicableError(
+                    "uniform containment is defined here for datalog "
+                    "programs without negated subgoals"
+                )
+    q_engine = Engine(q)
+
+    constants: set[Constant] = set()
+    for program in (p, q):
+        for rule in program:
+            constants.update(rule.constants())
+    constant_list = sorted(constants, key=lambda c: repr(c.value))
+
+    for rule in p.rules:
+        variables = sorted(rule.variables(), key=lambda v: v.name)
+        # One frozen database per consistent order type of the rule's
+        # variables (a single freeze suffices without comparisons).
+        produced_any = False
+        for blocks in _weak_orders(variables, constant_list):
+            assignment = _blocks_to_assignment(blocks)
+            if not _comparisons_hold(rule.comparisons, assignment):
+                continue
+            produced_any = True
+            subst = Substitution(
+                {var: Constant(val) for var, val in assignment.items()}
+            )
+            frozen = rule.substitute(subst)
+            db = Database()
+            for atom in frozen.positive_atoms:
+                db.insert(
+                    atom.predicate,
+                    tuple(term.value for term in atom.args),  # type: ignore[union-attr]
+                )
+            head_fact = tuple(term.value for term in frozen.head.args)  # type: ignore[union-attr]
+            derived = q_engine.evaluate_predicate(db, frozen.head.predicate)
+            if head_fact not in derived and not db.contains(
+                frozen.head.predicate, head_fact
+            ):
+                return False
+        # A rule whose comparisons are unsatisfiable derives nothing and
+        # constrains nothing; produced_any False is fine.
+        del produced_any
+    return True
+
+
+def uniform_subsumes(candidates: Iterable, target) -> bool:
+    """A *sound* subsumption check for recursive constraints.
+
+    True means the candidates' union uniformly contains the target
+    constraint's program, which implies ordinary containment and hence
+    subsumption (Theorem 3.1).  False means "could not prove it" — NOT
+    that subsumption fails (use
+    :func:`~repro.constraints.subsumption.refute_subsumption_by_sampling`
+    for the other direction).
+
+    Accepts :class:`~repro.constraints.constraint.Constraint` objects;
+    the candidates' programs are merged into one (their rule sets are
+    disjoint apart from ``panic``, whose union is exactly the union
+    constraint of Theorem 3.1; helper predicates are renamed apart).
+    """
+    target_program = target.program
+    merged_rules: list[Rule] = []
+    # Candidate IDB predicates must keep their names — when a candidate
+    # shares the target's auxiliary predicates (same definitions), the
+    # frozen facts of the target's rules feed the candidate's rules,
+    # which is what makes the check useful.  Only clashes BETWEEN
+    # candidates are renamed apart (mixing two candidates' definitions
+    # of one predicate would compute more than their union — unsound).
+    idb_taken: set[str] = set()
+    for index, candidate in enumerate(candidates):
+        program = candidate.program
+        rename = {
+            pred: f"{pred}__u{index}"
+            for pred in program.idb_predicates()
+            if pred != "panic" and pred in idb_taken
+        }
+        for old, new in rename.items():
+            program = program.rename_predicate(old, new)
+        idb_taken.update(program.idb_predicates() - {"panic"})
+        merged_rules.extend(program.rules)
+    union_program = Program(tuple(merged_rules))
+    try:
+        return is_uniformly_contained(target_program, union_program)
+    except NotApplicableError:
+        return False

@@ -1,0 +1,6 @@
+"""The top-level partial-information checking engine."""
+
+from repro.core.engine import PartialInfoChecker
+from repro.core.outcomes import CheckLevel, CheckReport, Outcome
+
+__all__ = ["CheckLevel", "CheckReport", "Outcome", "PartialInfoChecker"]

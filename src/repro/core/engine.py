@@ -1,0 +1,416 @@
+"""The partial-information constraint checker: the paper's pipeline.
+
+:class:`PartialInfoChecker` orchestrates the three information levels of
+Section 2 for a set of constraints at a site that owns the *local*
+predicates:
+
+0. **constraints only** — constraints subsumed by the rest of the set
+   (Theorem 3.1) are never checked at all;
+1. **constraints + update** — the Section 4 rewrite-and-contain test
+   (:func:`~repro.updates.independence.cannot_cause_violation`);
+2. **+ local data** — the complete local tests of Sections 5/6, chosen by
+   shape: the Theorem 5.3 algebraic test for arithmetic-free CQCs, the
+   Fig. 6.1 interval machinery for single-variable ICQs, the box sweep
+   for multi-variable ICQs, and the Theorem 5.2 containment engine for
+   everything else CQC-shaped; purely local constraints are evaluated
+   outright (the one case the paper notes can answer a definite "no");
+3. **full database** — the expensive fallback, only on request.
+
+Every stage is *correct* (YES really means satisfied) and level 2 is
+*complete* (an UNKNOWN really does leave room for a violating remote
+state), as the test suite verifies against exhaustive ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.errors import NotApplicableError, ReproError, UndecidableError, UnsupportedClassError
+from repro.datalog.database import Database
+from repro.datalog.rules import Rule
+from repro.constraints.constraint import Constraint, ConstraintSet
+from repro.constraints.subsumption import subsumes
+from repro.core.outcomes import CheckLevel, CheckReport, Outcome
+from repro.localtests.algebraic import AlgebraicLocalTest
+from repro.localtests.complete import complete_local_test_insertion
+from repro.localtests.icq import analyze_icq, box_local_test, interval_local_test
+from repro.localtests.interval_datalog import IntervalDatalogTest
+from repro.localtests.reduction import check_cqc_form
+from repro.updates.independence import cannot_cause_violation
+from repro.updates.update import Insertion, Modification, Update
+
+__all__ = ["PartialInfoChecker"]
+
+
+@dataclass
+class _CompiledConstraint:
+    """Per-constraint precomputation: subsumption status and local tests."""
+
+    constraint: Constraint
+    subsumed: bool = False
+    #: update-predicate -> cached level-1 verdict (update-value-independent
+    #: verdicts are impossible in general, so this caches per exact update)
+    level1_cache: dict = field(default_factory=dict)
+    #: local-test implementations keyed by the local predicate
+    algebraic: dict = field(default_factory=dict)
+    interval: dict = field(default_factory=dict)
+    icq: dict = field(default_factory=dict)
+
+
+class PartialInfoChecker:
+    """Checks a constraint set against updates with minimal information.
+
+    Parameters
+    ----------
+    constraints:
+        The constraint set, all assumed to hold initially.
+    local_predicates:
+        The predicates stored at this site.  Everything else is remote.
+    use_interval_datalog:
+        When True, single-variable ICQs run the generated Fig. 6.1
+        datalog program instead of the direct interval algebra (slower,
+        but exercises the Theorem 6.1 artifact; the two are equivalent).
+    """
+
+    def __init__(
+        self,
+        constraints: ConstraintSet | Iterable[Constraint],
+        local_predicates: Iterable[str],
+        use_interval_datalog: bool = False,
+    ) -> None:
+        if not isinstance(constraints, ConstraintSet):
+            constraints = ConstraintSet(constraints)
+        self.constraints = constraints
+        self.local_predicates = frozenset(local_predicates)
+        self.use_interval_datalog = use_interval_datalog
+        self._compiled: dict[str, _CompiledConstraint] = {}
+        for constraint in constraints:
+            compiled = _CompiledConstraint(constraint)
+            others = constraints.others(constraint)
+            if others:
+                try:
+                    compiled.subsumed = subsumes(others, constraint)
+                except (UndecidableError, UnsupportedClassError):
+                    compiled.subsumed = False
+            self._compiled[constraint.name] = compiled
+
+    # -- helpers ---------------------------------------------------------------
+    def is_local_constraint(self, constraint: Constraint) -> bool:
+        """True when the constraint reads only local predicates."""
+        return constraint.predicates() <= self.local_predicates
+
+    def _constraint_mentions(self, constraint: Constraint, predicate: str) -> bool:
+        return predicate in constraint.predicates()
+
+    def _local_test(
+        self,
+        compiled: _CompiledConstraint,
+        update: Insertion,
+        local_db: Database,
+    ) -> Optional[bool]:
+        """Run the best applicable complete local test, or ``None`` when
+        no local test applies to this constraint/update pair."""
+        constraint = compiled.constraint
+        if not constraint.is_single_rule:
+            return self._union_local_test(compiled, update, local_db)
+        rule = constraint.as_rule()
+        predicate = update.predicate
+        try:
+            check_cqc_form(rule, predicate)
+        except NotApplicableError:
+            return None
+        # The CQC form requires every predicate other than the update's to
+        # be remote-or-local; the complete local test additionally needs
+        # the non-updated subgoals to be remote (a second local subgoal
+        # would make the reduction unsound to skip).
+        other_preds = {
+            atom.predicate
+            for atom in rule.ordinary_subgoals
+            if atom.predicate != predicate
+        }
+        if other_preds & self.local_predicates:
+            return None
+        relation = local_db.facts(predicate)
+
+        # Fast path 1: arithmetic-free -> Theorem 5.3 algebra.
+        if not rule.comparisons:
+            test = compiled.algebraic.get(predicate)
+            if test is None:
+                test = AlgebraicLocalTest(rule, predicate)
+                compiled.algebraic[predicate] = test
+            return test.passes(update.values, relation)
+
+        # Fast path 2: single-variable ICQ -> intervals (Fig. 6.1).
+        analysis = compiled.icq.get(predicate)
+        if predicate not in compiled.icq:
+            try:
+                analysis = analyze_icq(rule, predicate)
+            except NotApplicableError:
+                analysis = None
+            compiled.icq[predicate] = analysis
+        if analysis is not None:
+            remote_args_ok = all(
+                arg in analysis.remote_variables
+                for atom in analysis.variants[0].rule.ordinary_subgoals
+                if atom.predicate != predicate
+                for arg in atom.args
+            )
+            if remote_args_ok and analysis.single_variable is not None:
+                if self.use_interval_datalog:
+                    test = compiled.interval.get(predicate)
+                    if test is None:
+                        test = IntervalDatalogTest(analysis)
+                        compiled.interval[predicate] = test
+                    return test.passes(update.values, relation)
+                return interval_local_test(analysis, update.values, relation)
+            if remote_args_ok:
+                # Several independently constrained remote variables:
+                # coverage of a box by a union of boxes (Section 6's
+                # generalization beyond the single-interval case).
+                return box_local_test(analysis, update.values, relation)
+
+        # General CQC: Theorem 5.2.
+        assumed = [
+            other.as_rule()
+            for other in self.constraints.others(compiled.constraint)
+            if other.is_single_rule and self._shares_local_form(other, predicate)
+        ]
+        return complete_local_test_insertion(
+            rule, predicate, update.values, relation, assumed
+        )
+
+    def _union_local_test(
+        self,
+        compiled: _CompiledConstraint,
+        update: Insertion,
+        local_db: Database,
+    ) -> Optional[bool]:
+        """Theorem 5.2 extended to union-of-CQC constraints.
+
+        A union constraint held before the update iff *no* disjunct fired,
+        so each disjunct's reduction may be tested against the reductions
+        of every disjunct ("we then add to the union on the right the
+        reductions of the other constraints by all tuples in L").
+        """
+        constraint = compiled.constraint
+        predicate = update.predicate
+        try:
+            disjuncts = constraint.as_union()
+        except (NotApplicableError, ReproError):
+            return None
+        usable: list[Rule] = []
+        for disjunct in disjuncts:
+            if predicate not in {a.predicate for a in disjunct.ordinary_subgoals}:
+                # A disjunct not mentioning the updated relation cannot
+                # acquire a new firing from this insertion.
+                continue
+            try:
+                check_cqc_form(disjunct, predicate)
+            except NotApplicableError:
+                return None
+            other_preds = {
+                atom.predicate
+                for atom in disjunct.ordinary_subgoals
+                if atom.predicate != predicate
+            }
+            if other_preds & self.local_predicates:
+                return None
+            usable.append(disjunct)
+        relation = local_db.facts(predicate)
+        all_disjunct_rules = [
+            d for d in disjuncts
+            if predicate in {a.predicate for a in d.ordinary_subgoals}
+        ]
+        for disjunct in usable:
+            assumed = [d for d in all_disjunct_rules if d is not disjunct]
+            if not complete_local_test_insertion(
+                disjunct, predicate, update.values, relation, assumed
+            ):
+                return False
+        return True
+
+    def _shares_local_form(self, constraint: Constraint, predicate: str) -> bool:
+        try:
+            check_cqc_form(constraint.as_rule(), predicate)
+        except (NotApplicableError, ReproError):
+            return False
+        other_preds = {
+            atom.predicate
+            for atom in constraint.as_rule().ordinary_subgoals
+            if atom.predicate != predicate
+        }
+        return not (other_preds & self.local_predicates)
+
+    # -- the pipeline -----------------------------------------------------------
+    def check_constraint(
+        self,
+        constraint: Constraint,
+        update: Update,
+        local_db: Database,
+        remote_db: Optional[Database] = None,
+        max_level: CheckLevel = CheckLevel.FULL_DATABASE,
+    ) -> CheckReport:
+        """Run the level pipeline for one constraint and one update.
+
+        ``local_db`` holds the local relations *before* the update;
+        ``remote_db`` (optional) enables the level-3 fallback.
+        """
+        compiled = self._compiled[constraint.name]
+
+        if not self._constraint_mentions(constraint, update.predicate):
+            return CheckReport(
+                constraint.name, Outcome.SATISFIED, CheckLevel.CONSTRAINTS_ONLY,
+                remote_accessed=False, detail="update predicate not mentioned",
+            )
+
+        # Level 0: subsumption by the other constraints.
+        if compiled.subsumed:
+            return CheckReport(
+                constraint.name, Outcome.SATISFIED, CheckLevel.CONSTRAINTS_ONLY,
+                remote_accessed=False, detail="subsumed by other constraints",
+            )
+        if max_level < CheckLevel.WITH_UPDATE:
+            return CheckReport(
+                constraint.name, Outcome.UNKNOWN, CheckLevel.CONSTRAINTS_ONLY,
+                remote_accessed=False,
+            )
+
+        # Level 1: constraints + update.
+        cache_key = (update.predicate, str(update), type(update).__name__)
+        verdict = compiled.level1_cache.get(cache_key)
+        if verdict is None:
+            try:
+                verdict = cannot_cause_violation(
+                    constraint, update, self.constraints.others(constraint)
+                )
+            except (UndecidableError, UnsupportedClassError, NotApplicableError):
+                verdict = False
+            compiled.level1_cache[cache_key] = verdict
+        if verdict:
+            return CheckReport(
+                constraint.name, Outcome.SATISFIED, CheckLevel.WITH_UPDATE,
+                remote_accessed=False, detail="update-independence containment",
+            )
+        if max_level < CheckLevel.WITH_LOCAL_DATA:
+            return CheckReport(
+                constraint.name, Outcome.UNKNOWN, CheckLevel.WITH_UPDATE,
+                remote_accessed=False,
+            )
+
+        # Level 2: + local data.
+        if self.is_local_constraint(constraint):
+            # Purely local: evaluate outright — the one case a definite
+            # "no" is possible without remote data.
+            after = update.applied_copy(local_db)
+            outcome = Outcome.SATISFIED if constraint.holds(after) else Outcome.VIOLATED
+            return CheckReport(
+                constraint.name, outcome, CheckLevel.WITH_LOCAL_DATA,
+                remote_accessed=False, detail="constraint is purely local",
+            )
+        if update.predicate in self.local_predicates:
+            probe: Optional[Insertion] = None
+            if isinstance(update, Insertion):
+                probe = update
+            elif isinstance(update, Modification):
+                # The deleted tuple still contributes its reduction: the
+                # constraint held while it was stored, so its forbidden
+                # region is known clear — test the new tuple against the
+                # FULL pre-update relation.
+                probe = update.insertion
+            if probe is not None:
+                result = self._local_test(compiled, probe, local_db)
+                if result is True:
+                    return CheckReport(
+                        constraint.name, Outcome.SATISFIED, CheckLevel.WITH_LOCAL_DATA,
+                        remote_accessed=False, detail="complete local test",
+                    )
+        if max_level < CheckLevel.FULL_DATABASE or remote_db is None:
+            return CheckReport(
+                constraint.name, Outcome.UNKNOWN, CheckLevel.WITH_LOCAL_DATA,
+                remote_accessed=False,
+            )
+
+        # Level 3: the full database.
+        merged = local_db.copy()
+        for predicate in remote_db.predicates():
+            for fact in remote_db.facts(predicate):
+                merged.insert(predicate, fact)
+        after = update.applied_copy(merged)
+        outcome = Outcome.SATISFIED if constraint.holds(after) else Outcome.VIOLATED
+        return CheckReport(
+            constraint.name, outcome, CheckLevel.FULL_DATABASE,
+            remote_accessed=True, detail="full evaluation",
+        )
+
+    def check(
+        self,
+        update: Update,
+        local_db: Database,
+        remote_db: Optional[Database] = None,
+        max_level: CheckLevel = CheckLevel.FULL_DATABASE,
+    ) -> list[CheckReport]:
+        """Run the pipeline for every constraint; reports in set order."""
+        return [
+            self.check_constraint(constraint, update, local_db, remote_db, max_level)
+            for constraint in self.constraints
+        ]
+
+    def explain(self, constraint: Constraint, predicate: str) -> str:
+        """Describe the level-2 strategy an insertion into *predicate*
+        would use for *constraint* — for operators and tests.
+
+        One of: ``"subsumed"``, ``"purely-local"``, ``"algebraic"``
+        (Theorem 5.3), ``"interval"`` (Fig. 6.1), ``"containment"``
+        (Theorem 5.2), ``"union-containment"`` (Theorem 5.2 per
+        disjunct), or ``"none"``.
+        """
+        compiled = self._compiled[constraint.name]
+        if compiled.subsumed:
+            return "subsumed"
+        if self.is_local_constraint(constraint):
+            return "purely-local"
+        if not constraint.is_single_rule:
+            try:
+                disjuncts = constraint.as_union()
+            except ReproError:
+                return "none"
+            for disjunct in disjuncts:
+                if predicate not in {
+                    a.predicate for a in disjunct.ordinary_subgoals
+                }:
+                    continue
+                try:
+                    check_cqc_form(disjunct, predicate)
+                except NotApplicableError:
+                    return "none"
+            return "union-containment"
+        rule = constraint.as_rule()
+        try:
+            check_cqc_form(rule, predicate)
+        except NotApplicableError:
+            return "none"
+        other_preds = {
+            atom.predicate
+            for atom in rule.ordinary_subgoals
+            if atom.predicate != predicate
+        }
+        if other_preds & self.local_predicates:
+            return "none"
+        if not rule.comparisons:
+            return "algebraic"
+        try:
+            analysis = analyze_icq(rule, predicate)
+        except NotApplicableError:
+            return "containment"
+        remote_args_ok = all(
+            arg in analysis.remote_variables
+            for atom in analysis.variants[0].rule.ordinary_subgoals
+            if atom.predicate != predicate
+            for arg in atom.args
+        )
+        if remote_args_ok and analysis.single_variable is not None:
+            return "interval"
+        if remote_args_ok:
+            return "box"
+        return "containment"

@@ -1,0 +1,59 @@
+"""Outcomes and levels for constraint checks with partial information.
+
+Section 2 defines tests that answer "yes, the constraint continues to
+hold" or "I don't know", with a definite "no" possible "unless the
+constraint involves only local data" (or the checker escalates to the
+full database).  The three information levels of Section 2 plus the full
+fallback give four :class:`CheckLevel` values.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Outcome", "CheckLevel", "CheckReport"]
+
+
+class Outcome(enum.Enum):
+    """Result of a constraint check."""
+
+    SATISFIED = "satisfied"
+    UNKNOWN = "unknown"
+    VIOLATED = "violated"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class CheckLevel(enum.IntEnum):
+    """How much information the deciding test consulted (Section 2)."""
+
+    CONSTRAINTS_ONLY = 0   # subsumption by other constraints (Section 3)
+    WITH_UPDATE = 1        # constraints + the update (Section 4)
+    WITH_LOCAL_DATA = 2    # constraints + update + local data (Sections 5-6)
+    FULL_DATABASE = 3      # the fallback the paper tries to avoid
+
+    def __str__(self) -> str:
+        return {
+            CheckLevel.CONSTRAINTS_ONLY: "constraints-only",
+            CheckLevel.WITH_UPDATE: "constraints+update",
+            CheckLevel.WITH_LOCAL_DATA: "constraints+update+local-data",
+            CheckLevel.FULL_DATABASE: "full-database",
+        }[self]
+
+
+@dataclass(frozen=True)
+class CheckReport:
+    """One constraint's verdict for one update."""
+
+    constraint_name: str
+    outcome: Outcome
+    level: CheckLevel
+    remote_accessed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        remote = " [remote access]" if self.remote_accessed else ""
+        detail = f" ({self.detail})" if self.detail else ""
+        return f"{self.constraint_name}: {self.outcome} at {self.level}{remote}{detail}"

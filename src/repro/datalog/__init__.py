@@ -1,0 +1,70 @@
+"""Datalog substrate: AST, parser, database, and bottom-up engine.
+
+Public surface of the sublanguage used throughout the paper: conjunctive
+queries, unions of CQs, recursive datalog, with optional negated subgoals
+and arithmetic comparisons (the twelve classes of Fig. 2.1).
+"""
+
+from repro.datalog.atoms import (
+    PANIC,
+    Atom,
+    BodyLiteral,
+    Comparison,
+    ComparisonOp,
+    Negation,
+)
+from repro.datalog.database import Database, Relation
+from repro.datalog.evaluation import (
+    Engine,
+    evaluate,
+    evaluate_predicate,
+    fires,
+    PANIC_PREDICATE,
+)
+from repro.datalog.parser import parse_literal, parse_program, parse_rule, parse_term
+from repro.datalog.rules import ConjunctiveQuery, Program, Rule
+from repro.datalog.safety import check_program_safety, check_rule_safety, is_safe
+from repro.datalog.stratify import stratify
+from repro.datalog.substitution import Substitution, match_atom_against_fact, unify_terms
+from repro.datalog.terms import (
+    Constant,
+    FreshVariableFactory,
+    Term,
+    Variable,
+    fresh_variables,
+)
+
+__all__ = [
+    "PANIC",
+    "PANIC_PREDICATE",
+    "Atom",
+    "BodyLiteral",
+    "Comparison",
+    "ComparisonOp",
+    "ConjunctiveQuery",
+    "Constant",
+    "Database",
+    "Engine",
+    "FreshVariableFactory",
+    "Negation",
+    "Program",
+    "Relation",
+    "Rule",
+    "Substitution",
+    "Term",
+    "Variable",
+    "check_program_safety",
+    "check_rule_safety",
+    "evaluate",
+    "evaluate_predicate",
+    "fires",
+    "fresh_variables",
+    "is_safe",
+    "match_atom_against_fact",
+    "parse_literal",
+    "parse_program",
+    "parse_rule",
+    "parse_term",
+    "stratify",
+    "unify_terms",
+]

@@ -1,0 +1,146 @@
+"""Atoms and body literals: ordinary subgoals, negation, and comparisons.
+
+A rule body is a conjunction of three kinds of literal:
+
+* :class:`Atom` — an ordinary (positive) subgoal such as ``emp(E, D, S)``;
+* :class:`Negation` — a negated subgoal such as ``not dept(D)``;
+* :class:`Comparison` — an arithmetic comparison such as ``S < 100``.
+
+Following the paper, a *constraint* is a query whose head is the 0-ary
+atom ``panic``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from repro.ops import ComparisonOp
+from repro.datalog.terms import Constant, Term, Variable
+
+__all__ = [
+    "ComparisonOp",
+    "Atom",
+    "Negation",
+    "Comparison",
+    "BodyLiteral",
+    "PANIC",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """An ordinary subgoal ``predicate(arg1, ..., argk)`` (k may be 0)."""
+
+    predicate: str
+    args: tuple[Term, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.predicate:
+            raise ValueError("predicate name must be non-empty")
+        object.__setattr__(self, "args", tuple(self.args))
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def variables(self) -> Iterator[Variable]:
+        """Yield the variables of the atom in order (with duplicates)."""
+        for term in self.args:
+            if isinstance(term, Variable):
+                yield term
+
+    def constants(self) -> Iterator[Constant]:
+        """Yield the constants of the atom in order (with duplicates)."""
+        for term in self.args:
+            if isinstance(term, Constant):
+                yield term
+
+    def has_repeated_variables(self) -> bool:
+        """True when some variable occurs in two argument positions."""
+        seen: set[Variable] = set()
+        for var in self.variables():
+            if var in seen:
+                return True
+            seen.add(var)
+        return False
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.predicate
+        return f"{self.predicate}({', '.join(str(a) for a in self.args)})"
+
+
+@dataclass(frozen=True, slots=True)
+class Negation:
+    """A negated subgoal ``not atom``."""
+
+    atom: Atom
+
+    @property
+    def predicate(self) -> str:
+        return self.atom.predicate
+
+    @property
+    def args(self) -> tuple[Term, ...]:
+        return self.atom.args
+
+    def variables(self) -> Iterator[Variable]:
+        return self.atom.variables()
+
+    def __str__(self) -> str:
+        return f"not {self.atom}"
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    """An arithmetic comparison subgoal ``left op right``.
+
+    Either side may be a variable or a constant; the semantics is the
+    dense total order of :mod:`repro.arith.order`.
+    """
+
+    left: Term
+    op: ComparisonOp
+    right: Term
+
+    def variables(self) -> Iterator[Variable]:
+        for term in (self.left, self.right):
+            if isinstance(term, Variable):
+                yield term
+
+    @property
+    def negated(self) -> "Comparison":
+        """The comparison asserting the complement of this one."""
+        return Comparison(self.left, self.op.negated, self.right)
+
+    @property
+    def flipped(self) -> "Comparison":
+        """The same constraint written with its sides swapped."""
+        return Comparison(self.right, self.op.flipped, self.left)
+
+    def is_ground(self) -> bool:
+        """True when both sides are constants."""
+        return isinstance(self.left, Constant) and isinstance(self.right, Constant)
+
+    def is_trivial_true(self) -> bool:
+        """True for syntactic tautologies like ``X = X`` or ``X <= X``."""
+        if self.left == self.right:
+            return self.op in (ComparisonOp.EQ, ComparisonOp.LE, ComparisonOp.GE)
+        return False
+
+    def is_trivial_false(self) -> bool:
+        """True for syntactic contradictions like ``X < X`` or ``X <> X``."""
+        if self.left == self.right:
+            return self.op in (ComparisonOp.LT, ComparisonOp.GT, ComparisonOp.NE)
+        return False
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+#: Union type of everything permitted in a rule body.
+BodyLiteral = Union[Atom, Negation, Comparison]
+
+#: The 0-ary goal of every constraint query.
+PANIC = Atom("panic")

@@ -1,0 +1,174 @@
+"""The extensional database: named relations holding tuples of values.
+
+Tuples contain raw Python values (``int``/``float``/``Fraction``/``str``),
+not AST :class:`~repro.datalog.terms.Constant` wrappers — the engine wraps
+and unwraps at the boundary.  Relations are sets, matching the paper's
+set semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import EvaluationError
+
+__all__ = ["Relation", "Database"]
+
+Fact = tuple
+
+
+class Relation:
+    """A named, fixed-arity set of tuples with optional hash indexes.
+
+    Indexes are built lazily per column and invalidated on mutation; they
+    are what makes the local tests "use the structure of the database"
+    (Section 1's point about expressibility in the query language).
+    """
+
+    __slots__ = ("name", "arity", "_tuples", "_indexes")
+
+    def __init__(self, name: str, arity: int, tuples: Iterable[Fact] = ()) -> None:
+        self.name = name
+        self.arity = arity
+        self._tuples: set[Fact] = set()
+        self._indexes: dict[int, dict[object, set[Fact]]] = {}
+        for fact in tuples:
+            self.insert(fact)
+
+    # -- mutation ------------------------------------------------------------
+    def insert(self, fact: Fact) -> bool:
+        """Add a tuple; returns True when it was not already present."""
+        fact = tuple(fact)
+        if len(fact) != self.arity:
+            raise EvaluationError(
+                f"relation {self.name}/{self.arity} cannot hold tuple of length {len(fact)}"
+            )
+        if fact in self._tuples:
+            return False
+        self._tuples.add(fact)
+        for column, index in self._indexes.items():
+            index.setdefault(fact[column], set()).add(fact)
+        return True
+
+    def delete(self, fact: Fact) -> bool:
+        """Remove a tuple; returns True when it was present."""
+        fact = tuple(fact)
+        if fact not in self._tuples:
+            return False
+        self._tuples.discard(fact)
+        for column, index in self._indexes.items():
+            bucket = index.get(fact[column])
+            if bucket is not None:
+                bucket.discard(fact)
+                if not bucket:
+                    del index[fact[column]]
+        return True
+
+    # -- access ----------------------------------------------------------------
+    def __contains__(self, fact: Fact) -> bool:
+        return tuple(fact) in self._tuples
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def lookup(self, column: int, value: object) -> frozenset[Fact]:
+        """Return all tuples whose *column* equals *value*, via an index."""
+        if column not in self._indexes:
+            index: dict[object, set[Fact]] = {}
+            for fact in self._tuples:
+                index.setdefault(fact[column], set()).add(fact)
+            self._indexes[column] = index
+        return frozenset(self._indexes[column].get(value, ()))
+
+    def copy(self) -> "Relation":
+        return Relation(self.name, self.arity, self._tuples)
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, arity={self.arity}, size={len(self)})"
+
+
+class Database:
+    """A collection of named relations.
+
+    Relations are created on first use; arity is checked on every insert.
+    """
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, contents: Mapping[str, Iterable[Fact]] | None = None) -> None:
+        self._relations: dict[str, Relation] = {}
+        if contents:
+            for name, facts in contents.items():
+                for fact in facts:
+                    self.insert(name, fact)
+
+    # -- mutation ------------------------------------------------------------
+    def insert(self, predicate: str, fact: Fact) -> bool:
+        """Insert a fact, creating the relation on first use."""
+        fact = tuple(fact)
+        relation = self._relations.get(predicate)
+        if relation is None:
+            relation = Relation(predicate, len(fact))
+            self._relations[predicate] = relation
+        return relation.insert(fact)
+
+    def delete(self, predicate: str, fact: Fact) -> bool:
+        relation = self._relations.get(predicate)
+        if relation is None:
+            return False
+        return relation.delete(fact)
+
+    # -- access ----------------------------------------------------------------
+    def relation(self, predicate: str) -> Relation | None:
+        return self._relations.get(predicate)
+
+    def facts(self, predicate: str) -> frozenset[Fact]:
+        relation = self._relations.get(predicate)
+        if relation is None:
+            return frozenset()
+        return frozenset(relation)
+
+    def contains(self, predicate: str, fact: Fact) -> bool:
+        relation = self._relations.get(predicate)
+        return relation is not None and tuple(fact) in relation
+
+    def predicates(self) -> set[str]:
+        return set(self._relations)
+
+    def arity_of(self, predicate: str) -> int | None:
+        relation = self._relations.get(predicate)
+        return relation.arity if relation is not None else None
+
+    def size(self) -> int:
+        """Total number of facts across all relations."""
+        return sum(len(rel) for rel in self._relations.values())
+
+    def copy(self) -> "Database":
+        new = Database()
+        new._relations = {name: rel.copy() for name, rel in self._relations.items()}
+        return new
+
+    def restricted_to(self, predicates: Iterable[str]) -> "Database":
+        """A copy containing only the given predicates (e.g. the local site)."""
+        wanted = set(predicates)
+        new = Database()
+        new._relations = {
+            name: rel.copy() for name, rel in self._relations.items() if name in wanted
+        }
+        return new
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        mine = {name: set(rel) for name, rel in self._relations.items() if len(rel)}
+        theirs = {name: set(rel) for name, rel in other._relations.items() if len(rel)}
+        return mine == theirs
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}/{rel.arity}:{len(rel)}" for name, rel in sorted(self._relations.items())
+        )
+        return f"Database({inner})"

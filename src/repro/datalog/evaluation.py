@@ -1,0 +1,314 @@
+"""Bottom-up, semi-naive evaluation of stratified datalog with builtins.
+
+This is the execution substrate for everything in the paper that must
+actually *run*: constraints (``panic`` queries), the rewritten constraints
+of Section 4, and the recursive interval programs of Fig. 6.1.
+
+Features:
+
+* positive recursion via semi-naive (delta) iteration;
+* stratified negation (checked by :mod:`repro.datalog.stratify`);
+* arithmetic comparison subgoals evaluated as builtins over the dense
+  total order of :mod:`repro.arith.order`;
+* safety (range restriction) enforced up front, so negations and
+  comparisons are always ground when reached.
+
+The main entry points are :func:`evaluate`, :func:`evaluate_predicate`,
+and :func:`fires` (does a constraint derive ``panic``).  For repeated
+evaluation of one program against many databases, :class:`Engine` caches
+the static analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.arith.order import comparison_holds
+from repro.datalog.atoms import Atom, BodyLiteral, Comparison, Negation
+from repro.datalog.database import Database
+from repro.datalog.rules import Program, Rule
+from repro.datalog.safety import check_program_safety
+from repro.datalog.stratify import stratify
+from repro.datalog.substitution import Substitution, match_atom_against_fact
+from repro.datalog.terms import Constant, Variable
+
+__all__ = ["Engine", "evaluate", "evaluate_predicate", "fires", "PANIC_PREDICATE"]
+
+PANIC_PREDICATE = "panic"
+
+Fact = tuple
+
+
+class _FactSource:
+    """Union view over EDB facts and facts derived so far."""
+
+    __slots__ = ("_edb", "_derived")
+
+    def __init__(self, edb: Database, derived: Mapping[str, set[Fact]]) -> None:
+        self._edb = edb
+        self._derived = derived
+
+    def facts(self, predicate: str) -> Iterable[Fact]:
+        derived = self._derived.get(predicate)
+        edb_facts = self._edb.facts(predicate)
+        if derived:
+            if edb_facts:
+                return derived | edb_facts
+            return derived
+        return edb_facts
+
+    def facts_with(self, predicate: str, column: int, value: object) -> Iterable[Fact]:
+        """Facts whose *column* equals *value*, using the EDB hash index
+        where available; derived facts are filtered by scan."""
+        relation = self._edb.relation(predicate)
+        if relation is not None:
+            indexed: Iterable[Fact] = relation.lookup(column, value)
+        else:
+            indexed = ()
+        derived = self._derived.get(predicate)
+        if not derived:
+            return indexed
+        matching = {fact for fact in derived if fact[column] == value}
+        if not matching:
+            return indexed
+        return set(indexed) | matching
+
+    def contains(self, predicate: str, fact: Fact) -> bool:
+        derived = self._derived.get(predicate)
+        if derived is not None and fact in derived:
+            return True
+        return self._edb.contains(predicate, fact)
+
+
+def _ground_value(term) -> object:
+    if isinstance(term, Constant):
+        return term.value
+    raise AssertionError(f"expected ground term, found {term!r}")  # pragma: no cover
+
+
+def _comparison_ground_holds(comparison: Comparison, subst: Substitution) -> bool:
+    left = subst.apply_term(comparison.left)
+    right = subst.apply_term(comparison.right)
+    return comparison_holds(comparison.op, _ground_value(left), _ground_value(right))
+
+
+def _order_body(rule: Rule) -> list[BodyLiteral]:
+    """Choose an evaluation order: positive atoms in given order, with each
+    comparison/negation placed as early as its variables allow.
+
+    This keeps joins small by filtering eagerly while preserving safety
+    (every comparison/negation is ground when reached).
+    """
+    bound: set[Variable] = set()
+    pending = list(rule.body)
+    ordered: list[BodyLiteral] = []
+    while pending:
+        placed = False
+        for i, literal in enumerate(pending):
+            if isinstance(literal, (Comparison, Negation)):
+                if all(v in bound for v in literal.variables()):
+                    ordered.append(pending.pop(i))
+                    placed = True
+                    break
+        if placed:
+            continue
+        # No filter is ready: take the next positive atom.
+        for i, literal in enumerate(pending):
+            if isinstance(literal, Atom):
+                ordered.append(pending.pop(i))
+                bound.update(literal.variables())
+                placed = True
+                break
+        if not placed:  # remaining literals reference unbound vars: unsafe
+            ordered.extend(pending)
+            break
+    return ordered
+
+
+def _evaluate_rule(
+    rule: Rule,
+    source: _FactSource,
+    restrict_atom: Optional[Atom] = None,
+    restrict_facts: Optional[set[Fact]] = None,
+    use_indexes: bool = True,
+) -> set[Fact]:
+    """All head facts derivable from *rule* against *source*.
+
+    When *restrict_atom* is given (semi-naive deltas), that particular
+    subgoal occurrence draws its facts from *restrict_facts* instead of
+    the full source.  ``use_indexes=False`` forces full scans (ablation).
+    """
+    ordered = _order_body(rule)
+    results: set[Fact] = set()
+    # Depth-first join over the ordered body.
+    stack: list[tuple[int, Substitution]] = [(0, Substitution())]
+    while stack:
+        position, subst = stack.pop()
+        if position == len(ordered):
+            head = subst.apply_atom(rule.head)
+            results.add(tuple(_ground_value(t) for t in head.args))
+            continue
+        literal = ordered[position]
+        if isinstance(literal, Comparison):
+            if _comparison_ground_holds(literal, subst):
+                stack.append((position + 1, subst))
+            continue
+        if isinstance(literal, Negation):
+            atom = subst.apply_atom(literal.atom)
+            fact = tuple(_ground_value(t) for t in atom.args)
+            if not source.contains(atom.predicate, fact):
+                stack.append((position + 1, subst))
+            continue
+        assert isinstance(literal, Atom)
+        if literal is restrict_atom and restrict_facts is not None:
+            candidates: Iterable[Fact] = restrict_facts
+        else:
+            # Index-assisted retrieval: when some argument is already
+            # ground (a constant, or a variable the join has bound), pull
+            # only the matching bucket instead of scanning the relation.
+            bound_column = -1
+            bound_value: object = None
+            for column, term in enumerate(literal.args):
+                if isinstance(term, Constant):
+                    bound_column, bound_value = column, term.value
+                    break
+                resolved = subst.apply_term(term)
+                if isinstance(resolved, Constant):
+                    bound_column, bound_value = column, resolved.value
+                    break
+            if bound_column >= 0 and use_indexes:
+                candidates = source.facts_with(
+                    literal.predicate, bound_column, bound_value
+                )
+            else:
+                candidates = source.facts(literal.predicate)
+        for fact in candidates:
+            extended = match_atom_against_fact(literal, fact, subst)
+            if extended is not None:
+                stack.append((position + 1, extended))
+    return results
+
+
+class Engine:
+    """A compiled program: safety-checked, stratified, ready to evaluate.
+
+    ``seminaive=False`` switches to naive fixpoint iteration (every rule
+    re-evaluated against the full fact set each round) — kept for the
+    ablation benchmark; semantics are identical.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        seminaive: bool = True,
+        use_indexes: bool = True,
+    ) -> None:
+        check_program_safety(program)
+        self.program = program
+        self.seminaive = seminaive
+        self.use_indexes = use_indexes
+        self.strata: list[set[str]] = stratify(program)
+        self._rules_by_stratum: list[list[Rule]] = [
+            [rule for rule in program if rule.head.predicate in stratum]
+            for stratum in self.strata
+        ]
+
+    def evaluate(self, db: Database) -> Database:
+        """Return a database of all derived IDB facts (EDB not included)."""
+        derived: dict[str, set[Fact]] = {}
+        for stratum_preds, rules in zip(self.strata, self._rules_by_stratum):
+            self._evaluate_stratum(db, derived, stratum_preds, rules)
+        result = Database()
+        for predicate, facts in derived.items():
+            for fact in facts:
+                result.insert(predicate, fact)
+        return result
+
+    def _evaluate_stratum(
+        self,
+        db: Database,
+        derived: dict[str, set[Fact]],
+        stratum_preds: set[str],
+        rules: Sequence[Rule],
+    ) -> None:
+        source = _FactSource(db, derived)
+        if not self.seminaive:
+            # Naive mode: keep re-running every rule until nothing is new.
+            changed = True
+            while changed:
+                changed = False
+                for rule in rules:
+                    new_facts = _evaluate_rule(
+                        rule, source, use_indexes=self.use_indexes
+                    )
+                    existing = derived.setdefault(rule.head.predicate, set())
+                    fresh = new_facts - existing
+                    if fresh:
+                        existing.update(fresh)
+                        changed = True
+            return
+        recursive_rules: list[Rule] = []
+        # Round 0: full evaluation of every rule in the stratum.
+        delta: dict[str, set[Fact]] = {}
+        for rule in rules:
+            new_facts = _evaluate_rule(rule, source, use_indexes=self.use_indexes)
+            pred = rule.head.predicate
+            existing = derived.setdefault(pred, set())
+            fresh = new_facts - existing
+            if fresh:
+                existing.update(fresh)
+                delta.setdefault(pred, set()).update(fresh)
+            if any(
+                isinstance(lit, Atom) and lit.predicate in stratum_preds
+                for lit in rule.body
+            ):
+                recursive_rules.append(rule)
+        # Semi-naive iteration for the recursive rules.
+        while delta:
+            new_delta: dict[str, set[Fact]] = {}
+            for rule in recursive_rules:
+                for literal in rule.body:
+                    if not isinstance(literal, Atom):
+                        continue
+                    if literal.predicate not in stratum_preds:
+                        continue
+                    delta_facts = delta.get(literal.predicate)
+                    if not delta_facts:
+                        continue
+                    new_facts = _evaluate_rule(
+                        rule, source, literal, delta_facts, self.use_indexes
+                    )
+                    pred = rule.head.predicate
+                    existing = derived.setdefault(pred, set())
+                    fresh = new_facts - existing
+                    if fresh:
+                        existing.update(fresh)
+                        new_delta.setdefault(pred, set()).update(fresh)
+            delta = new_delta
+
+    def evaluate_predicate(self, db: Database, predicate: str) -> frozenset[Fact]:
+        """Facts derived for one predicate."""
+        return self.evaluate(db).facts(predicate)
+
+    def fires(self, db: Database) -> bool:
+        """True when the program derives the 0-ary ``panic`` fact.
+
+        In the paper's terms: the database *violates* the constraint
+        exactly when this returns True.
+        """
+        return () in self.evaluate_predicate(db, PANIC_PREDICATE)
+
+
+def evaluate(program: Program, db: Database) -> Database:
+    """One-shot evaluation; see :class:`Engine` for the reusable form."""
+    return Engine(program).evaluate(db)
+
+
+def evaluate_predicate(program: Program, db: Database, predicate: str) -> frozenset[Fact]:
+    """One-shot evaluation of a single predicate."""
+    return Engine(program).evaluate_predicate(db, predicate)
+
+
+def fires(program: Program, db: Database) -> bool:
+    """One-shot check whether a constraint program derives ``panic``."""
+    return Engine(program).fires(db)

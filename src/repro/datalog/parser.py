@@ -1,0 +1,250 @@
+"""Parser for the paper's Prolog-style constraint syntax.
+
+The concrete syntax follows the paper exactly:
+
+* names beginning with a lower-case letter are constants and predicate
+  names; names beginning with a capital (or underscore) are variables;
+* subgoals are separated by ``&`` (a comma is accepted as well);
+* negated subgoals are written ``not dept(D)``;
+* comparisons use ``<``, ``<=``, ``>``, ``>=``, ``=`` and ``<>``
+  (``==`` and ``!=`` are accepted as synonyms);
+* rules are optionally terminated with ``.``;
+* ``%`` and ``#`` start comments running to end of line;
+* quoted strings support the escapes ``\'``, ``\"`` and ``\\`` only
+  (control characters have no concrete syntax — construct such constants
+  programmatically).
+
+Examples from the paper parse verbatim::
+
+    panic :- emp(E,D,S) & not dept(D) & S < 100
+    boss(E,M) :- emp(E,D,S) & manager(D,M)
+
+Entry points: :func:`parse_program`, :func:`parse_rule`,
+:func:`parse_literal`, :func:`parse_term`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ParseError
+from repro.datalog.atoms import Atom, BodyLiteral, Comparison, ComparisonOp, Negation
+from repro.datalog.rules import Program, Rule
+from repro.datalog.terms import Constant, Term, Variable
+
+__all__ = ["parse_program", "parse_rule", "parse_literal", "parse_term", "tokenize"]
+
+
+@dataclass(frozen=True, slots=True)
+class _Token:
+    kind: str  # NAME VAR NUMBER STRING OP PUNCT
+    text: str
+    line: int
+    column: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<COMMENT>[%\#][^\n]*)
+  | (?P<ARROW>:-)
+  | (?P<OP><=|>=|<>|!=|==|<|>|=)
+  | (?P<NUMBER>-?\d+\.\d+|-?\d+)
+  | (?P<VAR>[A-Z_][A-Za-z0-9_]*)
+  | (?P<NAME>[a-z][A-Za-z0-9_]*)
+  | (?P<STRING>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
+  | (?P<PUNCT>[(),.&])
+    """,
+    re.VERBOSE,
+)
+
+_OP_MAP = {
+    "<": ComparisonOp.LT,
+    "<=": ComparisonOp.LE,
+    ">": ComparisonOp.GT,
+    ">=": ComparisonOp.GE,
+    "=": ComparisonOp.EQ,
+    "==": ComparisonOp.EQ,
+    "<>": ComparisonOp.NE,
+    "!=": ComparisonOp.NE,
+}
+
+
+def tokenize(source: str) -> Iterator[_Token]:
+    """Yield tokens for *source*, raising :class:`ParseError` on junk."""
+    line = 1
+    line_start = 0
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            column = pos - line_start + 1
+            raise ParseError(f"unexpected character {source[pos]!r}", line, column)
+        kind = match.lastgroup or ""
+        text = match.group()
+        if kind in ("WS", "COMMENT"):
+            newlines = text.count("\n")
+            if newlines:
+                line += newlines
+                line_start = match.start() + text.rindex("\n") + 1
+        else:
+            column = match.start() - line_start + 1
+            if kind == "ARROW":
+                yield _Token("ARROW", text, line, column)
+            else:
+                yield _Token(kind, text, line, column)
+        pos = match.end()
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, source: str) -> None:
+        self._tokens = list(tokenize(source))
+        self._index = 0
+
+    # -- token plumbing ------------------------------------------------------
+    def _peek(self) -> _Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            last = self._tokens[-1] if self._tokens else None
+            line = last.line if last else 1
+            raise ParseError("unexpected end of input", line, 0)
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self._next()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text or kind
+            raise ParseError(
+                f"expected {wanted!r}, found {token.text!r}", token.line, token.column
+            )
+        return token
+
+    def _accept(self, kind: str, text: str | None = None) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == kind and (text is None or token.text == text):
+            self._index += 1
+            return True
+        return False
+
+    @property
+    def at_end(self) -> bool:
+        return self._index >= len(self._tokens)
+
+    # -- grammar ---------------------------------------------------------------
+    def parse_program(self) -> Program:
+        rules: list[Rule] = []
+        while not self.at_end:
+            rules.append(self.parse_rule())
+        return Program(tuple(rules))
+
+    def parse_rule(self) -> Rule:
+        head = self._parse_atom()
+        body: list[BodyLiteral] = []
+        if self._accept("ARROW"):
+            body.append(self._parse_literal())
+            while self._accept("PUNCT", "&") or self._accept("PUNCT", ","):
+                body.append(self._parse_literal())
+        self._accept("PUNCT", ".")
+        return Rule(head, tuple(body))
+
+    def _parse_literal(self) -> BodyLiteral:
+        token = self._peek()
+        if token is None:
+            raise ParseError("expected a literal, found end of input")
+        if token.kind == "NAME" and token.text == "not":
+            self._next()
+            return Negation(self._parse_atom())
+        # Disambiguate `pred(...)` from `term op term`: an atom starts with
+        # NAME followed by `(`; a bare NAME not followed by `(` or an
+        # operator is a 0-ary atom.
+        if token.kind == "NAME":
+            after = self._tokens[self._index + 1] if self._index + 1 < len(self._tokens) else None
+            if after is not None and after.kind == "OP":
+                return self._parse_comparison()
+            return self._parse_atom()
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Comparison:
+        left = self.parse_term()
+        op_token = self._next()
+        if op_token.kind != "OP":
+            raise ParseError(
+                f"expected a comparison operator, found {op_token.text!r}",
+                op_token.line,
+                op_token.column,
+            )
+        right = self.parse_term()
+        return Comparison(left, _OP_MAP[op_token.text], right)
+
+    def _parse_atom(self) -> Atom:
+        name = self._expect("NAME")
+        args: list[Term] = []
+        if self._accept("PUNCT", "("):
+            args.append(self.parse_term())
+            while self._accept("PUNCT", ","):
+                args.append(self.parse_term())
+            self._expect("PUNCT", ")")
+        return Atom(name.text, tuple(args))
+
+    def parse_term(self) -> Term:
+        token = self._next()
+        if token.kind == "VAR":
+            return Variable(token.text)
+        if token.kind == "NAME":
+            return Constant(token.text)
+        if token.kind == "NUMBER":
+            if "." in token.text:
+                return Constant(float(token.text))
+            return Constant(int(token.text))
+        if token.kind == "STRING":
+            body = token.text[1:-1]
+            return Constant(body.replace("\\'", "'").replace('\\"', '"').replace("\\\\", "\\"))
+        raise ParseError(f"expected a term, found {token.text!r}", token.line, token.column)
+
+
+def parse_program(source: str) -> Program:
+    """Parse a whole program (one rule per ``.``/line)."""
+    return _Parser(source).parse_program()
+
+
+def parse_rule(source: str) -> Rule:
+    """Parse a single rule; trailing junk is an error."""
+    parser = _Parser(source)
+    rule = parser.parse_rule()
+    if not parser.at_end:
+        token = parser._peek()
+        assert token is not None
+        raise ParseError(f"unexpected trailing input {token.text!r}", token.line, token.column)
+    return rule
+
+
+def parse_literal(source: str) -> BodyLiteral:
+    """Parse a single body literal (atom, negation, or comparison)."""
+    parser = _Parser(source)
+    literal = parser._parse_literal()
+    if not parser.at_end:
+        token = parser._peek()
+        assert token is not None
+        raise ParseError(f"unexpected trailing input {token.text!r}", token.line, token.column)
+    return literal
+
+
+def parse_term(source: str) -> Term:
+    """Parse a single term (variable or constant)."""
+    parser = _Parser(source)
+    term = parser.parse_term()
+    if not parser.at_end:
+        token = parser._peek()
+        assert token is not None
+        raise ParseError(f"unexpected trailing input {token.text!r}", token.line, token.column)
+    return term

@@ -1,0 +1,244 @@
+"""Rules, conjunctive queries, and datalog programs.
+
+A :class:`Rule` is ``head :- body`` where the body mixes ordinary
+subgoals, negated subgoals, and arithmetic comparisons.  A
+:class:`Program` is an ordered collection of rules together with helpers
+for structural analysis (predicate sets, recursion detection, feature
+extraction for the Fig. 2.1 classifier).
+
+A conjunctive query is simply a single :class:`Rule`; the alias
+:data:`ConjunctiveQuery` documents that intent.  The paper's CQC form
+(one local subgoal, remote subgoals, comparisons) is handled by
+:mod:`repro.localtests`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.datalog.atoms import Atom, BodyLiteral, Comparison, Negation
+from repro.datalog.substitution import Substitution
+from repro.datalog.terms import Constant, Variable
+
+__all__ = ["Rule", "Program", "ConjunctiveQuery", "rule_variables"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A datalog rule ``head :- body``.  A body-less rule is a fact."""
+
+    head: Atom
+    body: tuple[BodyLiteral, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(self.body))
+
+    # -- structural views --------------------------------------------------
+    @property
+    def positive_atoms(self) -> tuple[Atom, ...]:
+        """The ordinary (positive, non-comparison) subgoals, in order."""
+        return tuple(lit for lit in self.body if isinstance(lit, Atom))
+
+    @property
+    def negations(self) -> tuple[Negation, ...]:
+        return tuple(lit for lit in self.body if isinstance(lit, Negation))
+
+    @property
+    def comparisons(self) -> tuple[Comparison, ...]:
+        """A(C) in the paper's notation: the arithmetic subgoals."""
+        return tuple(lit for lit in self.body if isinstance(lit, Comparison))
+
+    @property
+    def ordinary_subgoals(self) -> tuple[Atom, ...]:
+        """O(C) in the paper's notation (positive ordinary subgoals)."""
+        return self.positive_atoms
+
+    @property
+    def is_fact(self) -> bool:
+        return not self.body and all(isinstance(t, Constant) for t in self.head.args)
+
+    def variables(self) -> set[Variable]:
+        """All variables appearing anywhere in the rule."""
+        result: set[Variable] = set(self.head.variables())
+        for literal in self.body:
+            result.update(literal.variables())
+        return result
+
+    def constants(self) -> set[Constant]:
+        """All constants appearing anywhere in the rule."""
+        result: set[Constant] = set(self.head.constants())
+        for literal in self.body:
+            if isinstance(literal, Atom):
+                result.update(literal.constants())
+            elif isinstance(literal, Negation):
+                result.update(literal.atom.constants())
+            else:
+                for side in (literal.left, literal.right):
+                    if isinstance(side, Constant):
+                        result.add(side)
+        return result
+
+    def body_predicates(self) -> set[str]:
+        """Names of ordinary predicates (positive or negated) in the body."""
+        preds = {atom.predicate for atom in self.positive_atoms}
+        preds.update(neg.predicate for neg in self.negations)
+        return preds
+
+    # -- feature tests -----------------------------------------------------
+    @property
+    def has_negation(self) -> bool:
+        return any(isinstance(lit, Negation) for lit in self.body)
+
+    @property
+    def has_comparisons(self) -> bool:
+        return any(isinstance(lit, Comparison) for lit in self.body)
+
+    def is_conjunctive(self) -> bool:
+        """True when the rule is a plain CQ: no negation, no comparisons."""
+        return not self.has_negation and not self.has_comparisons
+
+    # -- transformation ----------------------------------------------------
+    def substitute(self, subst: Substitution) -> "Rule":
+        """Apply a substitution to head and body."""
+        return Rule(
+            subst.apply_atom(self.head),
+            tuple(subst.apply_literal(lit) for lit in self.body),
+        )
+
+    def rename_predicate(self, old: str, new: str) -> "Rule":
+        """Rename every occurrence (head and body) of predicate *old*."""
+
+        def fix(atom: Atom) -> Atom:
+            return Atom(new, atom.args) if atom.predicate == old else atom
+
+        body: list[BodyLiteral] = []
+        for lit in self.body:
+            if isinstance(lit, Atom):
+                body.append(fix(lit))
+            elif isinstance(lit, Negation):
+                body.append(Negation(fix(lit.atom)))
+            else:
+                body.append(lit)
+        return Rule(fix(self.head), tuple(body))
+
+    def with_body(self, body: Iterable[BodyLiteral]) -> "Rule":
+        return Rule(self.head, tuple(body))
+
+    def __str__(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        body = " & ".join(str(lit) for lit in self.body)
+        return f"{self.head} :- {body}."
+
+
+#: A conjunctive query (possibly with comparisons/negation) is a single rule.
+ConjunctiveQuery = Rule
+
+
+def rule_variables(rules: Iterable[Rule]) -> set[str]:
+    """The set of variable *names* used across a collection of rules."""
+    names: set[str] = set()
+    for rule in rules:
+        names.update(v.name for v in rule.variables())
+    return names
+
+
+@dataclass(frozen=True)
+class Program:
+    """An ordered collection of rules defining one or more IDB predicates."""
+
+    rules: tuple[Rule, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    # -- predicate structure -------------------------------------------------
+    def idb_predicates(self) -> set[str]:
+        """Predicates defined by some rule head."""
+        return {rule.head.predicate for rule in self.rules}
+
+    def edb_predicates(self) -> set[str]:
+        """Predicates used in bodies but never defined (base relations)."""
+        idb = self.idb_predicates()
+        return {
+            pred
+            for rule in self.rules
+            for pred in rule.body_predicates()
+            if pred not in idb
+        }
+
+    def predicates(self) -> set[str]:
+        return self.idb_predicates() | self.edb_predicates()
+
+    def rules_for(self, predicate: str) -> tuple[Rule, ...]:
+        return tuple(rule for rule in self.rules if rule.head.predicate == predicate)
+
+    def dependency_edges(self) -> Iterator[tuple[str, str, bool]]:
+        """Yield edges ``(head_pred, body_pred, is_negative)``.
+
+        Comparison subgoals contribute no edges; they are built-ins.
+        """
+        for rule in self.rules:
+            for lit in rule.body:
+                if isinstance(lit, Atom):
+                    yield rule.head.predicate, lit.predicate, False
+                elif isinstance(lit, Negation):
+                    yield rule.head.predicate, lit.predicate, True
+
+    def is_recursive(self) -> bool:
+        """True when the positive-or-negative dependency graph has a cycle
+        through IDB predicates."""
+        idb = self.idb_predicates()
+        adjacency: dict[str, set[str]] = {pred: set() for pred in idb}
+        for head, body_pred, _neg in self.dependency_edges():
+            if body_pred in idb:
+                adjacency[head].add(body_pred)
+        # Iterative DFS cycle detection over the IDB subgraph.
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {pred: WHITE for pred in idb}
+        for start in idb:
+            if color[start] != WHITE:
+                continue
+            stack: list[tuple[str, Iterator[str]]] = [(start, iter(adjacency[start]))]
+            color[start] = GRAY
+            while stack:
+                node, children = stack[-1]
+                advanced = False
+                for child in children:
+                    if color[child] == GRAY:
+                        return True
+                    if color[child] == WHITE:
+                        color[child] = GRAY
+                        stack.append((child, iter(adjacency[child])))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = BLACK
+                    stack.pop()
+        return False
+
+    # -- feature tests -------------------------------------------------------
+    @property
+    def has_negation(self) -> bool:
+        return any(rule.has_negation for rule in self.rules)
+
+    @property
+    def has_comparisons(self) -> bool:
+        return any(rule.has_comparisons for rule in self.rules)
+
+    # -- transformation ------------------------------------------------------
+    def rename_predicate(self, old: str, new: str) -> "Program":
+        return Program(tuple(rule.rename_predicate(old, new) for rule in self.rules))
+
+    def extended(self, extra: Sequence[Rule]) -> "Program":
+        return Program(self.rules + tuple(extra))
+
+    def __str__(self) -> str:
+        return "\n".join(str(rule) for rule in self.rules)

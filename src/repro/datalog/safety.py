@@ -1,0 +1,71 @@
+"""Safety (range restriction) checks for rules and programs.
+
+A rule is *safe* when every variable occurring in its head, in a negated
+subgoal, or in an arithmetic comparison also occurs in some positive
+ordinary subgoal of the body.  This matches the paper's standing
+assumption for CQCs ("Variables in the c_i's must also appear in l or one
+of the r_i's") and guarantees the bottom-up engine only ever evaluates
+ground negations and comparisons.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SafetyError
+from repro.datalog.atoms import Atom, Comparison, Negation
+from repro.datalog.rules import Program, Rule
+from repro.datalog.terms import Variable
+
+__all__ = ["check_rule_safety", "check_program_safety", "is_safe"]
+
+
+def _positive_variables(rule: Rule) -> set[Variable]:
+    bound: set[Variable] = set()
+    for atom in rule.positive_atoms:
+        bound.update(atom.variables())
+    return bound
+
+
+def check_rule_safety(rule: Rule) -> None:
+    """Raise :class:`SafetyError` when *rule* is not range-restricted."""
+    bound = _positive_variables(rule)
+
+    unbound_head = [v for v in rule.head.variables() if v not in bound]
+    if unbound_head:
+        names = ", ".join(sorted({v.name for v in unbound_head}))
+        raise SafetyError(f"head variable(s) {names} of rule `{rule}` are not bound "
+                          f"by any positive subgoal")
+
+    for literal in rule.body:
+        if isinstance(literal, Negation):
+            unbound = [v for v in literal.variables() if v not in bound]
+            if unbound:
+                names = ", ".join(sorted({v.name for v in unbound}))
+                raise SafetyError(
+                    f"variable(s) {names} occur only in negated subgoal "
+                    f"`{literal}` of rule `{rule}`"
+                )
+        elif isinstance(literal, Comparison):
+            unbound = [v for v in literal.variables() if v not in bound]
+            if unbound:
+                names = ", ".join(sorted({v.name for v in unbound}))
+                raise SafetyError(
+                    f"variable(s) {names} occur only in comparison "
+                    f"`{literal}` of rule `{rule}`"
+                )
+        else:
+            assert isinstance(literal, Atom)
+
+
+def check_program_safety(program: Program) -> None:
+    """Raise :class:`SafetyError` when any rule of *program* is unsafe."""
+    for rule in program:
+        check_rule_safety(rule)
+
+
+def is_safe(rule: Rule) -> bool:
+    """Boolean form of :func:`check_rule_safety`."""
+    try:
+        check_rule_safety(rule)
+    except SafetyError:
+        return False
+    return True

@@ -1,0 +1,183 @@
+"""Substitutions (variable bindings) and one-way unification.
+
+Substitutions map :class:`~repro.datalog.terms.Variable` to terms.  The
+datalog engine, the containment-mapping enumerator and the RED reduction
+operator all build on this module.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional
+
+from repro.datalog.atoms import Atom, BodyLiteral, Comparison, Negation
+from repro.datalog.terms import Constant, Term, Variable
+
+__all__ = ["Substitution", "unify_terms", "match_atom_against_fact"]
+
+
+class Substitution(Mapping[Variable, Term]):
+    """An immutable mapping from variables to terms.
+
+    Immutability makes it safe to share partial substitutions across the
+    branches of a backtracking search; :meth:`extended` returns a new
+    substitution rather than mutating.
+    """
+
+    __slots__ = ("_bindings",)
+
+    def __init__(self, bindings: Mapping[Variable, Term] | None = None) -> None:
+        self._bindings: dict[Variable, Term] = dict(bindings or {})
+
+    # -- Mapping interface -------------------------------------------------
+    def __getitem__(self, key: Variable) -> Term:
+        return self._bindings[key]
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self._bindings)
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}: {v}" for k, v in sorted(self._bindings.items(), key=lambda kv: kv[0].name))
+        return f"{{{inner}}}"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Substitution):
+            return self._bindings == other._bindings
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._bindings.items()))
+
+    # -- construction ------------------------------------------------------
+    def extended(self, var: Variable, term: Term) -> Optional["Substitution"]:
+        """Return this substitution extended with ``var -> term``.
+
+        Returns ``None`` when *var* is already bound to a different term,
+        which signals a unification conflict to backtracking callers.
+        """
+        existing = self._bindings.get(var)
+        if existing is not None:
+            return self if existing == term else None
+        new = Substitution(self._bindings)
+        new._bindings[var] = term
+        return new
+
+    def merged(self, other: "Substitution") -> Optional["Substitution"]:
+        """Combine two substitutions, or ``None`` when they conflict."""
+        result: Optional[Substitution] = self
+        for var, term in other.items():
+            result = result.extended(var, term)
+            if result is None:
+                return None
+        return result
+
+    # -- application -------------------------------------------------------
+    def apply_term(self, term: Term) -> Term:
+        """Apply the substitution to a single term."""
+        if isinstance(term, Variable):
+            return self._bindings.get(term, term)
+        return term
+
+    def apply_atom(self, atom: Atom) -> Atom:
+        """Apply the substitution to every argument of an atom."""
+        return Atom(atom.predicate, tuple(self.apply_term(t) for t in atom.args))
+
+    def apply_comparison(self, comparison: Comparison) -> Comparison:
+        return Comparison(
+            self.apply_term(comparison.left),
+            comparison.op,
+            self.apply_term(comparison.right),
+        )
+
+    def apply_literal(self, literal: BodyLiteral) -> BodyLiteral:
+        """Apply the substitution to any body literal."""
+        if isinstance(literal, Atom):
+            return self.apply_atom(literal)
+        if isinstance(literal, Negation):
+            return Negation(self.apply_atom(literal.atom))
+        return self.apply_comparison(literal)
+
+
+def unify_terms(
+    pattern: Iterable[Term],
+    values: Iterable[Term],
+    base: Substitution | None = None,
+) -> Optional[Substitution]:
+    """One-way unification of a tuple of pattern terms against ground-ish terms.
+
+    Variables in *pattern* are bound to the corresponding term of *values*;
+    constants in *pattern* must match exactly.  Variables on the *values*
+    side are treated as opaque terms (this is matching, not full
+    unification), which is exactly what RED(t, l, C) and fact matching
+    need.
+
+    Returns the extended substitution, or ``None`` on mismatch.
+    """
+    subst = base or Substitution()
+    pattern = tuple(pattern)
+    values = tuple(values)
+    if len(pattern) != len(values):
+        return None
+    current: Optional[Substitution] = subst
+    for pat, val in zip(pattern, values):
+        if isinstance(pat, Constant):
+            if pat != val:
+                return None
+            continue
+        current = current.extended(pat, val)
+        if current is None:
+            return None
+    return current
+
+
+def unify_terms_bidirectional(
+    left: Iterable[Term],
+    right: Iterable[Term],
+) -> Optional[Substitution]:
+    """Full (two-way) unification of two flat term tuples.
+
+    Unlike :func:`unify_terms`, variables on either side may be bound:
+    unifying ``(toy,)`` with ``(D,)`` yields ``{D: toy}``.  With no
+    function symbols the algorithm is a single pass with chasing.
+    """
+    left = tuple(left)
+    right = tuple(right)
+    if len(left) != len(right):
+        return None
+    bindings: dict[Variable, Term] = {}
+
+    def resolve(term: Term) -> Term:
+        while isinstance(term, Variable) and term in bindings:
+            term = bindings[term]
+        return term
+
+    for a, b in zip(left, right):
+        a = resolve(a)
+        b = resolve(b)
+        if a == b:
+            continue
+        if isinstance(a, Variable):
+            bindings[a] = b
+        elif isinstance(b, Variable):
+            bindings[b] = a
+        else:
+            return None  # two distinct constants
+
+    # Flatten chains so application is a single lookup.
+    return Substitution({var: resolve(term) for var, term in bindings.items()})
+
+
+def match_atom_against_fact(
+    atom: Atom,
+    fact: tuple,
+    base: Substitution | None = None,
+) -> Optional[Substitution]:
+    """Match an atom against a database fact (a tuple of raw Python values).
+
+    The fact's values are wrapped into :class:`Constant` terms on the fly.
+    """
+    if len(atom.args) != len(fact):
+        return None
+    return unify_terms(atom.args, tuple(Constant(v) for v in fact), base)

@@ -1,0 +1,134 @@
+"""Terms of the datalog/conjunctive-query language: variables and constants.
+
+The paper follows the Prolog convention: names beginning with a lower-case
+letter are constants (including predicate names), and names beginning with
+a capital are variables.  We mirror that in the parser; at the AST level a
+term is either a :class:`Variable` or a :class:`Constant`.
+
+Constants wrap plain Python values (``int``, ``float``, ``Fraction`` or
+``str``).  The total order over constants used by arithmetic comparisons is
+defined in :mod:`repro.arith.order`; this module is purely structural.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Iterator, Union
+
+__all__ = [
+    "Variable",
+    "Constant",
+    "Term",
+    "ConstantValue",
+    "is_variable",
+    "is_constant",
+    "fresh_variables",
+    "FreshVariableFactory",
+]
+
+#: Python types allowed as the payload of a :class:`Constant`.
+ConstantValue = Union[int, float, Fraction, str]
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A logical variable, written with a leading capital (``X``, ``Emp``)."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("variable name must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Constant:
+    """A constant term wrapping a Python value.
+
+    Two constants are equal when their payloads are equal under Python
+    equality, which conflates ``1`` and ``1.0`` — intentionally, since the
+    arithmetic domain treats them as the same point of the dense order.
+    """
+
+    value: ConstantValue
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            # Bare lowercase identifiers print without quotes, like the
+            # paper's `toy`, `jones`; anything else is quoted.
+            if self.value.isidentifier() and self.value[0].islower():
+                return self.value
+            return repr(self.value)
+        return str(self.value)
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+
+Term = Union[Variable, Constant]
+
+
+def is_variable(term: object) -> bool:
+    """Return True when *term* is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def is_constant(term: object) -> bool:
+    """Return True when *term* is a :class:`Constant`."""
+    return isinstance(term, Constant)
+
+
+class FreshVariableFactory:
+    """Produce variables guaranteed not to collide with a set of names.
+
+    The factory is seeded with every name to avoid; each call to
+    :meth:`fresh` returns a new :class:`Variable` and remembers it so later
+    calls stay distinct.
+
+    >>> factory = FreshVariableFactory(["X", "Y"], prefix="V")
+    >>> factory.fresh().name
+    'V1'
+    """
+
+    def __init__(self, avoid: Iterable[str] = (), prefix: str = "V") -> None:
+        self._taken = set(avoid)
+        self._prefix = prefix
+        self._counter = itertools.count(1)
+
+    def fresh(self, hint: str | None = None) -> Variable:
+        """Return a variable whose name has not been seen before.
+
+        When *hint* is given the fresh name extends it (``X`` becomes
+        ``X_2``), which keeps generated programs readable.
+        """
+        if hint is not None and hint not in self._taken:
+            self._taken.add(hint)
+            return Variable(hint)
+        base = hint or self._prefix
+        for i in self._counter:
+            name = f"{base}_{i}" if hint else f"{base}{i}"
+            if name not in self._taken:
+                self._taken.add(name)
+                return Variable(name)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+def fresh_variables(count: int, avoid: Iterable[str] = (), prefix: str = "V") -> list[Variable]:
+    """Return *count* pairwise-distinct variables avoiding the given names."""
+    factory = FreshVariableFactory(avoid, prefix=prefix)
+    return [factory.fresh() for _ in range(count)]
+
+
+def variables_in(terms: Iterable[Term]) -> Iterator[Variable]:
+    """Yield the variables among *terms*, in order, with duplicates."""
+    for term in terms:
+        if isinstance(term, Variable):
+            yield term

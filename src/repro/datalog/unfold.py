@@ -1,0 +1,100 @@
+"""Unfolding nonrecursive datalog programs into unions of CQs.
+
+The paper treats "unions of CQ's" and "nonrecursive datalog programs" as
+the same class (Section 2, citing Sagiv and Yannakakis [1981]).  This
+module realizes the equivalence constructively: a nonrecursive program is
+expanded, by repeated resolution of IDB subgoals, into the list of
+conjunctive queries whose union it computes.
+
+Negated subgoals are carried along only when their predicate is an EDB
+predicate; a negated IDB subgoal would take the expansion outside unions
+of CQs (the complement of a union is not a union), so it is rejected.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import NotApplicableError
+from repro.datalog.atoms import Atom, BodyLiteral, Negation
+from repro.datalog.rules import Program, Rule
+from repro.datalog.substitution import Substitution, unify_terms_bidirectional
+from repro.datalog.terms import FreshVariableFactory, Variable
+
+__all__ = ["unfold_to_union", "can_unfold"]
+
+
+def can_unfold(program: Program, goal: str = "panic") -> bool:
+    """True when :func:`unfold_to_union` would succeed for *goal*."""
+    if program.is_recursive():
+        return False
+    idb = program.idb_predicates()
+    for rule in program:
+        for literal in rule.body:
+            if isinstance(literal, Negation) and literal.predicate in idb:
+                return False
+    return goal in idb
+
+
+def unfold_to_union(program: Program, goal: str = "panic") -> list[Rule]:
+    """Expand the *goal* predicate of a nonrecursive program into a union
+    of conjunctive queries (each possibly with comparisons and negated EDB
+    subgoals).
+
+    Raises :class:`~repro.errors.NotApplicableError` for recursive
+    programs or programs that negate IDB predicates.
+    """
+    if program.is_recursive():
+        raise NotApplicableError("cannot unfold a recursive program into a union of CQs")
+    idb = program.idb_predicates()
+    if goal not in idb:
+        raise NotApplicableError(f"goal predicate {goal!r} is not defined by the program")
+    for rule in program:
+        for literal in rule.body:
+            if isinstance(literal, Negation) and literal.predicate in idb:
+                raise NotApplicableError(
+                    f"negated IDB subgoal `{literal}` cannot be unfolded into a union of CQs"
+                )
+
+    results: list[Rule] = []
+    seen: set[str] = set()
+
+    def expand(rule: Rule) -> Iterator[Rule]:
+        """Resolve the first IDB subgoal of *rule*, recursively."""
+        for position, literal in enumerate(rule.body):
+            if isinstance(literal, Atom) and literal.predicate in idb:
+                for defining in program.rules_for(literal.predicate):
+                    renamed = _rename_apart(defining, rule)
+                    subst = unify_terms_bidirectional(renamed.head.args, literal.args)
+                    if subst is None:
+                        # Constant clash between call site and rule head.
+                        continue
+                    spliced_body: tuple[BodyLiteral, ...] = (
+                        rule.body[:position]
+                        + renamed.body
+                        + rule.body[position + 1:]
+                    )
+                    # The unifier may bind caller variables (a constant in
+                    # the defining head), so it applies to the whole rule.
+                    yield from expand(Rule(rule.head, spliced_body).substitute(subst))
+                return
+        yield rule
+
+    for goal_rule in program.rules_for(goal):
+        for flat in expand(goal_rule):
+            key = str(flat)
+            if key not in seen:
+                seen.add(key)
+                results.append(flat)
+    return results
+
+
+def _rename_apart(defining: Rule, context: Rule) -> Rule:
+    """Rename *defining*'s variables apart from those of *context*."""
+    taken = {v.name for v in context.variables()}
+    clashes = [v for v in defining.variables() if v.name in taken]
+    if not clashes:
+        return defining
+    factory = FreshVariableFactory(taken | {v.name for v in defining.variables()})
+    mapping = Substitution({v: factory.fresh(hint=f"{v.name}r") for v in clashes})
+    return defining.substitute(mapping)

@@ -1,0 +1,16 @@
+"""Distributed-database simulation: metered sites, protocol, workloads."""
+
+from repro.distributed.checker import DistributedChecker, ProtocolStats
+from repro.distributed.site import AccessStats, Site, TwoSiteDatabase
+from repro.distributed.workload import Workload, employee_workload, interval_workload
+
+__all__ = [
+    "AccessStats",
+    "DistributedChecker",
+    "ProtocolStats",
+    "Site",
+    "TwoSiteDatabase",
+    "Workload",
+    "employee_workload",
+    "interval_workload",
+]

@@ -1,0 +1,154 @@
+"""The distributed checking protocol: local first, remote only if needed.
+
+"Only if this test is inconclusive do we need to make a second test that
+looks at the remote data" (Section 1).  :class:`DistributedChecker` runs
+the :class:`~repro.core.engine.PartialInfoChecker` pipeline against the
+local site and escalates to the metered remote site only on UNKNOWN,
+recording per-level statistics — the measurements behind the M1
+benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.constraints.constraint import Constraint, ConstraintSet
+from repro.core.engine import PartialInfoChecker
+from repro.core.outcomes import CheckLevel, CheckReport, Outcome
+from repro.distributed.site import Site, TwoSiteDatabase
+from repro.updates.update import Insertion, Modification, Update
+
+__all__ = ["ProtocolStats", "DistributedChecker"]
+
+
+@dataclass
+class ProtocolStats:
+    """Aggregated statistics across processed updates."""
+
+    updates: int = 0
+    resolved_at_level: dict[CheckLevel, int] = field(
+        default_factory=lambda: {level: 0 for level in CheckLevel}
+    )
+    remote_round_trips: int = 0
+    rejected: int = 0
+
+    @property
+    def resolved_locally(self) -> int:
+        return (
+            self.resolved_at_level[CheckLevel.CONSTRAINTS_ONLY]
+            + self.resolved_at_level[CheckLevel.WITH_UPDATE]
+            + self.resolved_at_level[CheckLevel.WITH_LOCAL_DATA]
+        )
+
+    @property
+    def local_resolution_rate(self) -> float:
+        if self.updates == 0:
+            return 1.0
+        return self.resolved_locally / self.updates
+
+    def summary_rows(self) -> list[tuple[str, object]]:
+        rows: list[tuple[str, object]] = [("updates", self.updates)]
+        rows.extend(
+            (f"resolved at {level}", self.resolved_at_level[level])
+            for level in CheckLevel
+        )
+        rows.append(("remote round trips", self.remote_round_trips))
+        rows.append(("rejected (violations)", self.rejected))
+        rows.append(("local resolution rate", round(self.local_resolution_rate, 4)))
+        return rows
+
+
+class DistributedChecker:
+    """Enforce constraints at the local site of a two-site database."""
+
+    def __init__(
+        self,
+        constraints: ConstraintSet | Iterable[Constraint],
+        sites: TwoSiteDatabase,
+        use_interval_datalog: bool = False,
+    ) -> None:
+        self.sites = sites
+        self.checker = PartialInfoChecker(
+            constraints,
+            local_predicates=sites.local_predicates,
+            use_interval_datalog=use_interval_datalog,
+        )
+        self.stats = ProtocolStats()
+
+    def process(self, update: Update, apply_when_safe: bool = True) -> list[CheckReport]:
+        """Run the protocol for one update.
+
+        Levels 0-2 consult only the local site.  On any UNKNOWN the
+        protocol fetches a remote snapshot (one metered round trip) and
+        re-checks the unresolved constraints at level 3.  When every
+        verdict is SATISFIED (and *apply_when_safe*), the update is
+        applied to the local site.
+        """
+        self.stats.updates += 1
+        local_db = self.sites.local.unmetered()
+        reports = self.checker.check(
+            update, local_db, remote_db=None, max_level=CheckLevel.WITH_LOCAL_DATA
+        )
+        unresolved = [r for r in reports if r.outcome is Outcome.UNKNOWN]
+        if unresolved:
+            remote_db = self.sites.remote.snapshot()
+            self.stats.remote_round_trips += 1
+            resolved: list[CheckReport] = []
+            for report in reports:
+                if report.outcome is not Outcome.UNKNOWN:
+                    resolved.append(report)
+                    continue
+                resolved.append(
+                    self.checker.check_constraint(
+                        self.checker.constraints[report.constraint_name],
+                        update,
+                        local_db,
+                        remote_db,
+                        max_level=CheckLevel.FULL_DATABASE,
+                    )
+                )
+            reports = resolved
+
+        deciding = max(report.level for report in reports) if reports else CheckLevel.CONSTRAINTS_ONLY
+        self.stats.resolved_at_level[deciding] += 1
+
+        if any(report.outcome is Outcome.VIOLATED for report in reports):
+            self.stats.rejected += 1
+        elif apply_when_safe:
+            self._apply_local(update)
+        return reports
+
+    def _apply_local(self, update: Update) -> None:
+        if isinstance(update, Insertion):
+            self.sites.local.insert(update.predicate, update.values)
+        elif isinstance(update, Modification):
+            self.sites.local.delete(update.predicate, update.old_values)
+            self.sites.local.insert(update.predicate, update.new_values)
+        else:
+            self.sites.local.delete(update.predicate, update.values)
+
+    def process_transaction(
+        self, updates: Iterable[Update]
+    ) -> tuple[bool, list[list[CheckReport]]]:
+        """Process a sequence of updates atomically.
+
+        Each update is checked against the local state left by its
+        predecessors; if any update is rejected, every previously applied
+        update of the transaction is rolled back (constraints are
+        invariants of the *committed* state, so intra-transaction checks
+        still run update-by-update — the standard deferred-abort model).
+
+        Returns ``(committed, reports_per_update)``.
+        """
+        applied: list[Update] = []
+        all_reports: list[list[CheckReport]] = []
+        for update in updates:
+            reports = self.process(update)
+            all_reports.append(reports)
+            if any(report.outcome is Outcome.VIOLATED for report in reports):
+                for done in reversed(applied):
+                    self._apply_local(done.inverted())
+                return False, all_reports
+            applied.append(update)
+        return True, all_reports

@@ -1,0 +1,174 @@
+"""Seeded workload generators for the distributed benchmarks.
+
+Two scenarios keyed to the paper's running examples:
+
+* :func:`interval_workload` — the forbidden-intervals constraint of
+  Examples 5.3/6.1: the local relation holds cleared intervals, the
+  remote relation holds sensor readings, and the update stream inserts
+  new intervals with a tunable probability of being covered by existing
+  ones (the knob that drives the local-resolution rate).
+* :func:`employee_workload` — the employee/department scenario of
+  Section 2: local ``emp`` insertions checked against remote
+  ``closedDept`` and ``salRange`` tables via CQC local tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from repro.constraints.constraint import Constraint, ConstraintSet
+from repro.datalog.database import Database
+from repro.distributed.site import Site, TwoSiteDatabase
+from repro.updates.update import Insertion
+
+__all__ = ["Workload", "interval_workload", "employee_workload"]
+
+
+@dataclass
+class Workload:
+    """Everything a bench needs to drive the distributed checker."""
+
+    name: str
+    constraints: ConstraintSet
+    sites: TwoSiteDatabase
+    updates: list[Insertion] = field(default_factory=list)
+
+    @property
+    def local_predicates(self) -> set[str]:
+        return self.sites.local_predicates
+
+
+def interval_workload(
+    initial_intervals: int = 100,
+    num_updates: int = 100,
+    covered_fraction: float = 0.7,
+    value_range: int = 10_000,
+    remote_points: int = 50,
+    seed: int = 0,
+    remote_cost: float = 1.0,
+) -> Workload:
+    """Forbidden intervals: local ``cleared(Lo, Hi)``, remote ``reading(Z)``.
+
+    The constraint says no remote reading may fall inside a cleared
+    interval.  A fraction *covered_fraction* of the inserted intervals is
+    drawn inside an existing interval (resolvable locally); the rest are
+    fresh (forcing a remote check).
+    """
+    rng = random.Random(seed)
+    constraint = Constraint(
+        "panic :- cleared(X,Y) & reading(Z) & X <= Z & Z <= Y",
+        "no-reading-in-cleared-interval",
+    )
+    intervals: list[tuple[int, int]] = []
+    for _ in range(initial_intervals):
+        lo = rng.randrange(value_range)
+        hi = lo + rng.randrange(1, max(2, value_range // 50))
+        intervals.append((lo, hi))
+
+    # Remote readings strictly outside every cleared interval, so the
+    # constraint holds initially.
+    readings: list[tuple[int,]] = []
+    attempts = 0
+    while len(readings) < remote_points and attempts < remote_points * 100:
+        attempts += 1
+        z = rng.randrange(value_range * 2)
+        if not any(lo <= z <= hi for lo, hi in intervals):
+            readings.append((z,))
+
+    updates: list[Insertion] = []
+    for _ in range(num_updates):
+        if intervals and rng.random() < covered_fraction:
+            lo, hi = rng.choice(intervals)
+            if hi - lo >= 2:
+                a = rng.randrange(lo, hi)
+                b = rng.randrange(a, hi + 1)
+            else:
+                a, b = lo, hi
+            updates.append(Insertion("cleared", (a, b)))
+        else:
+            lo = rng.randrange(value_range, value_range * 2)
+            hi = lo + rng.randrange(1, 50)
+            updates.append(Insertion("cleared", (lo, hi)))
+
+    sites = TwoSiteDatabase(
+        local=Site("local", {"cleared": intervals}),
+        remote=Site("remote", {"reading": readings}, cost_per_read=remote_cost),
+    )
+    return Workload(
+        name="forbidden-intervals",
+        constraints=ConstraintSet([constraint]),
+        sites=sites,
+        updates=updates,
+    )
+
+
+def employee_workload(
+    initial_employees: int = 200,
+    num_updates: int = 100,
+    departments: int = 20,
+    closed_departments: int = 3,
+    covered_fraction: float = 0.7,
+    seed: int = 0,
+    remote_cost: float = 1.0,
+) -> Workload:
+    """Employees at the local site, department policy tables remote.
+
+    Constraints (both CQCs, so the Theorem 5.2/5.3 local tests apply):
+
+    * nobody may work in a closed department
+      (``panic :- emp(E,D,S) & closedDept(D)``);
+    * nobody may earn below a department's salary floor
+      (``panic :- emp(E,D,S) & salFloor(D,F) & S < F``).
+
+    An insertion into ``emp`` resolves locally when a colleague in the
+    same department already earns no more than the newcomer — the
+    Theorem 5.2 containment works out to exactly that test.
+    """
+    rng = random.Random(seed)
+    open_departments = [f"d{i}" for i in range(closed_departments, departments)]
+    closed = [f"d{i}" for i in range(closed_departments)]
+    floors = {d: rng.randrange(20, 80) for d in open_departments}
+
+    employees: list[tuple[str, str, int]] = []
+    for i in range(initial_employees):
+        dept = rng.choice(open_departments)
+        salary = floors[dept] + rng.randrange(0, 100)
+        employees.append((f"e{i}", dept, salary))
+
+    updates: list[Insertion] = []
+    for i in range(num_updates):
+        name = f"n{i}"
+        if rng.random() < covered_fraction and employees:
+            # Hire into a staffed department at or above a colleague's pay:
+            # the local test proves safety without remote access.
+            colleague = rng.choice(employees)
+            salary = colleague[2] + rng.randrange(0, 20)
+            updates.append(Insertion("emp", (name, colleague[1], salary)))
+        else:
+            dept = rng.choice(open_departments + closed)
+            salary = rng.randrange(0, 200)
+            updates.append(Insertion("emp", (name, dept, salary)))
+
+    sites = TwoSiteDatabase(
+        local=Site("local", {"emp": employees}),
+        remote=Site(
+            "remote",
+            {
+                "closedDept": [(d,) for d in closed],
+                "salFloor": [(d, f) for d, f in floors.items()],
+            },
+            cost_per_read=remote_cost,
+        ),
+    )
+    constraints = ConstraintSet(
+        [
+            Constraint("panic :- emp(E,D,S) & closedDept(D)", "no-closed-dept"),
+            Constraint("panic :- emp(E,D,S) & salFloor(D,F) & S < F", "salary-floor"),
+        ]
+    )
+    return Workload(
+        name="employees",
+        constraints=constraints,
+        sites=sites,
+        updates=updates,
+    )

@@ -1,0 +1,74 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by this library derives from :class:`ReproError`, so a
+caller that wants a single catch-all has one.  The more specific classes
+mirror the stages of the pipeline: parsing, static analysis (safety and
+stratification), decision procedures, and the update machinery.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ParseError(ReproError):
+    """Raised when a constraint/program string cannot be parsed.
+
+    Carries the position of the offending token so callers can produce a
+    pointer into the source text.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class SafetyError(ReproError):
+    """Raised when a rule is not range-restricted (safe).
+
+    A rule is safe when every variable that appears in the head, in a
+    negated subgoal, or in an arithmetic comparison also appears in some
+    positive ordinary subgoal of the body.  Unsafe rules have no finite
+    bottom-up semantics.
+    """
+
+
+class StratificationError(ReproError):
+    """Raised when a program uses negation through recursion.
+
+    The bottom-up engine implements the stratified semantics; a program
+    whose predicate dependency graph has a cycle through a negative edge
+    has no stratification and is rejected.
+    """
+
+
+class UndecidableError(ReproError):
+    """Raised when a decision problem is undecidable for the given class.
+
+    The paper notes (Section 3, citing Shmueli [1987]) that subsumption is
+    undecidable when both the subsumed and subsuming constraints are
+    recursive datalog programs.  The corresponding APIs raise this error
+    instead of silently approximating; callers may opt into the explicitly
+    sound-but-incomplete randomized checks.
+    """
+
+
+class NotApplicableError(ReproError):
+    """Raised when an algorithm's preconditions are not met.
+
+    For instance, the Theorem 5.3 relational-algebra construction requires
+    an arithmetic-free CQC, and the Fig. 6.1 generator requires an
+    independently constrained query (ICQ).
+    """
+
+
+class UnsupportedClassError(ReproError):
+    """Raised when a constraint falls outside the classes an API handles."""
+
+
+class EvaluationError(ReproError):
+    """Raised for runtime failures of the datalog or algebra evaluators."""

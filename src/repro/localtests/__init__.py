@@ -1,0 +1,51 @@
+"""Complete local tests (Sections 5 and 6): RED, Theorems 5.2, 5.3, 6.1."""
+
+from repro.localtests.algebraic import AlgebraicLocalTest
+from repro.localtests.complete import (
+    complete_local_test_insertion,
+    completeness_witness,
+    reductions_over_relation,
+)
+from repro.localtests.icq import (
+    Bound,
+    ICQAnalysis,
+    ICQVariant,
+    analyze_icq,
+    box_local_test,
+    boxes_cover,
+    forbidden_interval,
+    forbidden_intervals,
+    interval_local_test,
+    is_icq,
+)
+from repro.localtests.interval_datalog import (
+    IntervalDatalogTest,
+    build_interval_program,
+    figure_61_program,
+)
+from repro.localtests.reduction import check_cqc_form, local_subgoal, reduce_by_tuple
+from repro.localtests.single_member import single_member_local_test
+
+__all__ = [
+    "AlgebraicLocalTest",
+    "Bound",
+    "ICQAnalysis",
+    "ICQVariant",
+    "IntervalDatalogTest",
+    "analyze_icq",
+    "box_local_test",
+    "boxes_cover",
+    "build_interval_program",
+    "check_cqc_form",
+    "complete_local_test_insertion",
+    "completeness_witness",
+    "figure_61_program",
+    "forbidden_interval",
+    "forbidden_intervals",
+    "interval_local_test",
+    "is_icq",
+    "local_subgoal",
+    "reduce_by_tuple",
+    "reductions_over_relation",
+    "single_member_local_test",
+]

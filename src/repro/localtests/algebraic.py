@@ -1,0 +1,233 @@
+"""Theorem 5.3: relational-algebra complete local tests, arithmetic-free.
+
+    "In time at most exponential in the size of an arithmetic-free CQC it
+    is possible to construct an expression of relational algebra whose
+    nonemptiness is the complete local test for preservation of the CQC
+    after an insertion to the local relation."
+
+Construction (following the proof sketch and Example 5.4): let tau be a
+tuple of fresh variables for the local relation L.  RED(tau, l, C) is the
+reduction by a *generic* tuple; the pattern of l (repeated variables,
+constants) becomes *pattern conditions* on tau.  Every containment
+mapping from RED(tau, l, C) to RED(t, l, C) — enumerated structurally as
+a *skeleton*: an assignment of each remote subgoal to a same-predicate
+remote subgoal — yields equality constraints on tau's components, which
+"can easily be translated into an algebraic expression on L".
+
+Because the CQC is arithmetic-free, containment in a union reduces to
+containment in one member (Sagiv–Yannakakis), so the union over skeletons
+of selections over L is the complete test.  The skeleton enumeration
+happens once, at construction time — exponential only in the size of the
+CQC and **independent of the data**, which the T5.3 benchmark verifies.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.errors import NotApplicableError
+from repro.datalog.atoms import Atom, ComparisonOp
+from repro.datalog.database import Database
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Variable
+from repro.localtests.reduction import check_cqc_form, local_subgoal
+from repro.relalg.evaluate import evaluate_expression
+from repro.relalg.expressions import (
+    Col,
+    Condition,
+    Expression,
+    Lit,
+    RelationRef,
+    Select,
+    Union,
+)
+
+__all__ = ["AlgebraicLocalTest"]
+
+
+# A symbolic term of the template: either a component index of the local
+# tuple, a remote variable, or a constant value.
+@dataclass(frozen=True, slots=True)
+class _Component:
+    index: int
+
+
+@dataclass(frozen=True, slots=True)
+class _TemplateAtom:
+    predicate: str
+    args: tuple  # of _Component | Variable | object-constant
+
+
+class AlgebraicLocalTest:
+    """A compiled Theorem 5.3 test for one arithmetic-free CQC.
+
+    Usage::
+
+        test = AlgebraicLocalTest(rule, "l")
+        test.passes(t, local_tuples)      # the complete local test
+        test.expression_for(t)            # the RA expression over L
+    """
+
+    def __init__(self, constraint: Rule, local_predicate: str) -> None:
+        if constraint.comparisons:
+            raise NotApplicableError(
+                "Theorem 5.3 requires an arithmetic-free CQC; use the "
+                "Theorem 5.2 engine or the ICQ machinery for comparisons"
+            )
+        check_cqc_form(constraint, local_predicate)
+        self.constraint = constraint
+        self.local_predicate = local_predicate
+        subgoal = local_subgoal(constraint, local_predicate)
+        self.arity = subgoal.arity
+
+        # Pattern of l: map each of l's variables to its first component
+        # index; repeated variables and constants become conditions that
+        # any tuple (inserted or stored) must satisfy to have a reduction.
+        self._var_component: dict[Variable, int] = {}
+        self.pattern_conditions: list[tuple[int, object]] = []  # (col, col|value)
+        self._pattern_eq_cols: list[tuple[int, int]] = []
+        self._pattern_const_cols: list[tuple[int, object]] = []
+        for position, term in enumerate(subgoal.args):
+            if isinstance(term, Constant):
+                self._pattern_const_cols.append((position, term.value))
+            elif term in self._var_component:
+                self._pattern_eq_cols.append((self._var_component[term], position))
+            else:
+                self._var_component[term] = position
+
+        # Remote subgoals with l's variables replaced by components.
+        self._template: list[_TemplateAtom] = []
+        for atom in constraint.ordinary_subgoals:
+            if atom is subgoal:
+                continue
+            args = []
+            for term in atom.args:
+                if isinstance(term, Constant):
+                    args.append(term.value)
+                elif term in self._var_component:
+                    args.append(_Component(self._var_component[term]))
+                else:
+                    args.append(term)
+            self._template.append(_TemplateAtom(atom.predicate, tuple(args)))
+
+        # Skeletons: each template subgoal maps to a same-predicate
+        # template subgoal.  Enumerated once — data-independent.
+        choices: list[list[int]] = []
+        for source in self._template:
+            targets = [
+                j for j, candidate in enumerate(self._template)
+                if candidate.predicate == source.predicate
+                and len(candidate.args) == len(source.args)
+            ]
+            choices.append(targets)
+        self.skeletons: list[tuple[int, ...]] = [
+            combo for combo in itertools.product(*choices)
+        ]
+
+    # -- tuple-level checks ------------------------------------------------------
+    def reduction_exists(self, values: tuple) -> bool:
+        """Does RED(values, l, C) exist?  (Pattern conditions of l.)"""
+        if len(values) != self.arity:
+            raise NotApplicableError(
+                f"tuple arity {len(values)} does not match l/{self.arity}"
+            )
+        for a, b in self._pattern_eq_cols:
+            if values[a] != values[b]:
+                return False
+        for column, constant in self._pattern_const_cols:
+            if values[column] != constant:
+                return False
+        return True
+
+    def _skeleton_conditions(
+        self, skeleton: tuple[int, ...], inserted: tuple
+    ) -> Optional[list[Condition]]:
+        """Selection conditions on L for one skeleton given the inserted
+        tuple, or ``None`` when the skeleton is inconsistent with it."""
+        conditions: list[Condition] = []
+        seen: set[tuple[int, object]] = set()
+        var_image: dict[Variable, tuple] = {}  # remote var -> ('var', v)|('val', x)
+
+        def resolve(term) -> tuple:
+            if isinstance(term, _Component):
+                return ("val", inserted[term.index])
+            if isinstance(term, Variable):
+                return ("var", term)
+            return ("val", term)
+
+        for i, target_index in enumerate(skeleton):
+            source = self._template[i]
+            target = self._template[target_index]
+            for a, b in zip(source.args, target.args):
+                image = resolve(b)
+                if isinstance(a, _Component):
+                    # s's component must equal a concrete value of RED(t).
+                    if image[0] == "var":
+                        return None  # a constant cannot map onto a variable
+                    key = (a.index, image[1])
+                    if key not in seen:
+                        seen.add(key)
+                        conditions.append(
+                            Condition(Col(a.index), ComparisonOp.EQ, Lit(image[1]))
+                        )
+                elif isinstance(a, Variable):
+                    existing = var_image.get(a)
+                    if existing is None:
+                        var_image[a] = image
+                    elif existing != image:
+                        # Two images are compatible only when both are the
+                        # same concrete value.
+                        if existing[0] == "val" and image[0] == "val":
+                            if existing[1] != image[1]:
+                                return None
+                        else:
+                            return None
+                else:
+                    # A constant of C itself: its image must be that value.
+                    if image[0] == "var" or image[1] != a:
+                        return None
+        return conditions
+
+    def _pattern_ra_conditions(self) -> list[Condition]:
+        conditions = [
+            Condition(Col(a), ComparisonOp.EQ, Col(b))
+            for a, b in self._pattern_eq_cols
+        ]
+        conditions.extend(
+            Condition(Col(column), ComparisonOp.EQ, Lit(value))
+            for column, value in self._pattern_const_cols
+        )
+        return conditions
+
+    # -- the public test -------------------------------------------------------
+    def expression_for(self, inserted: tuple) -> Expression:
+        """The relational algebra expression over L whose nonemptiness is
+        the complete local test for inserting *inserted*.
+
+        When the reduction of the inserted tuple does not exist the test
+        is trivially true; we return the unrestricted relation L (always
+        check :meth:`reduction_exists` first, as :meth:`passes` does).
+        """
+        inserted = tuple(inserted)
+        relation = RelationRef(self.local_predicate, self.arity)
+        if not self.reduction_exists(inserted):
+            return relation
+        pattern = self._pattern_ra_conditions()
+        branches: list[Expression] = []
+        for skeleton in self.skeletons:
+            conditions = self._skeleton_conditions(skeleton, inserted)
+            if conditions is None:
+                continue
+            branches.append(Select(relation, tuple(pattern + conditions)))
+        return Union(tuple(branches))
+
+    def passes(self, inserted: tuple, local_relation: Iterable[tuple]) -> bool:
+        """The complete local test: True == the insertion cannot newly
+        violate the constraint, given the local relation's contents."""
+        inserted = tuple(inserted)
+        if not self.reduction_exists(inserted):
+            return True
+        db = Database({self.local_predicate: [tuple(v) for v in local_relation]})
+        return bool(evaluate_expression(self.expression_for(inserted), db))

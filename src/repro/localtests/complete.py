@@ -1,0 +1,142 @@
+"""Theorem 5.2: the complete local test for CQC constraints.
+
+    Let C be a CQC and let t be a tuple inserted into the local relation L
+    for predicate l.  Assume C holds before the update.  Then the complete
+    local test for guaranteeing that C holds after the update is whether
+
+        RED(t, l, C)  subseteq  UNION over s in L of RED(s, l, C).
+
+The left-hand reduction ranges over *remote* predicates only, so the
+containment (decided with the Theorem 5.1 union test) consults nothing but
+the constraint, the inserted tuple, and the local relation.
+
+Properties delivered (and property-tested):
+
+* **correct** — a YES answer guarantees the constraint still holds for
+  every remote state consistent with "C held before";
+* **complete** — on a NO answer, :func:`completeness_witness` constructs
+  an explicit remote state, consistent with the constraint having held,
+  in which the insertion violates the constraint ("whenever the test says
+  'I don't know', there is some state of the information not accessed by
+  the test for which the constraint ceases to hold").
+
+The extension mentioned after the theorem — several constraints assumed
+to hold before the update — is the ``assumed`` parameter: their
+reductions by all tuples of L join the union on the right.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.arith.implication import refuting_model
+from repro.containment.cqc import is_contained_in_union_cqc
+from repro.containment.mappings import containment_mappings
+from repro.containment.normalize import normalize_cqc
+from repro.datalog.atoms import Comparison
+from repro.datalog.database import Database
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Variable
+from repro.localtests.reduction import reduce_by_tuple
+
+__all__ = [
+    "complete_local_test_insertion",
+    "completeness_witness",
+    "reductions_over_relation",
+]
+
+
+def reductions_over_relation(
+    constraint: Rule, local_predicate: str, relation: Iterable[tuple]
+) -> list[Rule]:
+    """RED(s, l, C) for every tuple s of the local relation (skipping
+    tuples whose reduction does not exist)."""
+    out: list[Rule] = []
+    for values in relation:
+        reduced = reduce_by_tuple(constraint, local_predicate, tuple(values))
+        if reduced is not None:
+            out.append(reduced)
+    return out
+
+
+def complete_local_test_insertion(
+    constraint: Rule,
+    local_predicate: str,
+    inserted: tuple,
+    local_relation: Iterable[tuple],
+    assumed: Sequence[Rule] = (),
+) -> bool:
+    """Theorem 5.2's test.  True == "yes, C still holds"; False == "I
+    don't know" (some remote state could now violate C).
+
+    *assumed* lists additional CQC constraints over the same local
+    predicate known to hold before the update; their reductions join the
+    right-hand union.
+    """
+    inserted = tuple(inserted)
+    target = reduce_by_tuple(constraint, local_predicate, inserted)
+    if target is None:
+        # The inserted tuple cannot instantiate l at all: the insertion is
+        # incapable of creating a violation (Example 5.4's "the complete
+        # local test is 'true'").
+        return True
+    relation = [tuple(v) for v in local_relation]
+    union: list[Rule] = reductions_over_relation(constraint, local_predicate, relation)
+    for other in assumed:
+        union.extend(reductions_over_relation(other, local_predicate, relation))
+    return is_contained_in_union_cqc(target, union)
+
+
+def completeness_witness(
+    constraint: Rule,
+    local_predicate: str,
+    inserted: tuple,
+    local_relation: Iterable[tuple],
+    assumed: Sequence[Rule] = (),
+) -> Optional[Database]:
+    """When the local test is inconclusive, build the remote state it is
+    worried about: a database for the remote predicates such that
+
+    * the constraint (and each assumed constraint) held before the
+      insertion, and
+    * the constraint is violated once *inserted* joins the local relation.
+
+    Returns ``None`` when the test passes (no such state exists — that is
+    exactly what completeness means).
+    """
+    inserted = tuple(inserted)
+    target = reduce_by_tuple(constraint, local_predicate, inserted)
+    if target is None:
+        return None
+    relation = [tuple(v) for v in local_relation]
+    union: list[Rule] = reductions_over_relation(constraint, local_predicate, relation)
+    for other in assumed:
+        union.extend(reductions_over_relation(other, local_predicate, relation))
+
+    # Mirror the Theorem 5.1 refutation: normalize, enumerate mappings,
+    # and ask for a model of A(target) that falsifies every disjunct.
+    normalized_target = normalize_cqc(target)
+    disjuncts: list[list[Comparison]] = []
+    for member in union:
+        normalized_member = normalize_cqc(member)
+        for mapping in containment_mappings(normalized_member, normalized_target):
+            disjuncts.append(
+                [mapping.apply_comparison(c) for c in normalized_member.comparisons]
+            )
+    model = refuting_model(list(normalized_target.comparisons), disjuncts)
+    if model is None:
+        return None
+
+    db = Database()
+    for atom in normalized_target.ordinary_subgoals:
+        fact = []
+        for term in atom.args:
+            if isinstance(term, Constant):
+                fact.append(term.value)
+            else:
+                assert isinstance(term, Variable)
+                # A variable in no comparison is unconstrained: any value
+                # completes the witness.
+                fact.append(model.get(term, 0))
+        db.insert(atom.predicate, tuple(fact))
+    return db

@@ -1,0 +1,89 @@
+"""The reduction operator RED(t, l, C) of Section 5.
+
+"If t is a tuple that could be in the relation for predicate l, and C is
+a CQC ..., then RED(t, l, C), the reduction of C by t in l, is obtained
+by substituting the components of t for the corresponding variables in
+the arguments of l, and then eliminating l."
+
+The local subgoal may contain repeated variables or constants (the
+arithmetic-free Theorem 5.3 exploits this); when the tuple does not unify
+with the pattern the reduction *does not exist* — Example 5.4's
+``RED(t, l, C1) does not exist, because b != c`` — and we return ``None``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import NotApplicableError
+from repro.datalog.atoms import Atom
+from repro.datalog.rules import Rule
+from repro.datalog.substitution import match_atom_against_fact
+from repro.datalog.terms import Variable
+
+__all__ = ["local_subgoal", "reduce_by_tuple", "check_cqc_form"]
+
+
+def check_cqc_form(constraint: Rule, local_predicate: str) -> None:
+    """Validate the Section 5 CQC form w.r.t. *local_predicate*.
+
+    Requirements: a single-rule panic query without negation, in which the
+    local predicate occurs in exactly one subgoal, and every comparison
+    variable appears in some ordinary subgoal (safety).
+    """
+    if constraint.negations:
+        raise NotApplicableError("CQCs have no negated subgoals")
+    occurrences = [
+        atom for atom in constraint.ordinary_subgoals
+        if atom.predicate == local_predicate
+    ]
+    if len(occurrences) != 1:
+        raise NotApplicableError(
+            f"the local predicate {local_predicate!r} must occur in exactly one "
+            f"subgoal (found {len(occurrences)}); the paper's CQC form has one "
+            f"local subgoal l"
+        )
+    bound: set[Variable] = set()
+    for atom in constraint.ordinary_subgoals:
+        bound.update(atom.variables())
+    for comparison in constraint.comparisons:
+        for variable in comparison.variables():
+            if variable not in bound:
+                raise NotApplicableError(
+                    f"comparison variable {variable} appears in no ordinary subgoal"
+                )
+
+
+def local_subgoal(constraint: Rule, local_predicate: str) -> Atom:
+    """The unique local subgoal l of the CQC."""
+    check_cqc_form(constraint, local_predicate)
+    for atom in constraint.ordinary_subgoals:
+        if atom.predicate == local_predicate:
+            return atom
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def reduce_by_tuple(
+    constraint: Rule, local_predicate: str, values: tuple
+) -> Optional[Rule]:
+    """RED(values, l, C): substitute the tuple into l and eliminate l.
+
+    Returns ``None`` when the reduction does not exist (the tuple fails to
+    unify with l's argument pattern, e.g. a repeated variable against
+    distinct components, or a constant mismatch).
+    """
+    subgoal = local_subgoal(constraint, local_predicate)
+    if len(values) != subgoal.arity:
+        raise NotApplicableError(
+            f"tuple arity {len(values)} does not match local subgoal "
+            f"{subgoal.predicate}/{subgoal.arity}"
+        )
+    subst = match_atom_against_fact(subgoal, values)
+    if subst is None:
+        return None
+    remaining = tuple(
+        subst.apply_literal(lit)
+        for lit in constraint.body
+        if lit is not subgoal
+    )
+    return Rule(constraint.head, remaining)

@@ -1,0 +1,54 @@
+"""The single-member local test — the pre-paper baseline.
+
+Section 5, after Example 5.3: "The need to consider containment of a CQC
+in several CQC's is the reason that the results of Gupta and Ullman
+[1992] or Gupta and Widom [1993] cannot be extended to allow arithmetic
+comparisons, and still get a complete test."
+
+Those earlier works certify an insertion when the new tuple's reduction
+is contained in the reduction of **one** stored tuple.  Without
+arithmetic that is all there is (Sagiv–Yannakakis); with comparisons it
+is still *sound* but no longer *complete*: Example 5.3's insert (4,8) is
+covered by {(3,6), (5,10)} jointly but by neither alone.
+
+This module implements the baseline so the gap can be measured
+(`benchmarks/bench_thm52_local_test.py` reports the certification-rate
+difference on randomized workloads) and the paper's remark demonstrated
+mechanically in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.containment.cqc import is_contained_cqc
+from repro.datalog.rules import Rule
+from repro.localtests.reduction import reduce_by_tuple
+
+__all__ = ["single_member_local_test"]
+
+
+def single_member_local_test(
+    constraint: Rule,
+    local_predicate: str,
+    inserted: tuple,
+    local_relation: Iterable[tuple],
+) -> bool:
+    """Certify the insertion iff some single stored tuple's reduction
+    contains the new tuple's reduction.
+
+    Sound always; complete only for arithmetic-free CQCs.  Use
+    :func:`~repro.localtests.complete.complete_local_test_insertion`
+    (Theorem 5.2) for the complete test.
+    """
+    inserted = tuple(inserted)
+    target = reduce_by_tuple(constraint, local_predicate, inserted)
+    if target is None:
+        return True
+    for values in local_relation:
+        member = reduce_by_tuple(constraint, local_predicate, tuple(values))
+        if member is None:
+            continue
+        if is_contained_cqc(target, member):
+            return True
+    return False

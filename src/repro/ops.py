@@ -1,0 +1,71 @@
+"""The comparison operators — a leaf module with no internal imports.
+
+Both the datalog AST (:mod:`repro.datalog.atoms`) and the dense-order
+arithmetic (:mod:`repro.arith.order`) need the operator vocabulary;
+keeping it dependency-free breaks what would otherwise be an import
+cycle between the two packages.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["ComparisonOp"]
+
+
+class ComparisonOp(enum.Enum):
+    """The six comparison predicates over the dense total order."""
+
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    EQ = "="
+    NE = "<>"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def negated(self) -> "ComparisonOp":
+        """The complement under a total order (``not (x < y)`` is ``x >= y``).
+
+        Over a total order the negation of every atomic comparison is again
+        an atomic comparison — the fact that makes the Theorem 5.1
+        implication test expressible with atomic literals only.
+        """
+        return _NEGATIONS[self]
+
+    @property
+    def flipped(self) -> "ComparisonOp":
+        """The operator with its arguments swapped (``x < y`` is ``y > x``)."""
+        return _FLIPS[self]
+
+    @property
+    def is_order(self) -> bool:
+        """True for the four genuine order comparisons (not ``=``/``<>``)."""
+        return self in (ComparisonOp.LT, ComparisonOp.LE, ComparisonOp.GT, ComparisonOp.GE)
+
+    @property
+    def is_strict(self) -> bool:
+        """True for the strict order comparisons ``<`` and ``>``."""
+        return self in (ComparisonOp.LT, ComparisonOp.GT)
+
+
+_NEGATIONS = {
+    ComparisonOp.LT: ComparisonOp.GE,
+    ComparisonOp.LE: ComparisonOp.GT,
+    ComparisonOp.GT: ComparisonOp.LE,
+    ComparisonOp.GE: ComparisonOp.LT,
+    ComparisonOp.EQ: ComparisonOp.NE,
+    ComparisonOp.NE: ComparisonOp.EQ,
+}
+
+_FLIPS = {
+    ComparisonOp.LT: ComparisonOp.GT,
+    ComparisonOp.LE: ComparisonOp.GE,
+    ComparisonOp.GT: ComparisonOp.LT,
+    ComparisonOp.GE: ComparisonOp.LE,
+    ComparisonOp.EQ: ComparisonOp.EQ,
+    ComparisonOp.NE: ComparisonOp.NE,
+}

@@ -1,0 +1,36 @@
+"""Relational algebra: expressions, evaluator, CQ compiler."""
+
+from repro.relalg.evaluate import evaluate_expression, is_nonempty
+from repro.relalg.expressions import (
+    Col,
+    Condition,
+    ConstantRelation,
+    Difference,
+    Expression,
+    Lit,
+    Product,
+    Project,
+    RelationRef,
+    Select,
+    Union,
+    arity_of,
+)
+from repro.relalg.from_cq import cq_to_algebra
+
+__all__ = [
+    "Col",
+    "Condition",
+    "ConstantRelation",
+    "Difference",
+    "Expression",
+    "Lit",
+    "Product",
+    "Project",
+    "RelationRef",
+    "Select",
+    "Union",
+    "arity_of",
+    "cq_to_algebra",
+    "evaluate_expression",
+    "is_nonempty",
+]

@@ -1,0 +1,85 @@
+"""Evaluation of relational algebra expressions over a Database."""
+
+from __future__ import annotations
+
+from repro.errors import EvaluationError
+from repro.arith.order import comparison_holds
+from repro.datalog.database import Database
+from repro.relalg.expressions import (
+    Col,
+    Condition,
+    ConstantRelation,
+    Difference,
+    Expression,
+    Lit,
+    Product,
+    Project,
+    RelationRef,
+    Select,
+    Union,
+)
+
+__all__ = ["evaluate_expression", "is_nonempty"]
+
+
+def _operand_value(operand, row: tuple) -> object:
+    if isinstance(operand, Col):
+        return row[operand.index]
+    assert isinstance(operand, Lit)
+    return operand.value
+
+
+def _condition_holds(condition: Condition, row: tuple) -> bool:
+    return comparison_holds(
+        condition.op,
+        _operand_value(condition.left, row),
+        _operand_value(condition.right, row),
+    )
+
+
+def evaluate_expression(expression: Expression, db: Database) -> frozenset[tuple]:
+    """Evaluate *expression* against *db*, returning a set of tuples."""
+    if isinstance(expression, RelationRef):
+        relation = db.relation(expression.name)
+        if relation is None:
+            return frozenset()
+        if relation.arity != expression.arity:
+            raise EvaluationError(
+                f"relation {expression.name!r} has arity {relation.arity}, "
+                f"expression expects {expression.arity}"
+            )
+        return frozenset(relation)
+    if isinstance(expression, ConstantRelation):
+        return frozenset(expression.tuples)
+    if isinstance(expression, Select):
+        source = evaluate_expression(expression.source, db)
+        return frozenset(
+            row
+            for row in source
+            if all(_condition_holds(c, row) for c in expression.conditions)
+        )
+    if isinstance(expression, Project):
+        source = evaluate_expression(expression.source, db)
+        return frozenset(
+            tuple(_operand_value(op, row) for op in expression.columns)
+            for row in source
+        )
+    if isinstance(expression, Product):
+        left = evaluate_expression(expression.left, db)
+        right = evaluate_expression(expression.right, db)
+        return frozenset(l + r for l in left for r in right)
+    if isinstance(expression, Union):
+        result: set[tuple] = set()
+        for source in expression.sources:
+            result |= evaluate_expression(source, db)
+        return frozenset(result)
+    if isinstance(expression, Difference):
+        left = evaluate_expression(expression.left, db)
+        right = evaluate_expression(expression.right, db)
+        return frozenset(left - right)
+    raise TypeError(f"not a relational algebra expression: {expression!r}")
+
+
+def is_nonempty(expression: Expression, db: Database) -> bool:
+    """Nonemptiness — the form in which Theorem 5.3 states its test."""
+    return bool(evaluate_expression(expression, db))

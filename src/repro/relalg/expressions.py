@@ -1,0 +1,185 @@
+"""Relational algebra expressions with positional columns.
+
+Theorem 5.3 promises a complete local test "expressible in relational
+algebra ... likely to be within the query language of any database
+system"; this package is that target language.  Expressions are
+positional (columns are 0-based indices, as in the paper's ``#1=a``
+selections of Example 5.4) and build from:
+
+* :class:`RelationRef` — a base relation;
+* :class:`ConstantRelation` — an inline table of tuples;
+* :class:`Select` — selection by a conjunction of comparisons between
+  columns and/or constants;
+* :class:`Project` — projection to a list of columns (or constants);
+* :class:`Product` — cartesian product;
+* :class:`Union` / :class:`Difference` — set operations.
+
+Evaluation lives in :mod:`repro.relalg.evaluate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union as TypingUnion
+
+from repro.datalog.atoms import ComparisonOp
+
+__all__ = [
+    "Col",
+    "Lit",
+    "Condition",
+    "RelationRef",
+    "ConstantRelation",
+    "Select",
+    "Project",
+    "Product",
+    "Union",
+    "Difference",
+    "Expression",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Col:
+    """A reference to a (0-based) column of the input."""
+
+    index: int
+
+    def __str__(self) -> str:
+        return f"#{self.index + 1}"  # print 1-based, like the paper
+
+
+@dataclass(frozen=True, slots=True)
+class Lit:
+    """A literal value operand."""
+
+    value: object
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+Operand = TypingUnion[Col, Lit]
+
+
+@dataclass(frozen=True, slots=True)
+class Condition:
+    """An atomic selection condition ``left op right``."""
+
+    left: Operand
+    op: ComparisonOp
+    right: Operand
+
+    def __str__(self) -> str:
+        return f"{self.left}{self.op}{self.right}"
+
+
+@dataclass(frozen=True)
+class RelationRef:
+    """A base relation, read from the database at evaluation time."""
+
+    name: str
+    arity: int
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ConstantRelation:
+    """An inline relation (used for singleton "the inserted tuple" tables)."""
+
+    tuples: tuple[tuple, ...]
+    arity: int
+
+    def __str__(self) -> str:
+        return f"{{{', '.join(map(repr, self.tuples))}}}"
+
+
+@dataclass(frozen=True)
+class Select:
+    """Selection: keep tuples satisfying every condition."""
+
+    source: "Expression"
+    conditions: tuple[Condition, ...]
+
+    def __str__(self) -> str:
+        conds = " & ".join(str(c) for c in self.conditions)
+        return f"select[{conds}]({self.source})"
+
+
+@dataclass(frozen=True)
+class Project:
+    """Projection: each output column is an input column or a constant."""
+
+    source: "Expression"
+    columns: tuple[Operand, ...]
+
+    def __str__(self) -> str:
+        cols = ", ".join(str(c) for c in self.columns)
+        return f"project[{cols}]({self.source})"
+
+
+@dataclass(frozen=True)
+class Product:
+    """Cartesian product; right-hand columns shift by the left arity."""
+
+    left: "Expression"
+    right: "Expression"
+
+    def __str__(self) -> str:
+        return f"({self.left} x {self.right})"
+
+
+@dataclass(frozen=True)
+class Union:
+    """Set union of same-arity expressions (empty union is empty)."""
+
+    sources: tuple["Expression", ...]
+
+    def __str__(self) -> str:
+        if not self.sources:
+            return "empty"
+        return " u ".join(f"({s})" for s in self.sources)
+
+
+@dataclass(frozen=True)
+class Difference:
+    """Set difference ``left - right``."""
+
+    left: "Expression"
+    right: "Expression"
+
+    def __str__(self) -> str:
+        return f"({self.left} - {self.right})"
+
+
+Expression = TypingUnion[
+    RelationRef, ConstantRelation, Select, Project, Product, Union, Difference
+]
+
+
+def arity_of(expression: Expression) -> int:
+    """The output arity of *expression* (validating arities on the way)."""
+    if isinstance(expression, RelationRef):
+        return expression.arity
+    if isinstance(expression, ConstantRelation):
+        return expression.arity
+    if isinstance(expression, Select):
+        return arity_of(expression.source)
+    if isinstance(expression, Project):
+        return len(expression.columns)
+    if isinstance(expression, Product):
+        return arity_of(expression.left) + arity_of(expression.right)
+    if isinstance(expression, Union):
+        arities = {arity_of(s) for s in expression.sources}
+        if len(arities) > 1:
+            raise ValueError(f"union of mismatched arities: {sorted(arities)}")
+        return arities.pop() if arities else 0
+    if isinstance(expression, Difference):
+        left = arity_of(expression.left)
+        right = arity_of(expression.right)
+        if left != right:
+            raise ValueError(f"difference of mismatched arities: {left} vs {right}")
+        return left
+    raise TypeError(f"not a relational algebra expression: {expression!r}")

@@ -1,0 +1,101 @@
+"""Compiling conjunctive queries (with comparisons) to relational algebra.
+
+Witnesses the Section 1 requirement that tests "can be expressed in the
+query language of the database system": a CQ or CQC compiles into a
+product of its relations, a selection for repeated variables / constants
+/ comparisons, and a projection onto the head.  Negated subgoals are out
+of scope here (they need set difference per subgoal and are not required
+by any theorem we compile).
+"""
+
+from __future__ import annotations
+
+from repro.errors import NotApplicableError
+from repro.datalog.atoms import ComparisonOp
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Variable
+from repro.relalg.expressions import (
+    Col,
+    Condition,
+    ConstantRelation,
+    Expression,
+    Lit,
+    Product,
+    Project,
+    RelationRef,
+    Select,
+)
+
+__all__ = ["cq_to_algebra"]
+
+
+def cq_to_algebra(rule: Rule) -> Expression:
+    """Compile a CQ/CQC *rule* into a relational algebra expression whose
+    value is the set of head tuples."""
+    if rule.negations:
+        raise NotApplicableError("negated subgoals are not supported by cq_to_algebra")
+
+    subgoals = rule.ordinary_subgoals
+    if not subgoals:
+        # A body of pure ground comparisons: the head is produced iff all
+        # hold.  Encode as a selection over a unit relation.
+        unit: Expression = ConstantRelation(((),), 0)
+        conditions = []
+        for comparison in rule.comparisons:
+            if isinstance(comparison.left, Variable) or isinstance(comparison.right, Variable):
+                raise NotApplicableError("unsafe rule: comparison variable never bound")
+            conditions.append(
+                Condition(Lit(comparison.left.value), comparison.op, Lit(comparison.right.value))
+            )
+        selected: Expression = Select(unit, tuple(conditions)) if conditions else unit
+        head = tuple(Lit(t.value) for t in rule.head.args)  # type: ignore[union-attr]
+        return Project(selected, head)
+
+    # Product of all subgoal relations; record where each variable lands.
+    expression: Expression | None = None
+    offset = 0
+    first_column: dict[Variable, int] = {}
+    conditions: list[Condition] = []
+    for atom in subgoals:
+        ref = RelationRef(atom.predicate, atom.arity)
+        expression = ref if expression is None else Product(expression, ref)
+        for position, term in enumerate(atom.args):
+            column = offset + position
+            if isinstance(term, Constant):
+                conditions.append(Condition(Col(column), ComparisonOp.EQ, Lit(term.value)))
+            else:
+                if term in first_column:
+                    conditions.append(
+                        Condition(Col(column), ComparisonOp.EQ, Col(first_column[term]))
+                    )
+                else:
+                    first_column[term] = column
+        offset += atom.arity
+
+    for comparison in rule.comparisons:
+        def operand(term):
+            if isinstance(term, Constant):
+                return Lit(term.value)
+            if term not in first_column:
+                raise NotApplicableError(
+                    f"unsafe rule: comparison variable {term} never bound"
+                )
+            return Col(first_column[term])
+
+        conditions.append(
+            Condition(operand(comparison.left), comparison.op, operand(comparison.right))
+        )
+
+    assert expression is not None
+    if conditions:
+        expression = Select(expression, tuple(conditions))
+
+    head_columns = []
+    for term in rule.head.args:
+        if isinstance(term, Constant):
+            head_columns.append(Lit(term.value))
+        else:
+            if term not in first_column:
+                raise NotApplicableError(f"unsafe rule: head variable {term} never bound")
+            head_columns.append(Col(first_column[term]))
+    return Project(expression, tuple(head_columns))

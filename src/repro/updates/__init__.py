@@ -1,0 +1,52 @@
+"""Updates and the Section 4 machinery: rewriting, closure, independence."""
+
+from repro.updates.closure import (
+    figure_41_table,
+    figure_42_table,
+    preserved_under_deletion,
+    preserved_under_insertion,
+    rewrite_landing_class,
+    theorem41_witness,
+)
+from repro.updates.independence import cannot_cause_violation, is_update_independent
+from repro.updates.rewrite import (
+    rewrite,
+    rewrite_deletion_with_disequalities,
+    rewrite_deletion_with_negated_helper,
+    rewrite_insertion_with_rules,
+    rewrite_union_expansion,
+)
+from repro.updates.update import Deletion, Insertion, Modification, Update, apply_update
+from repro.updates.views import (
+    View,
+    is_update_irrelevant,
+    update_can_only_grow,
+    update_can_only_shrink,
+    view_insert_delta,
+)
+
+__all__ = [
+    "Deletion",
+    "Insertion",
+    "Modification",
+    "Update",
+    "View",
+    "apply_update",
+    "cannot_cause_violation",
+    "figure_41_table",
+    "figure_42_table",
+    "is_update_independent",
+    "is_update_irrelevant",
+    "preserved_under_deletion",
+    "preserved_under_insertion",
+    "rewrite",
+    "rewrite_deletion_with_disequalities",
+    "rewrite_deletion_with_negated_helper",
+    "rewrite_insertion_with_rules",
+    "rewrite_landing_class",
+    "rewrite_union_expansion",
+    "theorem41_witness",
+    "update_can_only_grow",
+    "update_can_only_shrink",
+    "view_insert_delta",
+]

@@ -1,0 +1,99 @@
+"""Closure of the Fig. 2.1 classes under updates (Theorems 4.2 and 4.3).
+
+* **Fig. 4.1 / Theorem 4.2** — insertions preserve the eight classes that
+  allow auxiliary rules: every union-of-CQs and recursive-datalog
+  variant.  A single-CQ class is not preserved (Theorem 4.1 exhibits a
+  constraint after insertion inexpressible as one CQ without arithmetic,
+  even with negation).
+* **Fig. 4.2 / Theorem 4.3** — deletions preserve the six union/recursive
+  classes that have negation or arithmetic available: expressing "every
+  tuple except t" needs one of the two (Example 4.2's ``<>`` rules or the
+  ``isJones`` negated helper).
+
+This module states the two closure predicates, computes the class a
+rewrite lands in, and packages the Theorem 4.1 separation witness so the
+non-closure claims can be demonstrated mechanically.
+"""
+
+from __future__ import annotations
+
+from repro.datalog.database import Database
+from repro.constraints.classify import ALL_CLASSES, ConstraintClass, Shape
+from repro.constraints.constraint import Constraint
+from repro.updates.rewrite import rewrite
+from repro.updates.update import Update
+
+__all__ = [
+    "preserved_under_insertion",
+    "preserved_under_deletion",
+    "figure_41_table",
+    "figure_42_table",
+    "rewrite_landing_class",
+    "theorem41_witness",
+]
+
+
+def preserved_under_insertion(cls: ConstraintClass) -> bool:
+    """Fig. 4.1: is *cls* closed under single-tuple insertions?"""
+    return cls.shape is not Shape.SINGLE_CQ
+
+
+def preserved_under_deletion(cls: ConstraintClass) -> bool:
+    """Fig. 4.2: is *cls* closed under single-tuple deletions?"""
+    return cls.shape is not Shape.SINGLE_CQ and (cls.negation or cls.arithmetic)
+
+
+def figure_41_table() -> dict[ConstraintClass, bool]:
+    """The circled/uncircled status of every class in Fig. 4.1."""
+    return {cls: preserved_under_insertion(cls) for cls in ALL_CLASSES}
+
+
+def figure_42_table() -> dict[ConstraintClass, bool]:
+    """The circled/uncircled status of every class in Fig. 4.2."""
+    return {cls: preserved_under_deletion(cls) for cls in ALL_CLASSES}
+
+
+def rewrite_landing_class(
+    constraint: Constraint, update: Update, style: str = "auto"
+) -> ConstraintClass:
+    """The Fig. 2.1 class the rewritten constraint lands in."""
+    return rewrite(constraint, update, style).constraint_class
+
+
+def theorem41_witness() -> dict:
+    """The two databases from the proof of Theorem 4.1, with the facts the
+    proof asserts about them.
+
+    The theorem: C3 — "after inserting ``toy`` into ``dept`` there is no
+    employee in a department absent from ``dept``" — is not expressible as
+    a single CQ without arithmetic, even with negation.  The proof hinges
+    on two databases over the *pre-update* relations:
+
+    * D1 = {emp(e,shoe,s), emp(e,toy,s)} — C3 panics (shoe is not a
+      department even after the insertion);
+    * D2 = D1 + {dept(shoe)} — C3 does **not** panic (shoe is now
+      legitimate and toy is legitimized by the insertion itself),
+      yet any candidate single CQ shown to panic on D1 necessarily
+      panics on D2 as well, a contradiction.
+
+    Returns the databases plus C3 (in program form) and its verdicts, so
+    the test suite and the F4.1 bench can replay the separation.
+    """
+    c3 = Constraint(
+        """
+        dept1(D) :- dept(D)
+        dept1(toy)
+        panic :- emp(E,D,S) & not dept1(D)
+        """,
+        "C3",
+    )
+    d1 = Database({"emp": [("e", "shoe", "s"), ("e", "toy", "s")]})
+    d2 = d1.copy()
+    d2.insert("dept", ("shoe",))
+    return {
+        "c3": c3,
+        "d1": d1,
+        "d2": d2,
+        "panics_on_d1": c3.is_violated(d1),
+        "panics_on_d2": c3.is_violated(d2),
+    }

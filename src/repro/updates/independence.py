@@ -1,0 +1,70 @@
+"""Level-2 tests: deciding from constraints and the update alone.
+
+Two related questions (Section 4):
+
+* :func:`cannot_cause_violation` — the paper's main check: rewrite C into
+  C' ("C is violated after this update") and "test whether C' is
+  contained in the union of C and any other constraints that we assumed
+  held before the update".  A True answer guarantees the update preserves
+  C without looking at any data.
+* :func:`is_update_independent` — the *query independent of update*
+  notion of Elkan [1990] / Tompa–Blakeley [1988] / Levy–Sagiv [1993]:
+  C' is equivalent to C, so the update can never change the constraint's
+  verdict in either direction.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import NotApplicableError, ReproError
+from repro.constraints.constraint import Constraint
+from repro.constraints.subsumption import subsumes
+from repro.updates.rewrite import rewrite
+from repro.updates.update import Update
+
+__all__ = ["cannot_cause_violation", "is_update_independent"]
+
+
+def _usable_in_union(constraint: Constraint) -> bool:
+    """Can this constraint serve as a union member in a containment test?"""
+    try:
+        constraint.as_union()
+    except (NotApplicableError, ReproError):
+        return False
+    return True
+
+
+def cannot_cause_violation(
+    constraint: Constraint,
+    update: Update,
+    assumed: Sequence[Constraint] = (),
+    style: str = "auto",
+) -> bool:
+    """True when *update* provably cannot newly violate *constraint*,
+    assuming *constraint* and every constraint in *assumed* held before.
+
+    This is the containment ``C' subseteq C union C1 ... union Cn``; a
+    False answer means "I don't know" — a test with more information
+    (local data, Section 5) is needed, not that the constraint breaks.
+
+    Assumed constraints outside the decidable union classes (e.g.
+    recursive ones) are dropped from the right-hand union — sound, since
+    a containment in a smaller union implies containment in the full one.
+    """
+    rewritten = rewrite(constraint, update, style)
+    candidates = [constraint, *[c for c in assumed if _usable_in_union(c)]]
+    if not _usable_in_union(constraint):
+        candidates = candidates[1:]
+        if not candidates:
+            return False
+    return subsumes(candidates, rewritten)
+
+
+def is_update_independent(
+    constraint: Constraint, update: Update, style: str = "auto"
+) -> bool:
+    """True when the update can never change the constraint's verdict:
+    C' and C are equivalent as queries."""
+    rewritten = rewrite(constraint, update, style)
+    return subsumes([constraint], rewritten) and subsumes([rewritten], constraint)

@@ -1,0 +1,338 @@
+"""Section 4: rewriting constraints to reflect updates.
+
+Given a constraint C and an update, construct a constraint C' that holds
+*before* the update iff C holds *after* it ("we take a constraint C and
+an update, and we try to construct a new constraint C' ...").  Three
+constructions from the paper are implemented:
+
+* **rule addition** (insertions, Example 4.1's ``dept1`` and Theorem 4.2):
+  define ``p_ins(X..) :- p(X..)`` plus the fact ``p_ins(t)`` and rename —
+  stays inside any class closed under adding nonrecursive rules;
+* **disequality union** (deletions, Example 4.2's ``emp1`` rules): one
+  rule per column with ``X_i <> t_i`` — lands in nonrecursive datalog with
+  arithmetic;
+* **negated helper** (deletions, Example 4.2's ``isJones`` remark,
+  generalized): ``p_del(X..) :- p(X..) & not p_removed(X..)`` with the
+  fact ``p_removed(t)`` — lands in nonrecursive datalog with negation;
+* **flat union expansion** (both updates): substitute the update
+  algebraically into an unfolded union of CQs, choosing per occurrence of
+  the touched predicate — this is the construction behind the closure
+  table of Figs. 4.1/4.2 and also yields the single-rule ``D <> toy``
+  form of Example 4.1 for negated occurrences.
+
+Every construction satisfies the semantic contract checked by the test
+suite: ``rewritten.fires(D) == original.fires(update(D))`` for all D.
+"""
+
+from __future__ import annotations
+
+import itertools
+from repro.errors import NotApplicableError
+from repro.datalog.atoms import Atom, BodyLiteral, Comparison, ComparisonOp, Negation
+from repro.datalog.rules import Program, Rule
+from repro.datalog.substitution import unify_terms_bidirectional
+from repro.datalog.terms import Constant, fresh_variables
+from repro.constraints.constraint import Constraint
+from repro.updates.update import Deletion, Insertion, Update
+
+__all__ = [
+    "rewrite",
+    "rewrite_insertion_with_rules",
+    "rewrite_deletion_with_negated_helper",
+    "rewrite_deletion_with_disequalities",
+    "rewrite_union_expansion",
+]
+
+
+def _fresh_predicate(base: str, taken: set[str]) -> str:
+    candidate = base
+    counter = 0
+    while candidate in taken:
+        counter += 1
+        candidate = f"{base}{counter}"
+    return candidate
+
+
+def _tuple_constants(values: tuple) -> tuple[Constant, ...]:
+    return tuple(Constant(v) for v in values)
+
+
+def rewrite_insertion_with_rules(constraint: Constraint, update: Insertion) -> Constraint:
+    """Theorem 4.2's construction: add ``p_ins`` rules and rename.
+
+    Works for every class that allows auxiliary rules, i.e. the eight
+    circled classes of Fig. 4.1 (unions of CQs and recursive datalog, with
+    any feature combination); applying it to a single-CQ constraint
+    necessarily produces a union-of-CQs program.
+    """
+    pred = update.predicate
+    taken = constraint.program.predicates() | {"panic"}
+    new_pred = _fresh_predicate(f"{pred}_ins", taken)
+    arity = len(update.values)
+    variables = fresh_variables(arity, prefix="X")
+    copy_rule = Rule(Atom(new_pred, tuple(variables)), (Atom(pred, tuple(variables)),))
+    fact_rule = Rule(Atom(new_pred, _tuple_constants(update.values)))
+    renamed = constraint.program.rename_predicate(pred, new_pred)
+    program = Program((copy_rule, fact_rule) + renamed.rules)
+    return Constraint(program, f"{constraint.name}+{update}")
+
+
+def rewrite_deletion_with_negated_helper(constraint: Constraint, update: Deletion) -> Constraint:
+    """The ``isJones`` trick of Example 4.2, generalized to full tuples:
+    ``p_del(X..) :- p(X..) & not p_removed(X..)`` with fact
+    ``p_removed(t)``.  Adds negation but no arithmetic."""
+    pred = update.predicate
+    taken = constraint.program.predicates() | {"panic"}
+    new_pred = _fresh_predicate(f"{pred}_del", taken)
+    removed_pred = _fresh_predicate(f"{pred}_removed", taken | {new_pred})
+    arity = len(update.values)
+    variables = fresh_variables(arity, prefix="X")
+    helper = Rule(
+        Atom(new_pred, tuple(variables)),
+        (
+            Atom(pred, tuple(variables)),
+            Negation(Atom(removed_pred, tuple(variables))),
+        ),
+    )
+    fact_rule = Rule(Atom(removed_pred, _tuple_constants(update.values)))
+    renamed = constraint.program.rename_predicate(pred, new_pred)
+    program = Program((helper, fact_rule) + renamed.rules)
+    return Constraint(program, f"{constraint.name}{update}")
+
+
+def rewrite_deletion_with_disequalities(constraint: Constraint, update: Deletion) -> Constraint:
+    """Example 4.2's construction: one ``p_del`` rule per column, each
+    keeping tuples that differ from t in that column.  Adds arithmetic
+    (``<>``) and union structure but no negation."""
+    pred = update.predicate
+    taken = constraint.program.predicates() | {"panic"}
+    new_pred = _fresh_predicate(f"{pred}_del", taken)
+    arity = len(update.values)
+    if arity == 0:
+        raise NotApplicableError("cannot build disequality rules for a 0-ary predicate")
+    variables = fresh_variables(arity, prefix="X")
+    constants = _tuple_constants(update.values)
+    rules = [
+        Rule(
+            Atom(new_pred, tuple(variables)),
+            (
+                Atom(pred, tuple(variables)),
+                Comparison(variables[i], ComparisonOp.NE, constants[i]),
+            ),
+        )
+        for i in range(arity)
+    ]
+    renamed = constraint.program.rename_predicate(pred, new_pred)
+    program = Program(tuple(rules) + renamed.rules)
+    return Constraint(program, f"{constraint.name}{update}")
+
+
+def _expand_rule_for_insertion(rule: Rule, update: Insertion) -> list[Rule]:
+    """All disjuncts of *rule* after inserting t into p.
+
+    Positive occurrence of p: matched either by the old relation or by t
+    (unify and drop the subgoal).  Negated occurrence: the old negation
+    still holds *and* the arguments differ from t in some column — the
+    disjunction over columns expands into separate rules (this produces
+    Example 4.1's single-rule ``D <> toy`` form).
+    """
+    pred = update.predicate
+    constants = _tuple_constants(update.values)
+
+    positive_slots = [
+        i for i, lit in enumerate(rule.body)
+        if isinstance(lit, Atom) and lit.predicate == pred
+    ]
+    negated_slots = [
+        i for i, lit in enumerate(rule.body)
+        if isinstance(lit, Negation) and lit.predicate == pred
+    ]
+
+    results: list[Rule] = []
+    # Choose, per positive occurrence, old-relation vs the new tuple.
+    for choice in itertools.product((False, True), repeat=len(positive_slots)):
+        body: list[BodyLiteral | None] = list(rule.body)
+        subst = None
+        feasible = True
+        from repro.datalog.substitution import Substitution
+
+        subst = Substitution()
+        for slot, use_new in zip(positive_slots, choice):
+            if not use_new:
+                continue
+            atom = rule.body[slot]
+            assert isinstance(atom, Atom)
+            unifier = unify_terms_bidirectional(
+                tuple(subst.apply_term(t) for t in atom.args), constants
+            )
+            if unifier is None:
+                feasible = False
+                break
+            merged = subst.merged(unifier)
+            if merged is None:
+                feasible = False
+                break
+            subst = merged
+            body[slot] = None  # matched by the inserted tuple itself
+        if not feasible:
+            continue
+        kept = tuple(
+            subst.apply_literal(lit) for lit in body if lit is not None
+        )
+        # The unifier may bind head variables (nontrivial heads occur in
+        # the view-maintenance application), so it applies to the head too.
+        base_rule = Rule(subst.apply_atom(rule.head), kept)
+        # Now expand each negated occurrence with a column disequality.
+        variants = [base_rule]
+        for slot in negated_slots:
+            literal = rule.body[slot]
+            assert isinstance(literal, Negation)
+            args = tuple(subst.apply_term(t) for t in literal.args)
+            new_variants: list[Rule] = []
+            for variant in variants:
+                for column in range(len(args)):
+                    extra = Comparison(args[column], ComparisonOp.NE, constants[column])
+                    if extra.is_trivial_false():
+                        continue
+                    new_variants.append(variant.with_body(variant.body + (extra,)))
+            variants = new_variants
+        results.extend(variants)
+    return results
+
+
+def _expand_rule_for_deletion(rule: Rule, update: Deletion) -> list[Rule]:
+    """All disjuncts of *rule* after deleting t from p.
+
+    Positive occurrence: the tuple matched must differ from t in some
+    column (disjunction over columns -> separate rules).  Negated
+    occurrence: either the old negation holds, or the arguments are
+    exactly t (the deletion made the negation true).
+    """
+    pred = update.predicate
+    constants = _tuple_constants(update.values)
+
+    variants: list[Rule] = [rule]
+    # Positive occurrences: add a <> column guard.
+    position = 0
+    while position < len(rule.body):
+        literal = rule.body[position]
+        if isinstance(literal, Atom) and literal.predicate == pred:
+            new_variants: list[Rule] = []
+            for variant in variants:
+                target = variant.body[position]
+                assert isinstance(target, Atom)
+                for column in range(len(constants)):
+                    extra = Comparison(
+                        target.args[column], ComparisonOp.NE, constants[column]
+                    )
+                    if extra.is_trivial_false():
+                        continue
+                    new_variants.append(variant.with_body(variant.body + (extra,)))
+            variants = new_variants
+        position += 1
+
+    # Negated occurrences: keep, or replace by equality with t.
+    final: list[Rule] = []
+    for variant in variants:
+        negated_slots = [
+            i for i, lit in enumerate(variant.body)
+            if isinstance(lit, Negation) and lit.predicate == pred
+        ]
+        if not negated_slots:
+            final.append(variant)
+            continue
+        for combo in itertools.product(("keep", "equal"), repeat=len(negated_slots)):
+            body: list[BodyLiteral | None] = list(variant.body)
+            extras: list[BodyLiteral] = []
+            feasible = True
+            for slot, action in zip(negated_slots, combo):
+                if action == "keep":
+                    continue
+                literal = variant.body[slot]
+                assert isinstance(literal, Negation)
+                body[slot] = None
+                for arg, constant in zip(literal.args, constants):
+                    comparison = Comparison(arg, ComparisonOp.EQ, constant)
+                    if comparison.is_trivial_true():
+                        continue
+                    if isinstance(arg, Constant) and arg != constant:
+                        feasible = False
+                        break
+                    extras.append(comparison)
+                if not feasible:
+                    break
+            if not feasible:
+                continue
+            kept = tuple(lit for lit in body if lit is not None) + tuple(extras)
+            final.append(Rule(variant.head, kept))
+    return final
+
+
+def rewrite_union_expansion(constraint: Constraint, update: Update) -> Constraint:
+    """Expand the constraint into a union of CQs and substitute the update
+    algebraically — the construction that witnesses the closure results.
+
+    Requires the constraint to be expressible as a union of CQs (i.e. not
+    recursive; negation only over EDB predicates).
+    """
+    disjuncts = constraint.as_union()
+    expanded: list[Rule] = []
+    for disjunct in disjuncts:
+        if isinstance(update, Insertion):
+            expanded.extend(_expand_rule_for_insertion(disjunct, update))
+        else:
+            expanded.extend(_expand_rule_for_deletion(disjunct, update))
+    if not expanded:
+        # The constraint can never fire after the update; encode "false"
+        # as a panic rule over an impossible comparison on a dummy subgoal
+        # of the constraint itself (simplest: reuse an original disjunct
+        # with a contradictory ground comparison).
+        base = disjuncts[0]
+        false_rule = Rule(
+            base.head,
+            base.body + (Comparison(Constant(0), ComparisonOp.LT, Constant(0)),),
+        )
+        expanded = [false_rule]
+    return Constraint(Program(tuple(expanded)), f"{constraint.name}{update}")
+
+
+def rewrite(constraint: Constraint, update: Update, style: str = "auto") -> Constraint:
+    """Construct C' with ``C'(D) == C(update(D))`` for every database D.
+
+    Styles:
+
+    * ``"rules"`` — rule addition (insertions) / negated helper
+      (deletions); the Theorem 4.2 / Example 4.2 constructions;
+    * ``"arith"`` — deletions via column disequalities (Example 4.2);
+    * ``"union"`` — flat union-of-CQs expansion (Figs. 4.1/4.2 witness);
+    * ``"auto"`` — union expansion when the constraint unfolds, rule
+      addition otherwise (recursive constraints).
+
+    Modifications compose: ``C(mod(D)) = C(insert(delete(D)))``, so the
+    insertion rewrite is applied first, then the deletion rewrite.
+    """
+    from repro.updates.update import Modification
+
+    if isinstance(update, Modification):
+        insert_style = "rules" if style == "arith" else style
+        after_insert = rewrite(constraint, update.insertion, insert_style)
+        return rewrite(after_insert, update.deletion, style)
+    if style == "auto":
+        try:
+            return rewrite_union_expansion(constraint, update)
+        except NotApplicableError:
+            style = "rules"
+    if style == "union":
+        return rewrite_union_expansion(constraint, update)
+    if style == "rules":
+        if isinstance(update, Insertion):
+            return rewrite_insertion_with_rules(constraint, update)
+        return rewrite_deletion_with_negated_helper(constraint, update)
+    if style == "arith":
+        if isinstance(update, Insertion):
+            raise NotApplicableError(
+                "the disequality construction applies to deletions; "
+                "insertions use 'rules' or 'union'"
+            )
+        return rewrite_deletion_with_disequalities(constraint, update)
+    raise ValueError(f"unknown rewrite style {style!r}")

@@ -1,0 +1,120 @@
+"""Updates: single-tuple insertions and deletions.
+
+Section 4 and Section 5 study constraints under one update at a time; the
+update objects here know how to apply themselves to a database and how to
+undo themselves, which the property tests use to validate the Section 4
+rewritings (``rewritten(D) == original(update(D))`` for random D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.datalog.database import Database
+
+__all__ = ["Insertion", "Deletion", "Update", "apply_update"]
+
+
+@dataclass(frozen=True)
+class Insertion:
+    """Insert one tuple into a base relation."""
+
+    predicate: str
+    values: tuple
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", tuple(self.values))
+
+    def apply(self, db: Database) -> bool:
+        """Mutate *db*; returns True when the database changed."""
+        return db.insert(self.predicate, self.values)
+
+    def applied_copy(self, db: Database) -> Database:
+        new = db.copy()
+        self.apply(new)
+        return new
+
+    def inverted(self) -> "Deletion":
+        return Deletion(self.predicate, self.values)
+
+    def __str__(self) -> str:
+        return f"+{self.predicate}{self.values!r}"
+
+
+@dataclass(frozen=True)
+class Deletion:
+    """Delete one tuple from a base relation."""
+
+    predicate: str
+    values: tuple
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", tuple(self.values))
+
+    def apply(self, db: Database) -> bool:
+        return db.delete(self.predicate, self.values)
+
+    def applied_copy(self, db: Database) -> Database:
+        new = db.copy()
+        self.apply(new)
+        return new
+
+    def inverted(self) -> "Insertion":
+        return Insertion(self.predicate, self.values)
+
+    def __str__(self) -> str:
+        return f"-{self.predicate}{self.values!r}"
+
+
+@dataclass(frozen=True)
+class Modification:
+    """Replace one tuple by another in a base relation.
+
+    Semantically the composition delete(old) then insert(new); the paper
+    treats insertions and deletions as primitive ("modifications to the
+    database"), and every analysis of a modification here goes through
+    that composition — except the complete local test, where the
+    *deleted* tuple still contributes its reduction (the constraint held
+    while it was present, so its forbidden region is still known clear).
+    """
+
+    predicate: str
+    old_values: tuple
+    new_values: tuple
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "old_values", tuple(self.old_values))
+        object.__setattr__(self, "new_values", tuple(self.new_values))
+
+    @property
+    def deletion(self) -> Deletion:
+        return Deletion(self.predicate, self.old_values)
+
+    @property
+    def insertion(self) -> Insertion:
+        return Insertion(self.predicate, self.new_values)
+
+    def apply(self, db: Database) -> bool:
+        removed = self.deletion.apply(db)
+        added = self.insertion.apply(db)
+        return removed or added
+
+    def applied_copy(self, db: Database) -> Database:
+        new = db.copy()
+        self.apply(new)
+        return new
+
+    def inverted(self) -> "Modification":
+        return Modification(self.predicate, self.new_values, self.old_values)
+
+    def __str__(self) -> str:
+        return f"~{self.predicate}{self.old_values!r}->{self.new_values!r}"
+
+
+Update = Union[Insertion, Deletion, Modification]
+
+
+def apply_update(db: Database, update: Update) -> Database:
+    """Non-mutating application: a copy of *db* with *update* applied."""
+    return update.applied_copy(db)

@@ -1,0 +1,147 @@
+"""View maintenance — Application 3 of Section 2.
+
+"We are given an expression defining a view V of a database D, and we
+want to know whether and how updates to D can affect the value of V"
+(citing Tompa and Blakeley [1988], Blakeley, Coburn, and Larson [1989],
+and Ceri and Widom [1991]).
+
+The machinery is the same as constraint checking: rewrite the view's
+defining query to reflect the update (Section 4) and compare.  Three
+gradations are offered:
+
+* :func:`is_update_irrelevant` — the update can never change the view
+  (the "detecting irrelevant updates" of Blakeley et al.): the rewritten
+  query is equivalent to the original.
+* :func:`view_insert_delta` — for an insertion, the *delta query* whose
+  result is exactly the set of tuples the update adds to the view
+  (autonomously computable from the update and the base relations).
+* :func:`update_can_only_grow` / :func:`update_can_only_shrink` — one-
+  sided containments: an insertion into a positively-occurring relation
+  can only add view tuples, etc.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import NotApplicableError, UnsupportedClassError
+from repro.datalog.database import Database
+from repro.datalog.evaluation import Engine
+from repro.datalog.parser import parse_rule
+from repro.datalog.rules import Program, Rule
+from repro.containment.cq import is_contained_in_union_cq
+from repro.containment.cqc import is_contained_in_union_cqc
+from repro.containment.negation import is_contained_with_negation
+from repro.updates.rewrite import (
+    _expand_rule_for_deletion,
+    _expand_rule_for_insertion,
+)
+from repro.updates.update import Insertion, Update
+
+__all__ = [
+    "View",
+    "is_update_irrelevant",
+    "view_insert_delta",
+    "update_can_only_grow",
+    "update_can_only_shrink",
+]
+
+
+class View:
+    """A named view defined by one or more rules with a common head."""
+
+    def __init__(self, definition: Rule | str, name: str | None = None) -> None:
+        if isinstance(definition, str):
+            definition = parse_rule(definition)
+        self.rule = definition
+        self.name = name or definition.head.predicate
+        self._engine = Engine(Program((definition,)))
+
+    @property
+    def head_predicate(self) -> str:
+        return self.rule.head.predicate
+
+    def evaluate(self, db: Database) -> frozenset[tuple]:
+        return self._engine.evaluate_predicate(db, self.head_predicate)
+
+    def rewritten_for(self, update: Update) -> list[Rule]:
+        """The view's defining disjuncts over the pre-update database that
+        compute the post-update view (the Section 4 construction)."""
+        if isinstance(update, Insertion):
+            return _expand_rule_for_insertion(self.rule, update)
+        return _expand_rule_for_deletion(self.rule, update)
+
+    def __repr__(self) -> str:
+        return f"View({self.name!r}: {self.rule})"
+
+
+def _union_contained(left: list[Rule], right: list[Rule]) -> bool:
+    """Dispatch containment of unions by feature set."""
+    rules = left + right
+    if any(rule.negations for rule in rules):
+        return all(is_contained_with_negation(rule, right) for rule in left)
+    if any(rule.comparisons for rule in rules):
+        return all(is_contained_in_union_cqc(rule, right) for rule in left)
+    return all(is_contained_in_union_cq(rule, right) for rule in left)
+
+
+def is_update_irrelevant(view: View, update: Update) -> bool:
+    """True when *update* provably cannot change the view's value on any
+    database — the Blakeley–Coburn–Larson "irrelevant update" notion.
+    """
+    if update.predicate not in view.rule.body_predicates():
+        return True
+    rewritten = view.rewritten_for(update)
+    original = [view.rule]
+    try:
+        return _union_contained(rewritten, original) and _union_contained(
+            original, rewritten
+        )
+    except (NotApplicableError, UnsupportedClassError):
+        return False  # cannot decide: conservatively relevant
+
+
+def update_can_only_grow(view: View, update: Update) -> bool:
+    """True when the update can only ADD tuples to the view
+    (``V(D) subseteq V(update(D))`` for all D)."""
+    rewritten = view.rewritten_for(update)
+    try:
+        return _union_contained([view.rule], rewritten)
+    except (NotApplicableError, UnsupportedClassError):
+        return False
+
+
+def update_can_only_shrink(view: View, update: Update) -> bool:
+    """True when the update can only REMOVE tuples from the view."""
+    rewritten = view.rewritten_for(update)
+    try:
+        return _union_contained(rewritten, [view.rule])
+    except (NotApplicableError, UnsupportedClassError):
+        return False
+
+
+def view_insert_delta(view: View, update: Insertion) -> Optional[Program]:
+    """A program computing the tuples the insertion adds to the view,
+    evaluated against the PRE-update database.
+
+    The delta is the union of the rewritten disjuncts that actually use
+    the inserted tuple (every disjunct except the all-old one); it is
+    "autonomously computable" in the Tompa–Blakeley sense whenever the
+    view has no negated occurrence of the updated predicate.
+
+    Returns ``None`` when the update cannot affect the view at all.
+    """
+    if update.predicate not in view.rule.body_predicates():
+        return None
+    for negation in view.rule.negations:
+        if negation.predicate == update.predicate:
+            raise NotApplicableError(
+                "the inserted predicate occurs negated: the delta is not a "
+                "monotone insertion delta"
+            )
+    disjuncts = _expand_rule_for_insertion(view.rule, update)
+    # Drop the all-old disjunct (identical to the original rule body).
+    delta_rules = [rule for rule in disjuncts if rule.body != view.rule.body]
+    if not delta_rules:
+        return None
+    return Program(tuple(delta_rules))

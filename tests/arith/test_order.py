@@ -1,0 +1,128 @@
+"""Tests for the dense total order over constants."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arith.order import (
+    NEG_INF,
+    POS_INF,
+    compare_values,
+    comparison_holds,
+    midpoint,
+    sort_key,
+    value_above,
+    value_below,
+)
+from repro.datalog.atoms import ComparisonOp
+
+VALUES = st.one_of(
+    st.integers(-50, 50),
+    st.fractions(max_denominator=20),
+    st.text(alphabet="abcXYZ", max_size=4),
+)
+
+
+class TestCompare:
+    def test_numbers(self):
+        assert compare_values(1, 2) == -1
+        assert compare_values(2, 1) == 1
+        assert compare_values(1, 1.0) == 0
+        assert compare_values(Fraction(1, 2), 0.5) == 0
+
+    def test_strings(self):
+        assert compare_values("apple", "banana") == -1
+        assert compare_values("b", "b") == 0
+
+    def test_numbers_below_strings(self):
+        assert compare_values(10**9, "") == -1
+
+    def test_sentinels(self):
+        assert compare_values(NEG_INF, -(10**18)) == -1
+        assert compare_values("zzz", POS_INF) == -1
+        assert compare_values(NEG_INF, POS_INF) == -1
+        assert compare_values(NEG_INF, NEG_INF) == 0
+        assert compare_values(POS_INF, POS_INF) == 0
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            compare_values(object(), 1)
+
+    @given(VALUES, VALUES)
+    def test_antisymmetry(self, a, b):
+        assert compare_values(a, b) == -compare_values(b, a)
+
+    @given(VALUES, VALUES, VALUES)
+    def test_transitivity(self, a, b, c):
+        if compare_values(a, b) <= 0 and compare_values(b, c) <= 0:
+            assert compare_values(a, c) <= 0
+
+    @given(VALUES, VALUES)
+    def test_sort_key_agrees(self, a, b):
+        assert (sort_key(a) < sort_key(b)) == (compare_values(a, b) < 0)
+
+
+class TestComparisonHolds:
+    def test_each_operator(self):
+        assert comparison_holds(ComparisonOp.LT, 1, 2)
+        assert comparison_holds(ComparisonOp.LE, 2, 2)
+        assert comparison_holds(ComparisonOp.GT, 3, 2)
+        assert comparison_holds(ComparisonOp.GE, 2, 2)
+        assert comparison_holds(ComparisonOp.EQ, 2, 2.0)
+        assert comparison_holds(ComparisonOp.NE, 2, 3)
+
+    @given(VALUES, VALUES)
+    def test_negation_complements(self, a, b):
+        for op in ComparisonOp:
+            assert comparison_holds(op, a, b) != comparison_holds(op.negated, a, b)
+
+    @given(VALUES, VALUES)
+    def test_flip_preserves(self, a, b):
+        for op in ComparisonOp:
+            assert comparison_holds(op, a, b) == comparison_holds(op.flipped, b, a)
+
+
+class TestDensityWitnesses:
+    @given(VALUES, VALUES)
+    def test_midpoint_strictly_between(self, a, b):
+        if compare_values(a, b) < 0:
+            mid = midpoint(a, b)
+            assert compare_values(a, mid) < 0
+            assert compare_values(mid, b) < 0
+
+    def test_midpoint_requires_order(self):
+        with pytest.raises(ValueError):
+            midpoint(2, 1)
+        with pytest.raises(ValueError):
+            midpoint(1, 1)
+
+    def test_midpoint_with_sentinels(self):
+        assert compare_values(midpoint(NEG_INF, 5), 5) < 0
+        assert compare_values(3, midpoint(3, POS_INF)) < 0
+        mid = midpoint(NEG_INF, POS_INF)
+        assert compare_values(NEG_INF, mid) < 0 and compare_values(mid, POS_INF) < 0
+
+    def test_midpoint_number_to_string(self):
+        mid = midpoint(7, "abc")
+        assert compare_values(7, mid) < 0 and compare_values(mid, "abc") < 0
+
+    def test_midpoint_nested_string_prefixes(self):
+        mid = midpoint("ab", "abX")
+        assert compare_values("ab", mid) < 0 and compare_values(mid, "abX") < 0
+
+    def test_adjacent_strings_raise(self):
+        # "a" and "a\x00" are lexicographic neighbours: no point between.
+        with pytest.raises(ValueError):
+            midpoint("a", "a\x00")
+
+    @given(VALUES)
+    def test_value_below_above(self, a):
+        assert compare_values(value_below(a), a) < 0
+        assert compare_values(a, value_above(a)) < 0
+
+    def test_extremes_rejected(self):
+        with pytest.raises(ValueError):
+            value_below(NEG_INF)
+        with pytest.raises(ValueError):
+            value_above(POS_INF)

@@ -1,0 +1,248 @@
+"""Tests for the comparison-conjunction solver over the dense order.
+
+The brute-force cross-check assigns small rational values exhaustively,
+giving an independent (if slow) decision procedure for satisfiability.
+"""
+
+import itertools
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arith.order import comparison_holds
+from repro.arith.solver import ComparisonSystem
+from repro.datalog.atoms import Comparison, ComparisonOp
+from repro.datalog.terms import Constant, Variable
+
+W, X, Y, Z = Variable("W"), Variable("X"), Variable("Y"), Variable("Z")
+
+
+def cmp(left, op, right):
+    return Comparison(left, op, right)
+
+
+def brute_force_satisfiable(comparisons, variables, candidate_values):
+    """Exhaustive assignment search — exact on a large enough value grid."""
+    variables = sorted(variables, key=lambda v: v.name)
+    for combo in itertools.product(candidate_values, repeat=len(variables)):
+        assignment = dict(zip(variables, combo))
+
+        def val(term):
+            return assignment[term] if isinstance(term, Variable) else term.value
+
+        if all(
+            comparison_holds(c.op, val(c.left), val(c.right)) for c in comparisons
+        ):
+            return True
+    return False
+
+
+class TestSatisfiability:
+    def test_empty_system(self):
+        assert ComparisonSystem().is_satisfiable()
+
+    def test_simple_chain(self):
+        system = ComparisonSystem([cmp(X, ComparisonOp.LT, Y), cmp(Y, ComparisonOp.LT, Z)])
+        assert system.is_satisfiable()
+
+    def test_strict_cycle_unsat(self):
+        system = ComparisonSystem(
+            [cmp(X, ComparisonOp.LT, Y), cmp(Y, ComparisonOp.LE, X)]
+        )
+        assert not system.is_satisfiable()
+
+    def test_nonstrict_cycle_forces_equality(self):
+        system = ComparisonSystem(
+            [cmp(X, ComparisonOp.LE, Y), cmp(Y, ComparisonOp.LE, X)]
+        )
+        assert system.is_satisfiable()
+        assert system.entails(cmp(X, ComparisonOp.EQ, Y))
+
+    def test_disequality_vs_forced_equality(self):
+        system = ComparisonSystem(
+            [
+                cmp(X, ComparisonOp.LE, Y),
+                cmp(Y, ComparisonOp.LE, Z),
+                cmp(Z, ComparisonOp.LE, X),
+                cmp(X, ComparisonOp.NE, Z),
+            ]
+        )
+        assert not system.is_satisfiable()
+
+    def test_disequality_harmless_in_dense_order(self):
+        system = ComparisonSystem(
+            [cmp(X, ComparisonOp.LE, Y), cmp(X, ComparisonOp.NE, Y)]
+        )
+        assert system.is_satisfiable()
+        assert system.entails(cmp(X, ComparisonOp.LT, Y))
+
+    def test_self_disequality_unsat(self):
+        assert not ComparisonSystem([cmp(X, ComparisonOp.NE, X)]).is_satisfiable()
+
+    def test_ground_contradiction(self):
+        assert not ComparisonSystem(
+            [cmp(Constant(3), ComparisonOp.LT, Constant(2))]
+        ).is_satisfiable()
+
+    def test_constant_sandwich(self):
+        system = ComparisonSystem(
+            [
+                cmp(Constant(1), ComparisonOp.LT, X),
+                cmp(X, ComparisonOp.LT, Constant(2)),
+            ]
+        )
+        assert system.is_satisfiable()  # dense order: room between 1 and 2
+
+    def test_constant_squeeze_unsat(self):
+        system = ComparisonSystem(
+            [
+                cmp(Constant(2), ComparisonOp.LE, X),
+                cmp(X, ComparisonOp.LE, Constant(2)),
+                cmp(X, ComparisonOp.NE, Constant(2)),
+            ]
+        )
+        assert not system.is_satisfiable()
+
+    def test_constants_seed_their_order(self):
+        system = ComparisonSystem(
+            [
+                cmp(X, ComparisonOp.LE, Constant(1)),
+                cmp(Constant(5), ComparisonOp.LE, X),
+            ]
+        )
+        assert not system.is_satisfiable()
+
+    def test_mixed_type_constants(self):
+        system = ComparisonSystem(
+            [
+                cmp(Constant("apple"), ComparisonOp.LT, X),
+                cmp(X, ComparisonOp.LT, Constant(100)),
+            ]
+        )
+        # strings sort above all numbers: no X above "apple" yet below 100
+        assert not system.is_satisfiable()
+
+
+class TestEntailment:
+    def test_transitive_entailment(self):
+        system = ComparisonSystem(
+            [cmp(X, ComparisonOp.LT, Y), cmp(Y, ComparisonOp.LE, Z)]
+        )
+        assert system.entails(cmp(X, ComparisonOp.LT, Z))
+        assert system.entails(cmp(X, ComparisonOp.NE, Z))
+        assert not system.entails(cmp(Z, ComparisonOp.LT, X))
+
+    def test_unsat_entails_everything(self):
+        system = ComparisonSystem([cmp(X, ComparisonOp.LT, X)])
+        assert system.entails(cmp(Y, ComparisonOp.LT, Z))
+
+    def test_example_51_simplification(self):
+        # U = T and V = S entail nothing about U vs V alone...
+        system = ComparisonSystem(
+            [
+                cmp(Variable("U"), ComparisonOp.EQ, Variable("T")),
+                cmp(Variable("V"), ComparisonOp.EQ, Variable("S")),
+            ]
+        )
+        assert not system.entails(cmp(Variable("U"), ComparisonOp.LE, Variable("V")))
+
+
+class TestModel:
+    def check_model(self, comparisons):
+        system = ComparisonSystem(comparisons)
+        model = system.model()
+        if model is None:
+            assert not system.is_satisfiable()
+            return None
+        for comparison in comparisons:
+            def val(term):
+                return model[term] if isinstance(term, Variable) else term.value
+            assert comparison_holds(comparison.op, val(comparison.left), val(comparison.right)), (
+                f"{comparison} fails under {model}"
+            )
+        return model
+
+    def test_model_simple(self):
+        self.check_model([cmp(X, ComparisonOp.LT, Y), cmp(Y, ComparisonOp.LT, Z)])
+
+    def test_model_with_constants(self):
+        model = self.check_model(
+            [
+                cmp(X, ComparisonOp.LT, Constant(5)),
+                cmp(Constant(5), ComparisonOp.LT, Y),
+                cmp(X, ComparisonOp.NE, Constant(0)),
+            ]
+        )
+        assert model is not None
+
+    def test_model_pins_equalities_to_constants(self):
+        model = self.check_model([cmp(X, ComparisonOp.EQ, Constant(7))])
+        assert model[X] == 7
+
+    def test_model_between_tight_constants(self):
+        model = self.check_model(
+            [
+                cmp(Constant(1), ComparisonOp.LT, X),
+                cmp(X, ComparisonOp.LT, Y),
+                cmp(Y, ComparisonOp.LT, Constant(2)),
+            ]
+        )
+        assert model is not None  # needs two distinct rationals in (1,2)
+
+    def test_model_none_when_unsat(self):
+        assert ComparisonSystem([cmp(X, ComparisonOp.LT, X)]).model() is None
+
+    def test_model_distinctness_for_unrelated_vars(self):
+        # Unrelated variables still get distinct values, so <> holds.
+        model = self.check_model([cmp(X, ComparisonOp.NE, Y)])
+        assert model[X] != model[Y]
+
+
+COMPARISON_STRATEGY = st.builds(
+    Comparison,
+    st.sampled_from([W, X, Y, Z, Constant(0), Constant(1), Constant(2)]),
+    st.sampled_from(list(ComparisonOp)),
+    st.sampled_from([W, X, Y, Z, Constant(0), Constant(1), Constant(2)]),
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(COMPARISON_STRATEGY, max_size=6))
+def test_solver_matches_brute_force(comparisons):
+    variables = {v for c in comparisons for v in c.variables()}
+    system = ComparisonSystem(comparisons)
+    # Grid: the constants plus enough rationals between/around them.
+    grid = [Fraction(n, 2) for n in range(-2, 7)]
+    brute = brute_force_satisfiable(comparisons, variables, grid)
+    if system.is_satisfiable():
+        # The solver may be satisfiable where the grid is too coarse; the
+        # model check is the real guarantee.  Variables appearing only in
+        # trivial literals (e.g. W <= W) are unconstrained and absent from
+        # the model: any value works for them.
+        model = system.model()
+        assert model is not None
+        for comparison in comparisons:
+            def val(term):
+                return model.get(term, 0) if isinstance(term, Variable) else term.value
+            assert comparison_holds(comparison.op, val(comparison.left), val(comparison.right))
+    else:
+        assert not brute, f"solver says unsat but {comparisons} has a model"
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(COMPARISON_STRATEGY, max_size=5), COMPARISON_STRATEGY)
+def test_entailment_consistent_with_models(comparisons, conclusion):
+    system = ComparisonSystem(comparisons)
+    if system.entails(conclusion):
+        model = system.model()
+        if model is not None:
+            def val(term):
+                return model[term] if isinstance(term, Variable) else term.value
+            missing = [t for t in (conclusion.left, conclusion.right)
+                       if isinstance(t, Variable) and t not in model]
+            if not missing:
+                assert comparison_holds(
+                    conclusion.op, val(conclusion.left), val(conclusion.right)
+                )

@@ -1,0 +1,73 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datalog import Database, parse_program, parse_rule
+
+
+def make_random_database(
+    rng: random.Random,
+    predicates: dict[str, int],
+    domain_size: int = 4,
+    max_facts: int = 12,
+) -> Database:
+    """A small random database over the given predicate/arity signature."""
+    db = Database()
+    names = sorted(predicates)
+    for _ in range(rng.randint(0, max_facts)):
+        pred = rng.choice(names)
+        fact = tuple(rng.randrange(domain_size) for _ in range(predicates[pred]))
+        db.insert(pred, fact)
+    return db
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+# -- the paper's running constraints -------------------------------------------
+
+@pytest.fixture
+def example_21():
+    """Example 2.1: nobody in both sales and accounting."""
+    return parse_rule("panic :- emp(E,sales) & emp(E,accounting)")
+
+
+@pytest.fixture
+def example_22():
+    """Example 2.2: low-paid employees must have an existing department."""
+    return parse_program("panic :- emp(E,D,S) & not dept(D) & S < 100")
+
+
+@pytest.fixture
+def example_23():
+    """Example 2.3: salaries within the department's range."""
+    return parse_program(
+        """
+        panic :- emp(E,D,S) & salRange(D,Low,High) & S < Low
+        panic :- emp(E,D,S) & salRange(D,Low,High) & S > High
+        """
+    )
+
+
+@pytest.fixture
+def example_24():
+    """Example 2.4: no employee is his or her own boss."""
+    return parse_program(
+        """
+        panic :- boss(E,E)
+        boss(E,M) :- emp(E,D,S) & manager(D,M)
+        boss(E,F) :- boss(E,G) & boss(G,F)
+        """
+    )
+
+
+@pytest.fixture
+def forbidden_intervals_cqc():
+    """The running CQC of Examples 5.3 and 6.1."""
+    return parse_rule("panic :- l(X,Y) & r(Z) & X<=Z & Z<=Y")

@@ -1,0 +1,128 @@
+"""Fig. 2.1 lattice tests: twelve classes, ordering, classification."""
+
+import pytest
+
+from repro.constraints.classify import (
+    ALL_CLASSES,
+    ConstraintClass,
+    Shape,
+    classify_program,
+    classify_rule,
+    iter_subclasses,
+)
+from repro.datalog.parser import parse_program, parse_rule
+
+
+class TestLattice:
+    def test_exactly_twelve_classes(self):
+        assert len(ALL_CLASSES) == 12
+        assert len(set(ALL_CLASSES)) == 12
+
+    def test_bottom_and_top(self):
+        bottom = ConstraintClass(Shape.SINGLE_CQ, False, False)
+        top = ConstraintClass(Shape.RECURSIVE_DATALOG, True, True)
+        for cls in ALL_CLASSES:
+            assert bottom.is_subclass_of(cls)
+            assert cls.is_subclass_of(top)
+
+    def test_partial_order_antisymmetry(self):
+        for a in ALL_CLASSES:
+            for b in ALL_CLASSES:
+                if a.is_subclass_of(b) and b.is_subclass_of(a):
+                    assert a == b
+
+    def test_partial_order_transitivity(self):
+        for a in ALL_CLASSES:
+            for b in ALL_CLASSES:
+                for c in ALL_CLASSES:
+                    if a.is_subclass_of(b) and b.is_subclass_of(c):
+                        assert a.is_subclass_of(c)
+
+    def test_join_is_least_upper_bound(self):
+        for a in ALL_CLASSES:
+            for b in ALL_CLASSES:
+                j = a.join(b)
+                assert a.is_subclass_of(j) and b.is_subclass_of(j)
+                for c in ALL_CLASSES:
+                    if a.is_subclass_of(c) and b.is_subclass_of(c):
+                        assert j.is_subclass_of(c)
+
+    def test_incomparable_classes_exist(self):
+        neg = ConstraintClass(Shape.SINGLE_CQ, True, False)
+        arith = ConstraintClass(Shape.SINGLE_CQ, False, True)
+        assert not neg.is_subclass_of(arith)
+        assert not arith.is_subclass_of(neg)
+
+    def test_names_unique(self):
+        assert len({cls.name for cls in ALL_CLASSES}) == 12
+
+    def test_iter_subclasses(self):
+        top = ConstraintClass(Shape.RECURSIVE_DATALOG, True, True)
+        assert len(list(iter_subclasses(top))) == 12
+        bottom = ConstraintClass(Shape.SINGLE_CQ, False, False)
+        assert list(iter_subclasses(bottom)) == [bottom]
+
+
+class TestClassifyPaperExamples:
+    def test_example_21_is_plain_cq(self, example_21):
+        cls = classify_rule(example_21)
+        assert cls == ConstraintClass(Shape.SINGLE_CQ, False, False)
+        assert cls.is_plain_cq
+
+    def test_example_22_cq_neg_arith(self, example_22):
+        cls = classify_program(example_22)
+        assert cls == ConstraintClass(Shape.SINGLE_CQ, True, True)
+
+    def test_example_23_ucq_arith(self, example_23):
+        """'Nonrecursive datalog with arithmetic comparison predicates ...
+        the same as finite unions of CQ's.'"""
+        cls = classify_program(example_23)
+        assert cls == ConstraintClass(Shape.UNION_OF_CQS, False, True)
+
+    def test_example_24_recursive(self, example_24):
+        cls = classify_program(example_24)
+        assert cls == ConstraintClass(Shape.RECURSIVE_DATALOG, False, False)
+
+
+class TestClassifyStructure:
+    def test_intermediate_predicates_mean_union(self):
+        program = parse_program(
+            """
+            ok(D) :- dept(D)
+            panic :- emp(E,D) & ok(D)
+            """
+        )
+        assert classify_program(program).shape is Shape.UNION_OF_CQS
+
+    def test_single_rule_over_edb_is_cq(self):
+        program = parse_program("panic :- emp(E,D)")
+        assert classify_program(program).shape is Shape.SINGLE_CQ
+
+    def test_cqc_flag(self):
+        cls = classify_rule(parse_rule("panic :- r(Z) & Z < 5"))
+        assert cls.is_cqc
+        assert not classify_rule(parse_rule("panic :- r(Z) & not s(Z)")).is_cqc
+
+    def test_every_class_is_reachable_by_some_program(self):
+        samples = {
+            (Shape.SINGLE_CQ, False, False): "panic :- e(X)",
+            (Shape.SINGLE_CQ, False, True): "panic :- e(X) & X < 1",
+            (Shape.SINGLE_CQ, True, False): "panic :- e(X) & not f(X)",
+            (Shape.SINGLE_CQ, True, True): "panic :- e(X) & not f(X) & X < 1",
+            (Shape.UNION_OF_CQS, False, False): "panic :- e(X)\npanic :- f(X)",
+            (Shape.UNION_OF_CQS, False, True): "panic :- e(X) & X<1\npanic :- f(X)",
+            (Shape.UNION_OF_CQS, True, False): "panic :- e(X) & not f(X)\npanic :- f(X)",
+            (Shape.UNION_OF_CQS, True, True): "panic :- e(X) & not f(X) & X<1\npanic :- f(X)",
+            (Shape.RECURSIVE_DATALOG, False, False):
+                "panic :- t(X,X)\nt(X,Y) :- e(X,Y)\nt(X,Z) :- t(X,Y) & e(Y,Z)",
+            (Shape.RECURSIVE_DATALOG, False, True):
+                "panic :- t(X,X)\nt(X,Y) :- e(X,Y) & X<Y\nt(X,Z) :- t(X,Y) & e(Y,Z)",
+            (Shape.RECURSIVE_DATALOG, True, False):
+                "panic :- t(X,X) & not f(X)\nt(X,Y) :- e(X,Y)\nt(X,Z) :- t(X,Y) & e(Y,Z)",
+            (Shape.RECURSIVE_DATALOG, True, True):
+                "panic :- t(X,X) & not f(X) & X<1\nt(X,Y) :- e(X,Y)\nt(X,Z) :- t(X,Y) & e(Y,Z)",
+        }
+        assert len(samples) == 12
+        for (shape, neg, arith), text in samples.items():
+            cls = classify_program(parse_program(text))
+            assert cls == ConstraintClass(shape, neg, arith), text

@@ -1,0 +1,105 @@
+"""Constraint and ConstraintSet tests."""
+
+import pytest
+
+from repro.errors import NotApplicableError, UnsupportedClassError
+from repro.constraints.constraint import Constraint, ConstraintSet
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_rule
+
+
+class TestConstraintConstruction:
+    def test_from_string(self):
+        constraint = Constraint("panic :- emp(E,D) & not dept(D)", "ref")
+        assert constraint.name == "ref"
+        assert constraint.predicates() == {"emp", "dept"}
+
+    def test_from_rule(self):
+        constraint = Constraint(parse_rule("panic :- e(X)"))
+        assert constraint.is_single_rule
+
+    def test_requires_panic(self):
+        with pytest.raises(UnsupportedClassError):
+            Constraint("q(X) :- e(X)")
+
+    def test_panic_must_be_zero_ary(self):
+        with pytest.raises(UnsupportedClassError):
+            Constraint("panic(X) :- e(X)")
+
+
+class TestEvaluation:
+    def test_holds_and_violated(self):
+        constraint = Constraint("panic :- emp(E, ghost)")
+        db = Database({"emp": [("a", "sales")]})
+        assert constraint.holds(db)
+        db.insert("emp", ("b", "ghost"))
+        assert constraint.is_violated(db)
+
+    def test_engine_cached(self):
+        constraint = Constraint("panic :- e(X)")
+        assert constraint.engine is constraint.engine
+
+
+class TestViews:
+    def test_as_rule_single(self):
+        constraint = Constraint("panic :- e(X) & X < 1")
+        assert constraint.as_rule().comparisons
+
+    def test_as_rule_multi_raises(self, example_23):
+        constraint = Constraint(example_23, "ranges")
+        with pytest.raises(NotApplicableError):
+            constraint.as_rule()
+
+    def test_as_union(self, example_23):
+        constraint = Constraint(example_23, "ranges")
+        union = constraint.as_union()
+        assert len(union) == 2
+        assert all(rule.head.predicate == "panic" for rule in union)
+
+    def test_as_union_recursive_raises(self, example_24):
+        constraint = Constraint(example_24, "boss")
+        with pytest.raises(NotApplicableError):
+            constraint.as_union()
+
+    def test_predicates_are_edb_only(self, example_24):
+        constraint = Constraint(example_24, "boss")
+        assert constraint.predicates() == {"emp", "manager"}
+
+
+class TestConstraintSet:
+    def build(self):
+        return ConstraintSet(
+            [
+                Constraint("panic :- emp(E, ghost)", "no-ghost"),
+                Constraint("panic :- emp(E, D) & not dept(D)", "ref"),
+            ]
+        )
+
+    def test_iteration_order(self):
+        constraints = self.build()
+        assert constraints.names() == ["no-ghost", "ref"]
+
+    def test_lookup_by_name_and_index(self):
+        constraints = self.build()
+        assert constraints["ref"].name == "ref"
+        assert constraints[0].name == "no-ghost"
+
+    def test_duplicate_names_rejected(self):
+        constraints = self.build()
+        with pytest.raises(ValueError):
+            constraints.add(Constraint("panic :- e(X)", "ref"))
+
+    def test_others(self):
+        constraints = self.build()
+        ref = constraints["ref"]
+        assert [c.name for c in constraints.others(ref)] == ["no-ghost"]
+
+    def test_violated_ordering(self):
+        constraints = self.build()
+        db = Database({"emp": [("a", "ghost")]})
+        violated = constraints.violated(db)
+        assert [c.name for c in violated] == ["no-ghost", "ref"]
+        assert not constraints.holds_all(db)
+
+    def test_predicates_union(self):
+        assert self.build().predicates() == {"emp", "dept"}

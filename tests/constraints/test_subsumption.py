@@ -1,0 +1,129 @@
+"""Subsumption tests (Theorems 3.1 and 3.2)."""
+
+import pytest
+
+from repro.errors import UndecidableError
+from repro.constraints.constraint import Constraint
+from repro.constraints.subsumption import (
+    containment_as_subsumption,
+    cq_containment_via_subsumption,
+    refute_subsumption_by_sampling,
+    subsumes,
+)
+from repro.containment.cq import is_contained_cq
+from repro.datalog.parser import parse_rule
+
+
+class TestTheorem31:
+    def test_tighter_bound_subsumed(self):
+        loose = Constraint("panic :- emp(E,D,S) & S > 100", "loose")
+        tight = Constraint("panic :- emp(E,D,S) & S > 200", "tight")
+        assert subsumes([loose], tight)
+        assert not subsumes([tight], loose)
+
+    def test_union_subsumption(self):
+        """A constraint may need several subsuming constraints at once."""
+        target = Constraint("panic :- r(Z) & 4<=Z & Z<=8", "mid")
+        low = Constraint("panic :- r(Z) & 3<=Z & Z<=6", "low")
+        high = Constraint("panic :- r(Z) & 5<=Z & Z<=10", "high")
+        assert subsumes([low, high], target)
+        assert not subsumes([low], target)
+        assert not subsumes([high], target)
+
+    def test_plain_cq_subsumption(self):
+        specific = Constraint("panic :- emp(E, sales)", "sales")
+        general = Constraint("panic :- emp(E, D)", "any")
+        assert subsumes([general], specific)
+        assert not subsumes([specific], general)
+
+    def test_ucq_target_checked_per_disjunct(self):
+        target = Constraint(
+            """
+            panic :- emp(E, sales)
+            panic :- emp(E, toys)
+            """,
+            "either",
+        )
+        general = Constraint("panic :- emp(E, D)", "any")
+        assert subsumes([general], target)
+        partial = Constraint("panic :- emp(E, sales)", "sales-only")
+        assert not subsumes([partial], target)
+
+    def test_negation_subsumption(self):
+        narrow = Constraint("panic :- emp(E,D) & not dept(D) & D <> toy", "narrow")
+        wide = Constraint("panic :- emp(E,D) & not dept(D)", "wide")
+        assert subsumes([wide], narrow)
+        assert not subsumes([narrow], wide)
+
+    def test_negation_with_comparisons(self):
+        cheap = Constraint("panic :- emp(E,D,S) & not dept(D) & S < 100", "cheap")
+        anyone = Constraint("panic :- emp(E,D,S) & not dept(D)", "anyone")
+        assert subsumes([anyone], cheap)
+        assert not subsumes([cheap], anyone)
+
+    def test_recursive_raises_undecidable(self, example_24):
+        recursive = Constraint(example_24, "boss")
+        other = Constraint("panic :- emp(E,D,S) & S > 100", "cap")
+        with pytest.raises(UndecidableError):
+            subsumes([other], recursive)
+        with pytest.raises(UndecidableError):
+            subsumes([recursive], other)
+
+
+class TestTheorem32:
+    def test_reduction_structure(self):
+        q = parse_rule("q(X) :- e(X,Y)")
+        r = parse_rule("q(X) :- e(X,Y) & e(Y,Z)")
+        q_constraint, r_constraint = containment_as_subsumption(q, r)
+        # Both constraints share the moved-head predicate.
+        q_preds = q_constraint.predicates()
+        r_preds = r_constraint.predicates()
+        assert q_preds == r_preds == {"q", "e"}
+
+    def test_head_predicate_renamed_when_in_body(self):
+        q = parse_rule("e(X,Z) :- e(X,Y) & e(Y,Z)")
+        r = parse_rule("e(X,Y) :- e(X,Y)")
+        q_constraint, _ = containment_as_subsumption(q, r)
+        assert "e_goal" in q_constraint.predicates()
+
+    def test_reduction_agrees_with_direct_test(self):
+        cases = [
+            ("q(X) :- e(X,Y) & e(Y,Z)", "q(X) :- e(X,Y)"),
+            ("q(X) :- e(X,Y)", "q(X) :- e(X,Y) & e(Y,Z)"),
+            ("q(X) :- e(X,X)", "q(X) :- e(X,Y)"),
+            ("q(X) :- e(X,a)", "q(X) :- e(X,Y)"),
+            ("q(X) :- e(X,Y) & f(Y)", "q(X) :- e(X,Y)"),
+            ("q(X) :- e(X,Y)", "q(X) :- e(X,Y) & f(Y)"),
+        ]
+        for q_text, r_text in cases:
+            q, r = parse_rule(q_text), parse_rule(r_text)
+            assert cq_containment_via_subsumption(q, r) == is_contained_cq(q, r), (
+                f"{q_text} vs {r_text}"
+            )
+
+
+class TestSampling:
+    def test_finds_witness_for_non_subsumption(self):
+        target = Constraint("panic :- emp(E,D,S) & S > 100", "cap100")
+        other = Constraint("panic :- emp(E,D,S) & S > 200", "cap200")
+        witness = refute_subsumption_by_sampling(
+            [other], target, trials=500, domain_size=300, seed=4
+        )
+        assert witness is not None
+        assert target.is_violated(witness)
+        assert other.holds(witness)
+
+    def test_no_witness_when_subsumed(self):
+        target = Constraint("panic :- emp(E,D,S) & S > 200", "cap200")
+        other = Constraint("panic :- emp(E,D,S) & S > 100", "cap100")
+        assert refute_subsumption_by_sampling([other], target, trials=200) is None
+
+    def test_works_for_recursive_constraints(self, example_24):
+        recursive = Constraint(example_24, "boss")
+        unrelated = Constraint("panic :- emp(E,D,S) & S > 1000000", "cap")
+        witness = refute_subsumption_by_sampling(
+            [unrelated], recursive, trials=500, domain_size=2, seed=9
+        )
+        # Self-boss cycles are easy to hit with a domain of two values.
+        assert witness is not None
+        assert recursive.is_violated(witness)

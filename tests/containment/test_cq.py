@@ -1,0 +1,92 @@
+"""Plain CQ and union-of-CQ containment (Chandra–Merlin, Sagiv–Yannakakis)."""
+
+import pytest
+
+from repro.errors import NotApplicableError
+from repro.containment.cq import (
+    equivalent_cq,
+    is_contained_cq,
+    is_contained_in_union_cq,
+    union_contained_in_union_cq,
+)
+from repro.datalog.parser import parse_rule
+
+
+class TestCQContainment:
+    def test_longer_path_contained_in_shorter(self):
+        two = parse_rule("q(X) :- e(X,Y) & e(Y,Z)")
+        one = parse_rule("q(X) :- e(X,Y)")
+        assert is_contained_cq(two, one)
+        assert not is_contained_cq(one, two)
+
+    def test_loop_contained_in_edge(self):
+        loop = parse_rule("panic :- e(X,X)")
+        edge = parse_rule("panic :- e(X,Y)")
+        assert is_contained_cq(loop, edge)
+        assert not is_contained_cq(edge, loop)
+
+    def test_specific_constant_contained_in_variable(self):
+        specific = parse_rule("panic :- emp(E, sales)")
+        general = parse_rule("panic :- emp(E, D)")
+        assert is_contained_cq(specific, general)
+        assert not is_contained_cq(general, specific)
+
+    def test_equivalence_of_renamings(self):
+        left = parse_rule("q(X) :- e(X, Y) & e(Y, Z)")
+        right = parse_rule("q(A) :- e(A, B) & e(B, C)")
+        assert equivalent_cq(left, right)
+
+    def test_redundant_subgoal_equivalence(self):
+        redundant = parse_rule("q(X) :- e(X,Y) & e(X,Z)")
+        core = parse_rule("q(X) :- e(X,Y)")
+        assert equivalent_cq(redundant, core)
+
+    def test_incomparable_queries(self):
+        left = parse_rule("panic :- e(X,Y) & e(Y,X)")  # 2-cycle
+        right = parse_rule("panic :- e(X,X)")          # self-loop
+        assert is_contained_cq(right, left)  # a self-loop is a 2-cycle
+        assert not is_contained_cq(left, right)
+
+    def test_arith_rejected(self):
+        with pytest.raises(NotApplicableError):
+            is_contained_cq(
+                parse_rule("panic :- e(X) & X < 1"), parse_rule("panic :- e(X)")
+            )
+
+    def test_negation_rejected(self):
+        with pytest.raises(NotApplicableError):
+            is_contained_cq(
+                parse_rule("panic :- e(X) & not f(X)"), parse_rule("panic :- e(X)")
+            )
+
+
+class TestUnionContainment:
+    def test_member_containment_suffices(self):
+        query = parse_rule("panic :- emp(E, sales)")
+        union = [
+            parse_rule("panic :- emp(E, toys)"),
+            parse_rule("panic :- emp(E, D)"),
+        ]
+        assert is_contained_in_union_cq(query, union)
+
+    def test_no_member_contains(self):
+        query = parse_rule("panic :- emp(E, D)")
+        union = [
+            parse_rule("panic :- emp(E, toys)"),
+            parse_rule("panic :- emp(E, sales)"),
+        ]
+        # Sagiv–Yannakakis: without arithmetic the union is no stronger
+        # than its members, so the general query is NOT contained.
+        assert not is_contained_in_union_cq(query, union)
+
+    def test_empty_union(self):
+        assert not is_contained_in_union_cq(parse_rule("panic :- e(X)"), [])
+
+    def test_union_in_union(self):
+        left = [
+            parse_rule("panic :- emp(E, sales)"),
+            parse_rule("panic :- emp(E, toys)"),
+        ]
+        right = [parse_rule("panic :- emp(E, D)")]
+        assert union_contained_in_union_cq(left, right)
+        assert not union_contained_in_union_cq(right, left)

@@ -1,0 +1,173 @@
+"""Theorem 5.1 tests: CQC containment, cross-checked against Klug's test
+and against random-database refutation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.containment.cqc import (
+    equivalent_cqc,
+    is_contained_cqc,
+    is_contained_in_union_cqc,
+    theorem51_certificate,
+)
+from repro.containment.klug import is_contained_klug
+from repro.datalog.database import Database
+from repro.datalog.evaluation import Engine
+from repro.datalog.parser import parse_rule
+from repro.datalog.rules import Program
+from repro.errors import NotApplicableError
+
+
+class TestPaperExamples:
+    def test_example_51(self):
+        """C1: r(U,V) & r(V,U) is contained in C2: r(U,V) & U <= V."""
+        c1 = parse_rule("panic :- r(U,V) & r(V,U)")
+        c2 = parse_rule("panic :- r(U,V) & U <= V")
+        assert is_contained_cqc(c1, c2)
+        assert not is_contained_cqc(c2, c1)
+
+    def test_example_51_certificate(self):
+        c1 = parse_rule("panic :- r(U,V) & r(V,U)")
+        c2 = parse_rule("panic :- r(U,V) & U <= V")
+        certificate = theorem51_certificate(c1, c2)
+        assert certificate["contained"]
+        assert len(certificate["mappings"]) == 2  # both mappings required
+
+    def test_example_52_repeated_variable(self):
+        """p(X,X) and p(X,Y) & X=Y are equivalent — but only after the
+        normalization the theorem's preconditions demand."""
+        c1 = parse_rule("panic :- p(X,X)")
+        c2 = parse_rule("panic :- p(X,Y) & X=Y")
+        assert equivalent_cqc(c1, c2)
+
+    def test_example_52_constant(self):
+        c1 = parse_rule("panic :- p(0,X)")
+        c2 = parse_rule("panic :- p(Z,X) & Z=0")
+        assert equivalent_cqc(c1, c2)
+
+    def test_example_53_union_not_members(self):
+        """RED((4,8)) is contained in the union of RED((3,6)) and
+        RED((5,10)) without being contained in either member — the
+        phenomenon impossible without arithmetic (Sagiv–Yannakakis)."""
+        target = parse_rule("panic :- r(Z) & 4<=Z & Z<=8")
+        member1 = parse_rule("panic :- r(Z) & 3<=Z & Z<=6")
+        member2 = parse_rule("panic :- r(Z) & 5<=Z & Z<=10")
+        assert is_contained_in_union_cqc(target, [member1, member2])
+        assert not is_contained_cqc(target, member1)
+        assert not is_contained_cqc(target, member2)
+
+
+class TestEdgeCases:
+    def test_unsat_base_contained_in_anything(self):
+        c1 = parse_rule("panic :- r(X) & X < X")
+        c2 = parse_rule("panic :- s(Y)")
+        assert is_contained_cqc(c1, c2)
+        assert is_contained_in_union_cqc(c1, [])
+
+    def test_missing_predicate_blocks_containment(self):
+        c1 = parse_rule("panic :- r(X)")
+        c2 = parse_rule("panic :- r(X) & s(Y)")
+        assert not is_contained_cqc(c1, c2)
+        assert is_contained_cqc(c2, c1)
+
+    def test_tautological_comparison_union(self):
+        """panic :- r(U,V) is contained in (U<=V) union (V<=U): totality."""
+        plain = parse_rule("panic :- r(U,V)")
+        le = parse_rule("panic :- r(U,V) & U <= V")
+        ge = parse_rule("panic :- r(U,V) & V <= U")
+        assert is_contained_in_union_cqc(plain, [le, ge])
+        assert not is_contained_in_union_cqc(plain, [le])
+
+    def test_strictness_matters(self):
+        lt = parse_rule("panic :- r(U,V) & U < V")
+        le = parse_rule("panic :- r(U,V) & U <= V")
+        assert is_contained_cqc(lt, le)
+        assert not is_contained_cqc(le, lt)
+
+    def test_negation_rejected(self):
+        with pytest.raises(NotApplicableError):
+            is_contained_cqc(
+                parse_rule("panic :- r(X) & not s(X)"),
+                parse_rule("panic :- r(X)"),
+            )
+
+    def test_nontrivial_heads(self):
+        q1 = parse_rule("q(X) :- r(X,Y) & X < Y")
+        q2 = parse_rule("q(A) :- r(A,B) & A <= B")
+        assert is_contained_cqc(q1, q2)
+        assert not is_contained_cqc(q2, q1)
+
+
+def _random_cqc(rng: random.Random, max_subgoals=2, max_comparisons=2):
+    """A small random CQC over r/2, s/1 with variables X0..X3."""
+    variables = [f"X{i}" for i in range(4)]
+    parts = []
+    used = []
+    for _ in range(rng.randint(1, max_subgoals)):
+        if rng.random() < 0.6:
+            a, b = rng.choice(variables), rng.choice(variables)
+            parts.append(f"r({a},{b})")
+            used += [a, b]
+        else:
+            a = rng.choice(variables)
+            parts.append(f"s({a})")
+            used.append(a)
+    ops = ["<", "<=", "=", "<>", ">", ">="]
+    for _ in range(rng.randint(0, max_comparisons)):
+        left = rng.choice(used)
+        right = rng.choice(used + ["0", "1"])
+        parts.append(f"{left} {rng.choice(ops)} {right}")
+    return parse_rule("panic :- " + " & ".join(parts))
+
+
+class TestAgainstKlug:
+    """Theorem 5.1 and Klug's canonical-database test are both exact, so
+    they must agree everywhere — pairwise and against unions."""
+
+    def test_random_pairs_agree(self):
+        rng = random.Random(2024)
+        for _ in range(120):
+            c1 = _random_cqc(rng)
+            c2 = _random_cqc(rng)
+            assert is_contained_cqc(c1, c2) == is_contained_klug(c1, c2), (
+                f"disagreement on\n  C1: {c1}\n  C2: {c2}"
+            )
+
+    def test_random_unions_agree(self):
+        rng = random.Random(77)
+        for _ in range(60):
+            c1 = _random_cqc(rng, max_subgoals=1)
+            union = [_random_cqc(rng, max_subgoals=1) for _ in range(rng.randint(1, 3))]
+            assert is_contained_in_union_cqc(c1, union) == is_contained_klug(c1, union), (
+                f"disagreement on\n  C1: {c1}\n  union: {[str(u) for u in union]}"
+            )
+
+
+class TestSoundnessByEvaluation:
+    """If the test says contained, no random database may refute it; if it
+    says not contained, a hand-constructed canonical witness must exist —
+    here we sample databases and check one direction."""
+
+    def test_no_refutation_when_contained(self):
+        rng = random.Random(5)
+        checked = 0
+        while checked < 40:
+            c1 = _random_cqc(rng)
+            c2 = _random_cqc(rng)
+            if not is_contained_cqc(c1, c2):
+                continue
+            checked += 1
+            engine1 = Engine(Program((c1,)))
+            engine2 = Engine(Program((c2,)))
+            for _ in range(30):
+                db = Database()
+                for _ in range(rng.randint(0, 6)):
+                    db.insert("r", (rng.randint(0, 3), rng.randint(0, 3)))
+                for _ in range(rng.randint(0, 3)):
+                    db.insert("s", (rng.randint(0, 3),))
+                if engine1.fires(db):
+                    assert engine2.fires(db), (
+                        f"containment claimed but {db} refutes it:\n{c1}\n{c2}"
+                    )

@@ -1,0 +1,97 @@
+"""Tests for Klug's order-enumeration containment test."""
+
+import pytest
+
+from repro.errors import NotApplicableError
+from repro.containment.klug import (
+    canonical_databases,
+    count_weak_orders,
+    is_contained_klug,
+)
+from repro.datalog.evaluation import Engine
+from repro.datalog.parser import parse_rule
+from repro.datalog.rules import Program
+
+
+class TestWeakOrderCounting:
+    def test_fubini_numbers(self):
+        # Ordered set partitions of n elements: 1, 1, 3, 13, 75, 541.
+        assert count_weak_orders(0) == 1
+        assert count_weak_orders(1) == 1
+        assert count_weak_orders(2) == 3
+        assert count_weak_orders(3) == 13
+        assert count_weak_orders(4) == 75
+        assert count_weak_orders(5) == 541
+
+    def test_constants_multiply_the_space(self):
+        # One variable against one constant: below, equal, above.
+        assert count_weak_orders(1, 1) == 3
+        assert count_weak_orders(1, 2) == 5
+
+    def test_enumeration_matches_count(self):
+        c1 = parse_rule("panic :- r(X,Y,Z)")
+        assert sum(1 for _ in canonical_databases(c1)) == count_weak_orders(3)
+
+
+class TestCanonicalDatabases:
+    def test_constraint_fires_on_every_canonical_db(self):
+        c1 = parse_rule("panic :- r(U,V) & r(V,U) & U <= V")
+        engine = Engine(Program((c1,)))
+        count = 0
+        for db, _assignment in canonical_databases(c1):
+            count += 1
+            assert engine.fires(db), f"C1 must fire on its own canonical db {db}"
+        assert count > 0
+
+    def test_inconsistent_orders_skipped(self):
+        c1 = parse_rule("panic :- r(U,V) & U < V & V < U")
+        assert sum(1 for _ in canonical_databases(c1)) == 0
+
+    def test_constants_pinned(self):
+        c1 = parse_rule("panic :- r(X) & X = 5")
+        databases = list(canonical_databases(c1))
+        assert len(databases) == 1
+        db, assignment = databases[0]
+        assert list(db.facts("r")) == [(5,)]
+
+
+class TestContainment:
+    def test_example_51(self):
+        c1 = parse_rule("panic :- r(U,V) & r(V,U)")
+        c2 = parse_rule("panic :- r(U,V) & U <= V")
+        assert is_contained_klug(c1, c2)
+        assert not is_contained_klug(c2, c1)
+
+    def test_union_with_intervals(self):
+        target = parse_rule("panic :- r(Z) & 4<=Z & Z<=8")
+        members = [
+            parse_rule("panic :- r(Z) & 3<=Z & Z<=6"),
+            parse_rule("panic :- r(Z) & 5<=Z & Z<=10"),
+        ]
+        assert is_contained_klug(target, members)
+        assert not is_contained_klug(target, members[:1])
+
+    def test_cross_side_constants_considered(self):
+        # C2's constant must participate in C1's order enumeration.
+        c1 = parse_rule("panic :- r(Z)")
+        c2 = parse_rule("panic :- r(Z) & Z < 5")
+        assert not is_contained_klug(c1, c2)
+        assert is_contained_klug(c2, c1)
+
+    def test_repeated_variables_handled_without_normalization(self):
+        c1 = parse_rule("panic :- p(X,X)")
+        c2 = parse_rule("panic :- p(X,Y) & X=Y")
+        assert is_contained_klug(c1, c2)
+        assert is_contained_klug(c2, c1)
+
+    def test_general_heads(self):
+        q1 = parse_rule("q(X) :- r(X,Y) & X < Y")
+        q2 = parse_rule("q(A) :- r(A,B) & A <= B")
+        assert is_contained_klug(q1, q2)
+        assert not is_contained_klug(q2, q1)
+
+    def test_negation_rejected(self):
+        with pytest.raises(NotApplicableError):
+            is_contained_klug(
+                parse_rule("panic :- r(X) & not s(X)"), parse_rule("panic :- r(X)")
+            )

@@ -1,0 +1,110 @@
+"""Containment-mapping enumeration tests."""
+
+import pytest
+
+from repro.errors import NotApplicableError
+from repro.containment.mappings import (
+    containment_mappings,
+    count_containment_mappings,
+    has_containment_mapping,
+)
+from repro.datalog.parser import parse_rule
+from repro.datalog.terms import Variable
+
+
+class TestBasicMappings:
+    def test_identity_mapping_exists(self):
+        q = parse_rule("panic :- r(X,Y)")
+        assert has_containment_mapping(q, q)
+
+    def test_mapping_respects_predicates(self):
+        src = parse_rule("panic :- r(X)")
+        dst = parse_rule("panic :- s(X)")
+        assert not has_containment_mapping(src, dst)
+
+    def test_mapping_respects_arity(self):
+        src = parse_rule("panic :- r(X)")
+        dst = parse_rule("panic :- r(X,Y)")
+        assert not has_containment_mapping(src, dst)
+
+    def test_folding_mapping(self):
+        # e(X,Y) & e(X,Z) folds onto e(A,B): X->A, Y->B, Z->B.
+        src = parse_rule("panic :- e(X,Y) & e(X,Z)")
+        dst = parse_rule("panic :- e(A,B)")
+        assert has_containment_mapping(src, dst)
+
+    def test_constants_map_to_themselves(self):
+        src = parse_rule("panic :- e(a, X)")
+        assert has_containment_mapping(src, parse_rule("panic :- e(a, b)"))
+        assert not has_containment_mapping(src, parse_rule("panic :- e(b, b)"))
+
+    def test_variable_may_map_to_constant(self):
+        src = parse_rule("panic :- e(X, Y)")
+        dst = parse_rule("panic :- e(a, b)")
+        assert has_containment_mapping(src, dst)
+
+    def test_consistency_across_subgoals(self):
+        src = parse_rule("panic :- e(X,Y) & f(Y,Z)")
+        good = parse_rule("panic :- e(A,B) & f(B,C)")
+        bad = parse_rule("panic :- e(A,B) & f(C,D)")
+        assert has_containment_mapping(src, good)
+        assert not has_containment_mapping(src, bad)
+
+
+class TestHeads:
+    def test_head_must_map(self):
+        src = parse_rule("q(X) :- e(X,Y)")
+        dst = parse_rule("q(A) :- e(A,B)")
+        assert has_containment_mapping(src, dst)
+
+    def test_head_mismatch(self):
+        src = parse_rule("q(X) :- e(X,Y)")
+        dst = parse_rule("q(B) :- e(A,B)")  # head on the second column
+        assert not has_containment_mapping(src, dst)
+
+    def test_different_head_predicates(self):
+        src = parse_rule("q(X) :- e(X)")
+        dst = parse_rule("p(X) :- e(X)")
+        assert not has_containment_mapping(src, dst)
+
+    def test_head_constant(self):
+        src = parse_rule("q(a) :- e(X)")
+        assert has_containment_mapping(src, parse_rule("q(a) :- e(Y)"))
+        assert not has_containment_mapping(src, parse_rule("q(b) :- e(Y)"))
+
+
+class TestCounting:
+    def test_example_51_has_two_mappings(self):
+        """The crux of Example 5.1: r(U,V) maps into r(U,V) & r(S,T) two ways
+        (after normalization both queries are variable-disjoint)."""
+        src = parse_rule("panic :- r(A,B)")
+        dst = parse_rule("panic :- r(U,V) & r(S,T)")
+        assert count_containment_mappings(src, dst) == 2
+
+    def test_mapping_count_is_product_for_disjoint_queries(self):
+        src = parse_rule("panic :- r(A,B) & r(C,D)")
+        dst = parse_rule("panic :- r(U,V) & r(S,T) & r(P,Q)")
+        assert count_containment_mappings(src, dst) == 9
+
+    def test_shared_variables_restrict(self):
+        # A path pattern cannot map into two variable-disjoint edges: the
+        # join variable Y would need two different images.
+        src = parse_rule("panic :- e(X,Y) & e(Y,Z)")
+        dst = parse_rule("panic :- e(A,B) & e(C,D)")
+        assert count_containment_mappings(src, dst) == 0
+        # It does map into a path, two loops, or one loop:
+        assert count_containment_mappings(src, parse_rule("panic :- e(A,B) & e(B,C)")) == 1
+        assert count_containment_mappings(src, parse_rule("panic :- e(A,A)")) == 1
+
+    def test_no_mappings_when_predicate_missing(self):
+        src = parse_rule("panic :- r(X) & s(X)")
+        dst = parse_rule("panic :- r(A)")
+        assert count_containment_mappings(src, dst) == 0
+
+
+class TestNegationRejected:
+    def test_negation_raises(self):
+        src = parse_rule("panic :- e(X) & not f(X)")
+        dst = parse_rule("panic :- e(X)")
+        with pytest.raises(NotApplicableError):
+            has_containment_mapping(src, dst)

@@ -1,0 +1,70 @@
+"""CQ minimization (core) tests."""
+
+import pytest
+
+from repro.errors import NotApplicableError
+from repro.containment.cq import equivalent_cq
+from repro.containment.minimize import is_minimal_cq, minimize_cq
+from repro.datalog.parser import parse_rule
+
+
+class TestMinimize:
+    def test_redundant_parallel_subgoal(self):
+        rule = parse_rule("q(X) :- e(X,Y) & e(X,Z)")
+        core = minimize_cq(rule)
+        assert len(core.positive_atoms) == 1
+        assert equivalent_cq(rule, core)
+
+    def test_already_minimal_path(self):
+        rule = parse_rule("q(X) :- e(X,Y) & e(Y,Z)")
+        assert minimize_cq(rule) == rule
+        assert is_minimal_cq(rule)
+
+    def test_triangle_is_minimal(self):
+        rule = parse_rule("panic :- e(X,Y) & e(Y,Z) & e(Z,X)")
+        assert is_minimal_cq(rule)
+
+    def test_triangle_with_pendant_edge(self):
+        # The pendant edge folds into the triangle.
+        rule = parse_rule("panic :- e(X,Y) & e(Y,Z) & e(Z,X) & e(X,W)")
+        core = minimize_cq(rule)
+        assert len(core.positive_atoms) == 3
+        assert equivalent_cq(rule, core)
+
+    def test_loop_absorbs_everything(self):
+        rule = parse_rule("panic :- e(X,X) & e(X,Y) & e(Y,Z)")
+        core = minimize_cq(rule)
+        assert len(core.positive_atoms) == 1
+        assert core.positive_atoms[0].args[0] == core.positive_atoms[0].args[1]
+
+    def test_head_variables_protected(self):
+        # e(X,Y) cannot be dropped: Y is in the head.
+        rule = parse_rule("q(X,Y) :- e(X,Y) & e(X,Z)")
+        core = minimize_cq(rule)
+        assert len(core.positive_atoms) >= 1
+        head_vars = set(core.head.variables())
+        body_vars = {v for a in core.positive_atoms for v in a.variables()}
+        assert head_vars <= body_vars
+        assert equivalent_cq(rule, core)
+
+    def test_constants_block_folding(self):
+        rule = parse_rule("panic :- e(a,Y) & e(X,b)")
+        assert is_minimal_cq(rule)
+
+    def test_equivalence_always_preserved(self):
+        cases = [
+            "panic :- e(X,Y) & e(Y,X) & e(X,Z)",
+            "q(X) :- e(X,Y) & e(Y,Y)",
+            "panic :- p(X) & p(Y)",
+        ]
+        for text in cases:
+            rule = parse_rule(text)
+            assert equivalent_cq(rule, minimize_cq(rule))
+
+    def test_arith_rejected(self):
+        with pytest.raises(NotApplicableError):
+            minimize_cq(parse_rule("panic :- e(X) & X < 3"))
+
+    def test_negation_rejected(self):
+        with pytest.raises(NotApplicableError):
+            minimize_cq(parse_rule("panic :- e(X) & not f(X)"))

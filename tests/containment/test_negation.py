@@ -1,0 +1,153 @@
+"""Containment with negated subgoals (and comparisons): the Levy–Sagiv-
+style canonical test, plus randomized soundness checks."""
+
+import random
+
+from repro.containment.negation import (
+    is_contained_with_negation,
+    negation_counterexample,
+)
+from repro.datalog.evaluation import Engine
+from repro.datalog.parser import parse_rule
+from repro.datalog.rules import Program
+from tests.conftest import make_random_database
+
+
+class TestBasics:
+    def test_reflexive(self):
+        q = parse_rule("q(X) :- e(X) & not f(X)")
+        assert is_contained_with_negation(q, [q])
+
+    def test_extra_negation_strengthens(self):
+        smaller = parse_rule("q(X) :- e(X) & not f(X)")
+        bigger = parse_rule("q(X) :- e(X)")
+        assert is_contained_with_negation(smaller, [bigger])
+        assert not is_contained_with_negation(bigger, [smaller])
+
+    def test_counterexample_is_genuine(self):
+        smaller = parse_rule("q(X) :- e(X) & not f(X)")
+        bigger = parse_rule("q(X) :- e(X)")
+        witness = negation_counterexample(bigger, [smaller])
+        assert witness is not None
+        big_engine = Engine(Program((bigger,)))
+        small_engine = Engine(Program((smaller,)))
+        produced = big_engine.evaluate_predicate(witness, "q")
+        covered = small_engine.evaluate_predicate(witness, "q")
+        assert produced - covered  # some fact escapes the union
+
+    def test_case_split_union(self):
+        plain = parse_rule("q(X) :- e(X)")
+        with_f = parse_rule("q(X) :- e(X) & f(X)")
+        without_f = parse_rule("q(X) :- e(X) & not f(X)")
+        assert is_contained_with_negation(plain, [with_f, without_f])
+        assert not is_contained_with_negation(plain, [with_f])
+        assert not is_contained_with_negation(plain, [without_f])
+
+    def test_adversarial_blocking_chain(self):
+        """The adversary adds f to dodge member 1, which wakes member 2,
+        then adds g, which wakes member 3 — containment holds only with
+        the full chain present."""
+        target = parse_rule("q(X) :- e(X)")
+        m1 = parse_rule("q(X) :- e(X) & not f(X)")
+        m2 = parse_rule("q(X) :- f(X) & not g(X)")
+        m3 = parse_rule("q(X) :- g(X)")
+        assert is_contained_with_negation(target, [m1, m2, m3])
+        assert not is_contained_with_negation(target, [m1, m2])
+        assert not is_contained_with_negation(target, [m1])
+
+
+class TestPaperExample41:
+    def test_c3_contained_in_c1_alone(self):
+        """'This happens to be the case, and in fact C2 is not needed.'"""
+        c1 = parse_rule("panic :- emp(E,D,S) & not dept(D)")
+        c3 = parse_rule("panic :- emp(E,D,S) & not dept(D) & D <> toy")
+        assert is_contained_with_negation(c3, [c1])
+        assert not is_contained_with_negation(c1, [c3])
+
+    def test_c3_with_c2_in_union_still_contained(self):
+        c1 = parse_rule("panic :- emp(E,D,S) & not dept(D)")
+        c2 = parse_rule("panic :- emp(E,D,S) & S > 100")
+        c3 = parse_rule("panic :- emp(E,D,S) & not dept(D) & D <> toy")
+        assert is_contained_with_negation(c3, [c1, c2])
+
+
+class TestWithComparisons:
+    def test_comparison_strengthening(self):
+        narrow = parse_rule("panic :- emp(E,D,S) & not dept(D) & S < 50")
+        wide = parse_rule("panic :- emp(E,D,S) & not dept(D) & S < 100")
+        plain = parse_rule("panic :- emp(E,D,S) & not dept(D)")
+        assert is_contained_with_negation(narrow, [wide])
+        assert not is_contained_with_negation(wide, [narrow])
+        assert is_contained_with_negation(wide, [plain])
+        assert not is_contained_with_negation(plain, [wide])
+
+    def test_order_split_union(self):
+        plain = parse_rule("q(X,Y) :- e(X,Y)")
+        le = parse_rule("q(X,Y) :- e(X,Y) & X <= Y")
+        gt = parse_rule("q(X,Y) :- e(X,Y) & X > Y")
+        assert is_contained_with_negation(plain, [le, gt])
+        assert not is_contained_with_negation(plain, [le])
+
+    def test_comparison_with_negation_interplay(self):
+        target = parse_rule("q(X) :- e(X) & not f(X) & X < 5")
+        member = parse_rule("q(X) :- e(X) & not f(X) & X < 7")
+        assert is_contained_with_negation(target, [member])
+        assert not is_contained_with_negation(member, [target])
+
+    def test_constants_split_the_line(self):
+        target = parse_rule("q(X) :- e(X)")
+        below = parse_rule("q(X) :- e(X) & X <= 3")
+        above = parse_rule("q(X) :- e(X) & X > 3")
+        assert is_contained_with_negation(target, [below, above])
+        gap = parse_rule("q(X) :- e(X) & X > 4")
+        assert not is_contained_with_negation(target, [below, gap])
+
+
+class TestRandomizedSoundness:
+    """When the procedure claims containment, evaluation on random
+    databases must never refute it; when it returns a counterexample, the
+    counterexample must actually work."""
+
+    def _random_query(self, rng):
+        # The first subgoal binds every variable we later use (safety).
+        second = f"X{rng.randint(0, 1)}"
+        bound = ["X0", second]
+        parts = [f"e(X0, {second})"]
+        if rng.random() < 0.7:
+            parts.append(f"not f({rng.choice(bound)})")
+        if rng.random() < 0.5:
+            parts.append(
+                f"{rng.choice(bound)} {rng.choice(['<', '<=', '<>'])} {rng.randint(0, 2)}"
+            )
+        return parse_rule("q(X0) :- " + " & ".join(parts))
+
+    def test_random_cases(self):
+        rng = random.Random(31)
+        for _ in range(40):
+            target = self._random_query(rng)
+            members = [self._random_query(rng) for _ in range(rng.randint(1, 2))]
+            witness = negation_counterexample(target, members)
+            target_engine = Engine(Program((target,)))
+            member_engines = [Engine(Program((m,))) for m in members]
+            if witness is not None:
+                produced = target_engine.evaluate_predicate(witness, "q")
+                covered = set()
+                for engine in member_engines:
+                    covered |= engine.evaluate_predicate(witness, "q")
+                assert produced - covered, (
+                    f"claimed counterexample does not separate:\n{target}\n"
+                    f"{[str(m) for m in members]}\n{witness}"
+                )
+            else:
+                for _ in range(25):
+                    db = make_random_database(
+                        rng, {"e": 2, "f": 1}, domain_size=3, max_facts=6
+                    )
+                    produced = target_engine.evaluate_predicate(db, "q")
+                    covered = set()
+                    for engine in member_engines:
+                        covered |= engine.evaluate_predicate(db, "q")
+                    assert produced <= covered, (
+                        f"containment claimed but {db} refutes it:\n{target}\n"
+                        f"{[str(m) for m in members]}"
+                    )

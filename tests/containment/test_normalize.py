@@ -1,0 +1,103 @@
+"""Normalization tests (the Theorem 5.1 preconditions)."""
+
+import random
+
+import pytest
+
+from repro.errors import NotApplicableError
+from repro.containment.normalize import is_normalized, normalize_cqc
+from repro.datalog.database import Database
+from repro.datalog.evaluation import Engine
+from repro.datalog.parser import parse_rule
+from repro.datalog.rules import Program
+from tests.conftest import make_random_database
+
+
+class TestIsNormalized:
+    def test_clean_rule(self):
+        assert is_normalized(parse_rule("panic :- r(X,Y) & s(Z) & X < Z"))
+
+    def test_repeated_in_one_subgoal(self):
+        assert not is_normalized(parse_rule("panic :- p(X,X)"))
+
+    def test_repeated_across_subgoals(self):
+        # "No variable appears twice among l and the r_i's" — across, too.
+        assert not is_normalized(parse_rule("panic :- p(X) & q(X)"))
+
+    def test_constant_in_subgoal(self):
+        assert not is_normalized(parse_rule("panic :- p(0, X)"))
+
+    def test_constants_in_comparisons_are_fine(self):
+        assert is_normalized(parse_rule("panic :- p(X) & X < 5"))
+
+
+class TestNormalizeStructure:
+    def test_example_52_repeated_variable(self):
+        normalized = normalize_cqc(parse_rule("panic :- p(X,X)"))
+        assert is_normalized(normalized)
+        assert len(normalized.comparisons) == 1
+        assert len(normalized.positive_atoms) == 1
+
+    def test_example_52_constant(self):
+        normalized = normalize_cqc(parse_rule("panic :- p(0,X)"))
+        assert is_normalized(normalized)
+        assert len(normalized.comparisons) == 1
+
+    def test_join_variable_split(self):
+        normalized = normalize_cqc(parse_rule("panic :- p(X) & q(X)"))
+        assert is_normalized(normalized)
+        args = {normalized.positive_atoms[0].args[0], normalized.positive_atoms[1].args[0]}
+        assert len(args) == 2  # distinct variables now
+
+    def test_already_normalized_returned_as_is(self):
+        rule = parse_rule("panic :- r(X,Y) & s(Z)")
+        assert normalize_cqc(rule) is rule
+
+    def test_existing_comparisons_preserved(self):
+        rule = parse_rule("panic :- p(X,X) & X < 9")
+        normalized = normalize_cqc(rule)
+        ops = sorted(str(c.op) for c in normalized.comparisons)
+        assert ops == ["<", "="]
+
+    def test_negation_rejected(self):
+        with pytest.raises(NotApplicableError):
+            normalize_cqc(parse_rule("panic :- p(X) & not q(X)"))
+
+    def test_head_variables_survive(self):
+        rule = parse_rule("q(X) :- p(X, X)")
+        normalized = normalize_cqc(rule)
+        assert normalized.head == rule.head
+        body_vars = {v for a in normalized.positive_atoms for v in a.variables()}
+        assert rule.head.args[0] in body_vars
+
+
+class TestNormalizeSemantics:
+    """Normalization must preserve the query's meaning exactly."""
+
+    RULES = [
+        "panic :- p(X,X)",
+        "panic :- p(0,X)",
+        "panic :- p(X) & q(X)",
+        "panic :- e(X,Y) & e(Y,X)",
+        "panic :- emp(E,D,S) & salRange(D,Lo,Hi) & S < Lo",
+        "panic :- l(X,Y,Y) & r(Y,Z,X)",
+        "panic :- p(X, 1, X) & q(X, Y) & Y <> 2",
+    ]
+
+    @pytest.mark.parametrize("text", RULES)
+    def test_equivalent_on_random_databases(self, text):
+        rule = parse_rule(text)
+        normalized = normalize_cqc(rule)
+        original_engine = Engine(Program((rule,)))
+        normalized_engine = Engine(Program((normalized,)))
+        predicates = {"p": 3 if "p(X, 1, X)" in text else 2, "q": 2, "e": 2,
+                      "emp": 3, "salRange": 3, "l": 3, "r": 3}
+        if "p(X,X)" in text or "p(0,X)" in text:
+            predicates["p"] = 2
+        if "p(X) & q(X)" in text:
+            predicates["p"] = 1
+            predicates["q"] = 1
+        rng = random.Random(hash(text) & 0xFFFF)
+        for _ in range(60):
+            db = make_random_database(rng, predicates, domain_size=3)
+            assert original_engine.fires(db) == normalized_engine.fires(db)

@@ -1,0 +1,132 @@
+"""Uniform containment tests (the Sagiv frozen-rule test)."""
+
+import random
+
+import pytest
+
+from repro.errors import NotApplicableError
+from repro.constraints.constraint import Constraint
+from repro.containment.uniform import is_uniformly_contained, uniform_subsumes
+from repro.datalog.evaluation import Engine
+from repro.datalog.parser import parse_program
+from tests.conftest import make_random_database
+
+TC_LINEAR = parse_program(
+    """
+    tc(X,Y) :- e(X,Y)
+    tc(X,Z) :- tc(X,Y) & e(Y,Z)
+    """
+)
+TC_NONLINEAR = parse_program(
+    """
+    tc(X,Y) :- e(X,Y)
+    tc(X,Z) :- tc(X,Y) & tc(Y,Z)
+    """
+)
+TC_RIGHT = parse_program(
+    """
+    tc(X,Y) :- e(X,Y)
+    tc(X,Z) :- e(X,Y) & tc(Y,Z)
+    """
+)
+
+
+class TestClassicPairs:
+    def test_linear_contained_in_nonlinear(self):
+        assert is_uniformly_contained(TC_LINEAR, TC_NONLINEAR)
+        assert is_uniformly_contained(TC_RIGHT, TC_NONLINEAR)
+
+    def test_nonlinear_not_uniformly_in_linear(self):
+        """The classic gap: tc(X,Z) :- tc(X,Y) & tc(Y,Z) is NOT a frozen
+        consequence of the linear program, even though the two programs
+        compute the same relation on EDB-only databases."""
+        assert not is_uniformly_contained(TC_NONLINEAR, TC_LINEAR)
+
+    def test_reflexive(self):
+        for program in (TC_LINEAR, TC_NONLINEAR, TC_RIGHT):
+            assert is_uniformly_contained(program, program)
+
+    def test_extra_rule_grows(self):
+        bigger = parse_program(
+            """
+            tc(X,Y) :- e(X,Y)
+            tc(X,Z) :- tc(X,Y) & e(Y,Z)
+            tc(X,Y) :- f(X,Y)
+            """
+        )
+        assert is_uniformly_contained(TC_LINEAR, bigger)
+        assert not is_uniformly_contained(bigger, TC_LINEAR)
+
+
+class TestSoundnessForPlainContainment:
+    def test_uniform_implies_plain_on_random_dbs(self):
+        rng = random.Random(8)
+        pairs = [
+            (TC_LINEAR, TC_NONLINEAR),
+            (TC_RIGHT, TC_NONLINEAR),
+            (TC_LINEAR, TC_LINEAR),
+        ]
+        for p, q in pairs:
+            assert is_uniformly_contained(p, q)
+            p_engine, q_engine = Engine(p), Engine(q)
+            for _ in range(25):
+                db = make_random_database(rng, {"e": 2}, domain_size=3)
+                assert p_engine.evaluate_predicate(db, "tc") <= (
+                    q_engine.evaluate_predicate(db, "tc")
+                )
+
+
+class TestWithComparisons:
+    def test_comparison_weakening(self):
+        strict = parse_program("p(X,Y) :- e(X,Y) & X < Y")
+        loose = parse_program("p(X,Y) :- e(X,Y) & X <= Y")
+        assert is_uniformly_contained(strict, loose)
+        assert not is_uniformly_contained(loose, strict)
+
+    def test_unsatisfiable_rule_contained_in_anything(self):
+        dead = parse_program("p(X) :- e(X) & X < X")
+        other = parse_program("p(X) :- f(X)")
+        assert is_uniformly_contained(dead, other)
+
+
+class TestGuards:
+    def test_negation_rejected(self):
+        negated = parse_program("p(X) :- e(X) & not f(X)")
+        with pytest.raises(NotApplicableError):
+            is_uniformly_contained(negated, negated)
+
+
+class TestUniformSubsumes:
+    def test_recursive_constraint_subsumed_via_uniform(self):
+        tight = Constraint(
+            """
+            panic :- boss(E,E)
+            boss(E,M) :- emp(E,D) & manager(D,M)
+            boss(E,F) :- boss(E,G) & boss(G,F)
+            """,
+            "no-self-boss",
+        )
+        loose = Constraint(
+            """
+            panic :- boss(E,E)
+            boss(E,M) :- emp(E,D) & manager(D,M)
+            boss(E,F) :- boss(E,G) & boss(G,F)
+            panic :- banned(E) & emp(E,D)
+            """,
+            "no-self-boss-or-banned",
+        )
+        # tight's rules are uniformly derivable from loose's (the shared
+        # `boss` auxiliary lines the frozen facts up).
+        assert uniform_subsumes([loose], tight)
+
+    def test_unprovable_returns_false(self):
+        recursive = Constraint(
+            """
+            panic :- t(X,X)
+            t(X,Y) :- e(X,Y)
+            t(X,Z) :- t(X,Y) & e(Y,Z)
+            """,
+            "cycle",
+        )
+        unrelated = Constraint("panic :- f(X)", "other")
+        assert not uniform_subsumes([unrelated], recursive)

@@ -1,0 +1,200 @@
+"""PartialInfoChecker pipeline tests: levels, outcomes, completeness."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.constraints.constraint import Constraint, ConstraintSet
+from repro.core.engine import PartialInfoChecker
+from repro.core.outcomes import CheckLevel, Outcome
+from repro.datalog.database import Database
+from repro.updates.update import Deletion, Insertion
+
+REF = Constraint("panic :- emp(E,D,S) & not dept(D)", "ref")
+CAP = Constraint("panic :- emp(E,D,S) & S > 100", "cap")
+CAP2 = Constraint("panic :- emp(E,D,S) & S > 200", "cap2")
+FLOOR = Constraint("panic :- emp(E,D,S) & salFloor(D,F) & S < F", "floor")
+LOCAL_ONLY = Constraint("panic :- emp(E,D,S) & emp(E,D2,S2) & D <> D2", "one-dept")
+RANGE = Constraint(
+    """
+    panic :- emp(E,D,S) & salRange(D,Low,High) & S < Low
+    panic :- emp(E,D,S) & salRange(D,Low,High) & S > High
+    """,
+    "range",
+)
+
+
+class TestLevel0:
+    def test_subsumed_constraint_short_circuits(self):
+        checker = PartialInfoChecker([CAP, CAP2], local_predicates={"emp"})
+        report = checker.check_constraint(CAP2, Insertion("emp", ("a", "d", 500)), Database())
+        assert report.level is CheckLevel.CONSTRAINTS_ONLY
+        assert report.outcome is Outcome.SATISFIED
+
+    def test_subsuming_constraint_still_checked(self):
+        checker = PartialInfoChecker([CAP, CAP2], local_predicates={"emp"})
+        report = checker.check_constraint(CAP, Insertion("emp", ("a", "d", 500)), Database())
+        assert report.level is not CheckLevel.CONSTRAINTS_ONLY or (
+            report.outcome is not Outcome.SATISFIED
+        )
+
+    def test_unmentioned_predicate(self):
+        checker = PartialInfoChecker([CAP], local_predicates={"emp"})
+        report = checker.check_constraint(CAP, Insertion("other", (1,)), Database())
+        assert report.level is CheckLevel.CONSTRAINTS_ONLY
+        assert report.outcome is Outcome.SATISFIED
+
+
+class TestLevel1:
+    def test_department_insert_safe_for_ref(self):
+        checker = PartialInfoChecker([REF], local_predicates={"emp"})
+        report = checker.check_constraint(REF, Insertion("dept", ("toy",)), Database())
+        assert report.level is CheckLevel.WITH_UPDATE
+        assert report.outcome is Outcome.SATISFIED
+
+    def test_low_salary_insert_safe_for_cap(self):
+        checker = PartialInfoChecker([CAP], local_predicates={"emp"})
+        report = checker.check_constraint(CAP, Insertion("emp", ("a", "d", 50)), Database())
+        assert report.level is CheckLevel.WITH_UPDATE
+        assert report.outcome is Outcome.SATISFIED
+
+    def test_max_level_cap_yields_unknown(self):
+        checker = PartialInfoChecker([CAP], local_predicates={"emp"})
+        report = checker.check_constraint(
+            CAP,
+            Insertion("emp", ("a", "d", 500)),
+            Database(),
+            max_level=CheckLevel.WITH_UPDATE,
+        )
+        assert report.outcome is Outcome.UNKNOWN
+
+
+class TestLevel2:
+    def test_purely_local_constraint_gets_definite_answer(self):
+        checker = PartialInfoChecker([LOCAL_ONLY], local_predicates={"emp"})
+        local = Database({"emp": [("ann", "toys", 5)]})
+        safe = checker.check_constraint(
+            LOCAL_ONLY, Insertion("emp", ("bob", "toys", 5)), local
+        )
+        assert safe.outcome is Outcome.SATISFIED
+        assert safe.level is CheckLevel.WITH_LOCAL_DATA
+        bad = checker.check_constraint(
+            LOCAL_ONLY, Insertion("emp", ("ann", "sales", 5)), local
+        )
+        assert bad.outcome is Outcome.VIOLATED  # the paper's "third outcome"
+        assert bad.level is CheckLevel.WITH_LOCAL_DATA
+
+    def test_cqc_local_test(self):
+        checker = PartialInfoChecker([FLOOR], local_predicates={"emp"})
+        local = Database({"emp": [("ann", "toys", 50)]})
+        report = checker.check_constraint(
+            FLOOR, Insertion("emp", ("bob", "toys", 60)), local
+        )
+        assert report.outcome is Outcome.SATISFIED
+        assert report.level is CheckLevel.WITH_LOCAL_DATA
+
+    def test_union_constraint_local_test(self):
+        checker = PartialInfoChecker([RANGE], local_predicates={"emp"})
+        local = Database({"emp": [("ann", "toys", 50)]})
+        # Same salary as ann: both range disjuncts are covered.
+        report = checker.check_constraint(
+            RANGE, Insertion("emp", ("bob", "toys", 50)), local
+        )
+        assert report.outcome is Outcome.SATISFIED
+        assert report.level is CheckLevel.WITH_LOCAL_DATA
+        # Lower salary: the lower-bound disjunct is uncovered.
+        report = checker.check_constraint(
+            RANGE, Insertion("emp", ("cas", "toys", 30)), local
+        )
+        assert report.outcome is Outcome.UNKNOWN
+
+    def test_negated_constraint_has_no_local_test(self):
+        checker = PartialInfoChecker([REF], local_predicates={"emp"})
+        local = Database({"emp": [("ann", "toys", 5)]})
+        report = checker.check_constraint(
+            REF, Insertion("emp", ("bob", "toys", 5)), local
+        )
+        # No CQC local test applies; without a remote db: UNKNOWN.
+        assert report.outcome is Outcome.UNKNOWN
+        assert report.level is CheckLevel.WITH_LOCAL_DATA
+
+
+class TestLevel3:
+    def test_full_fallback_definite(self):
+        checker = PartialInfoChecker([REF], local_predicates={"emp"})
+        local = Database({"emp": [("ann", "toys", 5)]})
+        remote = Database({"dept": [("toys",)]})
+        good = checker.check_constraint(
+            REF, Insertion("emp", ("bob", "toys", 5)), local, remote
+        )
+        assert good.outcome is Outcome.SATISFIED
+        assert good.remote_accessed
+        bad = checker.check_constraint(
+            REF, Insertion("emp", ("bob", "ghost", 5)), local, remote
+        )
+        assert bad.outcome is Outcome.VIOLATED
+
+
+class TestPipelineOrdering:
+    def test_check_returns_one_report_per_constraint(self):
+        constraints = ConstraintSet([REF, CAP, FLOOR])
+        checker = PartialInfoChecker(constraints, local_predicates={"emp"})
+        local = Database({"emp": [("ann", "toys", 50)]})
+        reports = checker.check(Insertion("emp", ("bob", "toys", 60)), local)
+        assert [r.constraint_name for r in reports] == ["ref", "cap", "floor"]
+
+    def test_level_monotone_in_max_level(self):
+        checker = PartialInfoChecker([FLOOR], local_predicates={"emp"})
+        local = Database({"emp": [("ann", "toys", 50)]})
+        update = Insertion("emp", ("bob", "toys", 10))
+        remote = Database({"salFloor": [("toys", 5)]})
+        outcomes = []
+        for max_level in CheckLevel:
+            report = checker.check_constraint(FLOOR, update, local, remote, max_level)
+            outcomes.append(report.outcome)
+            assert report.level <= max_level
+        # more information never turns SATISFIED into UNKNOWN
+        assert outcomes[-1] in (Outcome.SATISFIED, Outcome.VIOLATED)
+
+
+class TestSoundnessRandomized:
+    """Every SATISFIED verdict from levels 0-2 must agree with ground
+    truth computed over exhaustively enumerated remote states."""
+
+    def test_exhaustive_remote_states(self):
+        constraint = FLOOR
+        checker = PartialInfoChecker([constraint], local_predicates={"emp"})
+        rng = random.Random(12)
+        departments = ["d0", "d1"]
+        for _ in range(30):
+            employees = [
+                (f"e{i}", rng.choice(departments), rng.randrange(4))
+                for i in range(rng.randrange(3))
+            ]
+            local = Database({"emp": employees})
+            update = Insertion(
+                "emp", ("new", rng.choice(departments), rng.randrange(4))
+            )
+            report = checker.check_constraint(
+                constraint, update, local, max_level=CheckLevel.WITH_LOCAL_DATA
+            )
+            if report.outcome is not Outcome.SATISFIED:
+                continue
+            # Every remote salFloor state consistent with the priors must
+            # stay satisfied after the update.
+            floors = [
+                dict(zip(departments, combo))
+                for combo in itertools.product(range(5), repeat=2)
+            ]
+            for floor_map in floors:
+                db = local.copy()
+                for dept, floor in floor_map.items():
+                    db.insert("salFloor", (dept, floor))
+                if not constraint.holds(db):
+                    continue
+                update.apply(db)
+                assert constraint.holds(db), (
+                    f"unsound SATISFIED: {update}, employees {employees}, "
+                    f"floors {floor_map}"
+                )

@@ -1,0 +1,95 @@
+"""Unit tests for atoms, negation, comparisons, and operators."""
+
+from repro.datalog.atoms import PANIC, Atom, Comparison, ComparisonOp, Negation
+from repro.datalog.terms import Constant, Variable
+
+X, Y = Variable("X"), Variable("Y")
+
+
+class TestComparisonOp:
+    def test_negation_is_involutive(self):
+        for op in ComparisonOp:
+            assert op.negated.negated is op
+
+    def test_negation_pairs(self):
+        assert ComparisonOp.LT.negated is ComparisonOp.GE
+        assert ComparisonOp.LE.negated is ComparisonOp.GT
+        assert ComparisonOp.EQ.negated is ComparisonOp.NE
+
+    def test_flip_is_involutive(self):
+        for op in ComparisonOp:
+            assert op.flipped.flipped is op
+
+    def test_flip_pairs(self):
+        assert ComparisonOp.LT.flipped is ComparisonOp.GT
+        assert ComparisonOp.EQ.flipped is ComparisonOp.EQ
+        assert ComparisonOp.NE.flipped is ComparisonOp.NE
+
+    def test_classification(self):
+        assert ComparisonOp.LT.is_order and ComparisonOp.LT.is_strict
+        assert ComparisonOp.LE.is_order and not ComparisonOp.LE.is_strict
+        assert not ComparisonOp.EQ.is_order
+        assert not ComparisonOp.NE.is_order
+
+
+class TestAtom:
+    def test_zero_ary(self):
+        assert PANIC.arity == 0
+        assert str(PANIC) == "panic"
+
+    def test_str(self):
+        atom = Atom("emp", (X, Constant("sales"), Constant(5)))
+        assert str(atom) == "emp(X, sales, 5)"
+
+    def test_variables_with_duplicates(self):
+        atom = Atom("p", (X, Y, X))
+        assert list(atom.variables()) == [X, Y, X]
+
+    def test_constants(self):
+        atom = Atom("p", (X, Constant(1), Constant("a")))
+        assert list(atom.constants()) == [Constant(1), Constant("a")]
+
+    def test_has_repeated_variables(self):
+        assert Atom("p", (X, X)).has_repeated_variables()
+        assert not Atom("p", (X, Y)).has_repeated_variables()
+        assert not Atom("p", (X, Constant(1))).has_repeated_variables()
+
+
+class TestNegation:
+    def test_delegation(self):
+        negation = Negation(Atom("dept", (X,)))
+        assert negation.predicate == "dept"
+        assert negation.args == (X,)
+        assert str(negation) == "not dept(X)"
+
+
+class TestComparison:
+    def test_str(self):
+        assert str(Comparison(X, ComparisonOp.LE, Constant(100))) == "X <= 100"
+
+    def test_negated(self):
+        comparison = Comparison(X, ComparisonOp.LT, Y)
+        assert comparison.negated == Comparison(X, ComparisonOp.GE, Y)
+
+    def test_flipped_preserves_meaning(self):
+        comparison = Comparison(X, ComparisonOp.LT, Y)
+        assert comparison.flipped == Comparison(Y, ComparisonOp.GT, X)
+
+    def test_is_ground(self):
+        assert Comparison(Constant(1), ComparisonOp.LT, Constant(2)).is_ground()
+        assert not Comparison(X, ComparisonOp.LT, Constant(2)).is_ground()
+
+    def test_trivial_true(self):
+        assert Comparison(X, ComparisonOp.EQ, X).is_trivial_true()
+        assert Comparison(X, ComparisonOp.LE, X).is_trivial_true()
+        assert not Comparison(X, ComparisonOp.LT, X).is_trivial_true()
+
+    def test_trivial_false(self):
+        assert Comparison(X, ComparisonOp.LT, X).is_trivial_false()
+        assert Comparison(X, ComparisonOp.NE, X).is_trivial_false()
+        assert not Comparison(X, ComparisonOp.EQ, X).is_trivial_false()
+
+    def test_nontrivial_when_sides_differ(self):
+        comparison = Comparison(X, ComparisonOp.EQ, Y)
+        assert not comparison.is_trivial_true()
+        assert not comparison.is_trivial_false()

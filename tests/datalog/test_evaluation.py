@@ -1,0 +1,171 @@
+"""Datalog engine tests: joins, builtins, negation, recursion, semi-naive."""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.evaluation import Engine, evaluate, evaluate_predicate, fires
+from repro.datalog.parser import parse_program
+
+
+class TestConjunctiveEvaluation:
+    def test_simple_join(self):
+        program = parse_program("gp(X,Z) :- parent(X,Y) & parent(Y,Z)")
+        db = Database({"parent": [("a", "b"), ("b", "c"), ("b", "d")]})
+        assert evaluate_predicate(program, db, "gp") == {("a", "c"), ("a", "d")}
+
+    def test_constants_in_subgoals(self):
+        program = parse_program("salesperson(E) :- emp(E, sales)")
+        db = Database({"emp": [("ann", "sales"), ("bob", "toys")]})
+        assert evaluate_predicate(program, db, "salesperson") == {("ann",)}
+
+    def test_repeated_variables_filter(self):
+        program = parse_program("loop(X) :- edge(X, X)")
+        db = Database({"edge": [(1, 1), (1, 2), (2, 2)]})
+        assert evaluate_predicate(program, db, "loop") == {(1,), (2,)}
+
+    def test_constants_in_head(self):
+        program = parse_program("flag(yes) :- p(X)")
+        assert evaluate_predicate(program, Database({"p": [(0,)]}), "flag") == {("yes",)}
+
+    def test_cartesian_product(self):
+        program = parse_program("pair(X,Y) :- a(X) & b(Y)")
+        db = Database({"a": [(1,), (2,)], "b": [("u",)]})
+        assert evaluate_predicate(program, db, "pair") == {(1, "u"), (2, "u")}
+
+
+class TestBuiltins:
+    def test_comparison_filters(self):
+        program = parse_program("cheap(E) :- emp(E, S) & S < 100")
+        db = Database({"emp": [("a", 50), ("b", 150), ("c", 100)]})
+        assert evaluate_predicate(program, db, "cheap") == {("a",)}
+
+    def test_comparison_between_variables(self):
+        program = parse_program("inverted(X,Y) :- pair(X,Y) & Y < X")
+        db = Database({"pair": [(1, 2), (3, 2)]})
+        assert evaluate_predicate(program, db, "inverted") == {(3, 2)}
+
+    def test_mixed_type_comparison(self):
+        # Numbers sort below strings in the dense total order.
+        program = parse_program("low(X) :- val(X) & X < banana")
+        db = Database({"val": [(1,), ("apple",), ("carrot",)]})
+        assert evaluate_predicate(program, db, "low") == {(1,), ("apple",)}
+
+    def test_disequality(self):
+        program = parse_program("other(D) :- dept(D) & D <> toy")
+        db = Database({"dept": [("toy",), ("sales",)]})
+        assert evaluate_predicate(program, db, "other") == {("sales",)}
+
+
+class TestNegation:
+    def test_example_22(self, example_22):
+        db = Database({"emp": [("a", "sales", 50)], "dept": [("sales",)]})
+        assert not fires(example_22, db)
+        db.insert("emp", ("b", "ghost", 50))
+        assert fires(example_22, db)
+
+    def test_negation_sees_derived_facts(self):
+        program = parse_program(
+            """
+            reach(X) :- edge(a, X)
+            reach(Y) :- reach(X) & edge(X, Y)
+            dead(X) :- node(X) & not reach(X)
+            """
+        )
+        db = Database(
+            {"edge": [("a", "b"), ("b", "c")], "node": [("b",), ("c",), ("z",)]}
+        )
+        assert evaluate_predicate(program, db, "dead") == {("z",)}
+
+
+class TestRecursion:
+    def test_transitive_closure(self):
+        program = parse_program(
+            """
+            tc(X,Y) :- edge(X,Y)
+            tc(X,Z) :- tc(X,Y) & edge(Y,Z)
+            """
+        )
+        db = Database({"edge": [(1, 2), (2, 3), (3, 4)]})
+        result = evaluate_predicate(program, db, "tc")
+        assert result == {(1, 2), (2, 3), (3, 4), (1, 3), (2, 4), (1, 4)}
+
+    def test_example_24_cycle_detection(self, example_24):
+        db = Database(
+            {
+                "emp": [("joe", "sales", 1), ("sue", "acct", 1)],
+                "manager": [("sales", "sue"), ("acct", "joe")],
+            }
+        )
+        assert fires(example_24, db)
+        db2 = Database(
+            {
+                "emp": [("joe", "sales", 1)],
+                "manager": [("sales", "sue")],
+            }
+        )
+        assert not fires(example_24, db2)
+
+    def test_nonlinear_recursion(self):
+        program = parse_program(
+            """
+            tc(X,Y) :- edge(X,Y)
+            tc(X,Z) :- tc(X,Y) & tc(Y,Z)
+            """
+        )
+        db = Database({"edge": [(i, i + 1) for i in range(6)]})
+        result = evaluate_predicate(program, db, "tc")
+        assert len(result) == 6 * 7 // 2
+
+    def test_semi_naive_matches_naive_semantics(self):
+        # A diamond with shortcuts: plenty of rediscovery opportunities.
+        edges = [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (0, 4)]
+        program = parse_program(
+            """
+            tc(X,Y) :- edge(X,Y)
+            tc(X,Z) :- tc(X,Y) & edge(Y,Z)
+            """
+        )
+        result = evaluate_predicate(program, Database({"edge": edges}), "tc")
+        # Reference: Python transitive closure.
+        reach = {e: {b for a, b in edges if a == e} for e in range(5)}
+        changed = True
+        while changed:
+            changed = False
+            for node in range(5):
+                extra = set()
+                for mid in reach[node]:
+                    extra |= reach.get(mid, set())
+                if not extra <= reach[node]:
+                    reach[node] |= extra
+                    changed = True
+        expected = {(a, b) for a in range(5) for b in reach[a]}
+        assert result == expected
+
+    def test_recursion_with_arithmetic(self):
+        # Fig. 6.1's shape: recursive rules guarded by comparisons.
+        program = parse_program(
+            """
+            interval(X,Y) :- l(X,Y)
+            interval(X,Y) :- interval(X,W) & interval(Z,Y) & Z <= W
+            """
+        )
+        db = Database({"l": [(1, 4), (3, 8), (7, 9)]})
+        result = evaluate_predicate(program, db, "interval")
+        assert (1, 9) in result
+        assert (1, 8) in result
+
+
+class TestEngineReuse:
+    def test_engine_is_reusable_across_databases(self):
+        engine = Engine(parse_program("p(X) :- q(X) & X < 2"))
+        assert engine.evaluate_predicate(Database({"q": [(1,), (5,)]}), "p") == {(1,)}
+        assert engine.evaluate_predicate(Database({"q": [(7,)]}), "p") == frozenset()
+
+    def test_evaluate_returns_only_idb(self):
+        result = evaluate(parse_program("p(X) :- q(X)"), Database({"q": [(1,)]}))
+        assert result.predicates() == {"p"}
+
+    def test_panic_fires(self):
+        program = parse_program("panic :- p(X) & q(X)")
+        assert fires(program, Database({"p": [(1,)], "q": [(1,)]}))
+        assert not fires(program, Database({"p": [(1,)], "q": [(2,)]}))

@@ -1,0 +1,180 @@
+"""Parser tests, including round-trips through the pretty-printer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ParseError
+from repro.datalog.atoms import Atom, Comparison, ComparisonOp, Negation
+from repro.datalog.parser import parse_literal, parse_program, parse_rule, parse_term
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Variable
+
+
+class TestTerms:
+    def test_variable(self):
+        assert parse_term("Emp") == Variable("Emp")
+        assert parse_term("_x") == Variable("_x")
+
+    def test_name_constant(self):
+        assert parse_term("toy") == Constant("toy")
+
+    def test_numbers(self):
+        assert parse_term("42") == Constant(42)
+        assert parse_term("-7") == Constant(-7)
+        assert parse_term("2.5") == Constant(2.5)
+
+    def test_quoted_strings(self):
+        assert parse_term("'two words'") == Constant("two words")
+        assert parse_term('"Toy"') == Constant("Toy")
+
+    def test_trailing_junk(self):
+        with pytest.raises(ParseError):
+            parse_term("X Y")
+
+
+class TestLiterals:
+    def test_atom(self):
+        assert parse_literal("emp(E, sales)") == Atom(
+            "emp", (Variable("E"), Constant("sales"))
+        )
+
+    def test_zero_ary_atom(self):
+        assert parse_literal("panic") == Atom("panic")
+
+    def test_negation(self):
+        assert parse_literal("not dept(D)") == Negation(Atom("dept", (Variable("D"),)))
+
+    def test_comparisons(self):
+        assert parse_literal("S < 100") == Comparison(
+            Variable("S"), ComparisonOp.LT, Constant(100)
+        )
+        assert parse_literal("D <> toy") == Comparison(
+            Variable("D"), ComparisonOp.NE, Constant("toy")
+        )
+        assert parse_literal("X != Y") == Comparison(
+            Variable("X"), ComparisonOp.NE, Variable("Y")
+        )
+        assert parse_literal("X == Y") == Comparison(
+            Variable("X"), ComparisonOp.EQ, Variable("Y")
+        )
+
+    def test_constant_led_comparison(self):
+        assert parse_literal("100 >= S") == Comparison(
+            Constant(100), ComparisonOp.GE, Variable("S")
+        )
+
+    def test_name_led_comparison(self):
+        # A lowercase name followed by an operator is a constant, not an atom.
+        assert parse_literal("toy <> D") == Comparison(
+            Constant("toy"), ComparisonOp.NE, Variable("D")
+        )
+
+
+class TestRules:
+    def test_paper_example_21(self):
+        rule = parse_rule("panic :- emp(E,sales) & emp(E,accounting)")
+        assert rule.head == Atom("panic")
+        assert len(rule.positive_atoms) == 2
+
+    def test_paper_example_22(self):
+        rule = parse_rule("panic :- emp(E,D,S) & not dept(D) & S < 100")
+        assert len(rule.positive_atoms) == 1
+        assert len(rule.negations) == 1
+        assert len(rule.comparisons) == 1
+
+    def test_commas_as_separators(self):
+        rule = parse_rule("panic :- p(X), q(X), X < 3")
+        assert len(rule.body) == 3
+
+    def test_fact(self):
+        rule = parse_rule("dept1(toy).")
+        assert rule.is_fact
+        assert rule.head == Atom("dept1", (Constant("toy"),))
+
+    def test_optional_period(self):
+        assert parse_rule("p(X) :- q(X)") == parse_rule("p(X) :- q(X).")
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("p(X) :- q(X) r(X)")
+
+
+class TestPrograms:
+    def test_example_24_program(self):
+        program = parse_program(
+            """
+            panic :- boss(E,E)
+            boss(E,M) :- emp(E,D,S) & manager(D,M)
+            boss(E,F) :- boss(E,G) & boss(G,F)
+            """
+        )
+        assert len(program.rules) == 3
+        assert program.idb_predicates() == {"panic", "boss"}
+        assert program.edb_predicates() == {"emp", "manager"}
+        assert program.is_recursive()
+
+    def test_comments(self):
+        program = parse_program(
+            """
+            % referential integrity
+            panic :- emp(E,D) & not dept(D)  # inline too
+            """
+        )
+        assert len(program.rules) == 1
+
+    def test_empty_program(self):
+        assert len(parse_program("").rules) == 0
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("p(X) :- q(X) &\n& r(X)")
+        assert excinfo.value.line >= 1
+
+
+class TestRoundTrip:
+    CASES = [
+        "panic :- emp(E, sales) & emp(E, accounting).",
+        "panic :- emp(E, D, S) & not dept(D) & S < 100.",
+        "panic :- l(X, Y) & r(Z) & X <= Z & Z <= Y.",
+        "boss(E, F) :- boss(E, G) & boss(G, F).",
+        "dept1(toy).",
+        "p(X) :- q(X, 2.5) & X <> -3.",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_parse_print_parse(self, text):
+        rule = parse_rule(text)
+        assert parse_rule(str(rule)) == rule
+
+
+@st.composite
+def random_rules(draw):
+    """Small random rules over a fixed vocabulary, for round-trip fuzzing."""
+    variables = [Variable(n) for n in ("X", "Y", "Z")]
+    constants = [Constant(v) for v in ("a", "b", 0, 1, 2.5)]
+    terms = st.sampled_from(variables + constants)
+    preds = st.sampled_from(["p", "q", "r"])
+
+    def atom():
+        name = draw(preds)
+        args = tuple(draw(st.lists(terms, min_size=1, max_size=3)))
+        return Atom(name, args)
+
+    positives = [atom() for _ in range(draw(st.integers(1, 3)))]
+    body = list(positives)
+    if draw(st.booleans()):
+        body.append(Negation(atom()))
+    # Comparisons only over variables bound by the positives (safety).
+    bound = [v for a in positives for v in a.variables()]
+    if bound and draw(st.booleans()):
+        left = draw(st.sampled_from(bound))
+        op = draw(st.sampled_from(list(ComparisonOp)))
+        right = draw(st.sampled_from(bound + constants))
+        body.append(Comparison(left, op, right))
+    head_args = tuple(bound[: draw(st.integers(0, min(2, len(bound))))])
+    return Rule(Atom("h", head_args), tuple(body))
+
+
+@given(random_rules())
+def test_roundtrip_random_rules(rule):
+    assert parse_rule(str(rule)) == rule

@@ -1,0 +1,94 @@
+"""Unit tests for rules and programs: structure, features, recursion."""
+
+from repro.datalog.atoms import Atom, Comparison, ComparisonOp, Negation
+from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.rules import Program, Rule
+from repro.datalog.substitution import Substitution
+from repro.datalog.terms import Constant, Variable
+
+X, Y = Variable("X"), Variable("Y")
+
+
+class TestRuleViews:
+    def test_partitioned_body(self):
+        rule = parse_rule("panic :- emp(E,D,S) & not dept(D) & S < 100")
+        assert [a.predicate for a in rule.positive_atoms] == ["emp"]
+        assert [n.predicate for n in rule.negations] == ["dept"]
+        assert len(rule.comparisons) == 1
+        assert rule.ordinary_subgoals == rule.positive_atoms
+
+    def test_variables_includes_head(self):
+        rule = parse_rule("q(X) :- p(Y)")
+        assert rule.variables() == {X, Y}
+
+    def test_constants_everywhere(self):
+        rule = parse_rule("q(a) :- p(X, b) & not r(c) & X < 5")
+        values = {c.value for c in rule.constants()}
+        assert values == {"a", "b", "c", 5}
+
+    def test_feature_flags(self):
+        assert parse_rule("p(X) :- q(X)").is_conjunctive()
+        assert not parse_rule("p(X) :- q(X) & X < 1").is_conjunctive()
+        assert parse_rule("p(X) :- q(X) & not r(X)").has_negation
+        assert parse_rule("p(X) :- q(X) & X < 1").has_comparisons
+
+    def test_is_fact(self):
+        assert parse_rule("p(a, 1).").is_fact
+        assert not parse_rule("p(X).").is_fact  # variable head
+        assert not parse_rule("p(a) :- q(a).").is_fact
+
+
+class TestRuleTransforms:
+    def test_substitute(self):
+        rule = parse_rule("p(X) :- q(X, Y)")
+        ground = rule.substitute(Substitution({X: Constant(1), Y: Constant(2)}))
+        assert str(ground) == "p(1) :- q(1, 2)."
+
+    def test_rename_predicate_everywhere(self):
+        rule = parse_rule("p(X) :- p(X) & not p(X) & q(X)")
+        renamed = rule.rename_predicate("p", "p2")
+        assert renamed.head.predicate == "p2"
+        assert renamed.positive_atoms[0].predicate == "p2"
+        assert renamed.negations[0].predicate == "p2"
+        assert renamed.positive_atoms[1].predicate == "q"
+
+
+class TestProgram:
+    def test_predicate_sets(self, example_24):
+        assert example_24.idb_predicates() == {"panic", "boss"}
+        assert example_24.edb_predicates() == {"emp", "manager"}
+
+    def test_rules_for(self, example_24):
+        assert len(example_24.rules_for("boss")) == 2
+        assert len(example_24.rules_for("panic")) == 1
+
+    def test_recursion_detection(self, example_23, example_24):
+        assert example_24.is_recursive()
+        assert not example_23.is_recursive()
+
+    def test_mutual_recursion_detected(self):
+        program = parse_program(
+            """
+            even(X) :- zero(X)
+            even(X) :- succ(Y,X) & odd(Y)
+            odd(X) :- succ(Y,X) & even(X)
+            """
+        )
+        assert program.is_recursive()
+
+    def test_negative_edges_in_dependency_graph(self):
+        program = parse_program("p(X) :- q(X) & not r(X)")
+        edges = set(program.dependency_edges())
+        assert ("p", "q", False) in edges
+        assert ("p", "r", True) in edges
+
+    def test_rename_predicate(self, example_22):
+        renamed = example_22.rename_predicate("dept", "dept1")
+        assert "dept" not in renamed.predicates()
+        assert "dept1" in renamed.predicates()
+
+    def test_extended(self):
+        program = parse_program("p(X) :- q(X)")
+        bigger = program.extended([parse_rule("p(X) :- r(X)")])
+        assert len(bigger.rules) == 2
+        assert len(program.rules) == 1  # original untouched

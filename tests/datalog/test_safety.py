@@ -1,0 +1,56 @@
+"""Safety (range restriction) tests."""
+
+import pytest
+
+from repro.errors import SafetyError
+from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.safety import check_program_safety, check_rule_safety, is_safe
+
+
+class TestSafeRules:
+    SAFE = [
+        "panic :- emp(E,sales) & emp(E,accounting)",
+        "panic :- emp(E,D,S) & not dept(D) & S < 100",
+        "p(X) :- q(X, Y) & Y < 3",
+        "panic :- p(X) & 1 < 2",  # ground comparison is fine
+        "fact(a).",
+    ]
+
+    @pytest.mark.parametrize("text", SAFE)
+    def test_safe(self, text):
+        check_rule_safety(parse_rule(text))
+        assert is_safe(parse_rule(text))
+
+
+class TestUnsafeRules:
+    def test_unbound_head_variable(self):
+        with pytest.raises(SafetyError, match="head variable"):
+            check_rule_safety(parse_rule("p(X, Y) :- q(X)"))
+
+    def test_unbound_negation_variable(self):
+        with pytest.raises(SafetyError, match="negated subgoal"):
+            check_rule_safety(parse_rule("panic :- p(X) & not q(Y)"))
+
+    def test_unbound_comparison_variable(self):
+        with pytest.raises(SafetyError, match="comparison"):
+            check_rule_safety(parse_rule("panic :- p(X) & Y < 3"))
+
+    def test_negation_does_not_bind(self):
+        # A variable appearing only under negation does not count as bound.
+        with pytest.raises(SafetyError):
+            check_rule_safety(parse_rule("panic :- not q(Y) & Y < 3"))
+
+    def test_fact_with_variable_head(self):
+        with pytest.raises(SafetyError):
+            check_rule_safety(parse_rule("p(X)."))
+
+
+def test_program_safety_reports_any_bad_rule():
+    program = parse_program(
+        """
+        good(X) :- base(X)
+        bad(Y) :- base(X)
+        """
+    )
+    with pytest.raises(SafetyError):
+        check_program_safety(program)

@@ -1,0 +1,84 @@
+"""Stratification tests."""
+
+import pytest
+
+from repro.errors import StratificationError
+from repro.datalog.parser import parse_program
+from repro.datalog.stratify import stratify
+
+
+def strata_index(layers, predicate):
+    for i, layer in enumerate(layers):
+        if predicate in layer:
+            return i
+    raise AssertionError(f"{predicate} not in any stratum")
+
+
+class TestStratification:
+    def test_single_stratum(self):
+        layers = stratify(parse_program("p(X) :- q(X)"))
+        assert layers == [{"p"}]
+
+    def test_negation_forces_later_stratum(self):
+        program = parse_program(
+            """
+            reach(X) :- edge(a, X)
+            reach(Y) :- reach(X) & edge(X, Y)
+            unreach(X) :- node(X) & not reach(X)
+            """
+        )
+        layers = stratify(program)
+        assert strata_index(layers, "reach") < strata_index(layers, "unreach")
+
+    def test_recursive_component_shares_stratum(self):
+        program = parse_program(
+            """
+            even(X) :- zero(X)
+            even(Y) :- succ(X, Y) & odd(X)
+            odd(Y) :- succ(X, Y) & even(X)
+            """
+        )
+        layers = stratify(program)
+        assert strata_index(layers, "even") == strata_index(layers, "odd")
+
+    def test_chain_of_negations(self):
+        program = parse_program(
+            """
+            a(X) :- base(X)
+            b(X) :- base(X) & not a(X)
+            c(X) :- base(X) & not b(X)
+            """
+        )
+        layers = stratify(program)
+        assert strata_index(layers, "a") < strata_index(layers, "b") < strata_index(layers, "c")
+
+    def test_negation_of_edb_is_free(self):
+        layers = stratify(parse_program("p(X) :- q(X) & not r(X)"))
+        assert layers == [{"p"}]
+
+
+class TestUnstratifiable:
+    def test_direct_negative_self_loop(self):
+        program = parse_program("p(X) :- q(X) & not p(X)")
+        with pytest.raises(StratificationError):
+            stratify(program)
+
+    def test_negative_cycle_through_two_predicates(self):
+        program = parse_program(
+            """
+            win(X) :- move(X, Y) & not win(Y)
+            """
+        )
+        with pytest.raises(StratificationError):
+            stratify(program)
+
+    def test_long_mixed_cycle(self):
+        program = parse_program(
+            """
+            a(X) :- b(X)
+            b(X) :- c(X)
+            c(X) :- base(X) & not a(X)
+            """
+        )
+        with pytest.raises(StratificationError):
+            stratify(program)

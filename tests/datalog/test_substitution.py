@@ -1,0 +1,112 @@
+"""Unit tests for substitutions and unification."""
+
+from repro.datalog.atoms import Atom, Comparison, ComparisonOp, Negation
+from repro.datalog.substitution import (
+    Substitution,
+    match_atom_against_fact,
+    unify_terms,
+    unify_terms_bidirectional,
+)
+from repro.datalog.terms import Constant, Variable
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+a, b = Constant("a"), Constant("b")
+
+
+class TestSubstitution:
+    def test_apply_term(self):
+        subst = Substitution({X: a})
+        assert subst.apply_term(X) == a
+        assert subst.apply_term(Y) == Y
+        assert subst.apply_term(b) == b
+
+    def test_apply_atom(self):
+        subst = Substitution({X: a, Y: Z})
+        assert subst.apply_atom(Atom("p", (X, Y, b))) == Atom("p", (a, Z, b))
+
+    def test_apply_literal_kinds(self):
+        subst = Substitution({X: a})
+        negation = Negation(Atom("q", (X,)))
+        assert subst.apply_literal(negation) == Negation(Atom("q", (a,)))
+        comparison = Comparison(X, ComparisonOp.LT, Y)
+        assert subst.apply_literal(comparison) == Comparison(a, ComparisonOp.LT, Y)
+
+    def test_extended_conflict(self):
+        subst = Substitution({X: a})
+        assert subst.extended(X, b) is None
+        assert subst.extended(X, a) is subst
+
+    def test_extended_is_persistent(self):
+        subst = Substitution()
+        extended = subst.extended(X, a)
+        assert extended is not None
+        assert X not in subst
+        assert extended[X] == a
+
+    def test_merged(self):
+        left = Substitution({X: a})
+        right = Substitution({Y: b})
+        merged = left.merged(right)
+        assert merged is not None
+        assert merged[X] == a and merged[Y] == b
+
+    def test_merged_conflict(self):
+        assert Substitution({X: a}).merged(Substitution({X: b})) is None
+
+    def test_equality_and_hash(self):
+        assert Substitution({X: a}) == Substitution({X: a})
+        assert hash(Substitution({X: a})) == hash(Substitution({X: a}))
+
+
+class TestOneWayUnify:
+    def test_binds_pattern_variables(self):
+        result = unify_terms((X, Y), (a, b))
+        assert result is not None and result[X] == a and result[Y] == b
+
+    def test_repeated_variable_must_agree(self):
+        assert unify_terms((X, X), (a, a)) is not None
+        assert unify_terms((X, X), (a, b)) is None
+
+    def test_pattern_constant_must_match(self):
+        assert unify_terms((a, X), (a, b)) is not None
+        assert unify_terms((a, X), (b, b)) is None
+
+    def test_value_variables_are_opaque(self):
+        # One-way matching does not bind value-side variables.
+        result = unify_terms((X,), (Y,))
+        assert result is not None and result[X] == Y
+
+    def test_length_mismatch(self):
+        assert unify_terms((X,), (a, b)) is None
+
+
+class TestBidirectionalUnify:
+    def test_constant_binds_right_variable(self):
+        result = unify_terms_bidirectional((a,), (X,))
+        assert result is not None and result[X] == a
+
+    def test_variable_chains_resolved(self):
+        result = unify_terms_bidirectional((X, X), (Y, a))
+        assert result is not None
+        assert result.apply_term(X) == a
+        assert result.apply_term(Y) == a
+
+    def test_constant_clash(self):
+        assert unify_terms_bidirectional((a,), (b,)) is None
+
+    def test_symmetric_conflict(self):
+        assert unify_terms_bidirectional((X, a), (b, X)) is None
+
+
+class TestMatchFact:
+    def test_match(self):
+        result = match_atom_against_fact(Atom("p", (X, a)), ("a", "a"))
+        assert result is not None and result[X] == a
+
+    def test_arity_mismatch(self):
+        assert match_atom_against_fact(Atom("p", (X,)), ("a", "b")) is None
+
+    def test_base_substitution_respected(self):
+        base = Substitution({X: a})
+        assert match_atom_against_fact(Atom("p", (X,)), ("b",), base) is None
+        assert match_atom_against_fact(Atom("p", (X,)), ("a",), base) is not None

@@ -1,0 +1,92 @@
+"""Unit tests for terms: variables, constants, fresh-name generation."""
+
+import pytest
+
+from repro.datalog.terms import (
+    Constant,
+    FreshVariableFactory,
+    Variable,
+    fresh_variables,
+    variables_in,
+)
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_hashable(self):
+        assert len({Variable("X"), Variable("X"), Variable("Y")}) == 2
+
+    def test_str(self):
+        assert str(Variable("Emp")) == "Emp"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant(1) == Constant(1)
+        assert Constant("a") != Constant("b")
+
+    def test_int_float_conflation(self):
+        # 1 and 1.0 are the same point of the dense order.
+        assert Constant(1) == Constant(1.0)
+        assert hash(Constant(1)) == hash(Constant(1.0))
+
+    def test_str_identifier_unquoted(self):
+        assert str(Constant("toy")) == "toy"
+
+    def test_str_nonidentifier_quoted(self):
+        assert str(Constant("two words")) == "'two words'"
+
+    def test_str_capitalized_string_quoted(self):
+        # Would otherwise parse back as a variable.
+        assert str(Constant("Toy")) == "'Toy'"
+
+    def test_numeric_str(self):
+        assert str(Constant(42)) == "42"
+        assert str(Constant(2.5)) == "2.5"
+
+
+class TestFreshVariableFactory:
+    def test_avoids_taken_names(self):
+        factory = FreshVariableFactory(["V1", "V2"])
+        assert factory.fresh().name == "V3"
+
+    def test_fresh_are_distinct(self):
+        factory = FreshVariableFactory()
+        names = {factory.fresh().name for _ in range(50)}
+        assert len(names) == 50
+
+    def test_hint_used_when_free(self):
+        factory = FreshVariableFactory(["X"])
+        assert factory.fresh(hint="Y").name == "Y"
+
+    def test_hint_extended_when_taken(self):
+        factory = FreshVariableFactory(["Y"])
+        fresh = factory.fresh(hint="Y")
+        assert fresh.name != "Y"
+        assert fresh.name.startswith("Y")
+
+    def test_hint_remembered(self):
+        factory = FreshVariableFactory()
+        first = factory.fresh(hint="Z")
+        second = factory.fresh(hint="Z")
+        assert first != second
+
+
+def test_fresh_variables_count_and_distinctness():
+    variables = fresh_variables(5, avoid=["V1"], prefix="V")
+    assert len(variables) == 5
+    assert len(set(variables)) == 5
+    assert all(v.name != "V1" for v in variables)
+
+
+def test_variables_in_preserves_order_and_duplicates():
+    x, y = Variable("X"), Variable("Y")
+    terms = [x, Constant(1), y, x]
+    assert list(variables_in(terms)) == [x, y, x]

@@ -1,0 +1,135 @@
+"""Tests for unfolding nonrecursive programs into unions of CQs."""
+
+import random
+
+import pytest
+
+from repro.errors import NotApplicableError
+from repro.datalog.database import Database
+from repro.datalog.evaluation import Engine
+from repro.datalog.parser import parse_program
+from repro.datalog.rules import Program
+from repro.datalog.unfold import can_unfold, unfold_to_union
+from tests.conftest import make_random_database
+
+
+class TestUnfold:
+    def test_simple_intermediate(self):
+        program = parse_program(
+            """
+            dept1(D) :- dept(D)
+            dept1(toy)
+            panic :- emp(E,D,S) & dept1(D)
+            """
+        )
+        union = unfold_to_union(program)
+        bodies = {str(rule) for rule in union}
+        assert len(union) == 2
+        assert any("dept(D)" in body for body in bodies)
+        assert any("toy" in body for body in bodies)
+
+    def test_head_constant_binds_caller_variable(self):
+        program = parse_program(
+            """
+            special(toy)
+            panic :- emp(E, D) & special(D)
+            """
+        )
+        union = unfold_to_union(program)
+        assert len(union) == 1
+        assert "emp(E, toy)" in str(union[0])
+
+    def test_constant_clash_prunes_branch(self):
+        program = parse_program(
+            """
+            special(toy)
+            panic :- special(shoe)
+            """
+        )
+        assert unfold_to_union(program) == []
+
+    def test_variables_renamed_apart(self):
+        program = parse_program(
+            """
+            pair(X, Y) :- left(X) & right(Y)
+            panic :- pair(X, X)
+            """
+        )
+        union = unfold_to_union(program)
+        assert len(union) == 1
+        # The defining rule's X must not capture the caller's X; after
+        # unification the body joins left and right on one variable.
+        rule = union[0]
+        assert {a.predicate for a in rule.positive_atoms} == {"left", "right"}
+        left_var = rule.positive_atoms[0].args[0]
+        right_var = rule.positive_atoms[1].args[0]
+        assert left_var == right_var
+
+    def test_rejects_recursive(self, example_24):
+        with pytest.raises(NotApplicableError):
+            unfold_to_union(example_24)
+        assert not can_unfold(example_24)
+
+    def test_rejects_negated_idb(self):
+        program = parse_program(
+            """
+            dept1(D) :- dept(D)
+            panic :- emp(E,D) & not dept1(D)
+            """
+        )
+        with pytest.raises(NotApplicableError):
+            unfold_to_union(program)
+        assert not can_unfold(program)
+
+    def test_negated_edb_carried_along(self):
+        program = parse_program(
+            """
+            bad(D) :- listed(D) & not approved(D)
+            panic :- emp(E, D) & bad(D)
+            """
+        )
+        union = unfold_to_union(program)
+        assert len(union) == 1
+        assert union[0].negations[0].predicate == "approved"
+
+    def test_missing_goal(self):
+        program = parse_program("p(X) :- q(X)")
+        with pytest.raises(NotApplicableError):
+            unfold_to_union(program, "panic")
+
+
+class TestUnfoldSemantics:
+    """The union must compute exactly what the program computes."""
+
+    PROGRAMS = [
+        """
+        mid(X,Z) :- e(X,Y) & e(Y,Z)
+        panic :- mid(X,X)
+        """,
+        """
+        ok(D) :- dept(D)
+        ok(extra)
+        low(E) :- emp(E,D,S) & S < 2
+        panic :- low(E) & emp(E,D,S) & ok(D)
+        """,
+        """
+        a(X) :- e(X, Y) & Y <> 0
+        b(X) :- a(X) & not f(X)
+        panic :- b(X) & X > 1
+        """,
+    ]
+
+    @pytest.mark.parametrize("text", PROGRAMS)
+    def test_union_equivalent_on_random_databases(self, text):
+        program = parse_program(text)
+        union = unfold_to_union(program)
+        union_program = Program(tuple(union))
+        engine = Engine(program)
+        union_engine = Engine(union_program) if union else None
+        predicates = {"e": 2, "emp": 3, "dept": 1, "f": 1}
+        rng = random.Random(99)
+        for _ in range(60):
+            db = make_random_database(rng, predicates, domain_size=3)
+            expected = engine.fires(db)
+            actual = union_engine.fires(db) if union_engine else False
+            assert actual == expected, f"mismatch on {db}"

@@ -1,0 +1,64 @@
+"""Workload generator tests: determinism, initial consistency, knobs."""
+
+from repro.distributed.checker import DistributedChecker
+from repro.distributed.workload import employee_workload, interval_workload
+
+
+class TestIntervalWorkload:
+    def test_deterministic(self):
+        left = interval_workload(seed=5, num_updates=20)
+        right = interval_workload(seed=5, num_updates=20)
+        assert [u.values for u in left.updates] == [u.values for u in right.updates]
+        assert left.sites.local.unmetered() == right.sites.local.unmetered()
+
+    def test_initially_consistent(self):
+        workload = interval_workload(seed=1)
+        full = workload.sites.ground_truth_database()
+        assert workload.constraints.holds_all(full)
+
+    def test_update_predicate_is_local(self):
+        workload = interval_workload(seed=1, num_updates=10)
+        assert all(u.predicate in workload.local_predicates for u in workload.updates)
+
+    def test_coverage_knob_moves_local_rate(self):
+        rates = {}
+        for covered in (0.1, 0.9):
+            workload = interval_workload(
+                seed=3, num_updates=60, covered_fraction=covered
+            )
+            checker = DistributedChecker(workload.constraints, workload.sites)
+            for update in workload.updates:
+                checker.process(update)
+            rates[covered] = checker.stats.local_resolution_rate
+        assert rates[0.9] > rates[0.1]
+
+
+class TestEmployeeWorkload:
+    def test_initially_consistent(self):
+        workload = employee_workload(seed=2)
+        full = workload.sites.ground_truth_database()
+        assert workload.constraints.holds_all(full)
+
+    def test_two_constraints(self):
+        workload = employee_workload(seed=2)
+        assert len(workload.constraints) == 2
+
+    def test_invariant_maintained_under_protocol(self):
+        workload = employee_workload(seed=6, num_updates=40)
+        checker = DistributedChecker(workload.constraints, workload.sites)
+        for update in workload.updates:
+            checker.process(update)
+            full = workload.sites.ground_truth_database()
+            assert workload.constraints.holds_all(full)
+
+    def test_coverage_knob(self):
+        rates = {}
+        for covered in (0.0, 1.0):
+            workload = employee_workload(
+                seed=8, num_updates=50, covered_fraction=covered
+            )
+            checker = DistributedChecker(workload.constraints, workload.sites)
+            for update in workload.updates:
+                checker.process(update)
+            rates[covered] = checker.stats.local_resolution_rate
+        assert rates[1.0] > rates[0.0]

@@ -1,0 +1,159 @@
+"""Theorem 5.2 tests: correctness AND completeness of the local test.
+
+Correctness: a YES answer means no remote state (consistent with the
+constraint having held) is violated after the insertion — verified by
+exhaustive small-domain search.  Completeness: a NO answer comes with an
+explicit witness remote state, which we verify directly.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.constraints.constraint import Constraint
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_rule
+from repro.localtests.complete import (
+    complete_local_test_insertion,
+    completeness_witness,
+    reductions_over_relation,
+)
+
+FORBIDDEN = parse_rule("panic :- l(X,Y) & r(Z) & X<=Z & Z<=Y")
+SAL_FLOOR = parse_rule("panic :- emp(E,D,S) & salFloor(D,F) & S < F")
+
+
+class TestExample53:
+    def test_covered_insertion_safe(self):
+        assert complete_local_test_insertion(FORBIDDEN, "l", (4, 8), [(3, 6), (5, 10)])
+
+    def test_gap_detected(self):
+        assert not complete_local_test_insertion(FORBIDDEN, "l", (4, 8), [(3, 6)])
+        assert not complete_local_test_insertion(FORBIDDEN, "l", (4, 8), [(3, 5), (6, 10)])
+
+    def test_exact_cover(self):
+        assert complete_local_test_insertion(FORBIDDEN, "l", (3, 6), [(3, 6)])
+
+    def test_empty_relation(self):
+        # Nothing held before, so any nonempty interval could be violated.
+        assert not complete_local_test_insertion(FORBIDDEN, "l", (4, 8), [])
+
+    def test_empty_forbidden_interval_safe(self):
+        # An inverted interval forbids nothing.
+        assert complete_local_test_insertion(FORBIDDEN, "l", (8, 4), [])
+
+    def test_reductions_skip_nonunifying_tuples(self):
+        rule = parse_rule("panic :- l(X,X) & r(X)")
+        reductions = reductions_over_relation(rule, "l", [(1, 1), (1, 2), (3, 3)])
+        assert len(reductions) == 2
+
+
+class TestSalaryFloor:
+    """The CQC with a local variable inside the remote subgoal: a hire is
+    locally safe iff a same-department colleague earns no more."""
+
+    def test_colleague_with_lower_salary_covers(self):
+        employees = [("ann", "toys", 50)]
+        assert complete_local_test_insertion(
+            SAL_FLOOR, "emp", ("bob", "toys", 60), employees
+        )
+
+    def test_colleague_with_higher_salary_does_not(self):
+        employees = [("ann", "toys", 70)]
+        assert not complete_local_test_insertion(
+            SAL_FLOOR, "emp", ("bob", "toys", 60), employees
+        )
+
+    def test_other_department_does_not_cover(self):
+        employees = [("ann", "sales", 10)]
+        assert not complete_local_test_insertion(
+            SAL_FLOOR, "emp", ("bob", "toys", 60), employees
+        )
+
+    def test_equal_salary_covers(self):
+        employees = [("ann", "toys", 60)]
+        assert complete_local_test_insertion(
+            SAL_FLOOR, "emp", ("bob", "toys", 60), employees
+        )
+
+
+class TestAssumedConstraints:
+    def test_other_constraints_join_the_union(self):
+        """A second constraint over the same local relation contributes
+        reductions: here a one-sided bound plugs the other's gap."""
+        lower_half = parse_rule("panic :- l(X,Y) & r(Z) & X<=Z & Z<=Y")
+        upper_ray = parse_rule("panic :- l(X,Y) & r(Z) & Y<=Z")
+        # Insert (4, 20) with L = {(3, 6)}: [4,20] is not covered by
+        # [3,6] alone, but the ray constraint forbids [6, inf) too.
+        assert not complete_local_test_insertion(lower_half, "l", (4, 20), [(3, 6)])
+        assert complete_local_test_insertion(
+            lower_half, "l", (4, 20), [(3, 6)], assumed=[upper_ray]
+        )
+
+
+class TestCompletenessWitness:
+    def test_no_witness_when_safe(self):
+        assert completeness_witness(FORBIDDEN, "l", (4, 8), [(3, 6), (5, 10)]) is None
+
+    def test_witness_verifies(self):
+        """The witness must (a) satisfy the constraint before and (b)
+        violate it after the insertion."""
+        relation = [(3, 6)]
+        inserted = (4, 8)
+        witness = completeness_witness(FORBIDDEN, "l", inserted, relation)
+        assert witness is not None
+        constraint = Constraint(FORBIDDEN, "fi")
+        db = witness.copy()
+        for values in relation:
+            db.insert("l", values)
+        assert constraint.holds(db), "witness must be consistent with the priors"
+        db.insert("l", inserted)
+        assert constraint.is_violated(db), "witness must expose the insertion"
+
+    def test_witness_randomized(self):
+        rng = random.Random(17)
+        constraint = Constraint(FORBIDDEN, "fi")
+        for _ in range(60):
+            relation = [
+                (rng.randrange(10), rng.randrange(10)) for _ in range(rng.randrange(4))
+            ]
+            inserted = (rng.randrange(10), rng.randrange(10))
+            verdict = complete_local_test_insertion(FORBIDDEN, "l", inserted, relation)
+            witness = completeness_witness(FORBIDDEN, "l", inserted, relation)
+            assert (witness is None) == verdict
+            if witness is not None:
+                db = witness.copy()
+                for values in relation:
+                    db.insert("l", values)
+                assert constraint.holds(db)
+                db.insert("l", inserted)
+                assert constraint.is_violated(db)
+
+
+class TestCorrectnessExhaustive:
+    """YES answers checked against exhaustive remote states on a small
+    grid: no consistent remote state may be violated after the insert."""
+
+    def test_exhaustive_small_domain(self):
+        constraint = Constraint(FORBIDDEN, "fi")
+        grid = range(6)
+        rng = random.Random(23)
+        for _ in range(25):
+            relation = [
+                (rng.randrange(6), rng.randrange(6)) for _ in range(rng.randrange(3))
+            ]
+            inserted = (rng.randrange(6), rng.randrange(6))
+            if not complete_local_test_insertion(FORBIDDEN, "l", inserted, relation):
+                continue
+            # Enumerate all remote subsets of the grid (2^6 states).
+            for size in range(3):
+                for readings in itertools.combinations(grid, size):
+                    db = Database({"l": relation, "r": [(z,) for z in readings]})
+                    if not constraint.holds(db):
+                        continue  # inconsistent with priors
+                    db.insert("l", inserted)
+                    assert constraint.holds(db), (
+                        f"YES was wrong: remote {readings}, insert {inserted}, "
+                        f"relation {relation}"
+                    )

@@ -1,0 +1,133 @@
+"""Theorem 6.1 / Fig. 6.1 tests: the generated recursive datalog programs.
+
+The generated program is cross-checked against the interval algebra and
+the Theorem 5.2 containment engine on hundreds of randomized cases, and
+the paper's literal Fig. 6.1 program is exercised on the closed-bounds
+special case.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import NotApplicableError
+from repro.datalog.database import Database
+from repro.datalog.evaluation import Engine
+from repro.datalog.parser import parse_rule
+from repro.localtests.complete import complete_local_test_insertion
+from repro.localtests.icq import analyze_icq, interval_local_test
+from repro.localtests.interval_datalog import (
+    IntervalDatalogTest,
+    build_interval_program,
+    figure_61_program,
+)
+
+
+class TestProgramStructure:
+    def test_program_is_recursive_with_arithmetic(self, forbidden_intervals_cqc):
+        program = build_interval_program(analyze_icq(forbidden_intervals_cqc, "l"))
+        assert program.is_recursive()
+        assert program.has_comparisons
+        assert "interval" in program.idb_predicates()
+        assert "covered" in program.idb_predicates()
+
+    def test_basis_rules_read_the_local_relation(self, forbidden_intervals_cqc):
+        program = build_interval_program(analyze_icq(forbidden_intervals_cqc, "l"))
+        assert "l" in program.edb_predicates()
+
+    def test_multiple_bounds_expand_rules(self):
+        one_bound = parse_rule("panic :- l(X,Y) & r(Z) & X<=Z & Z<=Y")
+        two_bounds = parse_rule("panic :- l(X,Y,W) & r(Z) & X<=Z & W<=Z & Z<=Y")
+        small = build_interval_program(analyze_icq(one_bound, "l"))
+        large = build_interval_program(analyze_icq(two_bounds, "l"))
+        # "We may need a different rule for every such order."
+        assert len(large.rules) > len(small.rules)
+
+    def test_multi_variable_rejected(self):
+        rule = parse_rule("panic :- l(A,B,C,D) & r(Z,W) & A<=Z & Z<=B & C<=W & W<=D")
+        with pytest.raises(NotApplicableError):
+            build_interval_program(analyze_icq(rule, "l"))
+
+
+class TestAgainstIntervalAlgebra:
+    CASES = [
+        "panic :- l(X,Y) & r(Z) & X<=Z & Z<=Y",
+        "panic :- l(X,Y) & r(Z) & X<Z & Z<Y",
+        "panic :- l(X,Y) & r(Z) & X<=Z & Z<Y",
+        "panic :- l(X) & r(Z) & X<=Z",
+        "panic :- l(X) & r(Z) & Z<X",
+        "panic :- l(X,Y) & r(Z) & X<=Z & Z<=Y & Z <> 4",
+        "panic :- l(X,Y,W) & r(Z) & X<=Z & W<Z & Z<=Y",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_agreement(self, text):
+        rule = parse_rule(text)
+        analysis = analyze_icq(rule, "l")
+        datalog_test = IntervalDatalogTest(analysis)
+        arity = analysis.local_atom.arity
+        rng = random.Random(hash(text) & 0xFFFF)
+        for _ in range(60):
+            relation = [
+                tuple(rng.randrange(8) for _ in range(arity))
+                for _ in range(rng.randrange(5))
+            ]
+            inserted = tuple(rng.randrange(8) for _ in range(arity))
+            from_datalog = datalog_test.passes(inserted, relation)
+            from_algebra = interval_local_test(analysis, inserted, relation)
+            assert from_datalog == from_algebra, (text, inserted, relation)
+
+    def test_agreement_with_theorem_52(self, forbidden_intervals_cqc):
+        analysis = analyze_icq(forbidden_intervals_cqc, "l")
+        datalog_test = IntervalDatalogTest(analysis)
+        rng = random.Random(5)
+        for _ in range(80):
+            relation = [
+                (rng.randrange(8), rng.randrange(8)) for _ in range(rng.randrange(5))
+            ]
+            inserted = (rng.randrange(8), rng.randrange(8))
+            assert datalog_test.passes(inserted, relation) == (
+                complete_local_test_insertion(
+                    forbidden_intervals_cqc, "l", inserted, relation
+                )
+            )
+
+    def test_recursion_depth(self, forbidden_intervals_cqc):
+        """A long chain of touching windows: only the recursive closure
+        can certify the big insert."""
+        analysis = analyze_icq(forbidden_intervals_cqc, "l")
+        datalog_test = IntervalDatalogTest(analysis)
+        chain = [(i, i + 1) for i in range(15)]
+        assert datalog_test.passes((0, 15), chain)
+        assert not datalog_test.passes((0, 16), chain)
+
+
+class TestFigure61Verbatim:
+    def test_program_text(self):
+        program = figure_61_program()
+        assert len(program.rules) == 3
+        assert program.is_recursive()
+
+    def test_closed_interval_semantics(self):
+        """Run the paper's own program on Example 5.3's data."""
+        engine = Engine(figure_61_program())
+        db = Database({"l": [(3, 6), (5, 10)], "query": [(4, 8)]})
+        assert () in engine.evaluate_predicate(db, "ok")
+        db_gap = Database({"l": [(3, 6)], "query": [(4, 8)]})
+        assert () not in engine.evaluate_predicate(db_gap, "ok")
+
+    def test_matches_generated_program_on_closed_case(self, forbidden_intervals_cqc):
+        paper_engine = Engine(figure_61_program())
+        analysis = analyze_icq(forbidden_intervals_cqc, "l")
+        generated = IntervalDatalogTest(analysis)
+        rng = random.Random(88)
+        for _ in range(60):
+            relation = [
+                (rng.randrange(8), rng.randrange(8)) for _ in range(rng.randrange(5))
+            ]
+            a = rng.randrange(8)
+            b = rng.randrange(a, 8)
+            db = Database({"l": relation, "query": [(a, b)]})
+            paper_says = () in paper_engine.evaluate_predicate(db, "ok")
+            generated_says = generated.passes((a, b), relation)
+            assert paper_says == generated_says, ((a, b), relation)

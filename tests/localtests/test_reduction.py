@@ -1,0 +1,85 @@
+"""RED(t, l, C) tests (Section 5, Examples 5.3 and 5.4)."""
+
+import pytest
+
+from repro.errors import NotApplicableError
+from repro.datalog.parser import parse_rule
+from repro.localtests.reduction import check_cqc_form, local_subgoal, reduce_by_tuple
+
+
+class TestCQCForm:
+    def test_valid_form(self, forbidden_intervals_cqc):
+        check_cqc_form(forbidden_intervals_cqc, "l")
+
+    def test_local_predicate_must_occur_once(self):
+        rule = parse_rule("panic :- l(X) & l(Y) & r(X,Y)")
+        with pytest.raises(NotApplicableError, match="exactly one"):
+            check_cqc_form(rule, "l")
+
+    def test_local_predicate_must_occur(self):
+        rule = parse_rule("panic :- r(X,Y)")
+        with pytest.raises(NotApplicableError):
+            check_cqc_form(rule, "l")
+
+    def test_negation_rejected(self):
+        rule = parse_rule("panic :- l(X) & not r(X)")
+        with pytest.raises(NotApplicableError):
+            check_cqc_form(rule, "l")
+
+    def test_local_subgoal_found(self, forbidden_intervals_cqc):
+        subgoal = local_subgoal(forbidden_intervals_cqc, "l")
+        assert subgoal.predicate == "l"
+        assert subgoal.arity == 2
+
+
+class TestExample53:
+    """RED((3,6)) = r(Z) & 3<=Z & Z<=6, and friends."""
+
+    def test_reductions(self, forbidden_intervals_cqc):
+        for values, lo, hi in [((3, 6), 3, 6), ((5, 10), 5, 10), ((4, 8), 4, 8)]:
+            reduced = reduce_by_tuple(forbidden_intervals_cqc, "l", values)
+            assert reduced is not None
+            assert [a.predicate for a in reduced.positive_atoms] == ["r"]
+            rendered = str(reduced)
+            assert f"{lo} <= Z" in rendered
+            assert f"Z <= {hi}" in rendered
+
+    def test_local_subgoal_eliminated(self, forbidden_intervals_cqc):
+        reduced = reduce_by_tuple(forbidden_intervals_cqc, "l", (3, 6))
+        assert "l" not in {a.predicate for a in reduced.positive_atoms}
+
+
+class TestExample54:
+    """l(X,Y,Y): the pattern with a repeated variable."""
+
+    def setup_method(self):
+        self.rule = parse_rule("panic :- l(X,Y,Y) & r(Y,Z,X)")
+
+    def test_reduction_fails_on_pattern_mismatch(self):
+        # "RED(t, l, C1) does not exist, because b != c"
+        assert reduce_by_tuple(self.rule, "l", ("a", "b", "c")) is None
+
+    def test_reduction_exists_on_pattern_match(self):
+        reduced = reduce_by_tuple(self.rule, "l", ("a", "b", "b"))
+        assert reduced is not None
+        assert str(reduced.positive_atoms[0]) == "r(b, Z, a)"
+
+
+class TestPatternsWithConstants:
+    def test_constant_in_local_subgoal(self):
+        rule = parse_rule("panic :- l(sales, X) & r(X)")
+        assert reduce_by_tuple(rule, "l", ("sales", 5)) is not None
+        assert reduce_by_tuple(rule, "l", ("toys", 5)) is None
+
+    def test_arity_mismatch_raises(self, forbidden_intervals_cqc):
+        with pytest.raises(NotApplicableError):
+            reduce_by_tuple(forbidden_intervals_cqc, "l", (1, 2, 3))
+
+    def test_substitution_reaches_all_literals(self):
+        rule = parse_rule("panic :- l(A,B) & r(A,Z) & s(B) & Z < B & A <> 0")
+        reduced = reduce_by_tuple(rule, "l", (1, 2))
+        rendered = str(reduced)
+        assert "r(1, Z)" in rendered
+        assert "s(2)" in rendered
+        assert "Z < 2" in rendered
+        assert "1 <> 0" in rendered

@@ -1,0 +1,92 @@
+"""Tests for the single-member baseline and its incompleteness gap.
+
+The paper's remark: single-member containment (Gupta–Ullman 1992 /
+Gupta–Widom 1993 style) cannot be extended to arithmetic and stay
+complete.  These tests pin both halves: soundness everywhere, and the
+exact incompleteness witness of Example 5.3.
+"""
+
+import random
+
+from repro.datalog.parser import parse_rule
+from repro.localtests.algebraic import AlgebraicLocalTest
+from repro.localtests.complete import complete_local_test_insertion
+from repro.localtests.single_member import single_member_local_test
+
+FORBIDDEN = parse_rule("panic :- l(X,Y) & r(Z) & X<=Z & Z<=Y")
+
+
+class TestSoundness:
+    def test_baseline_implies_complete(self):
+        """Whenever the baseline certifies, the complete test certifies."""
+        rng = random.Random(42)
+        for _ in range(150):
+            relation = [
+                (rng.randrange(10), rng.randrange(10)) for _ in range(rng.randrange(5))
+            ]
+            inserted = (rng.randrange(10), rng.randrange(10))
+            if single_member_local_test(FORBIDDEN, "l", inserted, relation):
+                assert complete_local_test_insertion(
+                    FORBIDDEN, "l", inserted, relation
+                ), (inserted, relation)
+
+    def test_no_reduction_is_trivially_safe(self):
+        rule = parse_rule("panic :- l(X,X) & r(X)")
+        assert single_member_local_test(rule, "l", (1, 2), [])
+
+
+class TestIncompletenessGap:
+    def test_example_53_is_the_gap(self):
+        """(4,8) inside [3,6] u [5,10]: complete says YES, baseline cannot."""
+        relation = [(3, 6), (5, 10)]
+        assert complete_local_test_insertion(FORBIDDEN, "l", (4, 8), relation)
+        assert not single_member_local_test(FORBIDDEN, "l", (4, 8), relation)
+
+    def test_single_cover_found_by_both(self):
+        relation = [(3, 10)]
+        assert complete_local_test_insertion(FORBIDDEN, "l", (4, 8), relation)
+        assert single_member_local_test(FORBIDDEN, "l", (4, 8), relation)
+
+    def test_no_gap_without_arithmetic(self):
+        """Arithmetic-free CQCs: the baseline IS complete (the
+        Sagiv–Yannakakis single-member property) — agreement everywhere."""
+        rule = parse_rule("panic :- l(X,Y) & r(X,Z) & s(Y,Z)")
+        compiled = AlgebraicLocalTest(rule, "l")
+        rng = random.Random(7)
+        for _ in range(120):
+            relation = [
+                (rng.randrange(4), rng.randrange(4)) for _ in range(rng.randrange(4))
+            ]
+            inserted = (rng.randrange(4), rng.randrange(4))
+            baseline = single_member_local_test(rule, "l", inserted, relation)
+            complete = complete_local_test_insertion(rule, "l", inserted, relation)
+            fast = compiled.passes(inserted, relation)
+            assert baseline == complete == fast, (inserted, relation)
+
+    def test_gap_rate_on_random_interval_workload(self):
+        """On chained-interval workloads the baseline misses a measurable
+        fraction of safe inserts — the reason the paper needed Thm 5.2."""
+        rng = random.Random(99)
+        complete_yes = 0
+        baseline_yes = 0
+        trials = 120
+        for _ in range(trials):
+            # Overlapping chain: joint coverage is common.
+            start = rng.randrange(5)
+            relation = []
+            position = start
+            for _ in range(4):
+                width = rng.randrange(2, 5)
+                relation.append((position, position + width))
+                position += width - 1  # overlap by one
+            inserted_lo = rng.randrange(start, position)
+            inserted_hi = rng.randrange(inserted_lo, position + 4)
+            inserted = (inserted_lo, inserted_hi)
+            if complete_local_test_insertion(FORBIDDEN, "l", inserted, relation):
+                complete_yes += 1
+                if single_member_local_test(FORBIDDEN, "l", inserted, relation):
+                    baseline_yes += 1
+        assert complete_yes > 0
+        assert baseline_yes < complete_yes, (
+            "the chained workload must exhibit the union-coverage gap"
+        )

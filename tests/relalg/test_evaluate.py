@@ -1,0 +1,141 @@
+"""Relational algebra expression and evaluator tests."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.datalog.atoms import ComparisonOp
+from repro.datalog.database import Database
+from repro.relalg.evaluate import evaluate_expression, is_nonempty
+from repro.relalg.expressions import (
+    Col,
+    Condition,
+    ConstantRelation,
+    Difference,
+    Lit,
+    Product,
+    Project,
+    RelationRef,
+    Select,
+    Union,
+    arity_of,
+)
+
+DB = Database(
+    {
+        "emp": [("ann", "toys", 50), ("bob", "sales", 120), ("cas", "toys", 80)],
+        "dept": [("toys",), ("sales",)],
+    }
+)
+
+
+class TestLeafExpressions:
+    def test_relation_ref(self):
+        assert evaluate_expression(RelationRef("dept", 1), DB) == {("toys",), ("sales",)}
+
+    def test_missing_relation_is_empty(self):
+        assert evaluate_expression(RelationRef("nope", 2), DB) == frozenset()
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate_expression(RelationRef("dept", 3), DB)
+
+    def test_constant_relation(self):
+        expr = ConstantRelation(((1, 2), (3, 4)), 2)
+        assert evaluate_expression(expr, DB) == {(1, 2), (3, 4)}
+
+
+class TestOperators:
+    def test_select_col_vs_lit(self):
+        expr = Select(
+            RelationRef("emp", 3),
+            (Condition(Col(1), ComparisonOp.EQ, Lit("toys")),),
+        )
+        assert len(evaluate_expression(expr, DB)) == 2
+
+    def test_select_order_comparison(self):
+        expr = Select(
+            RelationRef("emp", 3),
+            (Condition(Col(2), ComparisonOp.GT, Lit(100)),),
+        )
+        assert evaluate_expression(expr, DB) == {("bob", "sales", 120)}
+
+    def test_select_col_vs_col(self):
+        db = Database({"pair": [(1, 1), (1, 2)]})
+        expr = Select(RelationRef("pair", 2), (Condition(Col(0), ComparisonOp.EQ, Col(1)),))
+        assert evaluate_expression(expr, db) == {(1, 1)}
+
+    def test_conjunctive_select(self):
+        expr = Select(
+            RelationRef("emp", 3),
+            (
+                Condition(Col(1), ComparisonOp.EQ, Lit("toys")),
+                Condition(Col(2), ComparisonOp.LT, Lit(60)),
+            ),
+        )
+        assert evaluate_expression(expr, DB) == {("ann", "toys", 50)}
+
+    def test_project_with_constants(self):
+        expr = Project(RelationRef("dept", 1), (Lit("x"), Col(0)))
+        assert evaluate_expression(expr, DB) == {("x", "toys"), ("x", "sales")}
+
+    def test_project_dedups(self):
+        expr = Project(RelationRef("emp", 3), (Col(1),))
+        assert evaluate_expression(expr, DB) == {("toys",), ("sales",)}
+
+    def test_product(self):
+        expr = Product(RelationRef("dept", 1), RelationRef("dept", 1))
+        assert len(evaluate_expression(expr, DB)) == 4
+
+    def test_union(self):
+        expr = Union(
+            (
+                ConstantRelation(((1,),), 1),
+                ConstantRelation(((2,),), 1),
+                ConstantRelation(((1,),), 1),
+            )
+        )
+        assert evaluate_expression(expr, DB) == {(1,), (2,)}
+
+    def test_empty_union(self):
+        assert evaluate_expression(Union(()), DB) == frozenset()
+        assert not is_nonempty(Union(()), DB)
+
+    def test_difference(self):
+        expr = Difference(
+            RelationRef("dept", 1), ConstantRelation((("toys",),), 1)
+        )
+        assert evaluate_expression(expr, DB) == {("sales",)}
+
+
+class TestArity:
+    def test_arity_computation(self):
+        expr = Project(
+            Select(
+                Product(RelationRef("emp", 3), RelationRef("dept", 1)),
+                (Condition(Col(1), ComparisonOp.EQ, Col(3)),),
+            ),
+            (Col(0), Col(2)),
+        )
+        assert arity_of(expr) == 2
+
+    def test_union_arity_mismatch(self):
+        expr = Union((RelationRef("dept", 1), RelationRef("emp", 3)))
+        with pytest.raises(ValueError):
+            arity_of(expr)
+
+    def test_difference_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            arity_of(Difference(RelationRef("dept", 1), RelationRef("emp", 3)))
+
+
+class TestComposite:
+    def test_join_via_product_select_project(self):
+        """emp join dept, projecting employee names of known departments."""
+        expr = Project(
+            Select(
+                Product(RelationRef("emp", 3), RelationRef("dept", 1)),
+                (Condition(Col(1), ComparisonOp.EQ, Col(3)),),
+            ),
+            (Col(0),),
+        )
+        assert evaluate_expression(expr, DB) == {("ann",), ("bob",), ("cas",)}

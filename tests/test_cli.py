@@ -1,0 +1,199 @@
+"""CLI tests: file loading, update parsing, each subcommand end to end."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.cli import load_constraints, load_database, main, parse_update
+from repro.updates.update import Deletion, Insertion
+
+CONSTRAINTS = """\
+%% referential
+panic :- emp(E,D,S) & not dept(D)
+%% salary-cap
+panic :- emp(E,D,S) & S > 100
+%% salary-cap-high
+panic :- emp(E,D,S) & S > 200
+%% floor
+panic :- emp(E,D,S) & salFloor(D,F) & S < F
+"""
+
+
+@pytest.fixture
+def constraint_file(tmp_path):
+    path = tmp_path / "constraints.dl"
+    path.write_text(CONSTRAINTS)
+    return str(path)
+
+
+@pytest.fixture
+def db_file(tmp_path):
+    path = tmp_path / "db.json"
+    path.write_text(
+        json.dumps(
+            {
+                "emp": [["ann", "toys", 50]],
+                "dept": [["toys"]],
+                "salFloor": [["toys", 40]],
+            }
+        )
+    )
+    return str(path)
+
+
+class TestParsing:
+    def test_parse_insert(self):
+        assert parse_update("+emp(ann, toys, 50)") == Insertion(
+            "emp", ("ann", "toys", 50)
+        )
+
+    def test_parse_delete(self):
+        assert parse_update("-dept(toys)") == Deletion("dept", ("toys",))
+
+    def test_parse_quoted_and_numeric(self):
+        update = parse_update("+p('two words', -3, 2.5)")
+        assert update.values == ("two words", -3, 2.5)
+
+    def test_parse_zero_ary(self):
+        assert parse_update("+flag()") == Insertion("flag", ())
+
+    def test_bad_updates(self):
+        for bad in ("emp(a)", "+emp", "+emp(X)", ""):
+            with pytest.raises(ReproError):
+                parse_update(bad)
+
+    def test_load_constraints_names(self, constraint_file):
+        constraints = load_constraints(constraint_file)
+        assert constraints.names() == [
+            "referential",
+            "salary-cap",
+            "salary-cap-high",
+            "floor",
+        ]
+
+    def test_load_constraints_default_names(self, tmp_path):
+        path = tmp_path / "plain.dl"
+        path.write_text("panic :- e(X)\n%%\npanic :- f(X)\n")
+        constraints = load_constraints(str(path))
+        assert constraints.names() == ["c1", "c2"]
+
+    def test_load_database(self, db_file):
+        db = load_database(db_file)
+        assert db.facts("emp") == {("ann", "toys", 50)}
+
+    def test_comment_only_header_block_skipped(self, tmp_path):
+        path = tmp_path / "header.dl"
+        path.write_text(
+            "% file header comment\n% more commentary\n%% real\npanic :- e(X)\n"
+        )
+        constraints = load_constraints(str(path))
+        assert constraints.names() == ["real"]
+
+    def test_shipped_sample_files_load(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        sample = root / "examples" / "data" / "employee_constraints.dl"
+        constraints = load_constraints(str(sample))
+        assert "salary-floor" in constraints.names()
+        db = load_database(str(root / "examples" / "data" / "employee_db.json"))
+        assert db.facts("dept")
+
+
+class TestCommands:
+    def test_classify(self, constraint_file, capsys):
+        assert main(["classify", constraint_file]) == 0
+        out = capsys.readouterr().out
+        assert "referential" in out and "CQ+neg" in out
+        assert "salary-cap" in out and "CQ+arith" in out
+
+    def test_check_plain_evaluation(self, constraint_file, db_file, capsys):
+        assert main(["check", constraint_file, "--db", db_file]) == 0
+        out = capsys.readouterr().out
+        assert out.count("holds") == 4
+
+    def test_check_detects_violation(self, constraint_file, tmp_path, capsys):
+        db_path = tmp_path / "bad.json"
+        db_path.write_text(json.dumps({"emp": [["x", "ghost", 50]], "dept": []}))
+        assert main(["check", constraint_file, "--db", str(db_path)]) == 1
+        assert "VIOLATED" in capsys.readouterr().out
+
+    def test_check_update_pipeline(self, constraint_file, db_file, capsys):
+        code = main(
+            [
+                "check",
+                constraint_file,
+                "--db",
+                db_file,
+                "--update",
+                "+emp(bob, toys, 60)",
+                "--local",
+                "emp",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "floor: satisfied" in out
+
+    def test_check_update_rejects_violation(self, constraint_file, db_file, capsys):
+        code = main(
+            [
+                "check",
+                constraint_file,
+                "--db",
+                db_file,
+                "--update",
+                "+emp(bob, toys, 500)",
+                "--local",
+                "emp",
+            ]
+        )
+        assert code == 1
+        assert "violated" in capsys.readouterr().out
+
+    def test_local_test_yes_and_unknown(self, tmp_path, capsys):
+        constraints = tmp_path / "floor.dl"
+        constraints.write_text("%% floor\npanic :- emp(E,D,S) & salFloor(D,F) & S < F\n")
+        db = tmp_path / "db.json"
+        db.write_text(json.dumps({"emp": [["ann", "toys", 50]]}))
+        code = main(
+            [
+                "local-test",
+                str(constraints),
+                "--db",
+                str(db),
+                "--local",
+                "emp",
+                "--update",
+                "+emp(bob, toys, 60)",
+            ]
+        )
+        assert code == 0
+        assert "YES" in capsys.readouterr().out
+        code = main(
+            [
+                "local-test",
+                str(constraints),
+                "--db",
+                str(db),
+                "--local",
+                "emp",
+                "--update",
+                "+emp(bob, toys, 40)",
+                "--witness",
+            ]
+        )
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "UNKNOWN" in out
+        assert "salFloor" in out  # the witness remote state
+
+    def test_subsume(self, constraint_file, capsys):
+        assert main(["subsume", constraint_file, "--target", "salary-cap-high"]) == 0
+        assert "subsumed" in capsys.readouterr().out
+        assert main(["subsume", constraint_file, "--target", "salary-cap"]) == 1
+
+    def test_missing_file_is_reported(self, capsys):
+        assert main(["classify", "/nonexistent/path.dl"]) == 3
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,58 @@
+"""The examples must run clean — they are executable documentation."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must narrate what they do"
+
+
+def test_examples_expected_set():
+    names = {path.name for path in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "forbidden_intervals.py",
+        "distributed_integrity.py",
+        "active_rules.py",
+        "view_maintenance.py",
+    } <= names
+
+
+def test_quickstart_shows_every_level():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    out = result.stdout
+    assert "constraints-only" in out
+    assert "constraints+update" in out
+    assert "constraints+update+local-data" in out
+    assert "full-database" in out
+    assert "rejected" in out
+
+
+def test_forbidden_intervals_agreement_line():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "forbidden_intervals.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert "agreed on 200/200" in result.stdout

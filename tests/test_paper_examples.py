@@ -1,0 +1,280 @@
+"""Integration tests: every numbered example and claim in the paper.
+
+Each test names the paper location it reproduces; together they form the
+executable record behind EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro import (
+    CheckLevel,
+    Constraint,
+    Database,
+    Insertion,
+    Interval,
+    IntervalSet,
+    Outcome,
+    PartialInfoChecker,
+    cannot_cause_violation,
+    classify_program,
+    complete_local_test_insertion,
+    figure_61_program,
+    is_contained_cqc,
+    is_contained_in_union_cqc,
+    is_contained_klug,
+    parse_program,
+    parse_rule,
+    reduce_by_tuple,
+    subsumes,
+)
+from repro.constraints.classify import ALL_CLASSES, ConstraintClass, Shape
+from repro.containment.cqc import theorem51_certificate
+from repro.containment.negation import is_contained_with_negation
+from repro.datalog.evaluation import Engine
+from repro.localtests.algebraic import AlgebraicLocalTest
+from repro.updates.closure import (
+    figure_41_table,
+    figure_42_table,
+    theorem41_witness,
+)
+from repro.updates.rewrite import rewrite_union_expansion
+
+
+class TestSection2Examples:
+    def test_example_21(self):
+        """No employee in both sales and accounting."""
+        constraint = Constraint("panic :- emp(E,sales) & emp(E,accounting)")
+        db = Database({"emp": [("ann", "sales"), ("bob", "accounting")]})
+        assert constraint.holds(db)
+        db.insert("emp", ("ann", "accounting"))
+        assert constraint.is_violated(db)
+
+    def test_example_22(self):
+        """Employees under 100 must be in an existing department."""
+        constraint = Constraint("panic :- emp(E,D,S) & not dept(D) & S < 100")
+        db = Database({"emp": [("ann", "ghost", 150)], "dept": []})
+        assert constraint.holds(db)  # well-paid: exempt
+        db.insert("emp", ("bob", "ghost", 50))
+        assert constraint.is_violated(db)
+
+    def test_example_23(self):
+        """Salary within the department range (a union of two CQCs)."""
+        constraint = Constraint(
+            """
+            panic :- emp(E,D,S) & salRange(D,Low,High) & S < Low
+            panic :- emp(E,D,S) & salRange(D,Low,High) & S > High
+            """
+        )
+        db = Database(
+            {"emp": [("ann", "toys", 50)], "salRange": [("toys", 40, 90)]}
+        )
+        assert constraint.holds(db)
+        db.insert("emp", ("bob", "toys", 20))
+        assert constraint.is_violated(db)
+        db.delete("emp", ("bob", "toys", 20))
+        db.insert("emp", ("cas", "toys", 95))
+        assert constraint.is_violated(db)
+
+    def test_example_24(self):
+        """No employee is his or her own boss (recursive datalog)."""
+        constraint = Constraint(
+            """
+            panic :- boss(E,E)
+            boss(E,M) :- emp(E,D,S) & manager(D,M)
+            boss(E,F) :- boss(E,G) & boss(G,F)
+            """
+        )
+        db = Database(
+            {
+                "emp": [("joe", "sales", 1), ("sue", "acct", 1)],
+                "manager": [("sales", "sue")],
+            }
+        )
+        assert constraint.holds(db)
+        db.insert("manager", ("acct", "joe"))
+        assert constraint.is_violated(db)  # joe -> sue -> joe
+
+    def test_figure_21_has_twelve_classes(self):
+        assert len(ALL_CLASSES) == 12
+
+
+class TestSection3:
+    def test_theorem_31_subsumption_is_union_containment(self):
+        target = Constraint("panic :- r(Z) & 4<=Z & Z<=8", "t")
+        members = [
+            Constraint("panic :- r(Z) & 3<=Z & Z<=6", "m1"),
+            Constraint("panic :- r(Z) & 5<=Z & Z<=10", "m2"),
+        ]
+        assert subsumes(members, target)
+        assert is_contained_in_union_cqc(
+            target.as_rule(), [m.as_rule() for m in members]
+        )
+
+    def test_theorem_32_reduction(self):
+        from repro.constraints.subsumption import cq_containment_via_subsumption
+        from repro.containment.cq import is_contained_cq
+
+        q = parse_rule("q(X) :- e(X,Y) & e(Y,Z)")
+        r = parse_rule("q(X) :- e(X,Y)")
+        assert cq_containment_via_subsumption(q, r) is is_contained_cq(q, r) is True
+
+
+class TestSection4:
+    def test_example_41_rewriting_and_containment(self):
+        """C3 (C1 after +dept(toy)) is contained in C1 — C2 not needed."""
+        c1 = Constraint("panic :- emp(E,D,S) & not dept(D)", "C1")
+        c3 = rewrite_union_expansion(c1, Insertion("dept", ("toy",)))
+        assert subsumes([c1], c3)
+        assert cannot_cause_violation(c1, Insertion("dept", ("toy",)))
+
+    def test_example_41_class_movement(self):
+        """C3's single-rule form needs arithmetic (`D <> toy`): the class
+        grows from CQ+neg to CQ+neg+arith."""
+        c1 = Constraint("panic :- emp(E,D,S) & not dept(D)", "C1")
+        c3 = rewrite_union_expansion(c1, Insertion("dept", ("toy",)))
+        assert c1.constraint_class == ConstraintClass(Shape.SINGLE_CQ, True, False)
+        assert c3.constraint_class == ConstraintClass(Shape.SINGLE_CQ, True, True)
+
+    def test_theorem_41_witness(self):
+        witness = theorem41_witness()
+        assert witness["panics_on_d1"] and not witness["panics_on_d2"]
+
+    def test_theorem_42_fig_41(self):
+        table = figure_41_table()
+        circled = {cls for cls, ok in table.items() if ok}
+        assert len(circled) == 8
+        assert all(cls.shape is not Shape.SINGLE_CQ for cls in circled)
+
+    def test_theorem_43_fig_42(self):
+        table = figure_42_table()
+        circled = {cls for cls, ok in table.items() if ok}
+        assert len(circled) == 6
+        assert all(
+            cls.shape is not Shape.SINGLE_CQ and (cls.negation or cls.arithmetic)
+            for cls in circled
+        )
+
+    def test_example_42_deletion_semantics(self):
+        """Deleting (jones, shoe, 50): all three constructions agree with
+        ground truth (tested exhaustively elsewhere; spot-checked here)."""
+        from repro.updates.rewrite import (
+            rewrite_deletion_with_disequalities,
+            rewrite_deletion_with_negated_helper,
+        )
+        from repro.updates.update import Deletion, apply_update
+
+        c2 = Constraint("panic :- emp(E,D,S) & S > 100", "C2")
+        update = Deletion("emp", ("jones", "shoe", 150))
+        db = Database({"emp": [("jones", "shoe", 150)]})
+        for construction in (
+            rewrite_deletion_with_disequalities,
+            rewrite_deletion_with_negated_helper,
+        ):
+            rewritten = construction(c2, update)
+            assert rewritten.is_violated(db) == c2.is_violated(apply_update(db, update))
+            assert not rewritten.is_violated(db)  # the only violator is deleted
+
+
+class TestSection5:
+    def test_example_51(self):
+        c1 = parse_rule("panic :- r(U,V) & r(V,U)")
+        c2 = parse_rule("panic :- r(U,V) & U <= V")
+        assert is_contained_cqc(c1, c2)
+        certificate = theorem51_certificate(c1, c2)
+        assert len(certificate["mappings"]) == 2
+
+    def test_example_52(self):
+        pairs = [
+            ("panic :- p(X,X)", "panic :- p(X,Y) & X=Y"),
+            ("panic :- p(0,X)", "panic :- p(Z,X) & Z=0"),
+        ]
+        for left_text, right_text in pairs:
+            left, right = parse_rule(left_text), parse_rule(right_text)
+            assert is_contained_cqc(left, right) and is_contained_cqc(right, left)
+
+    def test_example_53(self, forbidden_intervals_cqc):
+        red_t = reduce_by_tuple(forbidden_intervals_cqc, "l", (4, 8))
+        red_s1 = reduce_by_tuple(forbidden_intervals_cqc, "l", (3, 6))
+        red_s2 = reduce_by_tuple(forbidden_intervals_cqc, "l", (5, 10))
+        assert is_contained_in_union_cqc(red_t, [red_s1, red_s2])
+        assert not is_contained_cqc(red_t, red_s1)
+        assert not is_contained_cqc(red_t, red_s2)
+        # and Theorem 5.2 packages exactly that:
+        assert complete_local_test_insertion(
+            forbidden_intervals_cqc, "l", (4, 8), [(3, 6), (5, 10)]
+        )
+
+    def test_klug_agrees_on_the_examples(self, forbidden_intervals_cqc):
+        c1 = parse_rule("panic :- r(U,V) & r(V,U)")
+        c2 = parse_rule("panic :- r(U,V) & U <= V")
+        assert is_contained_klug(c1, c2)
+        red_t = reduce_by_tuple(forbidden_intervals_cqc, "l", (4, 8))
+        red_s1 = reduce_by_tuple(forbidden_intervals_cqc, "l", (3, 6))
+        red_s2 = reduce_by_tuple(forbidden_intervals_cqc, "l", (5, 10))
+        assert is_contained_klug(red_t, [red_s1, red_s2])
+
+    def test_example_54(self):
+        rule = parse_rule("panic :- l(X,Y,Y) & r(Y,Z,X)")
+        test = AlgebraicLocalTest(rule, "l")
+        assert test.passes(("a", "b", "c"), [])           # no reduction
+        assert test.passes(("a", "b", "b"), [("a", "b", "b")])
+        assert not test.passes(("a", "b", "b"), [("a", "b", "x")])
+
+
+class TestSection6:
+    def test_example_61_interval_test(self, forbidden_intervals_cqc):
+        union = IntervalSet([Interval.closed(3, 6), Interval.closed(5, 10)])
+        assert union.covers(Interval.closed(4, 8))
+
+    def test_figure_61_runs(self):
+        engine = Engine(figure_61_program())
+        db = Database({"l": [(3, 6), (5, 10)], "query": [(4, 8)]})
+        assert () in engine.evaluate_predicate(db, "ok")
+
+    def test_theorem_61_generated_program(self, forbidden_intervals_cqc):
+        from repro.localtests.icq import analyze_icq
+        from repro.localtests.interval_datalog import IntervalDatalogTest
+
+        test = IntervalDatalogTest(analyze_icq(forbidden_intervals_cqc, "l"))
+        assert test.program.is_recursive()
+        assert test.passes((4, 8), [(3, 6), (5, 10)])
+        assert not test.passes((4, 8), [(3, 6)])
+
+
+class TestEndToEndPipeline:
+    def test_three_information_levels(self):
+        """One checker, three constraints, three resolutions — the paper's
+        information hierarchy in a single scenario."""
+        ref = Constraint("panic :- emp(E,D,S) & not dept(D)", "ref")
+        floor = Constraint("panic :- emp(E,D,S) & salFloor(D,F) & S < F", "floor")
+        cap = Constraint("panic :- emp(E,D,S) & S > 100", "cap")
+        cap_subsumed = Constraint("panic :- emp(E,D,S) & S > 200", "cap200")
+        checker = PartialInfoChecker(
+            [ref, floor, cap, cap_subsumed], local_predicates={"emp"}
+        )
+        local = Database({"emp": [("ann", "toys", 50)]})
+
+        # level 0: cap200 subsumed by cap.
+        report = checker.check_constraint(
+            cap_subsumed, Insertion("emp", ("bob", "toys", 60)), local
+        )
+        assert report.level is CheckLevel.CONSTRAINTS_ONLY
+
+        # level 1: +dept cannot violate ref.
+        report = checker.check_constraint(ref, Insertion("dept", ("toys",)), local)
+        assert report.level is CheckLevel.WITH_UPDATE
+
+        # level 2: floor covered by ann's salary.
+        report = checker.check_constraint(
+            floor, Insertion("emp", ("bob", "toys", 60)), local
+        )
+        assert report.level is CheckLevel.WITH_LOCAL_DATA
+        assert report.outcome is Outcome.SATISFIED
+
+        # level 3: ref needs the remote department list.
+        remote = Database({"dept": [("toys",)]})
+        report = checker.check_constraint(
+            ref, Insertion("emp", ("bob", "toys", 60)), local, remote
+        )
+        assert report.level is CheckLevel.FULL_DATABASE
+        assert report.outcome is Outcome.SATISFIED

@@ -1,0 +1,128 @@
+"""Figs. 4.1/4.2 closure tests (Theorems 4.1, 4.2, 4.3)."""
+
+import pytest
+
+from repro.constraints.classify import ALL_CLASSES, ConstraintClass, Shape
+from repro.constraints.constraint import Constraint
+from repro.updates.closure import (
+    figure_41_table,
+    figure_42_table,
+    preserved_under_deletion,
+    preserved_under_insertion,
+    rewrite_landing_class,
+    theorem41_witness,
+)
+from repro.updates.update import Deletion, Insertion
+
+
+class TestFigureTables:
+    def test_insertion_preserves_exactly_eight(self):
+        table = figure_41_table()
+        assert sum(table.values()) == 8
+        for cls, preserved in table.items():
+            assert preserved == (cls.shape is not Shape.SINGLE_CQ)
+
+    def test_deletion_preserves_exactly_six(self):
+        table = figure_42_table()
+        assert sum(table.values()) == 6
+        for cls, preserved in table.items():
+            expected = cls.shape is not Shape.SINGLE_CQ and (cls.negation or cls.arithmetic)
+            assert preserved == expected
+
+    def test_deletion_closed_implies_insertion_closed(self):
+        """Fig. 4.2's circles are a subset of Fig. 4.1's."""
+        for cls in ALL_CLASSES:
+            if preserved_under_deletion(cls):
+                assert preserved_under_insertion(cls)
+
+
+#: Representative constraints for each class (the closure claims are about
+#: the class as a whole; these witness the *positive* half empirically).
+REPRESENTATIVES = {
+    (Shape.UNION_OF_CQS, False, False): Constraint(
+        "panic :- e(X,Y)\npanic :- f(X)", "ucq"
+    ),
+    (Shape.UNION_OF_CQS, False, True): Constraint(
+        "panic :- e(X,Y) & X < Y\npanic :- f(X)", "ucq-arith"
+    ),
+    (Shape.UNION_OF_CQS, True, False): Constraint(
+        "panic :- e(X,Y) & not f(X)\npanic :- f(X) & e(X,X)", "ucq-neg"
+    ),
+    (Shape.UNION_OF_CQS, True, True): Constraint(
+        "panic :- e(X,Y) & not f(X) & X < 2\npanic :- f(X)", "ucq-both"
+    ),
+    (Shape.RECURSIVE_DATALOG, False, False): Constraint(
+        "panic :- t(X,X)\nt(X,Y) :- e(X,Y)\nt(X,Z) :- t(X,Y) & e(Y,Z)", "rec"
+    ),
+    (Shape.RECURSIVE_DATALOG, False, True): Constraint(
+        "panic :- t(X,X) & X > 0\nt(X,Y) :- e(X,Y)\nt(X,Z) :- t(X,Y) & e(Y,Z)",
+        "rec-arith",
+    ),
+    (Shape.RECURSIVE_DATALOG, True, False): Constraint(
+        "panic :- t(X,X) & not f(X)\nt(X,Y) :- e(X,Y)\nt(X,Z) :- t(X,Y) & e(Y,Z)",
+        "rec-neg",
+    ),
+    (Shape.RECURSIVE_DATALOG, True, True): Constraint(
+        "panic :- t(X,X) & not f(X) & X > 0\nt(X,Y) :- e(X,Y)\nt(X,Z) :- t(X,Y) & e(Y,Z)",
+        "rec-both",
+    ),
+}
+
+
+class TestInsertionClosureWitnesses:
+    @pytest.mark.parametrize(
+        "key", sorted(REPRESENTATIVES, key=str), ids=lambda k: REPRESENTATIVES[k].name
+    )
+    def test_rewrite_stays_in_class(self, key):
+        constraint = REPRESENTATIVES[key]
+        cls = ConstraintClass(*key)
+        assert constraint.constraint_class == cls
+        assert preserved_under_insertion(cls)
+        landed = rewrite_landing_class(constraint, Insertion("e", (1, 2)), "rules")
+        assert landed.is_subclass_of(cls), (
+            f"{constraint.name}: rewrite landed in {landed.name}, outside {cls.name}"
+        )
+
+
+class TestDeletionClosureWitnesses:
+    @pytest.mark.parametrize(
+        "key",
+        sorted((k for k in REPRESENTATIVES if preserved_under_deletion(ConstraintClass(*k))), key=str),
+        ids=lambda k: REPRESENTATIVES[k].name,
+    )
+    def test_rewrite_stays_in_class(self, key):
+        constraint = REPRESENTATIVES[key]
+        cls = ConstraintClass(*key)
+        style = "rules" if cls.negation else "arith"
+        landed = rewrite_landing_class(constraint, Deletion("e", (1, 2)), style)
+        assert landed.is_subclass_of(cls), (
+            f"{constraint.name}: deletion rewrite landed in {landed.name}"
+        )
+
+    def test_plain_ucq_deletion_needs_extra_features(self):
+        """The non-circled union class: plain UCQs leave the class under
+        deletion with either construction."""
+        constraint = REPRESENTATIVES[(Shape.UNION_OF_CQS, False, False)]
+        cls = ConstraintClass(Shape.UNION_OF_CQS, False, False)
+        for style in ("arith", "rules", "union"):
+            landed = rewrite_landing_class(constraint, Deletion("e", (1, 2)), style)
+            assert not landed.is_subclass_of(cls)
+
+
+class TestTheorem41:
+    def test_witness_databases(self):
+        """The proof's two databases behave exactly as the proof asserts."""
+        witness = theorem41_witness()
+        assert witness["panics_on_d1"] is True
+        assert witness["panics_on_d2"] is False
+        # d2 differs from d1 only by dept(shoe).
+        assert witness["d2"].facts("dept") == {("shoe",)}
+        assert witness["d1"].facts("dept") == frozenset()
+        assert witness["d1"].facts("emp") == witness["d2"].facts("emp")
+
+    def test_single_cq_classes_not_preserved(self):
+        for negation in (False, True):
+            for arithmetic in (False, True):
+                cls = ConstraintClass(Shape.SINGLE_CQ, negation, arithmetic)
+                assert not preserved_under_insertion(cls)
+                assert not preserved_under_deletion(cls)

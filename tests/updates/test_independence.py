@@ -1,0 +1,80 @@
+"""Level-1 tests: update independence and cannot-cause-violation."""
+
+import pytest
+
+from repro.constraints.constraint import Constraint
+from repro.updates.independence import cannot_cause_violation, is_update_independent
+from repro.updates.update import Deletion, Insertion
+
+C1 = Constraint("panic :- emp(E,D,S) & not dept(D)", "C1")
+C2 = Constraint("panic :- emp(E,D,S) & S > 100", "C2")
+CAP200 = Constraint("panic :- emp(E,D,S) & S > 200", "cap200")
+
+
+class TestCannotCauseViolation:
+    def test_example_41(self):
+        """Inserting a department cannot violate referential integrity."""
+        assert cannot_cause_violation(C1, Insertion("dept", ("toy",)))
+
+    def test_emp_insert_may_violate_c1(self):
+        assert not cannot_cause_violation(C1, Insertion("emp", ("x", "toy", 50)))
+
+    def test_low_salary_insert_safe_for_c2(self):
+        assert cannot_cause_violation(C2, Insertion("emp", ("x", "toy", 50)))
+
+    def test_high_salary_insert_flagged_for_c2(self):
+        assert not cannot_cause_violation(C2, Insertion("emp", ("x", "toy", 500)))
+
+    def test_deletion_cannot_violate_monotone_constraint(self):
+        assert cannot_cause_violation(C2, Deletion("emp", ("x", "toy", 500)))
+
+    def test_deletion_of_dept_may_violate_c1(self):
+        assert not cannot_cause_violation(C1, Deletion("dept", ("toy",)))
+
+    def test_assumed_constraints_help(self):
+        """An insert above 200 violates cap200 — if cap200 held before and
+        we only need *new* violations of cap200 itself... use two caps:
+        inserting salary 150 can violate C2 (>100) but C2's violation
+        is already implied whenever cap200's is; conversely cap200's
+        violation (S>200) implies C2's (S>100), so cap200 is subsumed."""
+        # cap200 rewritten under a 150-insert: 150 is not > 200, so the
+        # insert cannot violate cap200 even without help.
+        assert cannot_cause_violation(CAP200, Insertion("emp", ("x", "d", 150)))
+        # A 500-insert can violate C2; knowing cap200 held does not help
+        # (the new tuple itself is the problem).
+        assert not cannot_cause_violation(
+            C2, Insertion("emp", ("x", "d", 500)), assumed=[CAP200]
+        )
+
+    def test_unusable_assumed_constraints_dropped(self, example_24):
+        recursive = Constraint(example_24, "boss")
+        # The recursive constraint cannot join the union; the test still
+        # succeeds using C1 alone.
+        assert cannot_cause_violation(
+            C1, Insertion("dept", ("toy",)), assumed=[recursive]
+        )
+
+    def test_irrelevant_predicate(self):
+        assert cannot_cause_violation(C2, Insertion("dept", ("toy",)))
+
+
+class TestUpdateIndependence:
+    def test_irrelevant_insert_is_independent(self):
+        assert is_update_independent(C2, Insertion("dept", ("toy",)))
+
+    def test_relevant_insert_not_independent(self):
+        assert not is_update_independent(C2, Insertion("emp", ("x", "d", 500)))
+
+    def test_safe_but_not_independent(self):
+        """Inserting a department cannot CREATE a C1 violation but can
+        REMOVE one — so it is safe yet not independent."""
+        update = Insertion("dept", ("toy",))
+        assert cannot_cause_violation(C1, update)
+        assert not is_update_independent(C1, update)
+
+    def test_noop_shaped_deletion(self):
+        # Deleting an emp row can only remove C2 violations: not
+        # independent (the verdict can change from violated to satisfied).
+        assert not is_update_independent(C2, Deletion("emp", ("x", "d", 500)))
+        # But deleting a row that could never witness C2 is independent.
+        assert is_update_independent(C2, Deletion("emp", ("x", "d", 50)))

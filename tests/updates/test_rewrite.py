@@ -1,0 +1,163 @@
+"""Section 4 rewriting tests.
+
+The load-bearing property: for every database D,
+
+    rewritten.fires(D)  ==  original.fires(update(D))
+
+checked on randomized databases for every construction, plus structural
+checks matching the paper's examples.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import NotApplicableError
+from repro.constraints.classify import ConstraintClass, Shape
+from repro.constraints.constraint import Constraint
+from repro.datalog.database import Database
+from repro.updates.rewrite import (
+    rewrite,
+    rewrite_deletion_with_disequalities,
+    rewrite_deletion_with_negated_helper,
+    rewrite_insertion_with_rules,
+    rewrite_union_expansion,
+)
+from repro.updates.update import Deletion, Insertion, apply_update
+from tests.conftest import make_random_database
+
+C1 = Constraint("panic :- emp(E,D,S) & not dept(D)", "C1")
+C2 = Constraint("panic :- emp(E,D,S) & S > 100", "C2")
+SELFJOIN = Constraint("panic :- emp(E,sales,S) & emp(E,accounting,T)", "selfjoin")
+
+SIGNATURE = {"emp": 3, "dept": 1}
+
+UPDATES = [
+    Insertion("dept", ("toy",)),
+    Insertion("dept", (1,)),
+    Insertion("emp", ("jones", "shoe", 50)),
+    Insertion("emp", (0, 1, 150)),
+    Deletion("dept", (1,)),
+    Deletion("emp", ("jones", "shoe", 50)),
+    Deletion("emp", (2, 2, 99)),
+]
+
+
+def assert_semantics(constraint, update, rewritten, seed, trials=80):
+    rng = random.Random(seed)
+    for _ in range(trials):
+        db = make_random_database(rng, SIGNATURE, domain_size=3, max_facts=10)
+        # Mix in the update's own constants so both branches are exercised.
+        if rng.random() < 0.5:
+            db.insert(update.predicate, update.values)
+        expected = constraint.is_violated(apply_update(db, update))
+        actual = rewritten.is_violated(db)
+        assert actual == expected, (
+            f"{constraint.name} under {update}: rewritten says {actual}, "
+            f"ground truth {expected} on {db}"
+        )
+
+
+class TestSemanticContract:
+    @pytest.mark.parametrize("update", UPDATES, ids=str)
+    @pytest.mark.parametrize("constraint", [C1, C2, SELFJOIN], ids=lambda c: c.name)
+    def test_auto_style(self, constraint, update):
+        rewritten = rewrite(constraint, update, "auto")
+        assert_semantics(constraint, update, rewritten, seed=hash((constraint.name, str(update))) & 0xFFFF)
+
+    @pytest.mark.parametrize("update", UPDATES, ids=str)
+    @pytest.mark.parametrize("constraint", [C1, C2, SELFJOIN], ids=lambda c: c.name)
+    def test_rules_style(self, constraint, update):
+        rewritten = rewrite(constraint, update, "rules")
+        assert_semantics(constraint, update, rewritten, seed=42)
+
+    @pytest.mark.parametrize(
+        "update", [u for u in UPDATES if isinstance(u, Deletion)], ids=str
+    )
+    @pytest.mark.parametrize("constraint", [C1, C2, SELFJOIN], ids=lambda c: c.name)
+    def test_arith_style_deletions(self, constraint, update):
+        rewritten = rewrite(constraint, update, "arith")
+        assert_semantics(constraint, update, rewritten, seed=7)
+
+
+class TestPaperConstructions:
+    def test_example_41_rule_addition(self):
+        """Inserting toy into dept: the dept1 construction."""
+        rewritten = rewrite_insertion_with_rules(C1, Insertion("dept", ("toy",)))
+        text = str(rewritten.program)
+        assert "dept_ins" in text
+        # a copy rule and the inserted fact
+        assert "dept_ins(toy)" in text.replace("'", "")
+
+    def test_example_41_single_rule_form(self):
+        """The union expansion of C1 under +dept(toy) is the paper's
+        single rule `... & not dept(D) & D <> toy`."""
+        rewritten = rewrite_union_expansion(C1, Insertion("dept", ("toy",)))
+        assert len(rewritten.program.rules) == 1
+        rule = rewritten.program.rules[0]
+        assert len(rule.negations) == 1
+        assert any("<>" in str(c) for c in rule.comparisons)
+
+    def test_example_42_disequality_rules(self):
+        """Deleting (jones, shoe, 50) from emp: one rule per column."""
+        rewritten = rewrite_deletion_with_disequalities(
+            C2, Deletion("emp", ("jones", "shoe", 50))
+        )
+        helper_rules = [
+            r for r in rewritten.program.rules if r.head.predicate.startswith("emp_del")
+        ]
+        assert len(helper_rules) == 3
+        for rule in helper_rules:
+            assert len(rule.comparisons) == 1
+
+    def test_example_42_negated_helper(self):
+        """The isJones trick, generalized to the whole tuple: it adds
+        negation but no arithmetic beyond the constraint's own."""
+        rewritten = rewrite_deletion_with_negated_helper(
+            C2, Deletion("emp", ("jones", "shoe", 50))
+        )
+        assert rewritten.constraint_class.negation
+        # C2 has S > 100 already; the construction itself adds no <>.
+        arith_free = Constraint("panic :- emp(E,D,S) & dept(D)", "af")
+        rewritten_af = rewrite_deletion_with_negated_helper(
+            arith_free, Deletion("emp", ("jones", "shoe", 50))
+        )
+        assert rewritten_af.constraint_class.negation
+        assert not rewritten_af.constraint_class.arithmetic
+
+    def test_insertion_into_positive_only_constraint_stays_arith_free(self):
+        rewritten = rewrite_union_expansion(
+            SELFJOIN, Insertion("emp", ("a", "sales", 1))
+        )
+        cls = rewritten.constraint_class
+        assert not cls.negation and not cls.arithmetic
+
+    def test_insertion_unifying_constant_clash_pruned(self):
+        # Inserting a toys-row can never match the sales-subgoal pattern.
+        rewritten = rewrite_union_expansion(
+            SELFJOIN, Insertion("emp", ("a", "toys", 1))
+        )
+        # Only the all-old disjunct survives (plus none using the tuple).
+        assert len(rewritten.program.rules) == 1
+
+    def test_arith_style_rejects_insertions(self):
+        with pytest.raises(NotApplicableError):
+            rewrite(C2, Insertion("emp", ("a", "b", 1)), "arith")
+
+    def test_unknown_style(self):
+        with pytest.raises(ValueError):
+            rewrite(C2, Insertion("emp", ("a", "b", 1)), "bogus")
+
+
+class TestRecursiveConstraints:
+    def test_rules_style_applies_to_recursive(self, example_24):
+        constraint = Constraint(example_24, "boss")
+        update = Insertion("manager", ("sales", "joe"))
+        rewritten = rewrite(constraint, update, "auto")  # falls back to rules
+        assert rewritten.constraint_class.shape is Shape.RECURSIVE_DATALOG
+        rng = random.Random(3)
+        for _ in range(40):
+            db = make_random_database(rng, {"emp": 3, "manager": 2}, domain_size=3)
+            assert rewritten.is_violated(db) == constraint.is_violated(
+                apply_update(db, update)
+            )

@@ -1,0 +1,52 @@
+"""Update object tests."""
+
+from repro.datalog.database import Database
+from repro.updates.update import Deletion, Insertion, apply_update
+
+
+class TestInsertion:
+    def test_apply_mutates(self):
+        db = Database()
+        update = Insertion("p", (1, 2))
+        assert update.apply(db)
+        assert db.contains("p", (1, 2))
+        assert not update.apply(db)  # already present
+
+    def test_applied_copy_leaves_original(self):
+        db = Database()
+        new = Insertion("p", (1,)).applied_copy(db)
+        assert new.contains("p", (1,))
+        assert not db.contains("p", (1,))
+
+    def test_inverted(self):
+        update = Insertion("p", (1,))
+        assert update.inverted() == Deletion("p", (1,))
+
+    def test_roundtrip_through_inverse(self):
+        db = Database({"p": [(9,)]})
+        update = Insertion("p", (1,))
+        after = apply_update(db, update)
+        back = apply_update(after, update.inverted())
+        assert back == db
+
+
+class TestDeletion:
+    def test_apply(self):
+        db = Database({"p": [(1,)]})
+        update = Deletion("p", (1,))
+        assert update.apply(db)
+        assert not db.contains("p", (1,))
+        assert not update.apply(db)
+
+    def test_delete_absent_is_noop(self):
+        db = Database({"p": [(1,)]})
+        assert not Deletion("p", (2,)).apply(db)
+        assert db.contains("p", (1,))
+
+    def test_values_normalized_to_tuple(self):
+        assert Deletion("p", [1, 2]).values == (1, 2)
+        assert Insertion("p", [1]).values == (1,)
+
+    def test_str(self):
+        assert str(Insertion("p", (1,))) == "+p(1,)"
+        assert str(Deletion("q", ("a", 2))) == "-q('a', 2)"

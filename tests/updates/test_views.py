@@ -1,0 +1,115 @@
+"""View maintenance tests (Application 3)."""
+
+import random
+
+import pytest
+
+from repro.errors import NotApplicableError
+from repro.datalog.database import Database
+from repro.datalog.evaluation import Engine
+from repro.updates.update import Deletion, Insertion, apply_update
+from repro.updates.views import (
+    View,
+    is_update_irrelevant,
+    update_can_only_grow,
+    update_can_only_shrink,
+    view_insert_delta,
+)
+from tests.conftest import make_random_database
+
+SALES = View("v(E) :- emp(E, sales, S)", "sales-people")
+RICH = View("v(E) :- emp(E, D, S) & S > 100", "well-paid")
+NOT_LISTED = View("v(E) :- emp(E, D, S) & not dept(D)", "orphans")
+
+
+class TestIrrelevance:
+    def test_unmentioned_predicate(self):
+        assert is_update_irrelevant(SALES, Insertion("other", (1,)))
+
+    def test_constant_clash_makes_insert_irrelevant(self):
+        assert is_update_irrelevant(SALES, Insertion("emp", ("a", "toys", 5)))
+        assert not is_update_irrelevant(SALES, Insertion("emp", ("a", "sales", 5)))
+
+    def test_comparison_clash_makes_insert_irrelevant(self):
+        assert is_update_irrelevant(RICH, Insertion("emp", ("a", "d", 50)))
+        assert not is_update_irrelevant(RICH, Insertion("emp", ("a", "d", 150)))
+
+    def test_deletion_relevance(self):
+        assert is_update_irrelevant(RICH, Deletion("emp", ("a", "d", 50)))
+        assert not is_update_irrelevant(RICH, Deletion("emp", ("a", "d", 150)))
+
+    def test_negated_view_insert(self):
+        # Inserting a department can remove orphans: relevant.
+        assert not is_update_irrelevant(NOT_LISTED, Insertion("dept", ("toys",)))
+
+    def test_irrelevance_is_semantically_sound(self):
+        rng = random.Random(19)
+        cases = [
+            (SALES, Insertion("emp", ("a", "toys", 5))),
+            (RICH, Insertion("emp", ("a", "d", 50))),
+            (RICH, Deletion("emp", ("a", "d", 50))),
+            (NOT_LISTED, Insertion("emp", ("a", "d", 200))),
+        ]
+        for view, update in cases:
+            if not is_update_irrelevant(view, update):
+                continue
+            for _ in range(40):
+                db = make_random_database(rng, {"emp": 3, "dept": 1}, domain_size=3)
+                before = view.evaluate(db)
+                after = view.evaluate(apply_update(db, update))
+                assert before == after, (view.name, update, db)
+
+
+class TestMonotonicity:
+    def test_insert_grows_positive_view(self):
+        assert update_can_only_grow(RICH, Insertion("emp", ("a", "d", 150)))
+        assert not update_can_only_shrink(RICH, Insertion("emp", ("a", "d", 150)))
+
+    def test_delete_shrinks_positive_view(self):
+        assert update_can_only_shrink(RICH, Deletion("emp", ("a", "d", 150)))
+        assert not update_can_only_grow(RICH, Deletion("emp", ("a", "d", 150)))
+
+    def test_negated_view_flips(self):
+        # Inserting a department can only shrink the orphan view.
+        assert update_can_only_shrink(NOT_LISTED, Insertion("dept", ("toys",)))
+        assert not update_can_only_grow(NOT_LISTED, Insertion("dept", ("toys",)))
+
+
+class TestInsertDelta:
+    def test_delta_matches_set_difference(self):
+        rng = random.Random(23)
+        update = Insertion("emp", ("zed", "sales", 7))
+        delta_program = view_insert_delta(SALES, update)
+        assert delta_program is not None
+        engine = Engine(delta_program)
+        for _ in range(50):
+            db = make_random_database(rng, {"emp": 3}, domain_size=3)
+            if rng.random() < 0.3:
+                db.insert("emp", update.values)
+            before = SALES.evaluate(db)
+            after = SALES.evaluate(apply_update(db, update))
+            delta = engine.evaluate_predicate(db, "v")
+            assert after == before | delta, db
+
+    def test_no_delta_for_unrelated_insert(self):
+        assert view_insert_delta(SALES, Insertion("dept", ("x",))) is None
+
+    def test_no_delta_when_pattern_clashes(self):
+        assert view_insert_delta(SALES, Insertion("emp", ("a", "toys", 1))) is None
+
+    def test_negated_occurrence_rejected(self):
+        with pytest.raises(NotApplicableError):
+            view_insert_delta(NOT_LISTED, Insertion("dept", ("toys",)))
+
+    def test_self_join_delta(self):
+        pairs = View("v(A,B) :- e(A,X) & e(B,X)", "co-targets")
+        update = Insertion("e", (1, 2))
+        delta_program = view_insert_delta(pairs, update)
+        engine = Engine(delta_program)
+        rng = random.Random(29)
+        for _ in range(50):
+            db = make_random_database(rng, {"e": 2}, domain_size=3)
+            before = pairs.evaluate(db)
+            after = pairs.evaluate(apply_update(db, update))
+            delta = engine.evaluate_predicate(db, "v")
+            assert after == before | delta, db
