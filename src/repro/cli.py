@@ -16,8 +16,13 @@ File formats:
 * databases: JSON mapping predicate names to lists of tuples (lists).
 
 Update syntax: ``+pred(v1, v2, ...)`` to insert, ``-pred(...)`` to
-delete; values parse like datalog terms (numbers, lowercase names, or
-quoted strings).
+delete, ``~pred(old, ...)->(new, ...)`` to modify; values parse like
+datalog terms (numbers, lowercase names, or quoted strings).
+
+``check-stream`` reads one update per line (blank lines and ``#``
+comments ignored) from a file or stdin and drives the incremental
+:class:`~repro.core.session.CheckSession` through the whole stream,
+printing per-update verdicts and the protocol statistics.
 """
 
 from __future__ import annotations
@@ -35,9 +40,9 @@ from repro.core.outcomes import Outcome
 from repro.datalog.database import Database
 from repro.datalog.parser import parse_program, parse_term
 from repro.datalog.terms import Constant
-from repro.updates.update import Deletion, Insertion, Update
+from repro.updates.update import Deletion, Insertion, Modification, Update
 
-__all__ = ["main", "parse_update", "load_constraints", "load_database"]
+__all__ = ["main", "parse_update", "load_constraints", "load_database", "load_updates"]
 
 
 def load_constraints(path: str) -> ConstraintSet:
@@ -77,27 +82,50 @@ def load_database(path: str) -> Database:
     return db
 
 
-def parse_update(text: str) -> Update:
-    """Parse ``+pred(a, 1)`` / ``-pred(a, 1)`` into an update object."""
-    text = text.strip()
-    if not text or text[0] not in "+-":
-        raise ReproError(f"update must start with '+' or '-': {text!r}")
-    sign, rest = text[0], text[1:].strip()
-    open_paren = rest.find("(")
-    if open_paren < 0 or not rest.endswith(")"):
-        raise ReproError(f"update must look like +pred(v1, v2): {text!r}")
-    predicate = rest[:open_paren].strip()
-    inner = rest[open_paren + 1 : -1].strip()
+def _parse_values(inner: str, context: str) -> tuple:
     values: list[object] = []
-    if inner:
+    if inner.strip():
         for piece in inner.split(","):
             term = parse_term(piece.strip())
             if not isinstance(term, Constant):
                 raise ReproError(f"update values must be constants: {piece.strip()!r}")
             values.append(term.value)
+    return tuple(values)
+
+
+def parse_update(text: str) -> Update:
+    """Parse ``+pred(a, 1)`` / ``-pred(a, 1)`` /
+    ``~pred(a, 1)->(b, 2)`` into an update object."""
+    text = text.strip()
+    if not text or text[0] not in "+-~":
+        raise ReproError(f"update must start with '+', '-' or '~': {text!r}")
+    sign, rest = text[0], text[1:].strip()
+    open_paren = rest.find("(")
+    if open_paren < 0 or not rest.endswith(")"):
+        raise ReproError(f"update must look like +pred(v1, v2): {text!r}")
+    predicate = rest[:open_paren].strip()
+    if sign == "~":
+        body = rest[open_paren:]
+        arrow = body.find("->")
+        if arrow < 0 or not body[:arrow].rstrip().endswith(")"):
+            raise ReproError(
+                f"modification must look like ~pred(old)->(new): {text!r}"
+            )
+        old_part = body[:arrow].strip()
+        new_part = body[arrow + 2 :].strip()
+        if not (new_part.startswith("(") and new_part.endswith(")")):
+            raise ReproError(
+                f"modification must look like ~pred(old)->(new): {text!r}"
+            )
+        return Modification(
+            predicate,
+            _parse_values(old_part[1:-1], text),
+            _parse_values(new_part[1:-1], text),
+        )
+    values = _parse_values(rest[open_paren + 1 : -1], text)
     if sign == "+":
-        return Insertion(predicate, tuple(values))
-    return Deletion(predicate, tuple(values))
+        return Insertion(predicate, values)
+    return Deletion(predicate, values)
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
@@ -129,6 +157,52 @@ def _cmd_check(args: argparse.Namespace) -> int:
         status = "VIOLATED" if constraint in violated else "holds"
         print(f"{constraint.name}: {status}")
     return 1 if violated else 0
+
+
+def load_updates(path: str | None) -> list[Update]:
+    """Read updates, one per line, from *path* (``-``/None = stdin)."""
+    if path in (None, "-"):
+        text = sys.stdin.read()
+    else:
+        with open(path) as handle:
+            text = handle.read()
+    updates: list[Update] = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        updates.append(parse_update(stripped))
+    return updates
+
+
+def _cmd_check_stream(args: argparse.Namespace) -> int:
+    from repro.distributed.checker import DistributedChecker
+    from repro.distributed.site import Site, TwoSiteDatabase
+
+    constraints = load_constraints(args.constraints)
+    db = load_database(args.db) if args.db else Database()
+    updates = load_updates(args.updates)
+    local_predicates = set(args.local or db.predicates())
+    sites = TwoSiteDatabase(
+        local=Site("local", db.restricted_to(local_predicates)),
+        remote=Site("remote", db.restricted_to(db.predicates() - local_predicates)),
+    )
+    checker = DistributedChecker(constraints, sites)
+    exit_code = 0
+    for update, reports in zip(updates, checker.check_stream(updates)):
+        rejected = any(r.outcome is Outcome.VIOLATED for r in reports)
+        if rejected:
+            exit_code = 1
+        status = "REJECTED" if rejected else "applied"
+        print(f"{update}: {status}")
+        if args.verbose:
+            for report in reports:
+                print(f"    {report}")
+    print()
+    width = max(len(label) for label, _ in checker.stats.summary_rows())
+    for label, value in checker.stats.summary_rows():
+        print(f"{label:<{width}}  {value}")
+    return exit_code
 
 
 def _cmd_local_test(args: argparse.Namespace) -> int:
@@ -207,6 +281,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--local", nargs="*", help="predicates stored locally (default: all)"
     )
     check.set_defaults(func=_cmd_check)
+
+    stream = sub.add_parser(
+        "check-stream",
+        help="run an update stream through an incremental check session",
+    )
+    stream.add_argument("constraints")
+    stream.add_argument("--db", help="JSON database file (split by --local)")
+    stream.add_argument(
+        "--updates", help="file of updates, one per line (default: stdin)"
+    )
+    stream.add_argument(
+        "--local", nargs="*", help="predicates stored locally (default: all)"
+    )
+    stream.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print the per-constraint reports for every update",
+    )
+    stream.set_defaults(func=_cmd_check_stream)
 
     local_test = sub.add_parser(
         "local-test", help="run the Theorem 5.2 complete local test"

@@ -1,6 +1,25 @@
-"""The top-level partial-information checking engine."""
+"""The top-level partial-information checking engine.
 
+Split compile/execute architecture: :class:`ConstraintCompiler` performs
+all update- and database-independent analysis once; the stateless
+:class:`PartialInfoChecker` facade and the stateful, stream-oriented
+:class:`CheckSession` both execute against the compiled form.
+"""
+
+from repro.core.compiler import CompiledConstraint, ConstraintCompiler, LocalTestPlan, LRUCache
 from repro.core.engine import PartialInfoChecker
 from repro.core.outcomes import CheckLevel, CheckReport, Outcome
+from repro.core.session import CheckSession, SessionStats
 
-__all__ = ["CheckLevel", "CheckReport", "Outcome", "PartialInfoChecker"]
+__all__ = [
+    "CheckLevel",
+    "CheckReport",
+    "CheckSession",
+    "CompiledConstraint",
+    "ConstraintCompiler",
+    "LRUCache",
+    "LocalTestPlan",
+    "Outcome",
+    "PartialInfoChecker",
+    "SessionStats",
+]

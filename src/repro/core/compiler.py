@@ -1,0 +1,399 @@
+"""The static half of the checking pipeline: compile constraints once.
+
+Everything about a constraint set that does not depend on the database or
+the concrete update values is decided here, ahead of any checking:
+
+* **Subsumption verdicts** (Theorem 3.1): which constraints never need
+  checking while the rest of the set is maintained.
+* **Local-test plans**: for each (constraint, updated predicate) pair,
+  which complete local test of Sections 5/6 applies — the Theorem 5.3
+  algebra, the Fig. 6.1 interval machinery, the box sweep, the
+  Theorem 5.2 containment (with its statically assumed companion
+  reductions), the per-disjunct union variant — or none.  The CQC-form
+  analysis, ICQ analysis, and test-object construction all happen once.
+* **Level-1 verdicts** (Section 4 rewrite-and-containment) are cached in
+  a bounded LRU keyed by the exact update, with hit/miss accounting —
+  update streams repeat shapes, and the verdict is database-independent.
+
+The execution half lives in :class:`~repro.core.session.CheckSession`
+(stateful, stream-oriented) and the thin
+:class:`~repro.core.engine.PartialInfoChecker` facade (stateless,
+per-call databases).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import (
+    NotApplicableError,
+    ReproError,
+    UndecidableError,
+    UnsupportedClassError,
+)
+from repro.constraints.constraint import Constraint, ConstraintSet
+from repro.constraints.subsumption import subsumes
+from repro.datalog.rules import Rule
+from repro.localtests.algebraic import AlgebraicLocalTest
+from repro.localtests.complete import complete_local_test_insertion
+from repro.localtests.icq import analyze_icq, box_local_test, interval_local_test
+from repro.localtests.interval_datalog import IntervalDatalogTest
+from repro.localtests.reduction import check_cqc_form
+from repro.updates.independence import cannot_cause_violation
+from repro.updates.update import Update
+
+__all__ = ["ConstraintCompiler", "CompiledConstraint", "LocalTestPlan", "LRUCache"]
+
+#: Default bound for the per-constraint level-1 verdict cache.  Keyed per
+#: exact update, the cache would otherwise grow without limit under
+#: streams of distinct tuples.
+LEVEL1_CACHE_SIZE = 256
+
+_MISSING = object()
+
+
+class LRUCache:
+    """A small bounded mapping with least-recently-used eviction."""
+
+    __slots__ = ("maxsize", "hits", "misses", "_data")
+
+    def __init__(self, maxsize: int = LEVEL1_CACHE_SIZE) -> None:
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._data: OrderedDict = OrderedDict()
+
+    def get(self, key, default=None):
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def info(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+        }
+
+
+@dataclass
+class LocalTestPlan:
+    """The precompiled complete local test for one (constraint, predicate).
+
+    ``kind`` is one of ``"none"``, ``"algebraic"``, ``"interval"``,
+    ``"interval-datalog"``, ``"box"``, ``"containment"``, or
+    ``"union-containment"``; :meth:`run` executes the corresponding test
+    against concrete inserted values and the stored local relation.
+    """
+
+    kind: str
+    predicate: str
+    rule: Optional[Rule] = None
+    algebraic_test: Optional[AlgebraicLocalTest] = None
+    analysis: object = None
+    interval_test: Optional[IntervalDatalogTest] = None
+    assumed: Sequence[Rule] = ()
+    #: for union constraints: (disjunct, assumed-companions) pairs
+    union_parts: Sequence[tuple[Rule, Sequence[Rule]]] = ()
+
+    def run(self, values: tuple, relation) -> Optional[bool]:
+        """Execute the plan; ``None`` when no local test applies."""
+        if self.kind == "none":
+            return None
+        if self.kind == "algebraic":
+            return self.algebraic_test.passes(values, relation)
+        if self.kind == "interval":
+            return interval_local_test(self.analysis, values, relation)
+        if self.kind == "interval-datalog":
+            return self.interval_test.passes(values, relation)
+        if self.kind == "box":
+            return box_local_test(self.analysis, values, relation)
+        if self.kind == "containment":
+            return complete_local_test_insertion(
+                self.rule, self.predicate, values, relation, self.assumed
+            )
+        assert self.kind == "union-containment"
+        for disjunct, assumed in self.union_parts:
+            if not complete_local_test_insertion(
+                disjunct, self.predicate, values, relation, assumed
+            ):
+                return False
+        return True
+
+
+@dataclass
+class CompiledConstraint:
+    """Per-constraint precomputation: subsumption status, cached level-1
+    verdicts, and lazily built per-predicate local-test plans."""
+
+    constraint: Constraint
+    subsumed: bool = False
+    level1_cache: LRUCache = field(default_factory=LRUCache)
+    plans: dict[str, LocalTestPlan] = field(default_factory=dict)
+
+
+class ConstraintCompiler:
+    """Compile a constraint set for a site once; execute many times.
+
+    Parameters mirror the old ``PartialInfoChecker`` constructor: the
+    constraint set (assumed to hold initially), the predicates stored at
+    this site, and whether single-variable ICQs should run the generated
+    Fig. 6.1 datalog program instead of the direct interval algebra.
+    """
+
+    def __init__(
+        self,
+        constraints: ConstraintSet | Iterable[Constraint],
+        local_predicates: Iterable[str],
+        use_interval_datalog: bool = False,
+        level1_cache_size: int = LEVEL1_CACHE_SIZE,
+    ) -> None:
+        if not isinstance(constraints, ConstraintSet):
+            constraints = ConstraintSet(constraints)
+        self.constraints = constraints
+        self.local_predicates = frozenset(local_predicates)
+        self.use_interval_datalog = use_interval_datalog
+        self.level1_cache_size = level1_cache_size
+        self._compiled: dict[str, CompiledConstraint] = {}
+        for constraint in constraints:
+            compiled = CompiledConstraint(
+                constraint, level1_cache=LRUCache(level1_cache_size)
+            )
+            others = constraints.others(constraint)
+            if others:
+                try:
+                    compiled.subsumed = subsumes(others, constraint)
+                except (UndecidableError, UnsupportedClassError):
+                    compiled.subsumed = False
+            self._compiled[constraint.name] = compiled
+
+    # -- lookups ---------------------------------------------------------------
+    def compiled(self, constraint: Constraint | str) -> CompiledConstraint:
+        name = constraint if isinstance(constraint, str) else constraint.name
+        return self._compiled[name]
+
+    def is_local_constraint(self, constraint: Constraint) -> bool:
+        """True when the constraint reads only local predicates."""
+        return constraint.predicates() <= self.local_predicates
+
+    def mentions(self, constraint: Constraint, predicate: str) -> bool:
+        return predicate in constraint.predicates()
+
+    # -- level 1 ---------------------------------------------------------------
+    def level1_verdict(self, constraint: Constraint, update: Update) -> bool:
+        """Cached Section 4 independence verdict for one exact update."""
+        compiled = self._compiled[constraint.name]
+        key = (update.predicate, str(update), type(update).__name__)
+        verdict = compiled.level1_cache.get(key, _MISSING)
+        if verdict is not _MISSING:
+            return verdict
+        try:
+            verdict = cannot_cause_violation(
+                constraint, update, self.constraints.others(constraint)
+            )
+        except (UndecidableError, UnsupportedClassError, NotApplicableError):
+            verdict = False
+        compiled.level1_cache.put(key, verdict)
+        return verdict
+
+    def level1_cache_info(self) -> dict:
+        """Aggregate hit/miss/size statistics across all constraints."""
+        total = {"hits": 0, "misses": 0, "size": 0, "maxsize": 0}
+        for compiled in self._compiled.values():
+            info = compiled.level1_cache.info()
+            for key in total:
+                total[key] += info[key]
+        return total
+
+    # -- level 2 plans -----------------------------------------------------------
+    def local_test_plan(self, constraint: Constraint, predicate: str) -> LocalTestPlan:
+        """The (cached) complete-local-test plan for insertions into
+        *predicate* under *constraint*."""
+        compiled = self._compiled[constraint.name]
+        plan = compiled.plans.get(predicate)
+        if plan is None:
+            plan = self._build_plan(compiled, predicate)
+            compiled.plans[predicate] = plan
+        return plan
+
+    def _build_plan(
+        self, compiled: CompiledConstraint, predicate: str
+    ) -> LocalTestPlan:
+        constraint = compiled.constraint
+        if not constraint.is_single_rule:
+            return self._build_union_plan(constraint, predicate)
+        rule = constraint.as_rule()
+        try:
+            check_cqc_form(rule, predicate)
+        except NotApplicableError:
+            return LocalTestPlan("none", predicate)
+        # The CQC form requires every predicate other than the update's to
+        # be remote-or-local; the complete local test additionally needs
+        # the non-updated subgoals to be remote (a second local subgoal
+        # would make the reduction unsound to skip).
+        other_preds = {
+            atom.predicate
+            for atom in rule.ordinary_subgoals
+            if atom.predicate != predicate
+        }
+        if other_preds & self.local_predicates:
+            return LocalTestPlan("none", predicate)
+
+        # Fast path 1: arithmetic-free -> Theorem 5.3 algebra.
+        if not rule.comparisons:
+            return LocalTestPlan(
+                "algebraic",
+                predicate,
+                rule=rule,
+                algebraic_test=AlgebraicLocalTest(rule, predicate),
+            )
+
+        # Fast path 2: single-variable ICQ -> intervals (Fig. 6.1).
+        try:
+            analysis = analyze_icq(rule, predicate)
+        except NotApplicableError:
+            analysis = None
+        if analysis is not None:
+            remote_args_ok = all(
+                arg in analysis.remote_variables
+                for atom in analysis.variants[0].rule.ordinary_subgoals
+                if atom.predicate != predicate
+                for arg in atom.args
+            )
+            if remote_args_ok and analysis.single_variable is not None:
+                if self.use_interval_datalog:
+                    return LocalTestPlan(
+                        "interval-datalog",
+                        predicate,
+                        rule=rule,
+                        analysis=analysis,
+                        interval_test=IntervalDatalogTest(analysis),
+                    )
+                return LocalTestPlan(
+                    "interval", predicate, rule=rule, analysis=analysis
+                )
+            if remote_args_ok:
+                # Several independently constrained remote variables:
+                # coverage of a box by a union of boxes (Section 6's
+                # generalization beyond the single-interval case).
+                return LocalTestPlan("box", predicate, rule=rule, analysis=analysis)
+
+        # General CQC: Theorem 5.2, with the companion constraints'
+        # reductions statically selected.
+        assumed = [
+            other.as_rule()
+            for other in self.constraints.others(constraint)
+            if other.is_single_rule and self._shares_local_form(other, predicate)
+        ]
+        return LocalTestPlan(
+            "containment", predicate, rule=rule, assumed=tuple(assumed)
+        )
+
+    def _build_union_plan(
+        self, constraint: Constraint, predicate: str
+    ) -> LocalTestPlan:
+        """Theorem 5.2 extended to union-of-CQC constraints.
+
+        A union constraint held before the update iff *no* disjunct fired,
+        so each disjunct's reduction may be tested against the reductions
+        of every disjunct ("we then add to the union on the right the
+        reductions of the other constraints by all tuples in L").
+        """
+        try:
+            disjuncts = constraint.as_union()
+        except (NotApplicableError, ReproError):
+            return LocalTestPlan("none", predicate)
+        usable: list[Rule] = []
+        for disjunct in disjuncts:
+            if predicate not in {a.predicate for a in disjunct.ordinary_subgoals}:
+                # A disjunct not mentioning the updated relation cannot
+                # acquire a new firing from this insertion.
+                continue
+            try:
+                check_cqc_form(disjunct, predicate)
+            except NotApplicableError:
+                return LocalTestPlan("none", predicate)
+            other_preds = {
+                atom.predicate
+                for atom in disjunct.ordinary_subgoals
+                if atom.predicate != predicate
+            }
+            if other_preds & self.local_predicates:
+                return LocalTestPlan("none", predicate)
+            usable.append(disjunct)
+        all_disjunct_rules = [
+            d
+            for d in disjuncts
+            if predicate in {a.predicate for a in d.ordinary_subgoals}
+        ]
+        parts = [
+            (disjunct, tuple(d for d in all_disjunct_rules if d is not disjunct))
+            for disjunct in usable
+        ]
+        return LocalTestPlan("union-containment", predicate, union_parts=tuple(parts))
+
+    def _shares_local_form(self, constraint: Constraint, predicate: str) -> bool:
+        try:
+            check_cqc_form(constraint.as_rule(), predicate)
+        except (NotApplicableError, ReproError):
+            return False
+        other_preds = {
+            atom.predicate
+            for atom in constraint.as_rule().ordinary_subgoals
+            if atom.predicate != predicate
+        }
+        return not (other_preds & self.local_predicates)
+
+    # -- explanation -------------------------------------------------------------
+    def explain(self, constraint: Constraint, predicate: str) -> str:
+        """Describe the level-2 strategy an insertion into *predicate*
+        would use for *constraint* — for operators and tests.
+
+        One of: ``"subsumed"``, ``"purely-local"``, ``"algebraic"``
+        (Theorem 5.3), ``"interval"`` (Fig. 6.1), ``"box"``,
+        ``"containment"`` (Theorem 5.2), ``"union-containment"``
+        (Theorem 5.2 per disjunct), or ``"none"``.
+        """
+        compiled = self._compiled[constraint.name]
+        if compiled.subsumed:
+            return "subsumed"
+        if self.is_local_constraint(constraint):
+            return "purely-local"
+        if not constraint.is_single_rule:
+            try:
+                disjuncts = constraint.as_union()
+            except ReproError:
+                return "none"
+            for disjunct in disjuncts:
+                if predicate not in {a.predicate for a in disjunct.ordinary_subgoals}:
+                    continue
+                try:
+                    check_cqc_form(disjunct, predicate)
+                except NotApplicableError:
+                    return "none"
+            return "union-containment"
+        plan = self.local_test_plan(constraint, predicate)
+        if plan.kind == "interval-datalog":
+            return "interval"
+        return plan.kind

@@ -19,43 +19,25 @@ predicates:
 Every stage is *correct* (YES really means satisfied) and level 2 is
 *complete* (an UNKNOWN really does leave room for a violating remote
 state), as the test suite verifies against exhaustive ground truth.
+
+The class is a thin stateless facade: all static analysis lives in
+:class:`~repro.core.compiler.ConstraintCompiler` (built once in the
+constructor), and callers that process update *streams* should prefer
+:class:`~repro.core.session.CheckSession`, which shares the same compiled
+core but additionally maintains materializations incrementally.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-from repro.errors import NotApplicableError, ReproError, UndecidableError, UnsupportedClassError
-from repro.datalog.database import Database
-from repro.datalog.rules import Rule
 from repro.constraints.constraint import Constraint, ConstraintSet
-from repro.constraints.subsumption import subsumes
+from repro.core.compiler import ConstraintCompiler
 from repro.core.outcomes import CheckLevel, CheckReport, Outcome
-from repro.localtests.algebraic import AlgebraicLocalTest
-from repro.localtests.complete import complete_local_test_insertion
-from repro.localtests.icq import analyze_icq, box_local_test, interval_local_test
-from repro.localtests.interval_datalog import IntervalDatalogTest
-from repro.localtests.reduction import check_cqc_form
-from repro.updates.independence import cannot_cause_violation
+from repro.datalog.database import Database
 from repro.updates.update import Insertion, Modification, Update
 
 __all__ = ["PartialInfoChecker"]
-
-
-@dataclass
-class _CompiledConstraint:
-    """Per-constraint precomputation: subsumption status and local tests."""
-
-    constraint: Constraint
-    subsumed: bool = False
-    #: update-predicate -> cached level-1 verdict (update-value-independent
-    #: verdicts are impossible in general, so this caches per exact update)
-    level1_cache: dict = field(default_factory=dict)
-    #: local-test implementations keyed by the local predicate
-    algebraic: dict = field(default_factory=dict)
-    interval: dict = field(default_factory=dict)
-    icq: dict = field(default_factory=dict)
 
 
 class PartialInfoChecker:
@@ -79,168 +61,17 @@ class PartialInfoChecker:
         local_predicates: Iterable[str],
         use_interval_datalog: bool = False,
     ) -> None:
-        if not isinstance(constraints, ConstraintSet):
-            constraints = ConstraintSet(constraints)
-        self.constraints = constraints
-        self.local_predicates = frozenset(local_predicates)
+        self.compiler = ConstraintCompiler(
+            constraints, local_predicates, use_interval_datalog
+        )
+        self.constraints = self.compiler.constraints
+        self.local_predicates = self.compiler.local_predicates
         self.use_interval_datalog = use_interval_datalog
-        self._compiled: dict[str, _CompiledConstraint] = {}
-        for constraint in constraints:
-            compiled = _CompiledConstraint(constraint)
-            others = constraints.others(constraint)
-            if others:
-                try:
-                    compiled.subsumed = subsumes(others, constraint)
-                except (UndecidableError, UnsupportedClassError):
-                    compiled.subsumed = False
-            self._compiled[constraint.name] = compiled
 
     # -- helpers ---------------------------------------------------------------
     def is_local_constraint(self, constraint: Constraint) -> bool:
         """True when the constraint reads only local predicates."""
-        return constraint.predicates() <= self.local_predicates
-
-    def _constraint_mentions(self, constraint: Constraint, predicate: str) -> bool:
-        return predicate in constraint.predicates()
-
-    def _local_test(
-        self,
-        compiled: _CompiledConstraint,
-        update: Insertion,
-        local_db: Database,
-    ) -> Optional[bool]:
-        """Run the best applicable complete local test, or ``None`` when
-        no local test applies to this constraint/update pair."""
-        constraint = compiled.constraint
-        if not constraint.is_single_rule:
-            return self._union_local_test(compiled, update, local_db)
-        rule = constraint.as_rule()
-        predicate = update.predicate
-        try:
-            check_cqc_form(rule, predicate)
-        except NotApplicableError:
-            return None
-        # The CQC form requires every predicate other than the update's to
-        # be remote-or-local; the complete local test additionally needs
-        # the non-updated subgoals to be remote (a second local subgoal
-        # would make the reduction unsound to skip).
-        other_preds = {
-            atom.predicate
-            for atom in rule.ordinary_subgoals
-            if atom.predicate != predicate
-        }
-        if other_preds & self.local_predicates:
-            return None
-        relation = local_db.facts(predicate)
-
-        # Fast path 1: arithmetic-free -> Theorem 5.3 algebra.
-        if not rule.comparisons:
-            test = compiled.algebraic.get(predicate)
-            if test is None:
-                test = AlgebraicLocalTest(rule, predicate)
-                compiled.algebraic[predicate] = test
-            return test.passes(update.values, relation)
-
-        # Fast path 2: single-variable ICQ -> intervals (Fig. 6.1).
-        analysis = compiled.icq.get(predicate)
-        if predicate not in compiled.icq:
-            try:
-                analysis = analyze_icq(rule, predicate)
-            except NotApplicableError:
-                analysis = None
-            compiled.icq[predicate] = analysis
-        if analysis is not None:
-            remote_args_ok = all(
-                arg in analysis.remote_variables
-                for atom in analysis.variants[0].rule.ordinary_subgoals
-                if atom.predicate != predicate
-                for arg in atom.args
-            )
-            if remote_args_ok and analysis.single_variable is not None:
-                if self.use_interval_datalog:
-                    test = compiled.interval.get(predicate)
-                    if test is None:
-                        test = IntervalDatalogTest(analysis)
-                        compiled.interval[predicate] = test
-                    return test.passes(update.values, relation)
-                return interval_local_test(analysis, update.values, relation)
-            if remote_args_ok:
-                # Several independently constrained remote variables:
-                # coverage of a box by a union of boxes (Section 6's
-                # generalization beyond the single-interval case).
-                return box_local_test(analysis, update.values, relation)
-
-        # General CQC: Theorem 5.2.
-        assumed = [
-            other.as_rule()
-            for other in self.constraints.others(compiled.constraint)
-            if other.is_single_rule and self._shares_local_form(other, predicate)
-        ]
-        return complete_local_test_insertion(
-            rule, predicate, update.values, relation, assumed
-        )
-
-    def _union_local_test(
-        self,
-        compiled: _CompiledConstraint,
-        update: Insertion,
-        local_db: Database,
-    ) -> Optional[bool]:
-        """Theorem 5.2 extended to union-of-CQC constraints.
-
-        A union constraint held before the update iff *no* disjunct fired,
-        so each disjunct's reduction may be tested against the reductions
-        of every disjunct ("we then add to the union on the right the
-        reductions of the other constraints by all tuples in L").
-        """
-        constraint = compiled.constraint
-        predicate = update.predicate
-        try:
-            disjuncts = constraint.as_union()
-        except (NotApplicableError, ReproError):
-            return None
-        usable: list[Rule] = []
-        for disjunct in disjuncts:
-            if predicate not in {a.predicate for a in disjunct.ordinary_subgoals}:
-                # A disjunct not mentioning the updated relation cannot
-                # acquire a new firing from this insertion.
-                continue
-            try:
-                check_cqc_form(disjunct, predicate)
-            except NotApplicableError:
-                return None
-            other_preds = {
-                atom.predicate
-                for atom in disjunct.ordinary_subgoals
-                if atom.predicate != predicate
-            }
-            if other_preds & self.local_predicates:
-                return None
-            usable.append(disjunct)
-        relation = local_db.facts(predicate)
-        all_disjunct_rules = [
-            d for d in disjuncts
-            if predicate in {a.predicate for a in d.ordinary_subgoals}
-        ]
-        for disjunct in usable:
-            assumed = [d for d in all_disjunct_rules if d is not disjunct]
-            if not complete_local_test_insertion(
-                disjunct, predicate, update.values, relation, assumed
-            ):
-                return False
-        return True
-
-    def _shares_local_form(self, constraint: Constraint, predicate: str) -> bool:
-        try:
-            check_cqc_form(constraint.as_rule(), predicate)
-        except (NotApplicableError, ReproError):
-            return False
-        other_preds = {
-            atom.predicate
-            for atom in constraint.as_rule().ordinary_subgoals
-            if atom.predicate != predicate
-        }
-        return not (other_preds & self.local_predicates)
+        return self.compiler.is_local_constraint(constraint)
 
     # -- the pipeline -----------------------------------------------------------
     def check_constraint(
@@ -256,16 +87,16 @@ class PartialInfoChecker:
         ``local_db`` holds the local relations *before* the update;
         ``remote_db`` (optional) enables the level-3 fallback.
         """
-        compiled = self._compiled[constraint.name]
+        compiler = self.compiler
 
-        if not self._constraint_mentions(constraint, update.predicate):
+        if not compiler.mentions(constraint, update.predicate):
             return CheckReport(
                 constraint.name, Outcome.SATISFIED, CheckLevel.CONSTRAINTS_ONLY,
                 remote_accessed=False, detail="update predicate not mentioned",
             )
 
         # Level 0: subsumption by the other constraints.
-        if compiled.subsumed:
+        if compiler.compiled(constraint).subsumed:
             return CheckReport(
                 constraint.name, Outcome.SATISFIED, CheckLevel.CONSTRAINTS_ONLY,
                 remote_accessed=False, detail="subsumed by other constraints",
@@ -277,17 +108,7 @@ class PartialInfoChecker:
             )
 
         # Level 1: constraints + update.
-        cache_key = (update.predicate, str(update), type(update).__name__)
-        verdict = compiled.level1_cache.get(cache_key)
-        if verdict is None:
-            try:
-                verdict = cannot_cause_violation(
-                    constraint, update, self.constraints.others(constraint)
-                )
-            except (UndecidableError, UnsupportedClassError, NotApplicableError):
-                verdict = False
-            compiled.level1_cache[cache_key] = verdict
-        if verdict:
+        if compiler.level1_verdict(constraint, update):
             return CheckReport(
                 constraint.name, Outcome.SATISFIED, CheckLevel.WITH_UPDATE,
                 remote_accessed=False, detail="update-independence containment",
@@ -299,7 +120,7 @@ class PartialInfoChecker:
             )
 
         # Level 2: + local data.
-        if self.is_local_constraint(constraint):
+        if compiler.is_local_constraint(constraint):
             # Purely local: evaluate outright — the one case a definite
             # "no" is possible without remote data.
             after = update.applied_copy(local_db)
@@ -319,7 +140,8 @@ class PartialInfoChecker:
                 # FULL pre-update relation.
                 probe = update.insertion
             if probe is not None:
-                result = self._local_test(compiled, probe, local_db)
+                plan = compiler.local_test_plan(constraint, update.predicate)
+                result = plan.run(probe.values, local_db.facts(update.predicate))
                 if result is True:
                     return CheckReport(
                         constraint.name, Outcome.SATISFIED, CheckLevel.WITH_LOCAL_DATA,
@@ -365,52 +187,4 @@ class PartialInfoChecker:
         (Theorem 5.2), ``"union-containment"`` (Theorem 5.2 per
         disjunct), or ``"none"``.
         """
-        compiled = self._compiled[constraint.name]
-        if compiled.subsumed:
-            return "subsumed"
-        if self.is_local_constraint(constraint):
-            return "purely-local"
-        if not constraint.is_single_rule:
-            try:
-                disjuncts = constraint.as_union()
-            except ReproError:
-                return "none"
-            for disjunct in disjuncts:
-                if predicate not in {
-                    a.predicate for a in disjunct.ordinary_subgoals
-                }:
-                    continue
-                try:
-                    check_cqc_form(disjunct, predicate)
-                except NotApplicableError:
-                    return "none"
-            return "union-containment"
-        rule = constraint.as_rule()
-        try:
-            check_cqc_form(rule, predicate)
-        except NotApplicableError:
-            return "none"
-        other_preds = {
-            atom.predicate
-            for atom in rule.ordinary_subgoals
-            if atom.predicate != predicate
-        }
-        if other_preds & self.local_predicates:
-            return "none"
-        if not rule.comparisons:
-            return "algebraic"
-        try:
-            analysis = analyze_icq(rule, predicate)
-        except NotApplicableError:
-            return "containment"
-        remote_args_ok = all(
-            arg in analysis.remote_variables
-            for atom in analysis.variants[0].rule.ordinary_subgoals
-            if atom.predicate != predicate
-            for arg in atom.args
-        )
-        if remote_args_ok and analysis.single_variable is not None:
-            return "interval"
-        if remote_args_ok:
-            return "box"
-        return "containment"
+        return self.compiler.explain(constraint, predicate)

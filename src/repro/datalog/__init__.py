@@ -13,9 +13,12 @@ from repro.datalog.atoms import (
     ComparisonOp,
     Negation,
 )
-from repro.datalog.database import Database, Relation
+from repro.datalog.database import Database, Delta, Relation, UndoToken
 from repro.datalog.evaluation import (
     Engine,
+    Materialization,
+    MaterializationStats,
+    MaterializationUndo,
     evaluate,
     evaluate_predicate,
     fires,
@@ -44,9 +47,14 @@ __all__ = [
     "ConjunctiveQuery",
     "Constant",
     "Database",
+    "Delta",
     "Engine",
     "FreshVariableFactory",
+    "Materialization",
+    "MaterializationStats",
+    "MaterializationUndo",
     "Negation",
+    "UndoToken",
     "Program",
     "Relation",
     "Rule",

@@ -4,6 +4,21 @@ Tuples contain raw Python values (``int``/``float``/``Fraction``/``str``),
 not AST :class:`~repro.datalog.terms.Constant` wrappers — the engine wraps
 and unwraps at the boundary.  Relations are sets, matching the paper's
 set semantics.
+
+Two mechanisms support the incremental check sessions:
+
+* **Copy-on-write snapshots.** :meth:`Relation.copy` (and therefore
+  :meth:`Database.copy` / :meth:`Database.restricted_to` /
+  :meth:`Database.snapshot`) shares tuples *and* lazily built column
+  indexes with the original until either side mutates, so taking a
+  snapshot per checked update is O(#relations), not O(#tuples), and a
+  copy never pays re-indexing for indexes the original already built.
+* **Deltas.** A :class:`Delta` names the tuples inserted into and
+  deleted from each predicate.  :meth:`Database.apply` applies one and
+  returns an :class:`UndoToken` recording the *effective* changes (facts
+  genuinely added/removed), which both :meth:`Database.undo` and the
+  incremental view maintenance in :mod:`repro.datalog.evaluation` key
+  off.
 """
 
 from __future__ import annotations
@@ -12,7 +27,7 @@ from typing import Iterable, Iterator, Mapping
 
 from repro.errors import EvaluationError
 
-__all__ = ["Relation", "Database"]
+__all__ = ["Relation", "Database", "Delta", "UndoToken"]
 
 Fact = tuple
 
@@ -23,17 +38,36 @@ class Relation:
     Indexes are built lazily per column and invalidated on mutation; they
     are what makes the local tests "use the structure of the database"
     (Section 1's point about expressibility in the query language).
+
+    Copies share tuples and indexes copy-on-write: the first mutation on
+    either side makes that side's structures private.  :meth:`lookup`
+    results are memoized as frozensets per ``(column, value)`` and the
+    affected entries are dropped on mutation, so repeated probes during a
+    join do not re-allocate.
     """
 
-    __slots__ = ("name", "arity", "_tuples", "_indexes")
+    __slots__ = ("name", "arity", "_tuples", "_indexes", "_lookup_cache", "_shared")
 
     def __init__(self, name: str, arity: int, tuples: Iterable[Fact] = ()) -> None:
         self.name = name
         self.arity = arity
         self._tuples: set[Fact] = set()
         self._indexes: dict[int, dict[object, set[Fact]]] = {}
+        self._lookup_cache: dict[tuple[int, object], frozenset] = {}
+        self._shared = False
         for fact in tuples:
             self.insert(fact)
+
+    # -- copy-on-write -------------------------------------------------------
+    def _unshare(self) -> None:
+        """Make this side's structures private before the first mutation."""
+        self._tuples = set(self._tuples)
+        self._indexes = {
+            column: {value: set(bucket) for value, bucket in index.items()}
+            for column, index in self._indexes.items()
+        }
+        self._lookup_cache = dict(self._lookup_cache)
+        self._shared = False
 
     # -- mutation ------------------------------------------------------------
     def insert(self, fact: Fact) -> bool:
@@ -45,9 +79,14 @@ class Relation:
             )
         if fact in self._tuples:
             return False
+        if self._shared:
+            self._unshare()
         self._tuples.add(fact)
         for column, index in self._indexes.items():
             index.setdefault(fact[column], set()).add(fact)
+        if self._lookup_cache:
+            for column in range(self.arity):
+                self._lookup_cache.pop((column, fact[column]), None)
         return True
 
     def delete(self, fact: Fact) -> bool:
@@ -55,6 +94,8 @@ class Relation:
         fact = tuple(fact)
         if fact not in self._tuples:
             return False
+        if self._shared:
+            self._unshare()
         self._tuples.discard(fact)
         for column, index in self._indexes.items():
             bucket = index.get(fact[column])
@@ -62,6 +103,9 @@ class Relation:
                 bucket.discard(fact)
                 if not bucket:
                     del index[fact[column]]
+        if self._lookup_cache:
+            for column in range(self.arity):
+                self._lookup_cache.pop((column, fact[column]), None)
         return True
 
     # -- access ----------------------------------------------------------------
@@ -75,19 +119,157 @@ class Relation:
         return len(self._tuples)
 
     def lookup(self, column: int, value: object) -> frozenset[Fact]:
-        """Return all tuples whose *column* equals *value*, via an index."""
-        if column not in self._indexes:
-            index: dict[object, set[Fact]] = {}
+        """Return all tuples whose *column* equals *value*, via an index.
+
+        The returned frozenset is cached until a mutation touches that
+        ``(column, value)`` bucket, so hot joins probing the same keys
+        pay one allocation, not one per call.
+        """
+        key = (column, value)
+        cached = self._lookup_cache.get(key)
+        if cached is not None:
+            return cached
+        index = self._indexes.get(column)
+        if index is None:
+            index = {}
             for fact in self._tuples:
                 index.setdefault(fact[column], set()).add(fact)
             self._indexes[column] = index
-        return frozenset(self._indexes[column].get(value, ()))
+        result = frozenset(index.get(value, ()))
+        self._lookup_cache[key] = result
+        return result
 
     def copy(self) -> "Relation":
-        return Relation(self.name, self.arity, self._tuples)
+        """A copy-on-write snapshot sharing tuples and built indexes."""
+        clone = Relation.__new__(Relation)
+        clone.name = self.name
+        clone.arity = self.arity
+        clone._tuples = self._tuples
+        clone._indexes = self._indexes
+        clone._lookup_cache = self._lookup_cache
+        clone._shared = True
+        self._shared = True
+        return clone
 
     def __repr__(self) -> str:
         return f"Relation({self.name!r}, arity={self.arity}, size={len(self)})"
+
+
+class Delta:
+    """A set of insertions and deletions per predicate.
+
+    Normalized so a fact is never pending both ways: inserting a fact
+    cancels a pending deletion of it and vice versa (last write wins,
+    matching sequential application).
+    """
+
+    __slots__ = ("insertions", "deletions")
+
+    def __init__(
+        self,
+        insertions: Mapping[str, Iterable[Fact]] | None = None,
+        deletions: Mapping[str, Iterable[Fact]] | None = None,
+    ) -> None:
+        self.insertions: dict[str, set[Fact]] = {}
+        self.deletions: dict[str, set[Fact]] = {}
+        if deletions:
+            for predicate, facts in deletions.items():
+                for fact in facts:
+                    self.delete(predicate, fact)
+        if insertions:
+            for predicate, facts in insertions.items():
+                for fact in facts:
+                    self.insert(predicate, fact)
+
+    # -- construction --------------------------------------------------------
+    def insert(self, predicate: str, fact: Fact) -> "Delta":
+        fact = tuple(fact)
+        pending = self.deletions.get(predicate)
+        if pending and fact in pending:
+            pending.discard(fact)
+            if not pending:
+                del self.deletions[predicate]
+        self.insertions.setdefault(predicate, set()).add(fact)
+        return self
+
+    def delete(self, predicate: str, fact: Fact) -> "Delta":
+        fact = tuple(fact)
+        pending = self.insertions.get(predicate)
+        if pending and fact in pending:
+            pending.discard(fact)
+            if not pending:
+                del self.insertions[predicate]
+        self.deletions.setdefault(predicate, set()).add(fact)
+        return self
+
+    # -- views ---------------------------------------------------------------
+    def is_empty(self) -> bool:
+        return not self.insertions and not self.deletions
+
+    def __bool__(self) -> bool:
+        return not self.is_empty()
+
+    def predicates(self) -> set[str]:
+        return set(self.insertions) | set(self.deletions)
+
+    def inverted(self) -> "Delta":
+        """The delta that undoes this one (assuming it applied cleanly)."""
+        inverse = Delta()
+        for predicate, facts in self.insertions.items():
+            inverse.deletions[predicate] = set(facts)
+        for predicate, facts in self.deletions.items():
+            inverse.insertions[predicate] = set(facts)
+        return inverse
+
+    def size(self) -> int:
+        total = sum(len(facts) for facts in self.insertions.values())
+        total += sum(len(facts) for facts in self.deletions.values())
+        return total
+
+    def __repr__(self) -> str:
+        parts = []
+        for predicate, facts in sorted(self.insertions.items()):
+            parts.extend(f"+{predicate}{fact!r}" for fact in sorted(facts, key=repr))
+        for predicate, facts in sorted(self.deletions.items()):
+            parts.extend(f"-{predicate}{fact!r}" for fact in sorted(facts, key=repr))
+        return f"Delta({', '.join(parts)})"
+
+
+class UndoToken:
+    """The *effective* changes one :meth:`Database.apply` made.
+
+    Insertions of already-present facts and deletions of absent facts do
+    not appear here, so :meth:`Database.undo` restores exactly the prior
+    state, and :meth:`as_delta` is the precise delta for incremental view
+    maintenance.
+    """
+
+    __slots__ = ("insertions", "deletions")
+
+    def __init__(
+        self,
+        insertions: dict[str, set[Fact]],
+        deletions: dict[str, set[Fact]],
+    ) -> None:
+        self.insertions = insertions
+        self.deletions = deletions
+
+    def is_noop(self) -> bool:
+        return not self.insertions and not self.deletions
+
+    def as_delta(self) -> Delta:
+        delta = Delta()
+        for predicate, facts in self.insertions.items():
+            delta.insertions[predicate] = set(facts)
+        for predicate, facts in self.deletions.items():
+            delta.deletions[predicate] = set(facts)
+        return delta
+
+    def inverted_delta(self) -> Delta:
+        return self.as_delta().inverted()
+
+    def __repr__(self) -> str:
+        return f"UndoToken({self.as_delta()!r})"
 
 
 class Database:
@@ -121,6 +303,29 @@ class Database:
             return False
         return relation.delete(fact)
 
+    def apply(self, delta: Delta) -> UndoToken:
+        """Apply *delta* (deletions first) and return the effective changes."""
+        applied_insertions: dict[str, set[Fact]] = {}
+        applied_deletions: dict[str, set[Fact]] = {}
+        for predicate, facts in delta.deletions.items():
+            for fact in facts:
+                if self.delete(predicate, fact):
+                    applied_deletions.setdefault(predicate, set()).add(fact)
+        for predicate, facts in delta.insertions.items():
+            for fact in facts:
+                if self.insert(predicate, fact):
+                    applied_insertions.setdefault(predicate, set()).add(fact)
+        return UndoToken(applied_insertions, applied_deletions)
+
+    def undo(self, token: UndoToken) -> None:
+        """Reverse the effective changes recorded by :meth:`apply`."""
+        for predicate, facts in token.insertions.items():
+            for fact in facts:
+                self.delete(predicate, fact)
+        for predicate, facts in token.deletions.items():
+            for fact in facts:
+                self.insert(predicate, fact)
+
     # -- access ----------------------------------------------------------------
     def relation(self, predicate: str) -> Relation | None:
         return self._relations.get(predicate)
@@ -147,9 +352,14 @@ class Database:
         return sum(len(rel) for rel in self._relations.values())
 
     def copy(self) -> "Database":
+        """A copy-on-write snapshot: O(#relations) until a side mutates."""
         new = Database()
         new._relations = {name: rel.copy() for name, rel in self._relations.items()}
         return new
+
+    def snapshot(self) -> "Database":
+        """Alias for :meth:`copy`, named for the cheap-snapshot intent."""
+        return self.copy()
 
     def restricted_to(self, predicates: Iterable[str]) -> "Database":
         """A copy containing only the given predicates (e.g. the local site)."""

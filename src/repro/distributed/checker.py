@@ -6,16 +6,27 @@ the :class:`~repro.core.engine.PartialInfoChecker` pipeline against the
 local site and escalates to the metered remote site only on UNKNOWN,
 recording per-level statistics — the measurements behind the M1
 benchmark.
+
+Two driving modes share one compiled constraint set:
+
+* :meth:`DistributedChecker.process` — the original per-update protocol,
+  stateless between calls;
+* :meth:`DistributedChecker.check_stream` — stream mode, built on an
+  incremental :class:`~repro.core.session.CheckSession` that maintains
+  constraint materializations by delta instead of re-evaluating, and
+  reports reuse counters through :class:`ProtocolStats`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Optional
 
 from repro.constraints.constraint import Constraint, ConstraintSet
 from repro.core.engine import PartialInfoChecker
 from repro.core.outcomes import CheckLevel, CheckReport, Outcome
+from repro.core.session import CheckSession
+from repro.datalog.database import Delta
 from repro.distributed.site import Site, TwoSiteDatabase
 from repro.updates.update import Insertion, Modification, Update
 
@@ -32,6 +43,15 @@ class ProtocolStats:
     )
     remote_round_trips: int = 0
     rejected: int = 0
+    #: stream mode: constraint materializations built from scratch
+    materializations_built: int = 0
+    #: stream mode: checks answered from a maintained materialization
+    materialization_reuses: int = 0
+    #: stream mode: delta-maintenance passes over materializations
+    incremental_deltas: int = 0
+    #: level-1 verdict LRU accounting (shared by both modes)
+    level1_cache_hits: int = 0
+    level1_cache_misses: int = 0
 
     @property
     def resolved_locally(self) -> int:
@@ -56,6 +76,11 @@ class ProtocolStats:
         rows.append(("remote round trips", self.remote_round_trips))
         rows.append(("rejected (violations)", self.rejected))
         rows.append(("local resolution rate", round(self.local_resolution_rate, 4)))
+        rows.append(("materializations built", self.materializations_built))
+        rows.append(("materialization reuses", self.materialization_reuses))
+        rows.append(("incremental deltas", self.incremental_deltas))
+        rows.append(("level-1 cache hits", self.level1_cache_hits))
+        rows.append(("level-1 cache misses", self.level1_cache_misses))
         return rows
 
 
@@ -75,6 +100,18 @@ class DistributedChecker:
             use_interval_datalog=use_interval_datalog,
         )
         self.stats = ProtocolStats()
+        self._session: Optional[CheckSession] = None
+
+    @property
+    def session(self) -> CheckSession:
+        """The lazily created stream session; shares the checker's
+        compiled constraints and operates directly on the local site."""
+        if self._session is None:
+            self._session = CheckSession(
+                compiler=self.checker.compiler,
+                local_db=self.sites.local.unmetered(),
+            )
+        return self._session
 
     def process(self, update: Update, apply_when_safe: bool = True) -> list[CheckReport]:
         """Run the protocol for one update.
@@ -110,23 +147,80 @@ class DistributedChecker:
                 )
             reports = resolved
 
-        deciding = max(report.level for report in reports) if reports else CheckLevel.CONSTRAINTS_ONLY
-        self.stats.resolved_at_level[deciding] += 1
-
-        if any(report.outcome is Outcome.VIOLATED for report in reports):
-            self.stats.rejected += 1
-        elif apply_when_safe:
-            self._apply_local(update)
+        self._record(reports)
+        if not any(report.outcome is Outcome.VIOLATED for report in reports):
+            if apply_when_safe:
+                self._apply_local(update)
         return reports
 
+    def check_stream(
+        self, updates: Iterable[Update], apply_when_safe: bool = True
+    ) -> list[list[CheckReport]]:
+        """Stream mode: process a sequence of updates incrementally.
+
+        Each update flows through a persistent
+        :class:`~repro.core.session.CheckSession`, so purely-local
+        constraint evaluations are *maintained* across the stream by
+        delta rules instead of recomputed, and level-1 verdicts hit the
+        compiler's LRU.  The remote site is fetched lazily (one metered
+        round trip) only when an update stays unresolved at level 2.
+        Safe updates are applied to the local site as they pass.
+        """
+        session = self.session
+        results: list[list[CheckReport]] = []
+        for update in updates:
+            before_fetches = session.stats.remote_fetches
+            reports = session.process(
+                update,
+                remote=self.sites.remote.snapshot,
+                apply_when_safe=apply_when_safe,
+            )
+            self.stats.updates += 1
+            self.stats.remote_round_trips += (
+                session.stats.remote_fetches - before_fetches
+            )
+            self._record(reports)
+            results.append(reports)
+        self._sync_reuse_stats()
+        return results
+
+    def _record(self, reports: list[CheckReport]) -> None:
+        deciding = (
+            max(report.level for report in reports)
+            if reports
+            else CheckLevel.CONSTRAINTS_ONLY
+        )
+        self.stats.resolved_at_level[deciding] += 1
+        if any(report.outcome is Outcome.VIOLATED for report in reports):
+            self.stats.rejected += 1
+
+    def _sync_reuse_stats(self) -> None:
+        """Copy the session/compiler reuse counters into the protocol
+        stats (they are cumulative gauges, not per-call increments)."""
+        if self._session is not None:
+            s = self._session.stats
+            self.stats.materializations_built = s.materializations_built
+            self.stats.materialization_reuses = s.materialization_reuses
+            self.stats.incremental_deltas = s.incremental_deltas
+        info = self.checker.compiler.level1_cache_info()
+        self.stats.level1_cache_hits = info["hits"]
+        self.stats.level1_cache_misses = info["misses"]
+
     def _apply_local(self, update: Update) -> None:
-        if isinstance(update, Insertion):
-            self.sites.local.insert(update.predicate, update.values)
-        elif isinstance(update, Modification):
-            self.sites.local.delete(update.predicate, update.old_values)
-            self.sites.local.insert(update.predicate, update.new_values)
-        else:
-            self.sites.local.delete(update.predicate, update.values)
+        delta = update.as_delta()
+        effective = Delta()
+        for predicate, facts in delta.deletions.items():
+            for fact in facts:
+                if self.sites.local.delete(predicate, fact):
+                    effective.delete(predicate, fact)
+        for predicate, facts in delta.insertions.items():
+            for fact in facts:
+                if self.sites.local.insert(predicate, fact):
+                    effective.insert(predicate, fact)
+        # Stream-mode materializations watch the same database; keep them
+        # current even when the mutation came through this path.
+        if self._session is not None:
+            self._session._propagate(effective)
 
     def process_transaction(
         self, updates: Iterable[Update]

@@ -4,6 +4,10 @@ Section 4 and Section 5 study constraints under one update at a time; the
 update objects here know how to apply themselves to a database and how to
 undo themselves, which the property tests use to validate the Section 4
 rewritings (``rewritten(D) == original(update(D))`` for random D).
+
+Every update normalizes to a :class:`~repro.datalog.database.Delta` via
+:meth:`as_delta` — the single path the incremental check sessions use to
+apply, maintain, and undo updates.
 """
 
 from __future__ import annotations
@@ -11,9 +15,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Union
 
-from repro.datalog.database import Database
+from repro.datalog.database import Database, Delta
 
-__all__ = ["Insertion", "Deletion", "Update", "apply_update"]
+__all__ = ["Insertion", "Deletion", "Modification", "Update", "apply_update"]
 
 
 @dataclass(frozen=True)
@@ -37,6 +41,9 @@ class Insertion:
 
     def inverted(self) -> "Deletion":
         return Deletion(self.predicate, self.values)
+
+    def as_delta(self) -> Delta:
+        return Delta().insert(self.predicate, self.values)
 
     def __str__(self) -> str:
         return f"+{self.predicate}{self.values!r}"
@@ -62,6 +69,9 @@ class Deletion:
 
     def inverted(self) -> "Insertion":
         return Insertion(self.predicate, self.values)
+
+    def as_delta(self) -> Delta:
+        return Delta().delete(self.predicate, self.values)
 
     def __str__(self) -> str:
         return f"-{self.predicate}{self.values!r}"
@@ -96,9 +106,7 @@ class Modification:
         return Insertion(self.predicate, self.new_values)
 
     def apply(self, db: Database) -> bool:
-        removed = self.deletion.apply(db)
-        added = self.insertion.apply(db)
-        return removed or added
+        return not db.apply(self.as_delta()).is_noop()
 
     def applied_copy(self, db: Database) -> Database:
         new = db.copy()
@@ -107,6 +115,11 @@ class Modification:
 
     def inverted(self) -> "Modification":
         return Modification(self.predicate, self.new_values, self.old_values)
+
+    def as_delta(self) -> Delta:
+        return Delta().delete(self.predicate, self.old_values).insert(
+            self.predicate, self.new_values
+        )
 
     def __str__(self) -> str:
         return f"~{self.predicate}{self.old_values!r}->{self.new_values!r}"

@@ -1,0 +1,250 @@
+"""CheckSession: stream checking equivalent to the stateless checker.
+
+The facade contract: for any update and any max level, a fresh
+``PartialInfoChecker.check`` and a ``CheckSession`` positioned on the
+same local state produce identical reports.  On top of that the session
+applies safe updates, rolls back violations, and maintains purely-local
+constraint materializations incrementally.
+"""
+
+import random
+
+import pytest
+
+from repro.constraints.constraint import Constraint, ConstraintSet
+from repro.core import (
+    CheckLevel,
+    CheckSession,
+    ConstraintCompiler,
+    LRUCache,
+    Outcome,
+    PartialInfoChecker,
+)
+from repro.datalog.database import Database
+from repro.updates.update import Deletion, Insertion, Modification
+
+
+def paper_constraints() -> ConstraintSet:
+    """The Section 2 employee examples plus a purely-local FD and the
+    Example 5.3 interval constraint."""
+    return ConstraintSet(
+        [
+            Constraint("panic :- emp(E, D, S) & closedDept(D)", "no-closed-dept"),
+            Constraint(
+                "panic :- emp(E, D, S) & salFloor(D, F) & S < F", "salary-floor"
+            ),
+            Constraint(
+                "panic :- emp(E, D, S1) & emp(E, D2, S2) & S1 < S2", "emp-fd"
+            ),
+            Constraint(
+                "panic :- cleared(X, Y) & reading(Z) & X <= Z & Z <= Y",
+                "no-reading-in-cleared",
+            ),
+        ]
+    )
+
+
+LOCAL = {"emp", "cleared"}
+
+
+def make_dbs(seed: int = 0):
+    rng = random.Random(seed)
+    local = Database()
+    for i in range(10):
+        local.insert("emp", (f"e{i}", f"d{rng.randrange(3)}", 50 + rng.randrange(50)))
+    local.insert("cleared", (100, 200))
+    remote = Database()
+    remote.insert("closedDept", ("d9",))
+    for d in range(3):
+        remote.insert("salFloor", (f"d{d}", 40))
+    remote.insert("reading", (500,))
+    return local, remote
+
+
+def random_update(rng: random.Random):
+    roll = rng.randrange(4)
+    if roll == 0:
+        return Insertion(
+            "emp", (f"n{rng.randrange(30)}", f"d{rng.randrange(4)}", rng.randrange(120))
+        )
+    if roll == 1:
+        return Deletion(
+            "emp", (f"e{rng.randrange(10)}", f"d{rng.randrange(3)}", rng.randrange(120))
+        )
+    if roll == 2:
+        return Modification(
+            "emp",
+            (f"e{rng.randrange(10)}", f"d{rng.randrange(3)}", rng.randrange(120)),
+            (f"e{rng.randrange(10)}", f"d{rng.randrange(3)}", rng.randrange(120)),
+        )
+    lo = rng.randrange(600)
+    return Insertion("cleared", (lo, lo + rng.randrange(50)))
+
+
+def report_tuple(report):
+    return (
+        report.constraint_name,
+        report.outcome,
+        report.level,
+        report.remote_accessed,
+        report.detail,
+    )
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("max_level", list(CheckLevel))
+    def test_matches_checker_over_random_streams(self, max_level):
+        constraints = paper_constraints()
+        rng = random.Random(17)
+        local, remote = make_dbs(seed=17)
+        checker = PartialInfoChecker(constraints, LOCAL)
+        session = CheckSession(constraints, LOCAL, local_db=local.copy())
+        for _ in range(40):
+            update = random_update(rng)
+            remote_arg = remote if max_level >= CheckLevel.FULL_DATABASE else None
+            expected = checker.check(update, local, remote_arg, max_level)
+            got = session.check(update, remote_arg, max_level)
+            assert [report_tuple(r) for r in expected] == [
+                report_tuple(r) for r in got
+            ]
+            # Advance both states identically.
+            reports = session.process(update, remote)
+            if not any(r.outcome is Outcome.VIOLATED for r in reports):
+                update.apply(local)
+            for predicate in LOCAL:
+                assert session.local_db.facts(predicate) == local.facts(predicate)
+
+    def test_shared_compiler(self):
+        constraints = paper_constraints()
+        checker = PartialInfoChecker(constraints, LOCAL)
+        session = CheckSession(compiler=checker.compiler)
+        assert session.compiler is checker.compiler
+        assert session.local_predicates == checker.local_predicates
+
+
+class TestSessionBehavior:
+    def test_applies_safe_and_rolls_back_violations(self):
+        constraints = ConstraintSet(
+            [Constraint("panic :- emp(E, S1) & emp(E, S2) & S1 < S2", "fd")]
+        )
+        session = CheckSession(
+            constraints, {"emp"}, local_db=Database({"emp": [("ann", 50)]})
+        )
+        ok = session.process(Insertion("emp", ("bob", 60)))
+        assert all(r.outcome is Outcome.SATISFIED for r in ok)
+        assert ("bob", 60) in session.local_db.facts("emp")
+
+        bad = session.process(Insertion("emp", ("ann", 70)))
+        assert any(r.outcome is Outcome.VIOLATED for r in bad)
+        assert ("ann", 70) not in session.local_db.facts("emp")
+        assert session.stats.applied == 1
+        assert session.stats.rejected == 1
+
+    def test_materialization_reuse_and_consistency(self):
+        constraints = ConstraintSet(
+            [Constraint("panic :- emp(E, S1) & emp(E, S2) & S1 < S2", "fd")]
+        )
+        session = CheckSession(constraints, {"emp"}, local_db=Database())
+        updates = [Insertion("emp", (f"e{i}", i)) for i in range(10)]
+        updates.append(Insertion("emp", ("e3", 99)))  # violation
+        updates.append(Deletion("emp", ("e5", 5)))
+        for update in updates:
+            session.process(update)
+        assert session.stats.materializations_built == 1
+        # Every insertion after the first consults the maintained
+        # materialization; the deletion resolves at level 1 (it cannot
+        # violate this monotone constraint) and never reaches it.
+        assert session.stats.materialization_reuses == 10
+        constraint = session.constraints["fd"]
+        mat = session._materializations["fd"]
+        assert mat.as_database() == constraint.engine.evaluate(session.local_db)
+
+    def test_lazy_remote_fetched_once_per_update(self):
+        constraints = ConstraintSet(
+            [Constraint("panic :- emp(E, D) & closedDept(D)", "closed")]
+        )
+        session = CheckSession(constraints, {"emp"}, local_db=Database())
+        fetches = []
+
+        def remote():
+            fetches.append(1)
+            return Database({"closedDept": [("d1",)]})
+
+        reports = session.process(Insertion("emp", ("ann", "d0")), remote=remote)
+        assert reports[0].outcome is Outcome.SATISFIED
+        assert len(fetches) == 1
+        assert session.stats.remote_fetches == 1
+
+    def test_apply_unchecked_keeps_materializations_current(self):
+        constraints = ConstraintSet(
+            [Constraint("panic :- emp(E, S1) & emp(E, S2) & S1 < S2", "fd")]
+        )
+        session = CheckSession(constraints, {"emp"}, local_db=Database())
+        session.process(Insertion("emp", ("ann", 50)))  # builds the mat
+        session.apply_unchecked(Insertion("emp", ("ann", 60)))  # violating!
+        mat = session._materializations["fd"]
+        assert mat.fires()
+
+    def test_process_stream(self):
+        constraints = paper_constraints()
+        local, remote = make_dbs(seed=3)
+        session = CheckSession(constraints, LOCAL, local_db=local)
+        rng = random.Random(3)
+        updates = [random_update(rng) for _ in range(10)]
+        results = session.process_stream(updates, remote)
+        assert len(results) == 10
+        assert session.stats.updates == 10
+
+
+class TestLRUCache:
+    def test_bounded_with_eviction(self):
+        cache = LRUCache(maxsize=3)
+        for i in range(5):
+            cache.put(i, i * 10)
+        assert len(cache) == 3
+        assert 0 not in cache and 1 not in cache
+        assert cache.get(4) == 40
+
+    def test_hit_miss_accounting(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.info()["hits"] == 1
+        assert cache.info()["misses"] == 1
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        cache.put("c", 3)  # evicts "b", the least recently used
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_level1_cache_is_bounded(self):
+        constraints = ConstraintSet(
+            [Constraint("panic :- emp(E, S) & cap(C) & S > C", "cap")]
+        )
+        compiler = ConstraintCompiler(constraints, {"emp"}, level1_cache_size=16)
+        session = CheckSession(compiler=compiler)
+        for i in range(50):
+            session.process(
+                Insertion("emp", (f"e{i}", i)), max_level=CheckLevel.WITH_UPDATE
+            )
+        info = compiler.level1_cache_info()
+        assert info["size"] <= 16
+        assert info["misses"] == 50
+
+    def test_level1_cache_hits_on_repeats(self):
+        constraints = ConstraintSet(
+            [Constraint("panic :- emp(E, S) & cap(C) & S > C", "cap")]
+        )
+        compiler = ConstraintCompiler(constraints, {"emp"})
+        session = CheckSession(compiler=compiler)
+        update = Insertion("emp", ("ann", 50))
+        for _ in range(4):
+            session.check(update, max_level=CheckLevel.WITH_UPDATE)
+        info = compiler.level1_cache_info()
+        assert info["misses"] == 1
+        assert info["hits"] == 3

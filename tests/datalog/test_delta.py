@@ -1,0 +1,154 @@
+"""Deltas, undo tokens, and the copy-on-write database machinery."""
+
+import pytest
+
+from repro.datalog.database import Database, Delta, Relation, UndoToken
+
+
+class TestDelta:
+    def test_chainable_construction(self):
+        delta = Delta().insert("p", (1,)).insert("p", (2,)).delete("q", (3,))
+        assert delta.insertions["p"] == {(1,), (2,)}
+        assert delta.deletions["q"] == {(3,)}
+        assert delta.predicates() == {"p", "q"}
+        assert delta.size() == 3
+
+    def test_insert_cancels_pending_delete(self):
+        delta = Delta().delete("p", (1,)).insert("p", (1,))
+        assert not delta.deletions.get("p")
+        assert delta.insertions["p"] == {(1,)}
+
+    def test_delete_cancels_pending_insert(self):
+        delta = Delta().insert("p", (1,)).delete("p", (1,))
+        assert not delta.insertions.get("p")
+        assert delta.deletions["p"] == {(1,)}
+
+    def test_emptiness(self):
+        assert Delta().is_empty()
+        assert not Delta()
+        assert Delta().insert("p", (1,))
+        assert not Delta().insert("p", (1,)).is_empty()
+
+    def test_inverted(self):
+        delta = Delta().insert("p", (1,)).delete("q", (2,))
+        flipped = delta.inverted()
+        assert flipped.insertions["q"] == {(2,)}
+        assert flipped.deletions["p"] == {(1,)}
+
+
+class TestApplyUndo:
+    def test_apply_returns_effective_changes(self):
+        db = Database({"p": [(1,)]})
+        token = db.apply(Delta().insert("p", (1,)).insert("p", (2,)).delete("q", (9,)))
+        # (1,) already present and (9,) absent: only (2,) actually changed.
+        assert token.insertions == {"p": {(2,)}}
+        assert not any(token.deletions.values())
+
+    def test_undo_restores_exactly(self):
+        db = Database({"p": [(1,), (2,)], "q": [(5,)]})
+        before = {pred: db.facts(pred) for pred in db.predicates()}
+        token = db.apply(
+            Delta().delete("p", (1,)).insert("p", (7,)).insert("q", (5,))
+        )
+        assert db.facts("p") == frozenset({(2,), (7,)})
+        db.undo(token)
+        for pred, facts in before.items():
+            assert db.facts(pred) == facts
+
+    def test_noop_token(self):
+        db = Database({"p": [(1,)]})
+        token = db.apply(Delta().insert("p", (1,)))
+        assert token.is_noop()
+        assert token.as_delta().is_empty()
+
+    def test_modification_order_deletes_first(self):
+        # delete + insert of the same fact in one delta cancel during
+        # normalization, so apply sees at most one side per fact.
+        db = Database({"p": [(1,)]})
+        token = db.apply(Delta().delete("p", (1,)).insert("p", (2,)))
+        assert db.facts("p") == frozenset({(2,)})
+        db.undo(token)
+        assert db.facts("p") == frozenset({(1,)})
+
+
+class TestCopyOnWrite:
+    def test_copy_shares_until_mutation(self):
+        db = Database({"p": [(i,) for i in range(100)]})
+        clone = db.copy()
+        assert clone.relation("p")._tuples is db.relation("p")._tuples
+        clone.insert("p", (999,))
+        assert clone.relation("p")._tuples is not db.relation("p")._tuples
+        assert (999,) not in db.facts("p")
+        assert (999,) in clone.facts("p")
+
+    def test_mutating_original_does_not_leak_into_copy(self):
+        db = Database({"p": [(1,)]})
+        clone = db.copy()
+        db.insert("p", (2,))
+        assert clone.facts("p") == frozenset({(1,)})
+
+    def test_snapshot_alias(self):
+        db = Database({"p": [(1,)]})
+        snap = db.snapshot()
+        db.delete("p", (1,))
+        assert snap.facts("p") == frozenset({(1,)})
+
+
+class TestRelationIndexCarry:
+    def test_copy_carries_built_indexes(self):
+        relation = Relation("p", 2)
+        for i in range(50):
+            relation.insert((i % 5, i))
+        relation.lookup(0, 3)  # force the column-0 index
+        clone = relation.copy()
+        assert clone._indexes is relation._indexes
+        assert 0 in clone._indexes
+        # Using the clone's index immediately works without a rebuild.
+        assert clone.lookup(0, 3) == relation.lookup(0, 3)
+
+    def test_unshared_clone_index_independent(self):
+        relation = Relation("p", 1)
+        relation.insert((1,))
+        relation.lookup(0, 1)
+        clone = relation.copy()
+        clone.insert((2,))
+        assert clone.lookup(0, 2) == frozenset({(2,)})
+        assert relation.lookup(0, 2) == frozenset()
+
+
+class TestLookupCache:
+    def test_lookup_returns_cached_view(self):
+        relation = Relation("p", 2)
+        relation.insert((1, "a"))
+        relation.insert((1, "b"))
+        first = relation.lookup(0, 1)
+        second = relation.lookup(0, 1)
+        assert first is second  # no per-call allocation
+        assert first == frozenset({(1, "a"), (1, "b")})
+
+    def test_cache_invalidated_on_insert(self):
+        relation = Relation("p", 2)
+        relation.insert((1, "a"))
+        stale = relation.lookup(0, 1)
+        relation.insert((1, "b"))
+        fresh = relation.lookup(0, 1)
+        assert stale == frozenset({(1, "a")})
+        assert fresh == frozenset({(1, "a"), (1, "b")})
+
+    def test_cache_invalidated_on_delete(self):
+        relation = Relation("p", 2)
+        relation.insert((1, "a"))
+        relation.insert((1, "b"))
+        relation.lookup(0, 1)
+        relation.delete((1, "a"))
+        assert relation.lookup(0, 1) == frozenset({(1, "b")})
+
+    def test_cache_isolated_across_cow_clones(self):
+        relation = Relation("p", 1)
+        relation.insert((1,))
+        relation.lookup(0, 1)
+        clone = relation.copy()
+        clone.insert((2,))
+        clone.delete((1,))
+        assert relation.lookup(0, 1) == frozenset({(1,)})
+        assert clone.lookup(0, 1) == frozenset()

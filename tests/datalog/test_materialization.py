@@ -1,0 +1,162 @@
+"""Incremental maintenance vs from-scratch evaluation.
+
+The contract under test: after any sequence of effective deltas,
+``Materialization.apply_delta`` leaves exactly the derived facts a fresh
+``Engine.evaluate`` computes — across non-recursive programs, recursive
+programs (DRed), and stratified negation — and ``revert`` undoes the
+most recent delta exactly.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog.database import Database, Delta
+from repro.datalog.evaluation import Engine
+from repro.datalog.parser import parse_program
+
+NONRECURSIVE = parse_program(
+    """
+    big(X) :- p(X, Y) & Y > 10.
+    pair(X, Y) :- p(X, Y) & q(Y).
+    panic :- pair(X, Y) & big(X).
+    """
+)
+
+NEGATION = parse_program(
+    """
+    covered(X) :- p(X, Y) & q(Y).
+    alone(X) :- p(X, Y) & not q(Y).
+    panic :- alone(X) & not covered(X).
+    """
+)
+
+TRANSITIVE_CLOSURE = parse_program(
+    """
+    reach(X, Y) :- edge(X, Y).
+    reach(X, Y) :- reach(X, Z) & edge(Z, Y).
+    panic :- reach(X, X).
+    """
+)
+
+RECURSIVE_NEGATION = parse_program(
+    """
+    reach(X, Y) :- edge(X, Y).
+    reach(X, Y) :- reach(X, Z) & edge(Z, Y).
+    unreach(X, Y) :- node(X) & node(Y) & not reach(X, Y).
+    panic :- unreach(X, X).
+    """
+)
+
+PROGRAMS = {
+    "nonrecursive": NONRECURSIVE,
+    "negation": NEGATION,
+    "transitive-closure": TRANSITIVE_CLOSURE,
+    "recursive+negation": RECURSIVE_NEGATION,
+}
+
+
+def seed_database(name: str, rng: random.Random) -> Database:
+    db = Database()
+    if name in ("nonrecursive", "negation"):
+        for _ in range(rng.randrange(12)):
+            db.insert("p", (rng.randrange(5), rng.randrange(20)))
+        for _ in range(rng.randrange(8)):
+            db.insert("q", (rng.randrange(20),))
+    else:
+        for i in range(5):
+            db.insert("node", (i,))
+        for _ in range(rng.randrange(10)):
+            db.insert("edge", (rng.randrange(5), rng.randrange(5)))
+    return db
+
+
+def random_delta(name: str, rng: random.Random, db: Database) -> Delta:
+    delta = Delta()
+    for _ in range(rng.randrange(1, 4)):
+        if name in ("nonrecursive", "negation"):
+            predicate, fact = rng.choice(
+                [
+                    ("p", (rng.randrange(5), rng.randrange(20))),
+                    ("q", (rng.randrange(20),)),
+                ]
+            )
+        else:
+            predicate, fact = "edge", (rng.randrange(5), rng.randrange(5))
+        existing = list(db.facts(predicate))
+        if existing and rng.random() < 0.5:
+            delta.delete(predicate, rng.choice(existing))
+        else:
+            delta.insert(predicate, fact)
+    return delta
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_apply_delta_matches_from_scratch(name, seed):
+    program = PROGRAMS[name]
+    rng = random.Random(seed)
+    engine = Engine(program)
+    db = seed_database(name, rng)
+    materialization = engine.materialize(db)
+    for _ in range(8):
+        delta = random_delta(name, rng, db)
+        token = db.apply(delta)
+        materialization.apply_delta(token.as_delta())
+        assert materialization.as_database() == engine.evaluate(db), (
+            f"{name}: drift after {delta!r}"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_revert_is_exact(name, seed):
+    program = PROGRAMS[name]
+    rng = random.Random(seed)
+    engine = Engine(program)
+    db = seed_database(name, rng)
+    materialization = engine.materialize(db)
+    for _ in range(5):
+        before = materialization.as_database()
+        delta = random_delta(name, rng, db)
+        token = db.apply(delta)
+        undo = materialization.apply_delta(token.as_delta())
+        db.undo(token)
+        materialization.revert(undo)
+        assert materialization.as_database() == before, f"{name}: revert drift"
+
+
+def test_irrelevant_strata_are_skipped():
+    engine = Engine(TRANSITIVE_CLOSURE)
+    db = Database({"edge": [(1, 2), (2, 3)], "color": [(1, "red")]})
+    materialization = engine.materialize(db)
+    token = db.apply(Delta().insert("color", (2, "blue")))
+    materialization.apply_delta(token.as_delta())
+    assert materialization.stats.strata_maintained == 0
+    assert materialization.stats.strata_skipped > 0
+
+
+def test_fires_tracks_panic():
+    engine = Engine(TRANSITIVE_CLOSURE)
+    db = Database({"edge": [(1, 2), (2, 3)]})
+    materialization = engine.materialize(db)
+    assert not materialization.fires()
+    token = db.apply(Delta().insert("edge", (3, 1)))
+    materialization.apply_delta(token.as_delta())
+    assert materialization.fires()
+    token2 = db.apply(Delta().delete("edge", (3, 1)))
+    materialization.apply_delta(token2.as_delta())
+    assert not materialization.fires()
+
+
+def test_refresh_resets_state():
+    engine = Engine(NONRECURSIVE)
+    db = Database({"p": [(1, 15)], "q": [(15,)]})
+    materialization = engine.materialize(db)
+    db.insert("p", (2, 20))  # behind the materialization's back
+    materialization.refresh()
+    assert materialization.as_database() == engine.evaluate(db)
+    assert materialization.stats.full_refreshes == 1

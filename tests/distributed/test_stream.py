@@ -1,0 +1,79 @@
+"""DistributedChecker.check_stream: incremental protocol equivalence.
+
+Stream mode must produce the same verdicts and the same final local
+state as the per-update protocol, while reporting materialization-reuse
+and cache counters through ProtocolStats.
+"""
+
+from repro.core.outcomes import Outcome
+from repro.distributed.checker import DistributedChecker
+from repro.distributed.workload import employee_workload, interval_workload
+
+
+def outcomes(reports):
+    return [r.outcome for r in reports]
+
+
+class TestStreamEquivalence:
+    def test_matches_per_update_protocol(self):
+        for factory in (interval_workload, employee_workload):
+            stream_wl = factory(num_updates=40, covered_fraction=0.6, seed=11)
+            batch_wl = factory(num_updates=40, covered_fraction=0.6, seed=11)
+
+            per_update = DistributedChecker(batch_wl.constraints, batch_wl.sites)
+            expected = [per_update.process(u) for u in batch_wl.updates]
+
+            streaming = DistributedChecker(stream_wl.constraints, stream_wl.sites)
+            got = streaming.check_stream(stream_wl.updates)
+
+            assert [outcomes(r) for r in expected] == [outcomes(r) for r in got]
+            local_expected = batch_wl.sites.local.unmetered()
+            local_got = stream_wl.sites.local.unmetered()
+            for predicate in local_expected.predicates():
+                assert local_got.facts(predicate) == local_expected.facts(predicate)
+            assert (
+                streaming.stats.remote_round_trips
+                == per_update.stats.remote_round_trips
+            )
+            assert streaming.stats.rejected == per_update.stats.rejected
+
+    def test_final_state_satisfies_constraints(self):
+        workload = employee_workload(num_updates=50, covered_fraction=0.5, seed=5)
+        checker = DistributedChecker(workload.constraints, workload.sites)
+        checker.check_stream(workload.updates)
+        assert workload.constraints.holds_all(workload.sites.ground_truth_database())
+
+
+class TestStreamStats:
+    def test_reuse_counters_populated(self):
+        workload = employee_workload(num_updates=30, covered_fraction=0.7, seed=2)
+        checker = DistributedChecker(workload.constraints, workload.sites)
+        checker.check_stream(workload.updates)
+        stats = checker.stats
+        assert stats.updates == 30
+        assert stats.level1_cache_misses > 0
+        rows = dict(stats.summary_rows())
+        assert rows["materializations built"] == stats.materializations_built
+        assert rows["level-1 cache misses"] == stats.level1_cache_misses
+
+    def test_mixed_modes_stay_consistent(self):
+        """Interleaving process() and check_stream() must keep the
+        session's materializations in sync with the shared local site."""
+        workload = employee_workload(num_updates=20, covered_fraction=0.6, seed=8)
+        checker = DistributedChecker(workload.constraints, workload.sites)
+        first, rest = workload.updates[:10], workload.updates[10:]
+        checker.check_stream(first)  # builds session state
+        for update in rest[:5]:
+            checker.process(update)  # direct path mutates the same site
+        checker.check_stream(rest[5:])
+        assert workload.constraints.holds_all(workload.sites.ground_truth_database())
+
+    def test_rejections_do_not_corrupt_stream_state(self):
+        workload = employee_workload(num_updates=40, covered_fraction=0.2, seed=9)
+        checker = DistributedChecker(workload.constraints, workload.sites)
+        reports = checker.check_stream(workload.updates)
+        rejected = sum(
+            1 for rs in reports if any(r.outcome is Outcome.VIOLATED for r in rs)
+        )
+        assert rejected == checker.stats.rejected
+        assert workload.constraints.holds_all(workload.sites.ground_truth_database())

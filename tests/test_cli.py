@@ -5,8 +5,8 @@ import json
 import pytest
 
 from repro.errors import ReproError
-from repro.cli import load_constraints, load_database, main, parse_update
-from repro.updates.update import Deletion, Insertion
+from repro.cli import load_constraints, load_database, load_updates, main, parse_update
+from repro.updates.update import Deletion, Insertion, Modification
 
 CONSTRAINTS = """\
 %% referential
@@ -58,10 +58,24 @@ class TestParsing:
     def test_parse_zero_ary(self):
         assert parse_update("+flag()") == Insertion("flag", ())
 
+    def test_parse_modification(self):
+        update = parse_update("~emp(ann, 50)->(ann, 60)")
+        assert update == Modification("emp", ("ann", 50), ("ann", 60))
+
     def test_bad_updates(self):
-        for bad in ("emp(a)", "+emp", "+emp(X)", ""):
+        for bad in ("emp(a)", "+emp", "+emp(X)", "", "~emp(a)", "~emp(a)->b"):
             with pytest.raises(ReproError):
                 parse_update(bad)
+
+    def test_load_updates_skips_comments(self, tmp_path):
+        path = tmp_path / "stream.txt"
+        path.write_text("# header\n+p(1)\n\n-p(2)\n~p(3)->(4)\n")
+        updates = load_updates(str(path))
+        assert updates == [
+            Insertion("p", (1,)),
+            Deletion("p", (2,)),
+            Modification("p", (3,), (4,)),
+        ]
 
     def test_load_constraints_names(self, constraint_file):
         constraints = load_constraints(constraint_file)
@@ -193,6 +207,51 @@ class TestCommands:
         assert main(["subsume", constraint_file, "--target", "salary-cap-high"]) == 0
         assert "subsumed" in capsys.readouterr().out
         assert main(["subsume", constraint_file, "--target", "salary-cap"]) == 1
+
+    def test_check_stream(self, constraint_file, db_file, tmp_path, capsys):
+        stream = tmp_path / "stream.txt"
+        stream.write_text(
+            "# two safe updates, then a violation\n"
+            "+emp(bob, toys, 60)\n"
+            "~emp(ann, toys, 50)->(ann, toys, 55)\n"
+            "+emp(cal, toys, 500)\n"
+        )
+        code = main(
+            [
+                "check-stream",
+                constraint_file,
+                "--db",
+                db_file,
+                "--updates",
+                str(stream),
+                "--local",
+                "emp",
+                "--verbose",
+            ]
+        )
+        assert code == 1  # the last update is rejected
+        out = capsys.readouterr().out
+        assert out.count("applied") == 2
+        assert out.count("REJECTED") == 1
+        assert "updates" in out and "remote round trips" in out
+
+    def test_check_stream_all_safe(self, constraint_file, db_file, tmp_path, capsys):
+        stream = tmp_path / "stream.txt"
+        stream.write_text("+emp(bob, toys, 60)\n")
+        code = main(
+            [
+                "check-stream",
+                constraint_file,
+                "--db",
+                db_file,
+                "--updates",
+                str(stream),
+                "--local",
+                "emp",
+            ]
+        )
+        assert code == 0
+        assert "applied" in capsys.readouterr().out
 
     def test_missing_file_is_reported(self, capsys):
         assert main(["classify", "/nonexistent/path.dl"]) == 3
