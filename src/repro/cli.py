@@ -22,7 +22,10 @@ datalog terms (numbers, lowercase names, or quoted strings).
 ``check-stream`` reads one update per line (blank lines and ``#``
 comments ignored) from a file or stdin and drives the incremental
 :class:`~repro.core.session.CheckSession` through the whole stream,
-printing per-update verdicts and the protocol statistics.
+printing per-update verdicts and the protocol statistics.  With
+``--batch [N]`` consecutive safe updates share one maintenance pass
+(identical verdicts); with ``--transaction`` the stream is atomic and
+any rejection rolls the local site back exactly.
 """
 
 from __future__ import annotations
@@ -38,7 +41,7 @@ from repro.constraints.subsumption import subsumes
 from repro.core.engine import PartialInfoChecker
 from repro.core.outcomes import Outcome
 from repro.datalog.database import Database
-from repro.datalog.parser import parse_program, parse_term
+from repro.datalog.parser import parse_program, parse_term_list
 from repro.datalog.terms import Constant
 from repro.updates.update import Deletion, Insertion, Modification, Update
 
@@ -83,13 +86,13 @@ def load_database(path: str) -> Database:
 
 
 def _parse_values(inner: str, context: str) -> tuple:
+    # Tokenize rather than split on raw commas: a quoted value like
+    # "a,b" is one constant, not two.
     values: list[object] = []
-    if inner.strip():
-        for piece in inner.split(","):
-            term = parse_term(piece.strip())
-            if not isinstance(term, Constant):
-                raise ReproError(f"update values must be constants: {piece.strip()!r}")
-            values.append(term.value)
+    for term in parse_term_list(inner):
+        if not isinstance(term, Constant):
+            raise ReproError(f"update values must be constants: {term!r}")
+        values.append(term.value)
     return tuple(values)
 
 
@@ -186,18 +189,34 @@ def _cmd_check_stream(args: argparse.Namespace) -> int:
     sites = TwoSiteDatabase(
         local=Site("local", db.restricted_to(local_predicates)),
         remote=Site("remote", db.restricted_to(db.predicates() - local_predicates)),
+        local_predicates=local_predicates,
     )
     checker = DistributedChecker(constraints, sites)
     exit_code = 0
-    for update, reports in zip(updates, checker.check_stream(updates)):
-        rejected = any(r.outcome is Outcome.VIOLATED for r in reports)
-        if rejected:
+    if args.transaction:
+        committed, all_reports = checker.process_transaction(updates)
+        for update, reports in zip(updates, all_reports):
+            rejected = any(r.outcome is Outcome.VIOLATED for r in reports)
+            print(f"{update}: {'REJECTED' if rejected else 'ok'}")
+            if args.verbose:
+                for report in reports:
+                    print(f"    {report}")
+        if committed:
+            print("transaction: COMMITTED")
+        else:
+            print("transaction: ROLLED BACK (local site restored exactly)")
             exit_code = 1
-        status = "REJECTED" if rejected else "applied"
-        print(f"{update}: {status}")
-        if args.verbose:
-            for report in reports:
-                print(f"    {report}")
+    else:
+        results = checker.check_stream(updates, batch_size=args.batch)
+        for update, reports in zip(updates, results):
+            rejected = any(r.outcome is Outcome.VIOLATED for r in reports)
+            if rejected:
+                exit_code = 1
+            status = "REJECTED" if rejected else "applied"
+            print(f"{update}: {status}")
+            if args.verbose:
+                for report in reports:
+                    print(f"    {report}")
     print()
     width = max(len(label) for label, _ in checker.stats.summary_rows())
     for label, value in checker.stats.summary_rows():
@@ -297,6 +316,18 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument(
         "-v", "--verbose", action="store_true",
         help="print the per-constraint reports for every update",
+    )
+    mode = stream.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--batch", type=int, nargs="?", const=64, default=None, metavar="N",
+        help="coalesce up to N consecutive safe updates into one "
+        "maintenance pass (default N=64); verdicts are identical to "
+        "per-update mode",
+    )
+    mode.add_argument(
+        "--transaction", action="store_true",
+        help="treat the whole stream as one atomic transaction: any "
+        "rejection rolls back every applied update exactly (exit 1)",
     )
     stream.set_defaults(func=_cmd_check_stream)
 

@@ -75,12 +75,31 @@ class LRUCache:
         self.hits += 1
         return value
 
-    def put(self, key, value) -> None:
+    def put(self, key, value) -> list[tuple]:
+        """Store *key*; returns the ``(key, value)`` pairs evicted to make
+        room (empty for most calls)."""
         if key in self._data:
             self._data.move_to_end(key)
         self._data[key] = value
+        evicted: list[tuple] = []
         while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
+            evicted.append(self._data.popitem(last=False))
+        return evicted
+
+    def pop(self, key, default=None):
+        """Remove and return *key*'s value without touching the counters."""
+        return self._data.pop(key, default)
+
+    def __getitem__(self, key):
+        """Raw access: no counter updates, no recency bump."""
+        return self._data[key]
+
+    def keys(self):
+        return self._data.keys()
+
+    def values(self):
+        """Current values, least recently used first (no counter updates)."""
+        return self._data.values()
 
     def __len__(self) -> int:
         return len(self._data)

@@ -6,7 +6,8 @@ maintains state the stateless checker rebuilds per call:
 
 * one :class:`~repro.datalog.evaluation.Materialization` per purely-local
   constraint, kept current by delta maintenance instead of re-evaluating
-  the constraint program against a fresh copy of the database;
+  the constraint program against a fresh copy of the database — bounded
+  by a size/recency (LRU) policy mirroring the level-1 verdict cache;
 * the compiler's bounded level-1 verdict cache (update streams repeat
   shapes);
 * copy-on-write snapshots and :class:`~repro.datalog.database.Delta`
@@ -17,26 +18,44 @@ Every update flows through the same Section 2 level pipeline as
 :class:`~repro.core.engine.PartialInfoChecker` and produces identical
 :class:`~repro.core.outcomes.CheckReport` verdicts — the facade and the
 session are two drivers over one compiled core.
+
+Two batching layers sit on top of the per-update pipeline:
+
+* :meth:`CheckSession.process_transaction` checks a sequence atomically:
+  each update is validated against the state its predecessors left, and
+  an abort replays the recorded :class:`~repro.datalog.database.UndoToken`\\ s
+  in reverse (see :mod:`repro.core.transaction`), restoring the database
+  *and* every maintained materialization exactly;
+* :meth:`CheckSession.process_stream` with a ``batch_size`` coalesces
+  consecutive *violation-monotone* safe updates into one composed
+  :class:`~repro.datalog.database.Delta` and runs a single maintenance
+  pass per batch instead of per update, falling back to an exact
+  per-update replay on the rare batch that fires a constraint.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Union
 
 from repro.constraints.constraint import Constraint, ConstraintSet
-from repro.core.compiler import ConstraintCompiler
+from repro.core.compiler import ConstraintCompiler, LRUCache
 from repro.core.outcomes import CheckLevel, CheckReport, Outcome
-from repro.datalog.database import Database, Delta
+from repro.core.transaction import Transaction
+from repro.datalog.database import Database, Delta, UndoToken
 from repro.datalog.evaluation import Materialization, MaterializationUndo
 from repro.updates.update import Insertion, Modification, Update
 
-__all__ = ["CheckSession", "SessionStats"]
+__all__ = ["CheckSession", "SessionStats", "MATERIALIZATION_LIMIT"]
 
 #: A remote database may be handed to :meth:`CheckSession.process` either
 #: directly or as a zero-arg callable fetched only on escalation (so the
 #: caller can meter round trips).
 RemoteSource = Union[Database, Callable[[], Database], None]
+
+#: Default bound on maintained materializations per session (one per
+#: purely-local constraint), evicted least-recently-used beyond it.
+MATERIALIZATION_LIMIT = 128
 
 
 @dataclass
@@ -46,25 +65,82 @@ class SessionStats:
     updates: int = 0
     applied: int = 0
     rejected: int = 0
+    #: updates left unapplied because a verdict stayed UNKNOWN while the
+    #: session runs with ``apply_on_unknown=False``
+    deferred_unknown: int = 0
     #: constraint-program materializations built from scratch
     materializations_built: int = 0
     #: checks answered from an already-maintained materialization
     materialization_reuses: int = 0
+    #: materializations dropped by the size/recency policy
+    materializations_evicted: int = 0
     #: delta-maintenance passes over materializations (incl. rollbacks)
     incremental_deltas: int = 0
     #: full remote fetches (level-3 escalations)
     remote_fetches: int = 0
+    #: batched stream mode: coalesced maintenance flushes
+    batches_flushed: int = 0
+    #: batched stream mode: updates resolved inside a coalesced batch
+    batched_updates: int = 0
+    #: batched stream mode: batches that fired and were replayed exactly
+    batch_replays: int = 0
+    #: batched stream mode: updates kept out of a batch by the panic probe
+    batch_probe_vetoes: int = 0
+    #: transactions started / aborted via exact token rollback
+    transactions: int = 0
+    transactions_rolled_back: int = 0
 
     def summary_rows(self) -> list[tuple[str, object]]:
         return [
             ("updates", self.updates),
             ("applied", self.applied),
             ("rejected", self.rejected),
+            ("deferred on unknown", self.deferred_unknown),
             ("materializations built", self.materializations_built),
             ("materialization reuses", self.materialization_reuses),
+            ("materializations evicted", self.materializations_evicted),
             ("incremental deltas", self.incremental_deltas),
             ("remote fetches", self.remote_fetches),
+            ("batches flushed", self.batches_flushed),
+            ("batched updates", self.batched_updates),
+            ("batch replays", self.batch_replays),
+            ("batch probe vetoes", self.batch_probe_vetoes),
+            ("transactions", self.transactions),
+            ("transactions rolled back", self.transactions_rolled_back),
         ]
+
+
+@dataclass
+class _PendingBatch:
+    """Bookkeeping for one in-flight coalesced batch: the updates whose
+    deltas hit the database eagerly but whose materialization maintenance
+    (and purely-local verdicts) are deferred to the flush."""
+
+    updates: list[Update] = field(default_factory=list)
+    reports: list[dict[str, CheckReport]] = field(default_factory=list)
+    pending_locals: list[list[Constraint]] = field(default_factory=list)
+    tokens: list[UndoToken] = field(default_factory=list)
+
+    def add(
+        self,
+        update: Update,
+        reports: dict[str, CheckReport],
+        pending_local: list[Constraint],
+        token: UndoToken,
+    ) -> None:
+        self.updates.append(update)
+        self.reports.append(reports)
+        self.pending_locals.append(pending_local)
+        self.tokens.append(token)
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+    def clear(self) -> None:
+        self.updates.clear()
+        self.reports.clear()
+        self.pending_locals.clear()
+        self.tokens.clear()
 
 
 class CheckSession:
@@ -81,6 +157,16 @@ class CheckSession:
     local_db:
         The local database the session owns and mutates.  Updates that
         pass every check are applied; rejected updates are rolled back.
+    apply_on_unknown:
+        The application policy for updates whose final verdict includes
+        UNKNOWN.  ``True`` (the default) applies them optimistically —
+        only a definite VIOLATED rejects.  ``False`` applies an update
+        only when every verdict is SATISFIED, leaving UNKNOWN updates
+        unapplied (counted in :attr:`SessionStats.deferred_unknown`).
+    max_materializations:
+        Size bound for the maintained-materialization cache, evicted
+        least-recently-used (mirroring the level-1 verdict LRU).
+        ``None`` disables eviction.
     """
 
     def __init__(
@@ -90,6 +176,8 @@ class CheckSession:
         local_db: Optional[Database] = None,
         use_interval_datalog: bool = False,
         compiler: Optional[ConstraintCompiler] = None,
+        apply_on_unknown: bool = True,
+        max_materializations: Optional[int] = MATERIALIZATION_LIMIT,
     ) -> None:
         if compiler is None:
             if constraints is None:
@@ -101,18 +189,26 @@ class CheckSession:
         self.constraints = compiler.constraints
         self.local_predicates = compiler.local_predicates
         self.local_db = local_db if local_db is not None else Database()
+        self.apply_on_unknown = apply_on_unknown
         self.stats = SessionStats()
-        self._materializations: dict[str, Materialization] = {}
+        self._materializations: LRUCache = LRUCache(
+            max_materializations if max_materializations is not None else float("inf")
+        )
+        self._local_constraints = [
+            c for c in self.constraints if compiler.is_local_constraint(c)
+        ]
 
     # -- materialization plumbing ---------------------------------------------
     def _materialization(self, constraint: Constraint) -> Materialization:
         """The maintained evaluation of a purely-local constraint; built
-        from the current database on first use, maintained afterwards."""
+        from the current database on first use, maintained afterwards,
+        and evicted least-recently-used past the session's bound."""
         mat = self._materializations.get(constraint.name)
         if mat is None:
             mat = constraint.engine.materialize(self.local_db)
-            self._materializations[constraint.name] = mat
+            evicted = self._materializations.put(constraint.name, mat)
             self.stats.materializations_built += 1
+            self.stats.materializations_evicted += len(evicted)
         else:
             self.stats.materialization_reuses += 1
         return mat
@@ -133,29 +229,46 @@ class CheckSession:
             self.stats.incremental_deltas += 1
         return undos
 
-    def apply_unchecked(self, update: Update) -> None:
+    def transaction(self) -> Transaction:
+        """A fresh exact-rollback transaction scoped to this session.
+
+        Pass it to :meth:`process` (or :meth:`apply_unchecked`) so the
+        effective :class:`~repro.datalog.database.UndoToken` of each
+        applied update is recorded; ``rollback()`` then restores the
+        database and every maintained materialization to the state at
+        this call — including facts a redundant insertion did *not* add.
+        """
+        self.stats.transactions += 1
+        return Transaction(
+            self.local_db, lambda: list(self._materializations.values())
+        )
+
+    def apply_unchecked(
+        self, update: Update, transaction: Optional[Transaction] = None
+    ) -> None:
         """Apply *update* without checking (the caller already decided),
         keeping the maintained materializations in sync."""
         token = self.local_db.apply(update.as_delta())
-        self._propagate(token.as_delta())
+        undos = self._propagate(token.as_delta())
+        if transaction is not None:
+            transaction.record(token, undos)
 
     # -- the stream pipeline -----------------------------------------------------
-    def process(
-        self,
-        update: Update,
-        remote: RemoteSource = None,
-        max_level: CheckLevel = CheckLevel.FULL_DATABASE,
-        apply_when_safe: bool = True,
-    ) -> list[CheckReport]:
-        """Check one update; apply it when safe, roll it back otherwise.
+    def _static_checks(
+        self, update: Update, max_level: CheckLevel
+    ) -> tuple[
+        dict[str, CheckReport],
+        list[Constraint],
+        list[tuple[Constraint, CheckLevel]],
+    ]:
+        """Levels 0-2 without touching session state: every verdict
+        decidable from the compiled constraints, the update, and the
+        *pre-update* database.
 
-        Levels 0-2 consult only the session state.  Constraints still
-        UNKNOWN afterwards escalate to *remote* (a database, or a
-        callable fetched once on first need) when *max_level* allows.
-        The update is applied to the owned database unless some verdict
-        is VIOLATED or *apply_when_safe* is false.
+        Returns the decided reports plus two pending lists: purely-local
+        constraints (decidable from the post-update materialization) and
+        constraints needing level-3 remote data.
         """
-        self.stats.updates += 1
         reports: dict[str, CheckReport] = {}
         pending_local: list[Constraint] = []
         pending_unknown: list[tuple[Constraint, CheckLevel]] = []
@@ -200,9 +313,9 @@ class CheckSession:
                 continue
 
             # Level 2: + local data.  Purely-local constraints evaluate
-            # against the post-update state (below, after the delta is
-            # applied); the others run their precompiled local test
-            # against the pre-update relation.
+            # against the post-update state (in the stateful tail, after
+            # the delta is applied); the others run their precompiled
+            # local test against the pre-update relation.
             if self.compiler.is_local_constraint(constraint):
                 pending_local.append(constraint)
                 continue
@@ -227,6 +340,22 @@ class CheckSession:
                         continue
             pending_unknown.append((constraint, CheckLevel.WITH_LOCAL_DATA))
 
+        return reports, pending_local, pending_unknown
+
+    def _finish(
+        self,
+        update: Update,
+        reports: dict[str, CheckReport],
+        pending_local: list[Constraint],
+        pending_unknown: list[tuple[Constraint, CheckLevel]],
+        remote: RemoteSource,
+        max_level: CheckLevel,
+        apply_when_safe: bool,
+        transaction: Optional[Transaction],
+    ) -> list[CheckReport]:
+        """The stateful tail of :meth:`process`: apply the delta, settle
+        the pending verdicts against the post-update state, and keep or
+        roll back the update."""
         # Apply the delta once; all post-state evaluation below shares it.
         token = self.local_db.apply(update.as_delta())
         effective = token.as_delta()
@@ -273,7 +402,10 @@ class CheckSession:
 
         ordered = [reports[c.name] for c in self.constraints]
         rejected = any(r.outcome is Outcome.VIOLATED for r in ordered)
-        if rejected or not apply_when_safe:
+        deferred = not self.apply_on_unknown and any(
+            r.outcome is Outcome.UNKNOWN for r in ordered
+        )
+        if rejected or deferred or not apply_when_safe:
             self.local_db.undo(token)
             # Materializations that saw the delta are reverted exactly;
             # ones built mid-call (post-state) take the inverse delta.
@@ -288,9 +420,43 @@ class CheckSession:
                         self.stats.incremental_deltas += 1
             if rejected:
                 self.stats.rejected += 1
+            elif deferred and apply_when_safe:
+                self.stats.deferred_unknown += 1
         else:
             self.stats.applied += 1
+            if transaction is not None:
+                transaction.record(token, undos)
         return ordered
+
+    def process(
+        self,
+        update: Update,
+        remote: RemoteSource = None,
+        max_level: CheckLevel = CheckLevel.FULL_DATABASE,
+        apply_when_safe: bool = True,
+        transaction: Optional[Transaction] = None,
+    ) -> list[CheckReport]:
+        """Check one update; apply or withhold it per the session policy.
+
+        Levels 0-2 consult only the session state.  Constraints still
+        UNKNOWN afterwards escalate to *remote* (a database, or a
+        callable fetched once on first need) when *max_level* allows.
+        The update stays applied to the owned database when
+        *apply_when_safe* is true, no verdict is VIOLATED, and — unless
+        the session was built with ``apply_on_unknown=True`` (the
+        default) — every verdict is SATISFIED; otherwise it is rolled
+        back exactly.  When *transaction* is given, an applied update's
+        effective changes are recorded there so the whole sequence can
+        be rolled back later.
+        """
+        self.stats.updates += 1
+        reports, pending_local, pending_unknown = self._static_checks(
+            update, max_level
+        )
+        return self._finish(
+            update, reports, pending_local, pending_unknown,
+            remote, max_level, apply_when_safe, transaction,
+        )
 
     def check(
         self,
@@ -301,11 +467,202 @@ class CheckSession:
         """Like :meth:`process` but never keeps the update applied."""
         return self.process(update, remote, max_level, apply_when_safe=False)
 
+    def process_transaction(
+        self,
+        updates: Iterable[Update],
+        remote: RemoteSource = None,
+        max_level: CheckLevel = CheckLevel.FULL_DATABASE,
+    ) -> tuple[bool, list[list[CheckReport]]]:
+        """Process a sequence of updates atomically.
+
+        Each update is checked against the local state left by its
+        predecessors (the standard deferred-abort model).  If any update
+        is rejected — or stays UNKNOWN while the session applies only on
+        SATISFIED — the recorded effective tokens are replayed in
+        reverse, restoring the database and every maintained
+        materialization to the exact pre-transaction state.
+
+        Returns ``(committed, reports_per_update)``; processing stops at
+        the aborting update.
+        """
+        txn = self.transaction()
+        all_reports: list[list[CheckReport]] = []
+        for update in updates:
+            reports = self.process(update, remote, max_level, transaction=txn)
+            all_reports.append(reports)
+            aborted = any(r.outcome is Outcome.VIOLATED for r in reports) or (
+                not self.apply_on_unknown
+                and any(r.outcome is Outcome.UNKNOWN for r in reports)
+            )
+            if aborted:
+                txn.rollback()
+                self.stats.transactions_rolled_back += 1
+                return False, all_reports
+        txn.commit()
+        return True, all_reports
+
+    # -- batched maintenance ---------------------------------------------------
+    def _delta_is_monotone(self, delta: Delta) -> bool:
+        """Can *delta* only ever *add* ``panic`` derivations to the
+        purely-local constraints?  (Insertions into positively-occurring
+        predicates, deletions from negatively-occurring ones.)  Such
+        deltas may be coalesced: a clean post-batch state then proves
+        every intermediate state clean."""
+        for constraint in self._local_constraints:
+            polarities = constraint.engine.panic_polarities()
+            for predicate in delta.insertions:
+                if not polarities.get(predicate, frozenset()) <= {1}:
+                    return False
+            for predicate in delta.deletions:
+                if not polarities.get(predicate, frozenset()) <= {-1}:
+                    return False
+        return True
+
+    def _probe_fires(
+        self, pending_local: list[Constraint], token: UndoToken
+    ) -> bool:
+        """Would the effective changes in *token* (already applied) derive
+        a new ``panic`` fact for any of the pending purely-local
+        constraints?  Only panic-only programs can answer without
+        maintained state; for the rest the probe abstains (returns
+        nothing firing) and correctness rests on the flush-time replay."""
+        if token.is_noop():
+            return False
+        effective = token.as_delta()
+        for constraint in pending_local:
+            if constraint.engine.panic_delta_probe(self.local_db, effective):
+                return True
+        return False
+
+    def _flush_batch(
+        self,
+        batch: _PendingBatch,
+        remote: RemoteSource,
+        max_level: CheckLevel,
+    ) -> list[list[CheckReport]]:
+        """Settle a coalesced batch: one maintenance pass per live
+        materialization with the composed net delta, then read the
+        deferred purely-local verdicts off the maintained state.
+
+        If nothing fires, every batched update was individually safe (the
+        batch is violation-monotone by construction) and the deferred
+        reports are finalized wholesale.  If something fires, the pass is
+        reverted, the tokens are undone in reverse, and the batch is
+        replayed update by update — exactly reproducing per-update
+        verdicts, rollbacks, and final state.
+        """
+        if not batch.updates:
+            return []
+        composed = Delta()
+        for token in batch.tokens:
+            composed.extend(token.as_delta())
+        undos = self._propagate(composed)
+        self.stats.batches_flushed += 1
+
+        built_before = set(self._materializations.keys())
+        fired = False
+        for pending in batch.pending_locals:
+            for constraint in pending:
+                if self._materialization(constraint).fires():
+                    fired = True
+                    break
+            if fired:
+                break
+
+        if not fired:
+            count = len(batch.updates)
+            self.stats.updates += count
+            self.stats.applied += count
+            self.stats.batched_updates += count
+            results = []
+            for reports, pending in zip(batch.reports, batch.pending_locals):
+                for constraint in pending:
+                    reports[constraint.name] = CheckReport(
+                        constraint.name, Outcome.SATISFIED,
+                        CheckLevel.WITH_LOCAL_DATA,
+                        remote_accessed=False, detail="constraint is purely local",
+                    )
+                results.append([reports[c.name] for c in self.constraints])
+            return results
+
+        # Exact replay: restore the pre-batch state, then re-process each
+        # update through the ordinary per-update path.
+        self.stats.batch_replays += 1
+        for name in set(self._materializations.keys()) - built_before:
+            # Built from the post-batch state during the verdict loop;
+            # cheaper to rebuild on demand than to rewind.
+            self._materializations.pop(name)
+        for mat, undo in reversed(undos):
+            mat.revert(undo)
+        for token in reversed(batch.tokens):
+            self.local_db.undo(token)
+        return [self.process(update, remote, max_level) for update in batch.updates]
+
     def process_stream(
         self,
         updates: Iterable[Update],
         remote: RemoteSource = None,
         max_level: CheckLevel = CheckLevel.FULL_DATABASE,
+        batch_size: Optional[int] = None,
     ) -> list[list[CheckReport]]:
-        """Process a sequence of updates, applying each safe one."""
-        return [self.process(update, remote, max_level) for update in updates]
+        """Process a sequence of updates, applying each safe one.
+
+        With a *batch_size*, consecutive safe updates whose deltas are
+        violation-monotone for the purely-local constraints are coalesced:
+        their deltas hit the database eagerly (so level-2 local tests see
+        exactly the sequential pre-states) but materialization
+        maintenance runs once per batch on the composed net delta instead
+        of once per update.  Updates needing remote escalation, carrying
+        non-monotone deltas, or arriving past the size bound flush the
+        batch first.  Verdicts and final state are identical to
+        per-update processing — a batch that fires is replayed exactly.
+        """
+        if not batch_size:
+            return [self.process(update, remote, max_level) for update in updates]
+
+        results: list[list[CheckReport]] = []
+        batch = _PendingBatch()
+        for update in updates:
+            reports, pending_local, pending_unknown = self._static_checks(
+                update, max_level
+            )
+            batchable = (
+                not pending_unknown
+                and (
+                    self.apply_on_unknown
+                    or not any(
+                        r.outcome is Outcome.UNKNOWN for r in reports.values()
+                    )
+                )
+                and self._delta_is_monotone(update.as_delta())
+            )
+            if not batchable:
+                results.extend(self._flush_batch(batch, remote, max_level))
+                batch.clear()
+                self.stats.updates += 1
+                results.append(
+                    self._finish(
+                        update, reports, pending_local, pending_unknown,
+                        remote, max_level, True, None,
+                    )
+                )
+                continue
+            token = self.local_db.apply(update.as_delta())
+            if pending_local and self._probe_fires(pending_local, token):
+                # The update would fire a constraint: keep it out of the
+                # batch so the common clean-flush path stays cheap.  Undo
+                # the eager application and run the ordinary per-update
+                # pipeline (which re-applies, settles verdicts, and rolls
+                # back) after flushing what accumulated so far.
+                self.local_db.undo(token)
+                self.stats.batch_probe_vetoes += 1
+                results.extend(self._flush_batch(batch, remote, max_level))
+                batch.clear()
+                results.append(self.process(update, remote, max_level))
+                continue
+            batch.add(update, reports, pending_local, token)
+            if len(batch) >= batch_size:
+                results.extend(self._flush_batch(batch, remote, max_level))
+                batch.clear()
+        results.extend(self._flush_batch(batch, remote, max_level))
+        return results

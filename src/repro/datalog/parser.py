@@ -34,7 +34,14 @@ from repro.datalog.atoms import Atom, BodyLiteral, Comparison, ComparisonOp, Neg
 from repro.datalog.rules import Program, Rule
 from repro.datalog.terms import Constant, Term, Variable
 
-__all__ = ["parse_program", "parse_rule", "parse_literal", "parse_term", "tokenize"]
+__all__ = [
+    "parse_program",
+    "parse_rule",
+    "parse_literal",
+    "parse_term",
+    "parse_term_list",
+    "tokenize",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -248,3 +255,22 @@ def parse_term(source: str) -> Term:
         assert token is not None
         raise ParseError(f"unexpected trailing input {token.text!r}", token.line, token.column)
     return term
+
+
+def parse_term_list(source: str) -> tuple[Term, ...]:
+    """Parse a comma-separated term list (possibly empty).
+
+    Goes through the lexer, so quoted strings containing commas — e.g.
+    ``"a,b"`` — stay one term, unlike a naive ``source.split(",")``.
+    """
+    parser = _Parser(source)
+    if parser.at_end:
+        return ()
+    terms = [parser.parse_term()]
+    while parser._accept("PUNCT", ","):
+        terms.append(parser.parse_term())
+    if not parser.at_end:
+        token = parser._peek()
+        assert token is not None
+        raise ParseError(f"unexpected trailing input {token.text!r}", token.line, token.column)
+    return tuple(terms)

@@ -26,9 +26,10 @@ from repro.constraints.constraint import Constraint, ConstraintSet
 from repro.core.engine import PartialInfoChecker
 from repro.core.outcomes import CheckLevel, CheckReport, Outcome
 from repro.core.session import CheckSession
-from repro.datalog.database import Delta
+from repro.core.transaction import Transaction
+from repro.datalog.database import UndoToken
 from repro.distributed.site import Site, TwoSiteDatabase
-from repro.updates.update import Insertion, Modification, Update
+from repro.updates.update import Update
 
 __all__ = ["ProtocolStats", "DistributedChecker"]
 
@@ -43,12 +44,26 @@ class ProtocolStats:
     )
     remote_round_trips: int = 0
     rejected: int = 0
+    #: updates withheld because a verdict stayed UNKNOWN while the
+    #: checker runs with ``apply_on_unknown=False``
+    deferred_unknown: int = 0
     #: stream mode: constraint materializations built from scratch
     materializations_built: int = 0
     #: stream mode: checks answered from a maintained materialization
     materialization_reuses: int = 0
+    #: stream mode: materializations dropped by the size/recency policy
+    materializations_evicted: int = 0
     #: stream mode: delta-maintenance passes over materializations
     incremental_deltas: int = 0
+    #: batched stream mode: coalesced maintenance flushes / updates
+    #: settled inside a batch / batches replayed / probe vetoes
+    batches_flushed: int = 0
+    batched_updates: int = 0
+    batch_replays: int = 0
+    batch_probe_vetoes: int = 0
+    #: transactions started / aborted via exact token rollback
+    transactions: int = 0
+    transactions_rolled_back: int = 0
     #: level-1 verdict LRU accounting (shared by both modes)
     level1_cache_hits: int = 0
     level1_cache_misses: int = 0
@@ -75,10 +90,18 @@ class ProtocolStats:
         )
         rows.append(("remote round trips", self.remote_round_trips))
         rows.append(("rejected (violations)", self.rejected))
+        rows.append(("deferred on unknown", self.deferred_unknown))
         rows.append(("local resolution rate", round(self.local_resolution_rate, 4)))
         rows.append(("materializations built", self.materializations_built))
         rows.append(("materialization reuses", self.materialization_reuses))
+        rows.append(("materializations evicted", self.materializations_evicted))
         rows.append(("incremental deltas", self.incremental_deltas))
+        rows.append(("batches flushed", self.batches_flushed))
+        rows.append(("batched updates", self.batched_updates))
+        rows.append(("batch replays", self.batch_replays))
+        rows.append(("batch probe vetoes", self.batch_probe_vetoes))
+        rows.append(("transactions", self.transactions))
+        rows.append(("transactions rolled back", self.transactions_rolled_back))
         rows.append(("level-1 cache hits", self.level1_cache_hits))
         rows.append(("level-1 cache misses", self.level1_cache_misses))
         return rows
@@ -92,6 +115,7 @@ class DistributedChecker:
         constraints: ConstraintSet | Iterable[Constraint],
         sites: TwoSiteDatabase,
         use_interval_datalog: bool = False,
+        apply_on_unknown: bool = True,
     ) -> None:
         self.sites = sites
         self.checker = PartialInfoChecker(
@@ -99,6 +123,7 @@ class DistributedChecker:
             local_predicates=sites.local_predicates,
             use_interval_datalog=use_interval_datalog,
         )
+        self.apply_on_unknown = apply_on_unknown
         self.stats = ProtocolStats()
         self._session: Optional[CheckSession] = None
 
@@ -110,17 +135,27 @@ class DistributedChecker:
             self._session = CheckSession(
                 compiler=self.checker.compiler,
                 local_db=self.sites.local.unmetered(),
+                apply_on_unknown=self.apply_on_unknown,
             )
         return self._session
 
-    def process(self, update: Update, apply_when_safe: bool = True) -> list[CheckReport]:
+    def process(
+        self,
+        update: Update,
+        apply_when_safe: bool = True,
+        transaction: Optional[Transaction] = None,
+    ) -> list[CheckReport]:
         """Run the protocol for one update.
 
         Levels 0-2 consult only the local site.  On any UNKNOWN the
         protocol fetches a remote snapshot (one metered round trip) and
-        re-checks the unresolved constraints at level 3.  When every
-        verdict is SATISFIED (and *apply_when_safe*), the update is
-        applied to the local site.
+        re-checks the unresolved constraints at level 3.  The update is
+        applied to the local site when *apply_when_safe* is true, no
+        verdict is VIOLATED, and — unless the checker was built with
+        ``apply_on_unknown=True`` (the default, optimistic policy) —
+        every verdict is SATISFIED.  When *transaction* is given, an
+        applied update's effective changes are recorded there so the
+        sequence can be rolled back exactly.
         """
         self.stats.updates += 1
         local_db = self.sites.local.unmetered()
@@ -148,13 +183,22 @@ class DistributedChecker:
             reports = resolved
 
         self._record(reports)
-        if not any(report.outcome is Outcome.VIOLATED for report in reports):
-            if apply_when_safe:
-                self._apply_local(update)
+        safe = not any(report.outcome is Outcome.VIOLATED for report in reports)
+        if not self.apply_on_unknown:
+            safe = safe and not any(
+                report.outcome is Outcome.UNKNOWN for report in reports
+            )
+        if safe and apply_when_safe:
+            token, mat_undos = self._apply_local(update)
+            if transaction is not None:
+                transaction.record(token, mat_undos)
         return reports
 
     def check_stream(
-        self, updates: Iterable[Update], apply_when_safe: bool = True
+        self,
+        updates: Iterable[Update],
+        apply_when_safe: bool = True,
+        batch_size: Optional[int] = None,
     ) -> list[list[CheckReport]]:
         """Stream mode: process a sequence of updates incrementally.
 
@@ -165,22 +209,42 @@ class DistributedChecker:
         compiler's LRU.  The remote site is fetched lazily (one metered
         round trip) only when an update stays unresolved at level 2.
         Safe updates are applied to the local site as they pass.
+
+        With a *batch_size*, consecutive safe violation-monotone updates
+        are coalesced into one composed delta with a single maintenance
+        pass per batch (see :meth:`CheckSession.process_stream`);
+        verdicts and final state are identical to per-update processing.
+        Batched mode always applies safe updates.
         """
         session = self.session
-        results: list[list[CheckReport]] = []
-        for update in updates:
-            before_fetches = session.stats.remote_fetches
-            reports = session.process(
-                update,
+        before_fetches = session.stats.remote_fetches
+        if batch_size:
+            if not apply_when_safe:
+                raise ValueError(
+                    "batched stream mode always applies safe updates"
+                )
+            results = session.process_stream(
+                updates,
                 remote=self.sites.remote.snapshot,
-                apply_when_safe=apply_when_safe,
+                batch_size=batch_size,
             )
-            self.stats.updates += 1
-            self.stats.remote_round_trips += (
-                session.stats.remote_fetches - before_fetches
-            )
-            self._record(reports)
-            results.append(reports)
+            for reports in results:
+                self.stats.updates += 1
+                self._record(reports)
+        else:
+            results = []
+            for update in updates:
+                reports = session.process(
+                    update,
+                    remote=self.sites.remote.snapshot,
+                    apply_when_safe=apply_when_safe,
+                )
+                self.stats.updates += 1
+                self._record(reports)
+                results.append(reports)
+        self.stats.remote_round_trips += (
+            session.stats.remote_fetches - before_fetches
+        )
         self._sync_reuse_stats()
         return results
 
@@ -193,6 +257,10 @@ class DistributedChecker:
         self.stats.resolved_at_level[deciding] += 1
         if any(report.outcome is Outcome.VIOLATED for report in reports):
             self.stats.rejected += 1
+        elif not self.apply_on_unknown and any(
+            report.outcome is Outcome.UNKNOWN for report in reports
+        ):
+            self.stats.deferred_unknown += 1
 
     def _sync_reuse_stats(self) -> None:
         """Copy the session/compiler reuse counters into the protocol
@@ -201,26 +269,39 @@ class DistributedChecker:
             s = self._session.stats
             self.stats.materializations_built = s.materializations_built
             self.stats.materialization_reuses = s.materialization_reuses
+            self.stats.materializations_evicted = s.materializations_evicted
             self.stats.incremental_deltas = s.incremental_deltas
+            self.stats.batches_flushed = s.batches_flushed
+            self.stats.batched_updates = s.batched_updates
+            self.stats.batch_replays = s.batch_replays
+            self.stats.batch_probe_vetoes = s.batch_probe_vetoes
         info = self.checker.compiler.level1_cache_info()
         self.stats.level1_cache_hits = info["hits"]
         self.stats.level1_cache_misses = info["misses"]
 
-    def _apply_local(self, update: Update) -> None:
+    def _apply_local(
+        self, update: Update
+    ) -> tuple[UndoToken, list[tuple[object, object]]]:
+        """Apply *update* through the metered local site, returning the
+        *effective* changes as an :class:`UndoToken` plus the
+        materialization undos from keeping stream-mode state current —
+        exactly what a :class:`Transaction` needs to roll back."""
         delta = update.as_delta()
-        effective = Delta()
+        token = UndoToken({}, {})
         for predicate, facts in delta.deletions.items():
             for fact in facts:
                 if self.sites.local.delete(predicate, fact):
-                    effective.delete(predicate, fact)
+                    token.deletions.setdefault(predicate, set()).add(fact)
         for predicate, facts in delta.insertions.items():
             for fact in facts:
                 if self.sites.local.insert(predicate, fact):
-                    effective.insert(predicate, fact)
+                    token.insertions.setdefault(predicate, set()).add(fact)
         # Stream-mode materializations watch the same database; keep them
         # current even when the mutation came through this path.
+        mat_undos: list[tuple[object, object]] = []
         if self._session is not None:
-            self._session._propagate(effective)
+            mat_undos = self._session._propagate(token.as_delta())
+        return token, mat_undos
 
     def process_transaction(
         self, updates: Iterable[Update]
@@ -228,21 +309,40 @@ class DistributedChecker:
         """Process a sequence of updates atomically.
 
         Each update is checked against the local state left by its
-        predecessors; if any update is rejected, every previously applied
-        update of the transaction is rolled back (constraints are
-        invariants of the *committed* state, so intra-transaction checks
-        still run update-by-update — the standard deferred-abort model).
+        predecessors; if any update is rejected — or stays UNKNOWN while
+        the checker applies only on SATISFIED — the recorded *effective*
+        :class:`~repro.datalog.database.UndoToken`\\ s are replayed in
+        reverse, restoring the local site (and any stream-mode
+        materializations) to the exact pre-transaction state.  Inverting
+        the requested updates instead would destroy pre-existing facts:
+        a redundant insertion's inverse deletes a fact the transaction
+        never added.
 
-        Returns ``(committed, reports_per_update)``.
+        Returns ``(committed, reports_per_update)``; processing stops at
+        the aborting update.
         """
-        applied: list[Update] = []
+        self.stats.transactions += 1
+        txn = Transaction(
+            self.sites.local,
+            lambda: (
+                list(self._session._materializations.values())
+                if self._session is not None
+                else []
+            ),
+        )
         all_reports: list[list[CheckReport]] = []
         for update in updates:
-            reports = self.process(update)
+            reports = self.process(update, transaction=txn)
             all_reports.append(reports)
-            if any(report.outcome is Outcome.VIOLATED for report in reports):
-                for done in reversed(applied):
-                    self._apply_local(done.inverted())
+            aborted = any(
+                report.outcome is Outcome.VIOLATED for report in reports
+            ) or (
+                not self.apply_on_unknown
+                and any(report.outcome is Outcome.UNKNOWN for report in reports)
+            )
+            if aborted:
+                txn.rollback()
+                self.stats.transactions_rolled_back += 1
                 return False, all_reports
-            applied.append(update)
+        txn.commit()
         return True, all_reports

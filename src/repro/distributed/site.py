@@ -64,12 +64,16 @@ class Site:
         return result
 
     def insert(self, predicate: str, fact: tuple) -> bool:
-        self.stats.writes += 1
-        return self._db.insert(predicate, fact)
+        changed = self._db.insert(predicate, fact)
+        if changed:
+            self.stats.writes += 1
+        return changed
 
     def delete(self, predicate: str, fact: tuple) -> bool:
-        self.stats.writes += 1
-        return self._db.delete(predicate, fact)
+        changed = self._db.delete(predicate, fact)
+        if changed:
+            self.stats.writes += 1
+        return changed
 
     def predicates(self) -> set[str]:
         return self._db.predicates()
@@ -92,18 +96,30 @@ class Site:
 
 
 class TwoSiteDatabase:
-    """A local site plus a remote site, with convenience plumbing."""
+    """A local site plus a remote site, with convenience plumbing.
+
+    *local_predicates* declares which predicates live locally; when
+    omitted it is derived from the local site's contents.  Passing it
+    explicitly matters for predicates that start out empty — they are
+    still local, even though no fact records that yet.
+    """
 
     def __init__(
         self,
         local: Site,
         remote: Site,
+        local_predicates: Iterable[str] | None = None,
     ) -> None:
         self.local = local
         self.remote = remote
+        self._local_predicates = (
+            set(local_predicates) if local_predicates is not None else None
+        )
 
     @property
     def local_predicates(self) -> set[str]:
+        if self._local_predicates is not None:
+            return self._local_predicates | self.local.predicates()
         return self.local.predicates()
 
     def full_database(self) -> Database:

@@ -5,7 +5,13 @@ from hypothesis import given, strategies as st
 
 from repro.errors import ParseError
 from repro.datalog.atoms import Atom, Comparison, ComparisonOp, Negation
-from repro.datalog.parser import parse_literal, parse_program, parse_rule, parse_term
+from repro.datalog.parser import (
+    parse_literal,
+    parse_program,
+    parse_rule,
+    parse_term,
+    parse_term_list,
+)
 from repro.datalog.rules import Rule
 from repro.datalog.terms import Constant, Variable
 
@@ -30,6 +36,24 @@ class TestTerms:
     def test_trailing_junk(self):
         with pytest.raises(ParseError):
             parse_term("X Y")
+
+    def test_term_list(self):
+        assert parse_term_list("") == ()
+        assert parse_term_list("a, 1, X") == (
+            Constant("a"),
+            Constant(1),
+            Variable("X"),
+        )
+
+    def test_term_list_quoted_comma(self):
+        # The lexer keeps a quoted "a,b" as one constant — the reason
+        # update values must not be split on raw commas.
+        assert parse_term_list('"a,b", 2') == (Constant("a,b"), Constant(2))
+
+    def test_term_list_errors(self):
+        for bad in ("a,", ",a", "a 1", "a,,b"):
+            with pytest.raises(ParseError):
+                parse_term_list(bad)
 
 
 class TestLiterals:

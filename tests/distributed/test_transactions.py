@@ -1,0 +1,140 @@
+"""Distributed transactions and batched streams over metered sites."""
+
+from repro.constraints.constraint import Constraint, ConstraintSet
+from repro.core.outcomes import Outcome
+from repro.distributed.checker import DistributedChecker
+from repro.distributed.site import Site, TwoSiteDatabase
+from repro.updates.update import Deletion, Insertion
+
+
+def site_snapshot(site: Site) -> dict:
+    db = site.unmetered()
+    return {pred: db.facts(pred) for pred in db.predicates()}
+
+
+def build(apply_on_unknown: bool = True) -> DistributedChecker:
+    sites = TwoSiteDatabase(
+        local=Site("local", {"p": [(1,)], "q": []}, cost_per_read=1.0),
+        remote=Site("remote", {"r": [(9,)]}, cost_per_read=1.0),
+        local_predicates={"p", "q"},
+    )
+    constraints = ConstraintSet([Constraint("panic :- q(X)", "no-q")])
+    return DistributedChecker(constraints, sites, apply_on_unknown=apply_on_unknown)
+
+
+class TestProcessTransaction:
+    def test_commit(self):
+        checker = build()
+        committed, _ = checker.process_transaction([Insertion("p", (2,))])
+        assert committed
+        assert checker.sites.local.unmetered().facts("p") == {(1,), (2,)}
+        assert checker.stats.transactions == 1
+        assert checker.stats.transactions_rolled_back == 0
+
+    def test_abort_after_redundant_insert_preserves_preexisting_fact(self):
+        """The ISSUE repro: transaction [+p(1), +q(5)] against a local db
+        already containing p(1), aborted by ``panic :- q(X)``, must leave
+        the local site byte-identical — not delete p(1)."""
+        checker = build()
+        before = site_snapshot(checker.sites.local)
+        committed, reports = checker.process_transaction(
+            [Insertion("p", (1,)), Insertion("q", (5,))]
+        )
+        assert not committed
+        assert any(r.outcome is Outcome.VIOLATED for r in reports[-1])
+        assert site_snapshot(checker.sites.local) == before
+        assert checker.sites.local.unmetered().facts("p") == {(1,)}
+
+    def test_abort_rolls_back_effective_changes_only(self):
+        checker = build()
+        before = site_snapshot(checker.sites.local)
+        committed, _ = checker.process_transaction(
+            [
+                Insertion("p", (2,)),       # effective
+                Insertion("p", (1,)),       # redundant
+                Deletion("p", (7,)),        # absent: redundant
+                Insertion("q", (5,)),       # violates → abort
+            ]
+        )
+        assert not committed
+        assert site_snapshot(checker.sites.local) == before
+
+    def test_rollback_keeps_stream_materializations_current(self):
+        checker = build()
+        # Prime the stream session so a materialization is being maintained.
+        checker.check_stream([Insertion("p", (2,))])
+        committed, _ = checker.process_transaction(
+            [Insertion("p", (3,)), Insertion("q", (5,))]
+        )
+        assert not committed
+        # A post-rollback stream check over q still fires correctly.
+        reports = checker.check_stream([Insertion("q", (6,))])[0]
+        assert any(r.outcome is Outcome.VIOLATED for r in reports)
+        assert checker.sites.local.unmetered().facts("q") == frozenset()
+
+    def test_pessimistic_policy_reaches_the_session(self):
+        # The stateless protocol always escalates UNKNOWN to level 3, so
+        # the policy bites in the stream session — verify it propagates.
+        sites = TwoSiteDatabase(
+            local=Site("local", {"p": [(1,)]}),
+            remote=Site("remote", {}),
+            local_predicates={"p"},
+        )
+        constraints = ConstraintSet([Constraint("panic :- p(X) & s(X)", "no-ps")])
+        checker = DistributedChecker(constraints, sites, apply_on_unknown=False)
+        assert checker.session.apply_on_unknown is False
+
+
+class TestEffectiveWrites:
+    def test_noop_writes_not_metered(self):
+        site = Site("local", {"p": [(1,)]})
+        assert site.insert("p", (1,)) is False
+        assert site.delete("p", (9,)) is False
+        assert site.stats.writes == 0
+        assert site.insert("p", (2,)) is True
+        assert site.delete("p", (1,)) is True
+        assert site.stats.writes == 2
+
+
+class TestBatchedStream:
+    def workload(self):
+        constraints = ConstraintSet(
+            [Constraint("panic :- tag(X, A) & tag(X, B) & A < B", "tag-fd")]
+        )
+        updates = [Insertion("tag", (i % 10, i % 10)) for i in range(30)]
+        updates.append(Insertion("tag", (0, 99)))  # violation
+        updates.extend(Insertion("tag", (100 + i, 1)) for i in range(10))
+        return constraints, updates
+
+    def fresh(self, constraints):
+        sites = TwoSiteDatabase(
+            local=Site("local", {}),
+            remote=Site("remote", {}),
+            local_predicates={"tag"},
+        )
+        return DistributedChecker(constraints, sites)
+
+    def test_batched_equals_per_update(self):
+        constraints, updates = self.workload()
+        a = self.fresh(constraints)
+        r1 = a.check_stream(updates)
+        b = self.fresh(constraints)
+        r2 = b.check_stream(updates, batch_size=8)
+        assert [[(r.constraint_name, r.outcome) for r in row] for row in r1] == [
+            [(r.constraint_name, r.outcome) for r in row] for row in r2
+        ]
+        assert site_snapshot(a.sites.local) == site_snapshot(b.sites.local)
+        assert b.stats.batches_flushed > 0
+        assert b.stats.batched_updates > 0
+        assert b.stats.incremental_deltas < a.stats.incremental_deltas
+        assert b.stats.rejected == a.stats.rejected == 1
+
+    def test_batched_mode_requires_apply(self):
+        constraints, updates = self.workload()
+        checker = self.fresh(constraints)
+        try:
+            checker.check_stream(updates, apply_when_safe=False, batch_size=4)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("batched check_stream must refuse apply_when_safe=False")

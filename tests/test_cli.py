@@ -62,8 +62,26 @@ class TestParsing:
         update = parse_update("~emp(ann, 50)->(ann, 60)")
         assert update == Modification("emp", ("ann", 50), ("ann", 60))
 
+    def test_parse_quoted_value_containing_comma(self):
+        # Regression: values used to be split on raw commas, so a quoted
+        # "a,b" parsed as two malformed pieces and raised.
+        assert parse_update('+p("a,b")') == Insertion("p", ("a,b",))
+        update = parse_update('+p("a,b", 3, name)')
+        assert update.values == ("a,b", 3, "name")
+        update = parse_update('~p("x,y")->("z,w")')
+        assert update == Modification("p", ("x,y",), ("z,w",))
+
     def test_bad_updates(self):
-        for bad in ("emp(a)", "+emp", "+emp(X)", "", "~emp(a)", "~emp(a)->b"):
+        for bad in (
+            "emp(a)",
+            "+emp",
+            "+emp(X)",
+            "",
+            "~emp(a)",
+            "~emp(a)->b",
+            '+p("unterminated)',
+            "+p(1 2)",
+        ):
             with pytest.raises(ReproError):
                 parse_update(bad)
 
@@ -252,6 +270,70 @@ class TestCommands:
         )
         assert code == 0
         assert "applied" in capsys.readouterr().out
+
+    def test_check_stream_batched(self, tmp_path, capsys):
+        constraints = tmp_path / "uniq.dl"
+        constraints.write_text("%% uniq\npanic :- tag(X, A) & tag(X, B) & A < B\n")
+        stream = tmp_path / "stream.txt"
+        stream.write_text(
+            '+tag("k1", "a,b")\n'
+            '+tag("k2", "c,d")\n'
+            '+tag("k1", "z,w")\n'  # second value for k1: rejected
+        )
+        code = main(
+            [
+                "check-stream",
+                str(constraints),
+                "--updates",
+                str(stream),
+                "--local",
+                "tag",
+                "--batch",
+                "8",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert out.count("applied") == 2
+        assert out.count("REJECTED") == 1
+        assert "batches flushed" in out
+
+    def test_check_stream_transaction_rolls_back(self, tmp_path, capsys):
+        constraints = tmp_path / "noq.dl"
+        constraints.write_text("%% no-q\npanic :- q(X)\n")
+        db = tmp_path / "db.json"
+        db.write_text(json.dumps({"p": [[1]], "q": []}))
+        stream = tmp_path / "stream.txt"
+        stream.write_text("+p(1)\n+q(5)\n")
+        code = main(
+            [
+                "check-stream",
+                str(constraints),
+                "--db",
+                str(db),
+                "--updates",
+                str(stream),
+                "--local",
+                "p",
+                "q",
+                "--transaction",
+            ]
+        )
+        assert code == 1
+        assert "ROLLED BACK" in capsys.readouterr().out
+
+    def test_check_stream_batch_and_transaction_conflict(self, tmp_path, capsys):
+        constraints = tmp_path / "c.dl"
+        constraints.write_text("panic :- q(X)\n")
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "check-stream",
+                    str(constraints),
+                    "--batch",
+                    "--transaction",
+                ]
+            )
 
     def test_missing_file_is_reported(self, capsys):
         assert main(["classify", "/nonexistent/path.dl"]) == 3
