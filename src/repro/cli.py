@@ -26,6 +26,15 @@ printing per-update verdicts and the protocol statistics.  With
 ``--batch [N]`` consecutive safe updates share one maintenance pass
 (identical verdicts); with ``--transaction`` the stream is atomic and
 any rejection rolls the local site back exactly.
+
+The ``--fault-rate`` / ``--outage`` / ``--retries`` /
+``--remote-timeout`` / ``--remote-latency`` / ``--fault-seed`` flags
+simulate an unreliable remote site behind a retry/backoff/circuit-
+breaker link: updates whose escalation cannot reach the remote come
+back DEFERRED, are drained by ``resolve_pending`` once the link
+recovers, and the run ends with a degradation summary.  ``--pessimistic``
+holds updates back (instead of applying optimistically) until every
+verdict is SATISFIED.
 """
 
 from __future__ import annotations
@@ -178,6 +187,47 @@ def load_updates(path: str | None) -> list[Update]:
     return updates
 
 
+def _build_remote_link(args: argparse.Namespace, remote_site):
+    """The fault-tolerant link for ``check-stream``, or ``None`` when no
+    fault/retry flag asks for one."""
+    from repro.distributed.faults import FaultModel, UnreliableRemote, parse_outage
+    from repro.distributed.remote import FetchPolicy, RemoteLink
+
+    faulty = bool(
+        args.fault_rate or args.outage or args.remote_latency
+        or args.remote_timeout is not None
+    )
+    if not faulty and args.retries is None:
+        return None
+    faults = FaultModel(
+        failure_rate=args.fault_rate,
+        latency=args.remote_latency,
+        outages=tuple(parse_outage(spec) for spec in args.outage or ()),
+        seed=args.fault_seed,
+    )
+    policy = FetchPolicy(
+        max_attempts=args.retries if args.retries is not None else 4,
+        attempt_timeout=args.remote_timeout,
+    )
+    return RemoteLink(
+        UnreliableRemote(remote_site, faults), policy, seed=args.fault_seed
+    )
+
+
+#: resolve_pending rounds before ``check-stream`` gives up on a dead link
+_MAX_DRAIN_ROUNDS = 100
+
+
+def _drain_pending(checker) -> tuple[list, int]:
+    """Drain deferred verdicts until settled or the link looks dead."""
+    settled: list = []
+    for _ in range(_MAX_DRAIN_ROUNDS):
+        if not checker.pending_count:
+            break
+        settled.extend(checker.resolve_pending())
+    return settled, checker.pending_count
+
+
 def _cmd_check_stream(args: argparse.Namespace) -> int:
     from repro.distributed.checker import DistributedChecker
     from repro.distributed.site import Site, TwoSiteDatabase
@@ -191,7 +241,12 @@ def _cmd_check_stream(args: argparse.Namespace) -> int:
         remote=Site("remote", db.restricted_to(db.predicates() - local_predicates)),
         local_predicates=local_predicates,
     )
-    checker = DistributedChecker(constraints, sites)
+    link = _build_remote_link(args, sites.remote)
+    checker = DistributedChecker(
+        constraints, sites,
+        apply_on_unknown=not args.pessimistic,
+        remote_link=link,
+    )
     exit_code = 0
     if args.transaction:
         committed, all_reports = checker.process_transaction(updates)
@@ -210,17 +265,53 @@ def _cmd_check_stream(args: argparse.Namespace) -> int:
         results = checker.check_stream(updates, batch_size=args.batch)
         for update, reports in zip(updates, results):
             rejected = any(r.outcome is Outcome.VIOLATED for r in reports)
+            deferred = any(r.outcome is Outcome.DEFERRED for r in reports)
             if rejected:
                 exit_code = 1
-            status = "REJECTED" if rejected else "applied"
+                status = "REJECTED"
+            elif deferred:
+                status = "DEFERRED (remote unreachable)"
+            elif args.pessimistic and any(
+                r.outcome is Outcome.UNKNOWN for r in reports
+            ):
+                status = "held (unknown)"
+            else:
+                status = "applied"
             print(f"{update}: {status}")
             if args.verbose:
                 for report in reports:
                     print(f"    {report}")
+    if checker.pending_count:
+        print()
+        print(f"resolving {checker.pending_count} deferred verdict(s)...")
+        settled, remaining = _drain_pending(checker)
+        for update, reports in settled:
+            rejected = any(r.outcome is Outcome.VIOLATED for r in reports)
+            if rejected:
+                exit_code = 1
+            print(f"{update}: {'REJECTED' if rejected else 'applied'} (resolved)")
+            if args.verbose:
+                for report in reports:
+                    print(f"    {report}")
+        if remaining:
+            print(
+                f"{remaining} update(s) still pending after "
+                f"{_MAX_DRAIN_ROUNDS} drain rounds — remote unreachable"
+            )
+            exit_code = exit_code or 2
     print()
     width = max(len(label) for label, _ in checker.stats.summary_rows())
     for label, value in checker.stats.summary_rows():
         print(f"{label:<{width}}  {value}")
+    if link is not None:
+        print()
+        print("-- remote link degradation --")
+        rows = link.stats.summary_rows()
+        rows.append(("breaker state at exit", str(link.state)))
+        rows.append(("simulated link clock", round(link.clock, 4)))
+        width = max(len(label) for label, _ in rows)
+        for label, value in rows:
+            print(f"{label:<{width}}  {value}")
     return exit_code
 
 
@@ -328,6 +419,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--transaction", action="store_true",
         help="treat the whole stream as one atomic transaction: any "
         "rejection rolls back every applied update exactly (exit 1)",
+    )
+    stream.add_argument(
+        "--pessimistic", action="store_true",
+        help="apply an update only when every verdict is SATISFIED "
+        "(UNKNOWN/DEFERRED hold it back)",
+    )
+    faults = stream.add_argument_group(
+        "fault simulation",
+        "simulate an unreliable remote site; any of these flags routes "
+        "escalations through a retry/backoff/circuit-breaker link and "
+        "degrades unreachable-remote verdicts to DEFERRED",
+    )
+    faults.add_argument(
+        "--fault-rate", type=float, default=0.0, metavar="P",
+        help="per-attempt transient failure probability in [0,1]",
+    )
+    faults.add_argument(
+        "--outage", action="append", metavar="START:LENGTH",
+        help="hard-outage window over the remote attempt index "
+        "(repeatable); every attempt inside it fails",
+    )
+    faults.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="attempts per remote fetch before deferring (default 4)",
+    )
+    faults.add_argument(
+        "--remote-timeout", type=float, default=None, metavar="SECS",
+        help="per-attempt timeout in simulated seconds",
+    )
+    faults.add_argument(
+        "--remote-latency", type=float, default=0.0, metavar="SECS",
+        help="simulated latency per remote attempt",
+    )
+    faults.add_argument(
+        "--fault-seed", type=int, default=0, metavar="SEED",
+        help="seed for the fault model and retry jitter (default 0)",
     )
     stream.set_defaults(func=_cmd_check_stream)
 

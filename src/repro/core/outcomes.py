@@ -16,10 +16,20 @@ __all__ = ["Outcome", "CheckLevel", "CheckReport"]
 
 
 class Outcome(enum.Enum):
-    """Result of a constraint check."""
+    """Result of a constraint check.
+
+    DEFERRED refines UNKNOWN for the unreachable-remote case: the local
+    tests were inconclusive ("some remote state could violate C") *and*
+    the level-3 escalation could not reach the remote site.  Unlike
+    UNKNOWN — which is final for the information level consulted — a
+    DEFERRED verdict is pending: the update is queued and re-checked by
+    :meth:`~repro.core.session.CheckSession.resolve_pending` once the
+    link recovers.
+    """
 
     SATISFIED = "satisfied"
     UNKNOWN = "unknown"
+    DEFERRED = "deferred"
     VIOLATED = "violated"
 
     def __str__(self) -> str:

@@ -31,7 +31,12 @@ from typing import Callable, Iterable, Optional, Protocol
 from repro.datalog.database import UndoToken
 from repro.datalog.evaluation import Materialization, MaterializationUndo
 
-__all__ = ["Transaction", "TransactionStateError", "WritableStore"]
+__all__ = [
+    "Transaction",
+    "TransactionStateError",
+    "WritableStore",
+    "rollback_token",
+]
 
 
 class WritableStore(Protocol):
@@ -58,6 +63,57 @@ MatUndos = tuple[tuple[Materialization, MaterializationUndo], ...]
 
 class TransactionStateError(RuntimeError):
     """Raised when a finished transaction is recorded into or re-finished."""
+
+
+def rollback_token(
+    store: WritableStore,
+    token: UndoToken,
+    materializations: Iterable[Materialization] = (),
+    exact_undos: Iterable[tuple[Materialization, MaterializationUndo]] = (),
+) -> UndoToken:
+    """Reverse one effective-change *token* against *store*.
+
+    The single-entry building block shared by :meth:`Transaction.rollback`
+    and the deferred-verdict machinery in
+    :class:`~repro.core.session.CheckSession`: when an optimistically
+    applied update's deferred level-3 check finally resolves to VIOLATED,
+    its recorded token is reversed through here — delete what it
+    inserted, re-insert what it deleted, *effectively* (pre-existing and
+    since-removed facts are left alone, so an out-of-order or repeated
+    reversal is safe).
+
+    Materializations with an entry in *exact_undos* are reverted exactly
+    (no rule evaluation); every other materialization in
+    *materializations* takes the effective reversal through ordinary
+    incremental maintenance.
+
+    Returns the changes the reversal actually made, as a token.
+    """
+    reversed_insertions: dict[str, set] = {}
+    reversed_deletions: dict[str, set] = {}
+    for predicate, facts in token.insertions.items():
+        for fact in facts:
+            if store.delete(predicate, fact):
+                reversed_insertions.setdefault(predicate, set()).add(fact)
+    for predicate, facts in token.deletions.items():
+        for fact in facts:
+            if store.insert(predicate, fact):
+                reversed_deletions.setdefault(predicate, set()).add(fact)
+    reversed_token = UndoToken(reversed_insertions, reversed_deletions)
+
+    exact_undos = tuple(exact_undos)
+    covered = {id(mat) for mat, _ in exact_undos}
+    for mat, undo in reversed(exact_undos):
+        mat.revert(undo)
+    inverse = None
+    for mat in materializations:
+        if id(mat) in covered:
+            continue
+        if inverse is None:
+            inverse = reversed_token.inverted_delta()
+        if not inverse.is_empty():
+            mat.apply_delta(inverse)
+    return reversed_token
 
 
 class Transaction:
@@ -127,24 +183,11 @@ class Transaction:
         if self.state != "active":
             raise TransactionStateError(f"cannot roll back a {self.state} transaction")
         for token, mat_undos in reversed(self._entries):
-            # The store first: materialization maintenance below reads it.
-            for predicate, facts in token.insertions.items():
-                for fact in facts:
-                    self._store.delete(predicate, fact)
-            for predicate, facts in token.deletions.items():
-                for fact in facts:
-                    self._store.insert(predicate, fact)
-            covered = {id(mat) for mat, _ in mat_undos}
-            for mat, undo in reversed(mat_undos):
-                mat.revert(undo)
-            if self._materializations is not None:
-                inverse = None
-                for mat in self._materializations():
-                    if id(mat) in covered:
-                        continue
-                    if inverse is None:
-                        inverse = token.inverted_delta()
-                    if not inverse.is_empty():
-                        mat.apply_delta(inverse)
+            mats = (
+                self._materializations()
+                if self._materializations is not None
+                else ()
+            )
+            rollback_token(self._store, token, mats, mat_undos)
         self._entries.clear()
         self.state = "rolled-back"

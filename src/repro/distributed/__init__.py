@@ -1,16 +1,31 @@
-"""Distributed-database simulation: metered sites, protocol, workloads."""
+"""Distributed-database simulation: metered sites, protocol, workloads,
+and the fault-tolerant remote link (faults, retries, circuit breaker)."""
 
 from repro.distributed.checker import DistributedChecker, ProtocolStats
+from repro.distributed.faults import FaultModel, UnreliableRemote, parse_outage
+from repro.distributed.remote import (
+    BreakerState,
+    FetchPolicy,
+    LinkStats,
+    RemoteLink,
+)
 from repro.distributed.site import AccessStats, Site, TwoSiteDatabase
 from repro.distributed.workload import Workload, employee_workload, interval_workload
 
 __all__ = [
     "AccessStats",
+    "BreakerState",
     "DistributedChecker",
+    "FaultModel",
+    "FetchPolicy",
+    "LinkStats",
     "ProtocolStats",
+    "RemoteLink",
     "Site",
     "TwoSiteDatabase",
+    "UnreliableRemote",
     "Workload",
     "employee_workload",
     "interval_workload",
+    "parse_outage",
 ]

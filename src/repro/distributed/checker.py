@@ -20,15 +20,17 @@ Two driving modes share one compiled constraint set:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.constraints.constraint import Constraint, ConstraintSet
 from repro.core.engine import PartialInfoChecker
 from repro.core.outcomes import CheckLevel, CheckReport, Outcome
-from repro.core.session import CheckSession
+from repro.core.session import CheckSession, PendingVerdict
 from repro.core.transaction import Transaction
-from repro.datalog.database import UndoToken
+from repro.datalog.database import Database, UndoToken
+from repro.distributed.remote import RemoteLink
 from repro.distributed.site import Site, TwoSiteDatabase
+from repro.errors import RemoteUnavailableError
 from repro.updates.update import Update
 
 __all__ = ["ProtocolStats", "DistributedChecker"]
@@ -67,6 +69,19 @@ class ProtocolStats:
     #: level-1 verdict LRU accounting (shared by both modes)
     level1_cache_hits: int = 0
     level1_cache_misses: int = 0
+    #: updates whose level-3 verdict was DEFERRED (remote unreachable)
+    deferred_remote: int = 0
+    #: deferred verdicts settled by :meth:`DistributedChecker.resolve_pending`
+    deferred_resolved: int = 0
+    #: optimistically applied deferred updates reversed on a VIOLATED resolution
+    deferred_rolled_back: int = 0
+    #: fault-tolerant link accounting (gauges mirrored from ``LinkStats``)
+    remote_retries: int = 0
+    remote_failures: int = 0
+    remote_fast_fails: int = 0
+    breaker_opens: int = 0
+    breaker_half_opens: int = 0
+    breaker_closes: int = 0
 
     @property
     def resolved_locally(self) -> int:
@@ -104,6 +119,15 @@ class ProtocolStats:
         rows.append(("transactions rolled back", self.transactions_rolled_back))
         rows.append(("level-1 cache hits", self.level1_cache_hits))
         rows.append(("level-1 cache misses", self.level1_cache_misses))
+        rows.append(("deferred (remote unreachable)", self.deferred_remote))
+        rows.append(("deferred resolved", self.deferred_resolved))
+        rows.append(("deferred rolled back", self.deferred_rolled_back))
+        rows.append(("remote retries", self.remote_retries))
+        rows.append(("remote failures", self.remote_failures))
+        rows.append(("remote fast-fails (breaker open)", self.remote_fast_fails))
+        rows.append(("breaker opens", self.breaker_opens))
+        rows.append(("breaker half-opens", self.breaker_half_opens))
+        rows.append(("breaker closes", self.breaker_closes))
         return rows
 
 
@@ -116,6 +140,7 @@ class DistributedChecker:
         sites: TwoSiteDatabase,
         use_interval_datalog: bool = False,
         apply_on_unknown: bool = True,
+        remote_link: Optional[RemoteLink] = None,
     ) -> None:
         self.sites = sites
         self.checker = PartialInfoChecker(
@@ -124,6 +149,10 @@ class DistributedChecker:
             use_interval_datalog=use_interval_datalog,
         )
         self.apply_on_unknown = apply_on_unknown
+        #: when given, every remote fetch goes through the link's
+        #: retry/backoff/breaker policy; exhausted fetches degrade the
+        #: verdict to DEFERRED instead of raising
+        self.remote_link = remote_link
         self.stats = ProtocolStats()
         self._session: Optional[CheckSession] = None
 
@@ -139,6 +168,31 @@ class DistributedChecker:
             )
         return self._session
 
+    @property
+    def remote_source(self) -> Callable[..., Database]:
+        """The escalation fetch function: the fault-tolerant link when
+        configured, the raw metered site otherwise.  Both accept a
+        ``predicates=`` restriction so escalations ship only the remote
+        relations the unresolved constraints mention."""
+        if self.remote_link is not None:
+            return self.remote_link.fetch
+        return self.sites.remote.snapshot
+
+    @property
+    def pending_count(self) -> int:
+        """Deferred verdicts still waiting for a reachable remote."""
+        return self._session.pending_count if self._session is not None else 0
+
+    def _escalation_predicates(
+        self, unresolved: Iterable[CheckReport]
+    ) -> set[str]:
+        local = self.checker.compiler.local_predicates
+        needed: set[str] = set()
+        for report in unresolved:
+            constraint = self.checker.constraints[report.constraint_name]
+            needed |= constraint.predicates() - local
+        return needed
+
     def process(
         self,
         update: Update,
@@ -148,12 +202,17 @@ class DistributedChecker:
         """Run the protocol for one update.
 
         Levels 0-2 consult only the local site.  On any UNKNOWN the
-        protocol fetches a remote snapshot (one metered round trip) and
-        re-checks the unresolved constraints at level 3.  The update is
-        applied to the local site when *apply_when_safe* is true, no
-        verdict is VIOLATED, and — unless the checker was built with
-        ``apply_on_unknown=True`` (the default, optimistic policy) —
-        every verdict is SATISFIED.  When *transaction* is given, an
+        protocol fetches a remote snapshot restricted to the predicates
+        the unresolved constraints mention (one metered round trip) and
+        re-checks them at level 3.  If the fetch fails — a configured
+        :class:`~repro.distributed.remote.RemoteLink` exhausted its
+        retries or its breaker is open — the unresolved verdicts degrade
+        to DEFERRED and the update is queued for
+        :meth:`resolve_pending` instead of the stream crashing.  The
+        update is applied to the local site when *apply_when_safe* is
+        true, no verdict is VIOLATED, and — unless the checker was built
+        with ``apply_on_unknown=True`` (the default, optimistic policy)
+        — every verdict is SATISFIED.  When *transaction* is given, an
         applied update's effective changes are recorded there so the
         sequence can be rolled back exactly.
         """
@@ -164,34 +223,79 @@ class DistributedChecker:
         )
         unresolved = [r for r in reports if r.outcome is Outcome.UNKNOWN]
         if unresolved:
-            remote_db = self.sites.remote.snapshot()
-            self.stats.remote_round_trips += 1
-            resolved: list[CheckReport] = []
-            for report in reports:
-                if report.outcome is not Outcome.UNKNOWN:
-                    resolved.append(report)
-                    continue
-                resolved.append(
-                    self.checker.check_constraint(
-                        self.checker.constraints[report.constraint_name],
-                        update,
-                        local_db,
-                        remote_db,
-                        max_level=CheckLevel.FULL_DATABASE,
-                    )
+            needed = self._escalation_predicates(unresolved)
+            try:
+                remote_db = self.remote_source(
+                    predicates=sorted(needed) if needed else None
                 )
-            reports = resolved
+            except RemoteUnavailableError as exc:
+                reports = [
+                    CheckReport(
+                        report.constraint_name, Outcome.DEFERRED, report.level,
+                        remote_accessed=False,
+                        detail=f"remote unreachable: {exc}",
+                    )
+                    if report.outcome is Outcome.UNKNOWN
+                    else report
+                    for report in reports
+                ]
+            else:
+                self.stats.remote_round_trips += 1
+                resolved: list[CheckReport] = []
+                for report in reports:
+                    if report.outcome is not Outcome.UNKNOWN:
+                        resolved.append(report)
+                        continue
+                    resolved.append(
+                        self.checker.check_constraint(
+                            self.checker.constraints[report.constraint_name],
+                            update,
+                            local_db,
+                            remote_db,
+                            max_level=CheckLevel.FULL_DATABASE,
+                        )
+                    )
+                reports = resolved
 
         self._record(reports)
+        deferred = tuple(
+            r.constraint_name for r in reports if r.outcome is Outcome.DEFERRED
+        )
         safe = not any(report.outcome is Outcome.VIOLATED for report in reports)
         if not self.apply_on_unknown:
             safe = safe and not any(
-                report.outcome is Outcome.UNKNOWN for report in reports
+                report.outcome in (Outcome.UNKNOWN, Outcome.DEFERRED)
+                for report in reports
             )
+        report_map = {r.constraint_name: r for r in reports}
         if safe and apply_when_safe:
             token, mat_undos = self._apply_local(update)
             if transaction is not None:
                 transaction.record(token, mat_undos)
+            if deferred and transaction is None:
+                # Optimistically applied with a pending level-3 verdict:
+                # queue it (with the effective token) so resolve_pending
+                # can re-check and, if VIOLATED, reverse it exactly.
+                # Inside a transaction nothing is queued — the DEFERRED
+                # verdict aborts the transaction instead.
+                session = self.session
+                session.stats.deferred_remote += 1
+                session._queue_pending(
+                    update, deferred, report_map, applied=True, token=token
+                )
+        elif (
+            deferred
+            and apply_when_safe
+            and transaction is None
+            and not any(r.outcome is Outcome.VIOLATED for r in reports)
+        ):
+            # Pessimistic policy: the update is held back entirely until
+            # the link recovers; resolve_pending retries it end to end.
+            session = self.session
+            session.stats.deferred_remote += 1
+            session._queue_pending(update, deferred, report_map, applied=False)
+        if self.remote_link is not None:
+            self._sync_reuse_stats()
         return reports
 
     def check_stream(
@@ -199,6 +303,7 @@ class DistributedChecker:
         updates: Iterable[Update],
         apply_when_safe: bool = True,
         batch_size: Optional[int] = None,
+        transaction: Optional[Transaction] = None,
     ) -> list[list[CheckReport]]:
         """Stream mode: process a sequence of updates incrementally.
 
@@ -215,7 +320,17 @@ class DistributedChecker:
         pass per batch (see :meth:`CheckSession.process_stream`);
         verdicts and final state are identical to per-update processing.
         Batched mode always applies safe updates.
+
+        With a *transaction*, every applied update's effective changes
+        are recorded there, so streamed safe updates can be rolled back
+        exactly.  Combining *batch_size* and *transaction* is rejected:
+        a coalesced batch has no per-update abort point.
         """
+        if batch_size and transaction is not None:
+            raise ValueError(
+                "batch_size and transaction cannot be combined: a coalesced "
+                "batch has no per-update abort point"
+            )
         session = self.session
         before_fetches = session.stats.remote_fetches
         if batch_size:
@@ -225,7 +340,7 @@ class DistributedChecker:
                 )
             results = session.process_stream(
                 updates,
-                remote=self.sites.remote.snapshot,
+                remote=self.remote_source,
                 batch_size=batch_size,
             )
             for reports in results:
@@ -236,8 +351,9 @@ class DistributedChecker:
             for update in updates:
                 reports = session.process(
                     update,
-                    remote=self.sites.remote.snapshot,
+                    remote=self.remote_source,
                     apply_when_safe=apply_when_safe,
+                    transaction=transaction,
                 )
                 self.stats.updates += 1
                 self._record(reports)
@@ -248,16 +364,65 @@ class DistributedChecker:
         self._sync_reuse_stats()
         return results
 
+    def resolve_pending(self) -> list[tuple[Update, list[CheckReport]]]:
+        """Re-run the queued level-3 checks now that the link may have
+        recovered.
+
+        Drains the deferred-verdict queue oldest-first through the
+        session (both the ``process`` and ``check_stream`` paths queue
+        there): held updates are retried end to end, optimistically
+        applied ones have their unresolved constraints re-checked and are
+        reversed exactly on a VIOLATED resolution.  Returns
+        ``(update, final_reports)`` pairs, in queue order, for the
+        entries settled; entries stay queued while the remote keeps
+        failing, and the call never raises.
+        """
+        session = self.session
+        before_fetches = session.stats.remote_fetches
+        before_rolled_back = session.stats.deferred_rolled_back
+        entries = session.resolve_pending(self.remote_source)
+        self.stats.remote_round_trips += (
+            session.stats.remote_fetches - before_fetches
+        )
+        self.stats.deferred_rolled_back += (
+            session.stats.deferred_rolled_back - before_rolled_back
+        )
+        results: list[tuple[Update, list[CheckReport]]] = []
+        for entry in entries:
+            reports = entry.ordered_reports(self.checker.constraints)
+            self.stats.deferred_resolved += 1
+            # Settling re-runs the whole pipeline, so the deciding level
+            # may even be local if today's state resolves what the defer-
+            # time state could not.
+            deciding = (
+                max(report.level for report in reports)
+                if reports
+                else CheckLevel.CONSTRAINTS_ONLY
+            )
+            self.stats.resolved_at_level[deciding] += 1
+            if any(r.outcome is Outcome.VIOLATED for r in reports):
+                self.stats.rejected += 1
+            results.append((entry.update, reports))
+        self._sync_reuse_stats()
+        return results
+
     def _record(self, reports: list[CheckReport]) -> None:
+        if any(report.outcome is Outcome.VIOLATED for report in reports):
+            self.stats.rejected += 1
+        elif any(report.outcome is Outcome.DEFERRED for report in reports):
+            # The deciding level is genuinely unknown while the remote is
+            # unreachable: nothing is added to resolved_at_level until
+            # resolve_pending settles the verdict (at FULL_DATABASE), so
+            # local_resolution_rate never counts a deferral as local.
+            self.stats.deferred_remote += 1
+            return
         deciding = (
             max(report.level for report in reports)
             if reports
             else CheckLevel.CONSTRAINTS_ONLY
         )
         self.stats.resolved_at_level[deciding] += 1
-        if any(report.outcome is Outcome.VIOLATED for report in reports):
-            self.stats.rejected += 1
-        elif not self.apply_on_unknown and any(
+        if not self.apply_on_unknown and any(
             report.outcome is Outcome.UNKNOWN for report in reports
         ):
             self.stats.deferred_unknown += 1
@@ -278,6 +443,14 @@ class DistributedChecker:
         info = self.checker.compiler.level1_cache_info()
         self.stats.level1_cache_hits = info["hits"]
         self.stats.level1_cache_misses = info["misses"]
+        if self.remote_link is not None:
+            ls = self.remote_link.stats
+            self.stats.remote_retries = ls.retries
+            self.stats.remote_failures = ls.failures
+            self.stats.remote_fast_fails = ls.fetches_fast_failed
+            self.stats.breaker_opens = ls.breaker_opens
+            self.stats.breaker_half_opens = ls.breaker_half_opens
+            self.stats.breaker_closes = ls.breaker_closes
 
     def _apply_local(
         self, update: Update
@@ -310,7 +483,9 @@ class DistributedChecker:
 
         Each update is checked against the local state left by its
         predecessors; if any update is rejected — or stays UNKNOWN while
-        the checker applies only on SATISFIED — the recorded *effective*
+        the checker applies only on SATISFIED, or comes back DEFERRED
+        because the remote was unreachable (a transaction cannot commit
+        with an unverified member) — the recorded *effective*
         :class:`~repro.datalog.database.UndoToken`\\ s are replayed in
         reverse, restoring the local site (and any stream-mode
         materializations) to the exact pre-transaction state.  Inverting
@@ -335,7 +510,8 @@ class DistributedChecker:
             reports = self.process(update, transaction=txn)
             all_reports.append(reports)
             aborted = any(
-                report.outcome is Outcome.VIOLATED for report in reports
+                report.outcome in (Outcome.VIOLATED, Outcome.DEFERRED)
+                for report in reports
             ) or (
                 not self.apply_on_unknown
                 and any(report.outcome is Outcome.UNKNOWN for report in reports)

@@ -1,0 +1,192 @@
+"""Injectable fault models for the simulated remote site.
+
+The paper's premise — "accessing remote data may be expensive or
+impossible" (Section 1) — has so far only been *expensive* in this
+reproduction (``Site.cost_per_read``).  This module adds *impossible*:
+an :class:`UnreliableRemote` wraps a :class:`~repro.distributed.site.Site`
+behind a :class:`FaultModel` that injects, deterministically from a
+seeded RNG:
+
+* **latency** per attempt (base + uniform jitter), charged to the
+  simulated clock rather than slept;
+* **transient failures** at a configurable per-attempt rate;
+* **hard-outage windows** over the attempt index, during which every
+  attempt fails regardless of the transient rate;
+* **stale snapshots** at a configurable rate: the previous successful
+  snapshot is served instead of a fresh read, modelling a lagging
+  replica.
+
+Every failure raises :class:`~repro.errors.RemoteUnavailableError` with a
+``reason`` tag, so the retry/breaker policy in
+:mod:`repro.distributed.remote` and the statistics layer can classify
+them.  Nothing here sleeps; determinism makes fault scenarios replayable
+in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.datalog.database import Database
+from repro.distributed.site import Site
+from repro.errors import RemoteUnavailableError
+
+__all__ = ["FaultModel", "UnreliableRemote", "parse_outage"]
+
+
+def parse_outage(spec: str) -> tuple[int, int]:
+    """Parse an outage window ``"START:LENGTH"`` into ``(start, end)``
+    attempt indices (half-open)."""
+    try:
+        start_text, length_text = spec.split(":", 1)
+        start, length = int(start_text), int(length_text)
+    except ValueError as exc:
+        raise ValueError(
+            f"outage window must look like START:LENGTH, got {spec!r}"
+        ) from exc
+    if start < 0 or length <= 0:
+        raise ValueError(f"outage window must be non-negative with positive length: {spec!r}")
+    return (start, start + length)
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """What can go wrong on one remote attempt, and how often.
+
+    All randomness flows from ``seed``; two runs with the same model and
+    the same attempt sequence inject identical faults.
+
+    Parameters
+    ----------
+    failure_rate:
+        Probability in ``[0, 1]`` that an attempt fails transiently.
+    latency / latency_jitter:
+        Simulated seconds each attempt takes: ``latency`` plus a uniform
+        draw from ``[0, latency_jitter]``.  Compared against the fetch
+        policy's per-attempt timeout; never slept.
+    outages:
+        ``(start, end)`` half-open windows over the *attempt index*
+        (0-based count of snapshot attempts against this remote).  Inside
+        a window every attempt hard-fails — the model of a link that is
+        down, not merely lossy.
+    stale_rate:
+        Probability that a *successful* attempt serves the previously
+        fetched snapshot instead of a fresh read (a lagging replica).
+        Off by default; staleness can legitimately change verdicts.
+    seed:
+        RNG seed; the model is deterministic given it.
+    """
+
+    failure_rate: float = 0.0
+    latency: float = 0.0
+    latency_jitter: float = 0.0
+    outages: tuple[tuple[int, int], ...] = ()
+    stale_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.failure_rate <= 1.0:
+            raise ValueError(f"failure_rate must be in [0, 1]: {self.failure_rate}")
+        if not 0.0 <= self.stale_rate <= 1.0:
+            raise ValueError(f"stale_rate must be in [0, 1]: {self.stale_rate}")
+        if self.latency < 0 or self.latency_jitter < 0:
+            raise ValueError("latency and latency_jitter must be non-negative")
+        for window in self.outages:
+            if len(window) != 2 or window[0] < 0 or window[1] <= window[0]:
+                raise ValueError(f"malformed outage window: {window!r}")
+
+    def in_outage(self, attempt: int) -> bool:
+        return any(start <= attempt < end for start, end in self.outages)
+
+
+class UnreliableRemote:
+    """A remote :class:`Site` seen through a faulty network.
+
+    Each :meth:`snapshot` call is one attempt: it draws a latency, checks
+    the outage windows and the transient-failure rate, and either raises
+    :class:`~repro.errors.RemoteUnavailableError` or returns the site's
+    (possibly predicate-restricted, possibly stale) snapshot.  Failures
+    are decided *before* the site is touched, so a failed attempt meters
+    nothing — the request never arrived.
+
+    Attributes
+    ----------
+    attempts / failures / stale_served:
+        Attempt-level accounting (the retry/breaker policy keeps its own
+        fetch-level statistics).
+    last_latency:
+        The latency drawn for the most recent attempt, successful or not;
+        the link adds it to the simulated clock.
+    """
+
+    def __init__(self, site: Site, faults: Optional[FaultModel] = None) -> None:
+        self.site = site
+        self.faults = faults if faults is not None else FaultModel()
+        self._rng = random.Random(self.faults.seed)
+        self.attempts = 0
+        self.failures = 0
+        self.stale_served = 0
+        self.last_latency = 0.0
+        self._last_good: Optional[Database] = None
+
+    def snapshot(
+        self,
+        predicates: Iterable[str] | None = None,
+        timeout: Optional[float] = None,
+    ) -> Database:
+        """One attempt at fetching a remote snapshot.
+
+        Raises :class:`~repro.errors.RemoteUnavailableError` with reason
+        ``"outage"``, ``"transient"``, or ``"timeout"``; otherwise
+        returns the snapshot (restricted to *predicates* when given).
+        """
+        attempt = self.attempts
+        self.attempts += 1
+        faults = self.faults
+        self.last_latency = faults.latency
+        if faults.latency_jitter:
+            self.last_latency += self._rng.uniform(0.0, faults.latency_jitter)
+        if faults.in_outage(attempt):
+            self.failures += 1
+            raise RemoteUnavailableError(
+                f"remote {self.site.name!r} is down (outage window, attempt {attempt})",
+                reason="outage",
+            )
+        if faults.failure_rate and self._rng.random() < faults.failure_rate:
+            self.failures += 1
+            raise RemoteUnavailableError(
+                f"transient failure reaching remote {self.site.name!r} "
+                f"(attempt {attempt})",
+                reason="transient",
+            )
+        if timeout is not None and self.last_latency > timeout:
+            self.failures += 1
+            raise RemoteUnavailableError(
+                f"remote {self.site.name!r} answered in {self.last_latency:.3f}s "
+                f"> timeout {timeout:.3f}s (attempt {attempt})",
+                reason="timeout",
+            )
+        if (
+            faults.stale_rate
+            and self._last_good is not None
+            and self._rng.random() < faults.stale_rate
+        ):
+            self.stale_served += 1
+            stale = self._last_good
+            if predicates is not None:
+                return stale.restricted_to(set(predicates))
+            return stale.copy()
+        fresh = self.site.snapshot(predicates=predicates)
+        # Cache a full snapshot only when one was taken; a restricted
+        # fetch must not masquerade as the whole remote state later.
+        if predicates is None:
+            self._last_good = fresh.copy()
+        return fresh
+
+    def predicates(self) -> set[str]:
+        return self.site.predicates()
+
+    def __repr__(self) -> str:
+        return f"UnreliableRemote({self.site!r}, {self.faults!r})"

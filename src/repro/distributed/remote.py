@@ -1,0 +1,257 @@
+"""Fault-tolerant access to a remote site: retries, backoff, breaker.
+
+A :class:`RemoteLink` is the only thing the checking protocol sees of the
+network.  It wraps anything with a ``snapshot(predicates=None)`` method —
+a plain metered :class:`~repro.distributed.site.Site` or an
+:class:`~repro.distributed.faults.UnreliableRemote` — behind a
+:class:`FetchPolicy`:
+
+* a **retry budget** of ``max_attempts`` per fetch, with **bounded
+  exponential backoff** between attempts (base × factor^n, capped, with
+  seeded deterministic jitter so synchronized retries don't stampede);
+* a **per-attempt timeout** forwarded to fault-aware remotes;
+* a **circuit breaker**: after ``failure_threshold`` *consecutive*
+  failed attempts the breaker opens and fetches fast-fail without
+  touching the remote at all; after ``cooldown_fetches`` fast-failed
+  fetches it half-opens and risks exactly one probe attempt — success
+  recloses it, failure re-opens it.
+
+On an exhausted budget (or an open breaker) :meth:`RemoteLink.fetch`
+raises :class:`~repro.errors.RemoteUnavailableError`; the protocol layer
+degrades to a DEFERRED verdict instead of crashing the stream.  Nothing
+sleeps — backoff waits and attempt latencies accumulate on a simulated
+clock, which the benchmarks read as verdict latency.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Iterable, Optional, Protocol
+
+from repro.datalog.database import Database
+from repro.errors import RemoteUnavailableError
+
+__all__ = ["BreakerState", "FetchPolicy", "LinkStats", "RemoteLink", "RemoteSite"]
+
+
+class RemoteSite(Protocol):
+    """Anything the link can snapshot — a Site or an UnreliableRemote."""
+
+    def snapshot(self, predicates: Iterable[str] | None = None) -> Database: ...
+
+
+class BreakerState(enum.Enum):
+    """Classic three-state circuit breaker."""
+
+    CLOSED = "closed"        # normal operation
+    OPEN = "open"            # fast-failing, remote not touched
+    HALF_OPEN = "half-open"  # one probe in flight
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class FetchPolicy:
+    """How hard one :meth:`RemoteLink.fetch` tries before giving up."""
+
+    #: attempts per fetch (1 initial + max_attempts-1 retries)
+    max_attempts: int = 4
+    #: per-attempt timeout in simulated seconds (None = no timeout);
+    #: honoured by fault-aware remotes that accept a ``timeout=`` kwarg
+    attempt_timeout: Optional[float] = None
+    #: backoff before retry n (1-based): min(base * factor**(n-1), max),
+    #: multiplied by a jitter factor drawn from [1-jitter, 1+jitter]
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    backoff_jitter: float = 0.5
+    #: consecutive failed attempts (across fetches) that open the breaker
+    failure_threshold: int = 5
+    #: fast-failed fetches while open before the breaker half-opens
+    cooldown_fetches: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if self.cooldown_fetches < 0:
+            raise ValueError("cooldown_fetches must be non-negative")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError("backoff_jitter must be in [0, 1]")
+        if min(self.backoff_base, self.backoff_factor, self.backoff_max) < 0:
+            raise ValueError("backoff parameters must be non-negative")
+
+    def backoff(self, retry: int, rng: random.Random) -> float:
+        """The simulated wait before *retry* (1-based)."""
+        wait = min(self.backoff_base * self.backoff_factor ** (retry - 1),
+                   self.backoff_max)
+        if self.backoff_jitter:
+            wait *= 1.0 + self.backoff_jitter * (2.0 * rng.random() - 1.0)
+        return wait
+
+
+@dataclass
+class LinkStats:
+    """Fetch-level accounting for one :class:`RemoteLink`."""
+
+    fetches: int = 0
+    fetches_ok: int = 0
+    #: fetches that exhausted the retry budget (or died half-open)
+    fetches_failed: int = 0
+    #: fetches rejected instantly by an open breaker (remote untouched)
+    fetches_fast_failed: int = 0
+    attempts: int = 0
+    retries: int = 0
+    failures: int = 0
+    timeouts: int = 0
+    breaker_opens: int = 0
+    breaker_half_opens: int = 0
+    breaker_closes: int = 0
+    #: simulated seconds spent waiting in backoff
+    backoff_waited: float = 0.0
+    #: simulated seconds spent on attempt latency
+    attempt_latency: float = 0.0
+
+    def summary_rows(self) -> list[tuple[str, object]]:
+        return [
+            ("remote fetches", self.fetches),
+            ("remote fetches ok", self.fetches_ok),
+            ("remote fetches failed", self.fetches_failed),
+            ("remote fast-fails (breaker open)", self.fetches_fast_failed),
+            ("remote attempts", self.attempts),
+            ("remote retries", self.retries),
+            ("remote attempt failures", self.failures),
+            ("remote timeouts", self.timeouts),
+            ("breaker opens", self.breaker_opens),
+            ("breaker half-opens", self.breaker_half_opens),
+            ("breaker closes", self.breaker_closes),
+            ("simulated backoff wait", round(self.backoff_waited, 4)),
+            ("simulated attempt latency", round(self.attempt_latency, 4)),
+        ]
+
+
+class RemoteLink:
+    """A remote site behind a retry/backoff/breaker fetch policy.
+
+    ``fetch(predicates=...)`` either returns a snapshot or raises
+    :class:`~repro.errors.RemoteUnavailableError`; it never raises
+    anything else and never blocks forever.  The simulated ``clock``
+    advances by attempt latencies and backoff waits, so benchmarks can
+    report verdict latency without sleeping.
+    """
+
+    def __init__(
+        self,
+        remote: RemoteSite,
+        policy: Optional[FetchPolicy] = None,
+        seed: int = 0,
+    ) -> None:
+        self.remote = remote
+        self.policy = policy if policy is not None else FetchPolicy()
+        self.stats = LinkStats()
+        self.clock = 0.0
+        self._rng = random.Random(seed)
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._open_fetches = 0
+        # Fault-aware remotes take a per-attempt timeout; plain Sites don't.
+        self._supports_timeout = hasattr(remote, "last_latency")
+
+    # -- breaker ----------------------------------------------------------------
+    @property
+    def state(self) -> BreakerState:
+        return self._state
+
+    @property
+    def available(self) -> bool:
+        """Would a fetch right now at least try the remote?"""
+        return self._state is not BreakerState.OPEN or (
+            self._open_fetches >= self.policy.cooldown_fetches
+        )
+
+    def _transition(self, state: BreakerState) -> None:
+        if state is self._state:
+            return
+        self._state = state
+        if state is BreakerState.OPEN:
+            self.stats.breaker_opens += 1
+            self._open_fetches = 0
+        elif state is BreakerState.HALF_OPEN:
+            self.stats.breaker_half_opens += 1
+        else:
+            self.stats.breaker_closes += 1
+            self._consecutive_failures = 0
+
+    # -- fetching ---------------------------------------------------------------
+    def _attempt(self, predicates: Iterable[str] | None) -> Database:
+        if self._supports_timeout:
+            try:
+                return self.remote.snapshot(
+                    predicates=predicates, timeout=self.policy.attempt_timeout
+                )
+            finally:
+                self.clock += getattr(self.remote, "last_latency", 0.0)
+                self.stats.attempt_latency += getattr(self.remote, "last_latency", 0.0)
+        return self.remote.snapshot(predicates=predicates)
+
+    def fetch(self, predicates: Iterable[str] | None = None) -> Database:
+        """Fetch a (possibly predicate-restricted) remote snapshot.
+
+        Raises :class:`~repro.errors.RemoteUnavailableError` when the
+        breaker is open (reason ``"circuit-open"``) or the retry budget
+        is exhausted (reason ``"exhausted"``).
+        """
+        self.stats.fetches += 1
+        policy = self.policy
+        if self._state is BreakerState.OPEN:
+            if self._open_fetches < policy.cooldown_fetches:
+                self._open_fetches += 1
+                self.stats.fetches_fast_failed += 1
+                raise RemoteUnavailableError(
+                    f"circuit breaker open ({self._open_fetches}/"
+                    f"{policy.cooldown_fetches} of cooldown)",
+                    reason="circuit-open",
+                )
+            self._transition(BreakerState.HALF_OPEN)
+
+        # Half-open risks exactly one probe; closed gets the full budget.
+        budget = 1 if self._state is BreakerState.HALF_OPEN else policy.max_attempts
+        last_error: Optional[RemoteUnavailableError] = None
+        for attempt in range(budget):
+            if attempt:
+                wait = policy.backoff(attempt, self._rng)
+                self.clock += wait
+                self.stats.backoff_waited += wait
+                self.stats.retries += 1
+            self.stats.attempts += 1
+            try:
+                snapshot = self._attempt(predicates)
+            except RemoteUnavailableError as exc:
+                last_error = exc
+                self.stats.failures += 1
+                if exc.reason == "timeout":
+                    self.stats.timeouts += 1
+                self._consecutive_failures += 1
+                if (
+                    self._state is BreakerState.HALF_OPEN
+                    or self._consecutive_failures >= policy.failure_threshold
+                ):
+                    self._transition(BreakerState.OPEN)
+                    break
+                continue
+            self._consecutive_failures = 0
+            if self._state is not BreakerState.CLOSED:
+                self._transition(BreakerState.CLOSED)
+            self.stats.fetches_ok += 1
+            return snapshot
+
+        self.stats.fetches_failed += 1
+        raise RemoteUnavailableError(
+            f"remote fetch failed after {self.stats.attempts} cumulative "
+            f"attempts (breaker {self._state}): {last_error}",
+            reason="exhausted",
+        )

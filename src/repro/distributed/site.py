@@ -26,12 +26,19 @@ class AccessStats:
     tuples_read: int = 0
     writes: int = 0
     simulated_cost: float = 0.0
+    #: snapshot calls, and the facts they actually shipped — with
+    #: predicate-restricted snapshots this is the measure of how much
+    #: narrower an escalation fetch is than a whole-database copy
+    snapshots: int = 0
+    snapshot_facts: int = 0
 
     def reset(self) -> None:
         self.reads = 0
         self.tuples_read = 0
         self.writes = 0
         self.simulated_cost = 0.0
+        self.snapshots = 0
+        self.snapshot_facts = 0
 
 
 class Site:
@@ -78,14 +85,26 @@ class Site:
     def predicates(self) -> set[str]:
         return self._db.predicates()
 
-    def snapshot(self) -> Database:
-        """An unmetered copy — counts as one read per relation."""
-        self.stats.reads += len(self._db.predicates())
-        self.stats.tuples_read += self._db.size()
-        self.stats.simulated_cost += self.cost_per_read * max(
-            1, len(self._db.predicates())
-        )
-        return self._db.copy()
+    def snapshot(self, predicates: Iterable[str] | None = None) -> Database:
+        """A copy of the site — one read per shipped relation.
+
+        With *predicates*, only the named relations are copied and
+        metered: an escalation that needs two remote tables no longer
+        pays for (or waits on) the whole remote database.
+        """
+        if predicates is None:
+            wanted = self._db.predicates()
+            copied = self._db.copy()
+        else:
+            wanted = set(predicates) & self._db.predicates()
+            copied = self._db.restricted_to(wanted)
+        shipped = copied.size()
+        self.stats.reads += len(wanted)
+        self.stats.tuples_read += shipped
+        self.stats.snapshots += 1
+        self.stats.snapshot_facts += shipped
+        self.stats.simulated_cost += self.cost_per_read * max(1, len(wanted))
+        return copied
 
     def unmetered(self) -> Database:
         """Direct access for test fixtures and ground-truth checks."""

@@ -72,3 +72,19 @@ class UnsupportedClassError(ReproError):
 
 class EvaluationError(ReproError):
     """Raised for runtime failures of the datalog or algebra evaluators."""
+
+
+class RemoteUnavailableError(ReproError):
+    """Raised when remote data cannot be fetched for a level-3 check.
+
+    The paper's premise is that "accessing remote data may be expensive
+    or impossible"; this error is the *impossible* case.  ``reason``
+    classifies the failure (``"transient"``, ``"outage"``, ``"timeout"``,
+    ``"circuit-open"``, ``"exhausted"``) so retry policies and statistics
+    can distinguish them.  Callers that catch it degrade to a DEFERRED
+    verdict instead of crashing the stream.
+    """
+
+    def __init__(self, message: str, reason: str = "transient") -> None:
+        super().__init__(message)
+        self.reason = reason

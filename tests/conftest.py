@@ -8,6 +8,21 @@ import pytest
 
 from repro.datalog import Database, parse_program, parse_rule
 
+try:
+    from hypothesis import HealthCheck, settings
+except ImportError:  # pragma: no cover - hypothesis is an optional test dep
+    pass
+else:
+    # Cap example deadlines suite-wide so a slow CI runner flags a test
+    # as slow instead of failing it flaky; individual tests may still
+    # opt out with an explicit deadline.
+    settings.register_profile(
+        "repro",
+        deadline=1000,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.load_profile("repro")
+
 
 def make_random_database(
     rng: random.Random,

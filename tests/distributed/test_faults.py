@@ -1,0 +1,134 @@
+"""Fault-model tests: determinism, outages, staleness, restricted fetches."""
+
+import pytest
+
+from repro.distributed.faults import FaultModel, UnreliableRemote, parse_outage
+from repro.distributed.site import Site
+from repro.errors import RemoteUnavailableError
+
+
+def build_site(**kwargs):
+    return Site(
+        "remote",
+        {"reading": [(1,), (2,)], "salFloor": [("toys", 40)]},
+        **kwargs,
+    )
+
+
+class TestParseOutage:
+    def test_parses_window(self):
+        assert parse_outage("10:5") == (10, 15)
+
+    @pytest.mark.parametrize("spec", ["10", "a:b", "-1:5", "3:0", "3:-2"])
+    def test_rejects_malformed(self, spec):
+        with pytest.raises(ValueError):
+            parse_outage(spec)
+
+
+class TestFaultModel:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_rate": 1.5},
+            {"failure_rate": -0.1},
+            {"stale_rate": 2.0},
+            {"latency": -1.0},
+            {"latency_jitter": -0.5},
+            {"outages": ((5, 5),)},
+            {"outages": ((-1, 3),)},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultModel(**kwargs)
+
+    def test_in_outage(self):
+        model = FaultModel(outages=((2, 4), (10, 11)))
+        assert [model.in_outage(i) for i in range(5)] == [
+            False, False, True, True, False,
+        ]
+        assert model.in_outage(10) and not model.in_outage(11)
+
+
+class TestUnreliableRemote:
+    def test_deterministic_failure_sequence(self):
+        def failure_pattern():
+            remote = UnreliableRemote(
+                build_site(), FaultModel(failure_rate=0.5, seed=42)
+            )
+            pattern = []
+            for _ in range(30):
+                try:
+                    remote.snapshot()
+                    pattern.append(True)
+                except RemoteUnavailableError:
+                    pattern.append(False)
+            return pattern
+
+        first, second = failure_pattern(), failure_pattern()
+        assert first == second
+        assert True in first and False in first
+
+    def test_outage_window_hard_fails(self):
+        remote = UnreliableRemote(build_site(), FaultModel(outages=((1, 3),)))
+        remote.snapshot()  # attempt 0: fine
+        for _ in (1, 2):
+            with pytest.raises(RemoteUnavailableError) as exc:
+                remote.snapshot()
+            assert exc.value.reason == "outage"
+        remote.snapshot()  # attempt 3: window over
+        assert remote.failures == 2
+
+    def test_failed_attempt_meters_nothing(self):
+        site = build_site(cost_per_read=1.0)
+        remote = UnreliableRemote(site, FaultModel(failure_rate=1.0))
+        with pytest.raises(RemoteUnavailableError) as exc:
+            remote.snapshot()
+        assert exc.value.reason == "transient"
+        assert site.stats.reads == 0
+        assert site.stats.snapshots == 0
+
+    def test_timeout(self):
+        remote = UnreliableRemote(build_site(), FaultModel(latency=0.5))
+        with pytest.raises(RemoteUnavailableError) as exc:
+            remote.snapshot(timeout=0.1)
+        assert exc.value.reason == "timeout"
+        assert remote.last_latency == 0.5
+        remote.snapshot(timeout=1.0)  # generous timeout passes
+
+    def test_stale_snapshot_lags_behind_writes(self):
+        site = build_site()
+        remote = UnreliableRemote(site, FaultModel(stale_rate=1.0))
+        fresh = remote.snapshot()  # nothing cached yet: a real read
+        assert (1,) in fresh.facts("reading")
+        site.insert("reading", (99,))
+        stale = remote.snapshot()
+        assert (99,) not in stale.facts("reading")
+        assert remote.stale_served == 1
+
+    def test_restricted_fetch_not_cached_as_full(self):
+        site = build_site()
+        remote = UnreliableRemote(site, FaultModel(stale_rate=1.0))
+        remote.snapshot(predicates=["reading"])
+        # No full snapshot was ever taken, so nothing may be served stale.
+        full = remote.snapshot()
+        assert "salFloor" in full.predicates()
+
+
+class TestRestrictedSnapshots:
+    def test_predicate_restriction(self):
+        site = build_site()
+        snap = site.snapshot(predicates=["reading", "nosuch"])
+        assert snap.predicates() == {"reading"}
+        assert set(snap.facts("reading")) == {(1,), (2,)}
+
+    def test_snapshot_metering(self):
+        site = build_site(cost_per_read=2.0)
+        site.snapshot(predicates=["reading"])
+        assert site.stats.snapshots == 1
+        assert site.stats.snapshot_facts == 2
+        assert site.stats.reads == 1  # one predicate shipped
+        assert site.stats.tuples_read == 2
+        site.snapshot()
+        assert site.stats.snapshots == 2
+        assert site.stats.snapshot_facts == 5
