@@ -214,6 +214,37 @@ def _build_remote_link(args: argparse.Namespace, remote_site):
     )
 
 
+def _parse_boundary(text: str) -> object:
+    """A key-range cut point: int, then float, then bare string."""
+    text = text.strip()
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            pass
+    return text
+
+
+def _build_partitioner(args: argparse.Namespace, local_predicates: set[str]):
+    """The shard partitioner for ``--shards``: key-range when any
+    ``--shard-by`` spec is given, round-robin by predicate otherwise."""
+    from repro.distributed.sharded import KeyRangePartitioner, PredicatePartitioner
+
+    if not args.shard_by:
+        return PredicatePartitioner(args.shards, local_predicates)
+    boundaries: dict[str, list] = {}
+    for spec in args.shard_by:
+        predicate, sep, cuts = spec.partition("=")
+        if not sep or not predicate.strip():
+            raise ReproError(
+                f"--shard-by must look like pred=cut1,cut2,...: {spec!r}"
+            )
+        boundaries[predicate.strip()] = [
+            _parse_boundary(cut) for cut in cuts.split(",") if cut.strip()
+        ]
+    return KeyRangePartitioner(args.shards, boundaries, local_predicates)
+
+
 #: resolve_pending rounds before ``check-stream`` gives up on a dead link
 _MAX_DRAIN_ROUNDS = 100
 
@@ -242,11 +273,27 @@ def _cmd_check_stream(args: argparse.Namespace) -> int:
         local_predicates=local_predicates,
     )
     link = _build_remote_link(args, sites.remote)
-    checker = DistributedChecker(
-        constraints, sites,
-        apply_on_unknown=not args.pessimistic,
-        remote_link=link,
-    )
+    if args.shards:
+        from repro.distributed.sharded import ShardedChecker
+
+        if args.transaction:
+            raise ReproError(
+                "--transaction cannot be combined with --shards: the "
+                "atomic rollback spans one session, not a shard fleet"
+            )
+        checker = ShardedChecker(
+            constraints, sites,
+            shards=args.shards,
+            partitioner=_build_partitioner(args, local_predicates),
+            apply_on_unknown=not args.pessimistic,
+            remote_link=link,
+        )
+    else:
+        checker = DistributedChecker(
+            constraints, sites,
+            apply_on_unknown=not args.pessimistic,
+            remote_link=link,
+        )
     exit_code = 0
     if args.transaction:
         committed, all_reports = checker.process_transaction(updates)
@@ -424,6 +471,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--pessimistic", action="store_true",
         help="apply an update only when every verdict is SATISFIED "
         "(UNKNOWN/DEFERRED hold it back)",
+    )
+    stream.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="partition the local site into N shards, one check session "
+        "each (verdicts identical to a single session); incompatible "
+        "with --transaction",
+    )
+    stream.add_argument(
+        "--shard-by", action="append", metavar="PRED=CUT1,CUT2,...",
+        help="key-range split PRED across the shards on its first "
+        "column (N-1 sorted cut points; repeatable); other predicates "
+        "stay whole, round-robin",
     )
     faults = stream.add_argument_group(
         "fault simulation",

@@ -55,15 +55,24 @@ _MISSING = object()
 
 
 class LRUCache:
-    """A small bounded mapping with least-recently-used eviction."""
+    """A small bounded mapping with least-recently-used eviction.
 
-    __slots__ = ("maxsize", "hits", "misses", "_data")
+    Keys may be temporarily :meth:`pin`\\ ned: a pinned entry is never
+    evicted, even when the cache is over its bound (the overshoot is
+    reclaimed by :meth:`trim` once the pins are released).  The
+    deferred-verdict drain uses this to keep the materializations its
+    queued entries reference alive across the whole quarantine /
+    settle / redo cycle.
+    """
+
+    __slots__ = ("maxsize", "hits", "misses", "_data", "_pinned")
 
     def __init__(self, maxsize: int = LEVEL1_CACHE_SIZE) -> None:
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
         self._data: OrderedDict = OrderedDict()
+        self._pinned: set = set()
 
     def get(self, key, default=None):
         try:
@@ -81,10 +90,38 @@ class LRUCache:
         if key in self._data:
             self._data.move_to_end(key)
         self._data[key] = value
+        return self._evict_over_bound()
+
+    def _evict_over_bound(self) -> list[tuple]:
         evicted: list[tuple] = []
-        while len(self._data) > self.maxsize:
-            evicted.append(self._data.popitem(last=False))
+        if len(self._data) <= self.maxsize:
+            return evicted
+        for key in list(self._data.keys()):
+            if len(self._data) <= self.maxsize:
+                break
+            if key in self._pinned:
+                continue
+            evicted.append((key, self._data.pop(key)))
         return evicted
+
+    # -- pinning ---------------------------------------------------------------
+    def pin(self, key) -> None:
+        """Exempt *key* from eviction until :meth:`unpin`."""
+        self._pinned.add(key)
+
+    def unpin(self, key) -> None:
+        """Release a pin (the entry stays cached until a :meth:`trim` or
+        a later :meth:`put` reclaims any overshoot)."""
+        self._pinned.discard(key)
+
+    @property
+    def pinned(self) -> frozenset:
+        return frozenset(self._pinned)
+
+    def trim(self) -> list[tuple]:
+        """Evict least-recently-used unpinned entries down to the bound;
+        returns the evicted ``(key, value)`` pairs."""
+        return self._evict_over_bound()
 
     def pop(self, key, default=None):
         """Remove and return *key*'s value without touching the counters."""

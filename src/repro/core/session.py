@@ -125,6 +125,9 @@ class SessionStats:
     incremental_deltas: int = 0
     #: full remote fetches (level-3 escalations)
     remote_fetches: int = 0
+    #: shard mode: sibling-shard fetches for the cross-shard union view
+    #: (site-local, never counted as remote round trips)
+    peer_fetches: int = 0
     #: batched stream mode: coalesced maintenance flushes
     batches_flushed: int = 0
     #: batched stream mode: updates resolved inside a coalesced batch
@@ -156,6 +159,7 @@ class SessionStats:
             ("materializations evicted", self.materializations_evicted),
             ("incremental deltas", self.incremental_deltas),
             ("remote fetches", self.remote_fetches),
+            ("peer (cross-shard) fetches", self.peer_fetches),
             ("batches flushed", self.batches_flushed),
             ("batched updates", self.batched_updates),
             ("batch replays", self.batch_replays),
@@ -253,27 +257,55 @@ class CheckSession:
         Size bound for the maintained-materialization cache, evicted
         least-recently-used (mirroring the level-1 verdict LRU).
         ``None`` disables eviction.
+    peer_predicates / peer_source:
+        Shard mode (see :class:`~repro.distributed.sharded.ShardedChecker`):
+        predicates that are *site-local but stored in sibling shards*,
+        and a fetch for them.  A constraint whose missing predicates all
+        live on peers is settled against the lazily materialized
+        cross-shard union view at ``WITH_LOCAL_DATA`` — peer data is
+        site-local, so consulting it is not a remote access and can
+        never defer.  When *local_predicates* is passed alongside a
+        shared *compiler*, it narrows this session's view of "local" to
+        the shard's own predicates.
+    seq_source:
+        Optional shared counter for :class:`PendingVerdict` sequence
+        numbers, so several shard sessions order their deferred-verdict
+        queues on one global clock (the quarantine must reverse
+        optimistic facts newest-first *across* shards).
     """
 
     def __init__(
         self,
         constraints: ConstraintSet | Iterable[Constraint] | None = None,
-        local_predicates: Iterable[str] = (),
+        local_predicates: Optional[Iterable[str]] = None,
         local_db: Optional[Database] = None,
         use_interval_datalog: bool = False,
         compiler: Optional[ConstraintCompiler] = None,
         apply_on_unknown: bool = True,
         max_materializations: Optional[int] = MATERIALIZATION_LIMIT,
+        peer_predicates: Iterable[str] = (),
+        peer_source: RemoteSource = None,
+        seq_source: Optional[Callable[[], int]] = None,
     ) -> None:
         if compiler is None:
             if constraints is None:
                 raise ValueError("CheckSession needs constraints or a compiler")
             compiler = ConstraintCompiler(
-                constraints, local_predicates, use_interval_datalog
+                constraints,
+                local_predicates if local_predicates is not None else (),
+                use_interval_datalog,
             )
         self.compiler = compiler
         self.constraints = compiler.constraints
-        self.local_predicates = compiler.local_predicates
+        # An explicit (possibly empty) set narrows this session's view of
+        # "local" below the compiler's site-wide set — the shard case.
+        self.local_predicates = (
+            frozenset(local_predicates)
+            if local_predicates is not None
+            else compiler.local_predicates
+        )
+        self.peer_predicates = frozenset(peer_predicates)
+        self.peer_source = peer_source
         self.local_db = local_db if local_db is not None else Database()
         self.apply_on_unknown = apply_on_unknown
         self.stats = SessionStats()
@@ -281,11 +313,14 @@ class CheckSession:
             max_materializations if max_materializations is not None else float("inf")
         )
         self._local_constraints = [
-            c for c in self.constraints if compiler.is_local_constraint(c)
+            c
+            for c in self.constraints
+            if c.predicates() <= self.local_predicates
         ]
         #: updates whose level-3 verdicts await a reachable remote (FIFO)
         self._pending: list[PendingVerdict] = []
         self._pending_seq = 0
+        self._seq_source = seq_source
 
     # -- materialization plumbing ---------------------------------------------
     def _materialization(self, constraint: Constraint) -> Materialization:
@@ -404,8 +439,10 @@ class CheckSession:
             # Level 2: + local data.  Purely-local constraints evaluate
             # against the post-update state (in the stateful tail, after
             # the delta is applied); the others run their precompiled
-            # local test against the pre-update relation.
-            if self.compiler.is_local_constraint(constraint):
+            # local test against the pre-update relation.  Locality is
+            # judged against *this session's* view — a shard session
+            # treats sibling-shard predicates as non-local.
+            if constraint.predicates() <= self.local_predicates:
                 pending_local.append(constraint)
                 continue
             if predicate in self.local_predicates:
@@ -461,17 +498,32 @@ class CheckSession:
                 remote_accessed=False, detail="constraint is purely local",
             )
 
+        # Constraints whose missing predicates all live on sibling
+        # shards are settled against the cross-shard union view: that
+        # data is site-local, always reachable, so the verdict lands at
+        # WITH_LOCAL_DATA and can never defer.
+        if pending_unknown and self.peer_source is not None:
+            pending_unknown = self._settle_with_peers(reports, pending_unknown)
+
         # Level 3: the full database, on request.  A remote source that
         # raises RemoteUnavailableError degrades the unresolved verdicts
         # to DEFERRED instead of crashing the stream; the update is then
         # queued for resolve_pending().
         if pending_unknown:
             remote_db: Optional[Database] = None
+            peer_db: Optional[Database] = None
             unreachable: Optional[RemoteUnavailableError] = None
             if max_level >= CheckLevel.FULL_DATABASE and remote is not None:
                 needed = self._remote_predicates(
                     constraint for constraint, _ in pending_unknown
                 )
+                # A constraint spanning sibling shards *and* the true
+                # remote needs both; only the remote part can fail.
+                peer_needed = needed & self.peer_predicates
+                if self.peer_source is not None and peer_needed:
+                    peer_db = _fetch_remote(self.peer_source, peer_needed)
+                    self.stats.peer_fetches += 1
+                    needed -= peer_needed
                 try:
                     remote_db = _fetch_remote(remote, needed)
                 except RemoteUnavailableError as exc:
@@ -484,9 +536,12 @@ class CheckSession:
                         self.stats.remote_fetches += 1
             if remote_db is not None:
                 merged = self.local_db.copy()
-                for pred in remote_db.predicates():
-                    for fact in remote_db.facts(pred):
-                        merged.insert(pred, fact)
+                for source in (peer_db, remote_db):
+                    if source is None:
+                        continue
+                    for pred in source.predicates():
+                        for fact in source.facts(pred):
+                            merged.insert(pred, fact)
                 for constraint, _level in pending_unknown:
                     outcome = (
                         Outcome.SATISFIED
@@ -652,6 +707,54 @@ class CheckSession:
             needed |= constraint.predicates() - self.local_predicates
         return needed
 
+    def _settle_with_peers(
+        self,
+        reports: dict[str, CheckReport],
+        pending_unknown: list[tuple[Constraint, CheckLevel]],
+    ) -> list[tuple[Constraint, CheckLevel]]:
+        """Decide the constraints whose missing predicates all live on
+        sibling shards, using the lazily materialized union view.
+
+        Returns the entries that still need the true remote.  Peer data
+        is part of the same site, so these verdicts count as level 2
+        (``WITH_LOCAL_DATA``) with no remote access — exactly what an
+        unsharded session reports for a purely-local constraint."""
+        peer_pending: list[tuple[Constraint, CheckLevel]] = []
+        remaining: list[tuple[Constraint, CheckLevel]] = []
+        needed: set[str] = set()
+        for constraint, level in pending_unknown:
+            missing = constraint.predicates() - self.local_predicates
+            if missing and missing <= self.peer_predicates:
+                peer_pending.append((constraint, level))
+                needed |= missing
+            else:
+                remaining.append((constraint, level))
+        if not peer_pending:
+            return remaining
+        peer_db = _fetch_remote(self.peer_source, needed)
+        self.stats.peer_fetches += 1
+        merged = self.local_db.copy()
+        for pred in peer_db.predicates():
+            for fact in peer_db.facts(pred):
+                merged.insert(pred, fact)
+        for constraint, _level in peer_pending:
+            outcome = (
+                Outcome.SATISFIED
+                if constraint.holds(merged)
+                else Outcome.VIOLATED
+            )
+            reports[constraint.name] = CheckReport(
+                constraint.name, outcome, CheckLevel.WITH_LOCAL_DATA,
+                remote_accessed=False, detail="cross-shard union view",
+            )
+        return remaining
+
+    def _next_seq(self) -> int:
+        if self._seq_source is not None:
+            return self._seq_source()
+        self._pending_seq += 1
+        return self._pending_seq
+
     def _queue_pending(
         self,
         update: Update,
@@ -660,10 +763,9 @@ class CheckSession:
         applied: bool,
         token: Optional[UndoToken] = None,
     ) -> None:
-        self._pending_seq += 1
         self._pending.append(
             PendingVerdict(
-                seq=self._pending_seq,
+                seq=self._next_seq(),
                 update=update,
                 unresolved=unresolved,
                 reports=dict(reports),
@@ -708,51 +810,120 @@ class CheckSession:
         entries are re-applied exactly (rolling back the reversal), and
         the remainder stays queued; the call never raises
         :class:`~repro.errors.RemoteUnavailableError`.
+
+        For the whole drain, the materializations the queued entries
+        reference are **pinned** in the LRU cache: without the pin, an
+        eviction between queueing and draining (or mid-drain, while a
+        settle rebuilds a different constraint) silently drops the entry
+        from the quarantine/redo delta maintenance and forces repeated
+        from-scratch rebuilds against whatever state the settle loop is
+        mid-way through.
         """
-        # Quarantine: strip the unverified optimistic facts, newest first.
+        pinned = self._pin_pending_materializations()
         quarantined: dict[int, UndoToken] = {}
-        for entry in reversed(self._pending):
-            if entry.applied and entry.token is not None:
-                quarantined[entry.seq] = rollback_token(
-                    self.local_db, entry.token, self._materializations.values()
-                )
         resolved: list[PendingVerdict] = []
         try:
+            # Quarantine: strip the unverified optimistic facts, newest
+            # first.
+            for entry in reversed(self._pending):
+                reversal = self._quarantine_entry(entry)
+                if reversal is not None:
+                    quarantined[entry.seq] = reversal
             while self._pending:
-                entry = self._pending[0]
-                # The whole pipeline is re-run, and its level-2 outcome
-                # may differ against today's state — fetch every remote
-                # predicate any constraint on this update's relation
-                # could escalate for.
-                needed = self._remote_predicates(
-                    constraint
-                    for constraint in self.constraints
-                    if self.compiler.mentions(constraint, entry.update.predicate)
-                )
                 try:
-                    remote_db = _fetch_remote(remote, needed)
+                    resolved.append(
+                        self._settle_head(remote, max_level, quarantined)
+                    )
                 except RemoteUnavailableError:
                     break
-                self.stats.remote_fetches += 1
-                self._pending.pop(0)
-                quarantined.pop(entry.seq, None)
-                self._settle_pending(entry, remote_db, max_level)
-                self.stats.deferred_resolved += 1
-                resolved.append(entry)
         finally:
-            # Un-settled quarantined entries go back exactly as they
-            # were.  rollback_token returned the effectively-reversed
-            # subset *in the original orientation*, so the redo is a
-            # forward application, oldest first.
-            for entry in self._pending:
-                reversal = quarantined.pop(entry.seq, None)
-                if reversal is not None:
-                    redo = self.local_db.apply(reversal.as_delta())
-                    effective = redo.as_delta()
-                    if not effective.is_empty():
-                        for mat in self._materializations.values():
-                            mat.apply_delta(effective)
+            self._redo_quarantined(quarantined)
+            self._unpin_materializations(pinned)
         return resolved
+
+    # -- drain building blocks (shared with ShardedChecker) --------------------
+    def _pending_local_constraints(self) -> list[Constraint]:
+        """The purely-local constraints a settle of any queued entry will
+        consult through its maintained materialization."""
+        predicates = {entry.update.predicate for entry in self._pending}
+        return [
+            constraint
+            for constraint in self._local_constraints
+            if any(self.compiler.mentions(constraint, p) for p in predicates)
+        ]
+
+    def _pin_pending_materializations(self) -> list[str]:
+        """Build (from the current database) and pin every materialization
+        the queued entries reference.  Pinned entries survive the whole
+        drain, so the quarantine reversal, each settle, and the redo all
+        maintain them incrementally instead of skipping evicted ones."""
+        referenced = self._pending_local_constraints()
+        # Pin every name first, then build: a build's put must evict
+        # neither an already-cached referenced entry nor (with every
+        # other slot pinned) the entry it just added.
+        pinned = [constraint.name for constraint in referenced]
+        for name in pinned:
+            self._materializations.pin(name)
+        for constraint in referenced:
+            self._materialization(constraint)
+        return pinned
+
+    def _unpin_materializations(self, names: Iterable[str]) -> None:
+        for name in names:
+            self._materializations.unpin(name)
+        evicted = self._materializations.trim()
+        self.stats.materializations_evicted += len(evicted)
+
+    def _quarantine_entry(self, entry: PendingVerdict) -> Optional[UndoToken]:
+        """Reverse one applied pending entry's effective token (no-op for
+        held entries); returns the reversal for the redo."""
+        if entry.applied and entry.token is not None:
+            return rollback_token(
+                self.local_db, entry.token, self._materializations.values()
+            )
+        return None
+
+    def _settle_head(
+        self,
+        remote: RemoteSource,
+        max_level: CheckLevel,
+        quarantined: dict[int, UndoToken],
+    ) -> PendingVerdict:
+        """Fetch for and settle the oldest queued entry.
+
+        The whole pipeline is re-run, and its level-2 outcome may differ
+        against today's state — the fetch covers every remote predicate
+        any constraint on the entry's relation could escalate for.
+        Raises :class:`~repro.errors.RemoteUnavailableError` (leaving the
+        entry queued) when the remote stays unreachable.
+        """
+        entry = self._pending[0]
+        needed = self._remote_predicates(
+            constraint
+            for constraint in self.constraints
+            if self.compiler.mentions(constraint, entry.update.predicate)
+        )
+        remote_db = _fetch_remote(remote, needed)
+        self.stats.remote_fetches += 1
+        self._pending.pop(0)
+        quarantined.pop(entry.seq, None)
+        self._settle_pending(entry, remote_db, max_level)
+        self.stats.deferred_resolved += 1
+        return entry
+
+    def _redo_quarantined(self, quarantined: dict[int, UndoToken]) -> None:
+        """Re-apply the reversals of entries still queued.  rollback_token
+        returned the effectively-reversed subset *in the original
+        orientation*, so the redo is a forward application, oldest
+        first."""
+        for entry in self._pending:
+            reversal = quarantined.pop(entry.seq, None)
+            if reversal is not None:
+                redo = self.local_db.apply(reversal.as_delta())
+                effective = redo.as_delta()
+                if not effective.is_empty():
+                    for mat in self._materializations.values():
+                        mat.apply_delta(effective)
 
     def _settle_pending(
         self, entry: PendingVerdict, remote_db: Database, max_level: CheckLevel
@@ -844,7 +1015,14 @@ class CheckSession:
         undos = self._propagate(composed)
         self.stats.batches_flushed += 1
 
-        built_before = set(self._materializations.keys())
+        # Snapshot the cache *objects*, not just the key set: the verdict
+        # loop below may evict a pre-batch entry to make room and may even
+        # rebuild one under a pre-existing name (from post-batch state).
+        # The replay path must restore the exact pre-probe contents.
+        probe_snapshot = {
+            name: self._materializations[name]
+            for name in self._materializations.keys()
+        }
         fired = False
         for pending in batch.pending_locals:
             for constraint in pending:
@@ -871,14 +1049,22 @@ class CheckSession:
             return results
 
         # Exact replay: restore the pre-batch state, then re-process each
-        # update through the ordinary per-update path.
+        # update through the ordinary per-update path.  The cache must end
+        # probe-invariant: drop every materialization the verdict loop
+        # built (post-batch state, not covered by *undos* — including one
+        # rebuilt under a pre-existing name after a probe-time eviction),
+        # revert the pre-batch survivors exactly, and re-insert pre-batch
+        # entries the probe evicted (they saw the composed delta via
+        # *undos*, so the revert below restores them too).
         self.stats.batch_replays += 1
-        for name in set(self._materializations.keys()) - built_before:
-            # Built from the post-batch state during the verdict loop;
-            # cheaper to rebuild on demand than to rewind.
-            self._materializations.pop(name)
+        for name in list(self._materializations.keys()):
+            if self._materializations[name] is not probe_snapshot.get(name):
+                self._materializations.pop(name)
         for mat, undo in reversed(undos):
             mat.revert(undo)
+        for name, mat in probe_snapshot.items():
+            if name not in self._materializations:
+                self._materializations.put(name, mat)
         for token in reversed(batch.tokens):
             self.local_db.undo(token)
         return [self.process(update, remote, max_level) for update in batch.updates]
@@ -902,6 +1088,16 @@ class CheckSession:
         non-monotone deltas, or arriving past the size bound flush the
         batch first.  Verdicts and final state are identical to
         per-update processing — a batch that fires is replayed exactly.
+
+        Batching composes with fault-tolerant escalation by falling back
+        to exact per-update handling: an update that *might* escalate
+        (``pending_unknown`` non-empty) is never coalesced — it flushes
+        the open batch and runs through :meth:`process`, which owns the
+        per-update DEFERRED abort/queue point a coalesced batch lacks —
+        and a flush-time replay re-processes each member individually
+        the same way.  A DEFERRED verdict therefore queues a
+        :class:`PendingVerdict` exactly as in unbatched mode, and a
+        coalesced batch by construction never contains a deferral.
 
         With a *transaction*, every applied update's effective changes
         are recorded there so the caller can roll the whole stream back

@@ -9,6 +9,11 @@ from repro.distributed.remote import (
     LinkStats,
     RemoteLink,
 )
+from repro.distributed.sharded import (
+    KeyRangePartitioner,
+    PredicatePartitioner,
+    ShardedChecker,
+)
 from repro.distributed.site import AccessStats, Site, TwoSiteDatabase
 from repro.distributed.workload import Workload, employee_workload, interval_workload
 
@@ -18,9 +23,12 @@ __all__ = [
     "DistributedChecker",
     "FaultModel",
     "FetchPolicy",
+    "KeyRangePartitioner",
     "LinkStats",
+    "PredicatePartitioner",
     "ProtocolStats",
     "RemoteLink",
+    "ShardedChecker",
     "Site",
     "TwoSiteDatabase",
     "UnreliableRemote",

@@ -33,7 +33,7 @@ from repro.distributed.site import Site, TwoSiteDatabase
 from repro.errors import RemoteUnavailableError
 from repro.updates.update import Update
 
-__all__ = ["ProtocolStats", "DistributedChecker"]
+__all__ = ["ProtocolStats", "DistributedChecker", "sync_session_gauges"]
 
 
 @dataclass
@@ -45,6 +45,9 @@ class ProtocolStats:
         default_factory=lambda: {level: 0 for level in CheckLevel}
     )
     remote_round_trips: int = 0
+    #: shard mode: sibling-shard fetches for cross-shard union views
+    #: (site-local data, so never counted as remote round trips)
+    peer_fetches: int = 0
     rejected: int = 0
     #: updates withheld because a verdict stayed UNKNOWN while the
     #: checker runs with ``apply_on_unknown=False``
@@ -104,6 +107,7 @@ class ProtocolStats:
             for level in CheckLevel
         )
         rows.append(("remote round trips", self.remote_round_trips))
+        rows.append(("peer (cross-shard) fetches", self.peer_fetches))
         rows.append(("rejected (violations)", self.rejected))
         rows.append(("deferred on unknown", self.deferred_unknown))
         rows.append(("local resolution rate", round(self.local_resolution_rate, 4)))
@@ -129,6 +133,80 @@ class ProtocolStats:
         rows.append(("breaker half-opens", self.breaker_half_opens))
         rows.append(("breaker closes", self.breaker_closes))
         return rows
+
+    def record_reports(
+        self, reports: list[CheckReport], apply_on_unknown: bool = True
+    ) -> None:
+        """Fold one update's final reports into the counters (shared by
+        :class:`DistributedChecker` and
+        :class:`~repro.distributed.sharded.ShardedChecker`)."""
+        if any(report.outcome is Outcome.VIOLATED for report in reports):
+            self.rejected += 1
+        elif any(report.outcome is Outcome.DEFERRED for report in reports):
+            # The deciding level is genuinely unknown while the remote is
+            # unreachable: nothing is added to resolved_at_level until
+            # resolve_pending settles the verdict, so local_resolution_rate
+            # never counts a deferral as local.
+            self.deferred_remote += 1
+            return
+        deciding = (
+            max(report.level for report in reports)
+            if reports
+            else CheckLevel.CONSTRAINTS_ONLY
+        )
+        self.resolved_at_level[deciding] += 1
+        if not apply_on_unknown and any(
+            report.outcome is Outcome.UNKNOWN for report in reports
+        ):
+            self.deferred_unknown += 1
+
+
+#: cumulative :class:`~repro.core.session.SessionStats` gauges mirrored
+#: (summed across sessions) into :class:`ProtocolStats` by
+#: :func:`sync_session_gauges`
+_SESSION_GAUGES = (
+    "materializations_built",
+    "materialization_reuses",
+    "materializations_evicted",
+    "incremental_deltas",
+    "batches_flushed",
+    "batched_updates",
+    "batch_replays",
+    "batch_probe_vetoes",
+    "peer_fetches",
+)
+
+
+def sync_session_gauges(
+    stats: ProtocolStats,
+    sessions: Iterable[Optional[CheckSession]],
+    compiler,
+    remote_link: Optional[RemoteLink] = None,
+) -> None:
+    """Mirror the cumulative session/compiler/link gauges into *stats*.
+
+    Session gauges are *summed* across the given sessions — a single
+    session for :class:`DistributedChecker`, one per shard for
+    :class:`~repro.distributed.sharded.ShardedChecker`; they are
+    cumulative gauges, not per-call increments, so the copy is a
+    wholesale overwrite."""
+    live = [session for session in sessions if session is not None]
+    if live:
+        for gauge in _SESSION_GAUGES:
+            setattr(
+                stats, gauge, sum(getattr(s.stats, gauge) for s in live)
+            )
+    info = compiler.level1_cache_info()
+    stats.level1_cache_hits = info["hits"]
+    stats.level1_cache_misses = info["misses"]
+    if remote_link is not None:
+        ls = remote_link.stats
+        stats.remote_retries = ls.retries
+        stats.remote_failures = ls.failures
+        stats.remote_fast_fails = ls.fetches_fast_failed
+        stats.breaker_opens = ls.breaker_opens
+        stats.breaker_half_opens = ls.breaker_half_opens
+        stats.breaker_closes = ls.breaker_closes
 
 
 class DistributedChecker:
@@ -407,50 +485,12 @@ class DistributedChecker:
         return results
 
     def _record(self, reports: list[CheckReport]) -> None:
-        if any(report.outcome is Outcome.VIOLATED for report in reports):
-            self.stats.rejected += 1
-        elif any(report.outcome is Outcome.DEFERRED for report in reports):
-            # The deciding level is genuinely unknown while the remote is
-            # unreachable: nothing is added to resolved_at_level until
-            # resolve_pending settles the verdict (at FULL_DATABASE), so
-            # local_resolution_rate never counts a deferral as local.
-            self.stats.deferred_remote += 1
-            return
-        deciding = (
-            max(report.level for report in reports)
-            if reports
-            else CheckLevel.CONSTRAINTS_ONLY
-        )
-        self.stats.resolved_at_level[deciding] += 1
-        if not self.apply_on_unknown and any(
-            report.outcome is Outcome.UNKNOWN for report in reports
-        ):
-            self.stats.deferred_unknown += 1
+        self.stats.record_reports(reports, self.apply_on_unknown)
 
     def _sync_reuse_stats(self) -> None:
-        """Copy the session/compiler reuse counters into the protocol
-        stats (they are cumulative gauges, not per-call increments)."""
-        if self._session is not None:
-            s = self._session.stats
-            self.stats.materializations_built = s.materializations_built
-            self.stats.materialization_reuses = s.materialization_reuses
-            self.stats.materializations_evicted = s.materializations_evicted
-            self.stats.incremental_deltas = s.incremental_deltas
-            self.stats.batches_flushed = s.batches_flushed
-            self.stats.batched_updates = s.batched_updates
-            self.stats.batch_replays = s.batch_replays
-            self.stats.batch_probe_vetoes = s.batch_probe_vetoes
-        info = self.checker.compiler.level1_cache_info()
-        self.stats.level1_cache_hits = info["hits"]
-        self.stats.level1_cache_misses = info["misses"]
-        if self.remote_link is not None:
-            ls = self.remote_link.stats
-            self.stats.remote_retries = ls.retries
-            self.stats.remote_failures = ls.failures
-            self.stats.remote_fast_fails = ls.fetches_fast_failed
-            self.stats.breaker_opens = ls.breaker_opens
-            self.stats.breaker_half_opens = ls.breaker_half_opens
-            self.stats.breaker_closes = ls.breaker_closes
+        sync_session_gauges(
+            self.stats, [self._session], self.checker.compiler, self.remote_link
+        )
 
     def _apply_local(
         self, update: Update

@@ -1,0 +1,451 @@
+"""Sharded check sessions: partition the local site, keep the verdicts.
+
+The paper's protocol distinguishes *local* data (cheap, always
+reachable) from *remote* data (expensive, possibly unreachable).  A
+large local site is itself often partitioned — by predicate, or by key
+range within a predicate — across processes that each want to run the
+Section 2 level pipeline over their own slice.  :class:`ShardedChecker`
+does exactly that while preserving the protocol's verdicts:
+
+* the local database is split into disjoint per-shard
+  :class:`~repro.datalog.database.Database` slices
+  (:meth:`~repro.distributed.site.Site.partition`), one
+  :class:`~repro.core.session.CheckSession` per shard, all sharing one
+  read-only :class:`~repro.core.compiler.ConstraintCompiler` (the
+  subsumption analysis, level-1 verdict LRU, and local test plans are
+  database-independent, hence shard-safe);
+* every update is routed to its owning shard; constraints are
+  classified **shard-local** (decidable inside one shard — the
+  maintained-materialization fast path) vs **spanning** (site-local but
+  crossing shards — settled against a lazily materialized cross-shard
+  union view, still at ``WITH_LOCAL_DATA``, since sibling-shard data is
+  part of the same site and can never defer) vs **remote** (escalating
+  off-site exactly as unsharded);
+* deferred verdicts keep their *global* ordering: the shard sessions
+  share one sequence counter, so the drain quarantines optimistic facts
+  newest-first and settles oldest-first **across** shards — byte-for-
+  byte the unsharded FIFO semantics.
+
+The win is maintenance locality: an update's delta pass touches only
+its shard's materializations, so the summed per-shard maintenance work
+is strictly below one session maintaining everything (measured by
+``benchmarks/bench_sharded.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import zlib
+from bisect import bisect_right
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.constraints.constraint import Constraint, ConstraintSet
+from repro.core.compiler import ConstraintCompiler
+from repro.core.outcomes import CheckLevel, CheckReport, Outcome
+from repro.core.session import (
+    MATERIALIZATION_LIMIT,
+    CheckSession,
+    PendingVerdict,
+)
+from repro.datalog.database import Database, UndoToken
+from repro.distributed.checker import ProtocolStats, sync_session_gauges
+from repro.distributed.remote import RemoteLink
+from repro.distributed.site import TwoSiteDatabase
+from repro.errors import RemoteUnavailableError
+from repro.updates.update import Modification, Update
+
+__all__ = ["PredicatePartitioner", "KeyRangePartitioner", "ShardedChecker"]
+
+
+class PredicatePartitioner:
+    """Assign each site-local predicate wholly to one shard.
+
+    Predicates known up front are dealt round-robin over their sorted
+    order (balanced and deterministic); a predicate first seen later
+    hashes to a stable slot.
+    """
+
+    def __init__(self, shards: int, predicates: Iterable[str] = ()) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.shards = shards
+        self._assigned: dict[str, int] = {
+            predicate: index % shards
+            for index, predicate in enumerate(sorted(predicates))
+        }
+
+    #: predicates split *across* shards by value (none for this class)
+    @property
+    def split_predicates(self) -> frozenset[str]:
+        return frozenset()
+
+    def owner(self, predicate: str, values: Optional[tuple] = None) -> int:
+        """The shard index owning ``predicate(values)``."""
+        slot = self._assigned.get(predicate)
+        if slot is None:
+            # Stable across processes (unlike the salted builtin hash).
+            slot = zlib.crc32(predicate.encode("utf-8")) % self.shards
+            self._assigned[predicate] = slot
+        return slot
+
+    def owned_predicates(self, predicates: Iterable[str]) -> list[set[str]]:
+        """Partition *predicates* into per-shard ownership sets (split
+        predicates belong to no single shard)."""
+        owned: list[set[str]] = [set() for _ in range(self.shards)]
+        for predicate in predicates:
+            if predicate not in self.split_predicates:
+                owned[self.owner(predicate)].add(predicate)
+        return owned
+
+
+class KeyRangePartitioner(PredicatePartitioner):
+    """A :class:`PredicatePartitioner` that additionally splits selected
+    predicates *across* shards by their first column.
+
+    ``boundaries[pred]`` gives ``shards - 1`` sorted cut points; a fact
+    with first value ``v`` lands in the shard whose range contains it
+    (``bisect``).  A split predicate belongs to no single shard: every
+    shard holds a slice, every session treats it as peer data, and
+    constraints over it are settled against the cross-shard union view.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        boundaries: dict[str, Sequence],
+        predicates: Iterable[str] = (),
+    ) -> None:
+        super().__init__(shards, predicates)
+        self._boundaries = {
+            predicate: tuple(cuts) for predicate, cuts in boundaries.items()
+        }
+        for predicate, cuts in self._boundaries.items():
+            if len(cuts) != shards - 1:
+                raise ValueError(
+                    f"key-range split of {predicate!r} needs {shards - 1} "
+                    f"boundaries for {shards} shards, got {len(cuts)}"
+                )
+            if list(cuts) != sorted(cuts):
+                raise ValueError(
+                    f"key-range boundaries for {predicate!r} must be sorted"
+                )
+
+    @property
+    def split_predicates(self) -> frozenset[str]:
+        return frozenset(self._boundaries)
+
+    def owner(self, predicate: str, values: Optional[tuple] = None) -> int:
+        cuts = self._boundaries.get(predicate)
+        if cuts is None:
+            return super().owner(predicate, values)
+        if not values:
+            raise ValueError(
+                f"{predicate!r} is key-range split: routing needs the fact"
+            )
+        return bisect_right(cuts, values[0])
+
+
+class ShardedChecker:
+    """Enforce constraints over a predicate-partitioned local site.
+
+    The protocol-facing surface matches :class:`DistributedChecker`
+    (``process`` / ``check_stream`` / ``resolve_pending`` / ``stats``),
+    and the verdicts match a single unsharded
+    :class:`~repro.core.session.CheckSession` over the union database:
+    shard-local constraints take the maintained-materialization path,
+    spanning constraints read the lazily built union view at the same
+    ``WITH_LOCAL_DATA`` level, and remote escalation (including DEFERRED
+    degradation and the drain) behaves identically because sibling-shard
+    fetches can never fail.
+    """
+
+    def __init__(
+        self,
+        constraints: ConstraintSet | Iterable[Constraint],
+        sites: TwoSiteDatabase,
+        shards: int = 2,
+        partitioner: Optional[PredicatePartitioner] = None,
+        use_interval_datalog: bool = False,
+        apply_on_unknown: bool = True,
+        remote_link: Optional[RemoteLink] = None,
+        max_materializations: Optional[int] = MATERIALIZATION_LIMIT,
+    ) -> None:
+        self.sites = sites
+        self.site_predicates = frozenset(sites.local_predicates)
+        if partitioner is None:
+            partitioner = PredicatePartitioner(shards, self.site_predicates)
+        self.partitioner = partitioner
+        self.shards = partitioner.shards
+        self.compiler = ConstraintCompiler(
+            constraints, self.site_predicates, use_interval_datalog
+        )
+        self.constraints = self.compiler.constraints
+        self.apply_on_unknown = apply_on_unknown
+        self.remote_link = remote_link
+        self.stats = ProtocolStats()
+
+        self._shard_dbs = sites.local.partition(
+            self.partitioner.owner, self.shards
+        )
+        owned = self.partitioner.owned_predicates(self.site_predicates)
+        # One shared monotone clock for PendingVerdict sequence numbers:
+        # the drain's global newest-first quarantine / oldest-first settle
+        # order is meaningful only on a cross-shard timeline.
+        self._seq = itertools.count(1)
+        seq_source = lambda: next(self._seq)  # noqa: E731
+        self.sessions: list[CheckSession] = [
+            CheckSession(
+                compiler=self.compiler,
+                local_predicates=owned[index],
+                local_db=self._shard_dbs[index],
+                apply_on_unknown=apply_on_unknown,
+                max_materializations=max_materializations,
+                peer_predicates=self.site_predicates - owned[index],
+                peer_source=self._peer_source(index),
+                seq_source=seq_source,
+            )
+            for index in range(self.shards)
+        ]
+
+    # -- topology ---------------------------------------------------------------
+    def _peer_source(self, index: int) -> Callable[..., Database]:
+        """A fetch over every *sibling* shard's slice — the lazily
+        materialized part of the cross-shard union view (the caller's
+        own slice is already its ``local_db``)."""
+
+        def fetch(predicates: Optional[Iterable[str]] = None) -> Database:
+            merged = Database()
+            wanted = set(predicates) if predicates is not None else None
+            for sibling, db in enumerate(self._shard_dbs):
+                if sibling == index:
+                    continue
+                names = (
+                    db.predicates() if wanted is None
+                    else wanted & db.predicates()
+                )
+                for predicate in names:
+                    for fact in db.facts(predicate):
+                        merged.insert(predicate, fact)
+            return merged
+
+        return fetch
+
+    def shard_of(self, update: Update) -> int:
+        """The shard that owns *update* — and the validity checks that
+        keep the shards disjoint: only site-local predicates may be
+        updated, and a modification may not move a fact between shards
+        (split it into an explicit deletion + insertion instead)."""
+        predicate = update.predicate
+        if predicate not in self.site_predicates:
+            raise ValueError(
+                f"update targets non-local predicate {predicate!r}; a "
+                f"sharded checker owns only the local site"
+            )
+        if isinstance(update, Modification):
+            old = self.partitioner.owner(predicate, update.old_values)
+            new = self.partitioner.owner(predicate, update.new_values)
+            if old != new:
+                raise ValueError(
+                    f"modification moves {predicate!r} fact across shards "
+                    f"({old} -> {new}); split it into -old / +new updates"
+                )
+            return old
+        return self.partitioner.owner(predicate, update.values)
+
+    def shard_local_constraints(self) -> dict[str, int]:
+        """Constraints decidable wholly inside one shard, by name."""
+        placed: dict[str, int] = {}
+        for index, session in enumerate(self.sessions):
+            for constraint in self.constraints:
+                if constraint.predicates() <= session.local_predicates:
+                    placed[constraint.name] = index
+        return placed
+
+    def spanning_constraints(self) -> tuple[str, ...]:
+        """Site-local constraints that cross shard boundaries — the only
+        ones whose settlement reads the cross-shard union view."""
+        placed = self.shard_local_constraints()
+        return tuple(
+            constraint.name
+            for constraint in self.constraints
+            if constraint.name not in placed
+            and constraint.predicates() <= self.site_predicates
+        )
+
+    def remote_constraints(self) -> tuple[str, ...]:
+        """Constraints mentioning true off-site predicates; these
+        escalate (and may defer) exactly as in the unsharded protocol."""
+        return tuple(
+            constraint.name
+            for constraint in self.constraints
+            if not constraint.predicates() <= self.site_predicates
+        )
+
+    @property
+    def remote_source(self) -> Callable[..., Database]:
+        """Off-site escalation: the fault-tolerant link when configured,
+        the raw metered remote site otherwise."""
+        if self.remote_link is not None:
+            return self.remote_link.fetch
+        return self.sites.remote.snapshot
+
+    def local_database(self) -> Database:
+        """The union of the shard slices — equal, update for update, to
+        the single database an unsharded session would maintain."""
+        merged = Database()
+        for db in self._shard_dbs:
+            for predicate in db.predicates():
+                for fact in db.facts(predicate):
+                    merged.insert(predicate, fact)
+        return merged
+
+    @property
+    def pending_count(self) -> int:
+        return sum(session.pending_count for session in self.sessions)
+
+    # -- the protocol -----------------------------------------------------------
+    def process(self, update: Update) -> list[CheckReport]:
+        """Route one update to its shard and run the level pipeline."""
+        session = self.sessions[self.shard_of(update)]
+        before = session.stats.remote_fetches
+        reports = session.process(update, remote=self.remote_source)
+        self.stats.updates += 1
+        self.stats.remote_round_trips += (
+            session.stats.remote_fetches - before
+        )
+        self.stats.record_reports(reports, self.apply_on_unknown)
+        self._sync_gauges()
+        return reports
+
+    def check_stream(
+        self,
+        updates: Iterable[Update],
+        batch_size: Optional[int] = None,
+    ) -> list[list[CheckReport]]:
+        """Stream mode over the shards.
+
+        Consecutive updates owned by the same shard form a run handed to
+        that shard's :meth:`CheckSession.process_stream` — with a
+        *batch_size*, coalesced maintenance batching (including the
+        panic probe and exact replay) runs per shard.  A shard switch
+        flushes the run first, so by the time a sibling's spanning check
+        materializes the union view every earlier delta has already
+        reached its slice (batched deltas hit the database eagerly);
+        verdicts therefore match global per-update processing.
+        """
+        results: list[list[CheckReport]] = []
+        run: list[Update] = []
+        run_shard: Optional[int] = None
+
+        def flush() -> None:
+            if not run:
+                return
+            session = self.sessions[run_shard]
+            before = session.stats.remote_fetches
+            run_results = session.process_stream(
+                run, remote=self.remote_source, batch_size=batch_size
+            )
+            self.stats.remote_round_trips += (
+                session.stats.remote_fetches - before
+            )
+            for reports in run_results:
+                self.stats.updates += 1
+                self.stats.record_reports(reports, self.apply_on_unknown)
+            results.extend(run_results)
+            run.clear()
+
+        for update in updates:
+            shard = self.shard_of(update)
+            if run_shard is not None and shard != run_shard:
+                flush()
+            run_shard = shard
+            run.append(update)
+        flush()
+        self._sync_gauges()
+        return results
+
+    def resolve_pending(self) -> list[tuple[Update, list[CheckReport]]]:
+        """Drain every shard's deferred-verdict queue as one global FIFO.
+
+        The single-session drain's soundness argument (quarantine all
+        optimistic unverified facts, then settle oldest-first against
+        verified state only) holds site-wide, not per shard: a spanning
+        re-check reads sibling slices through the union view, so a
+        sibling's unverified optimistic fact would contaminate it.  The
+        drain therefore pins materializations and quarantines across
+        **all** shards first (newest-first on the shared sequence
+        clock), settles globally oldest-first — always the smallest head
+        sequence number among the shard queues — and stops at the first
+        unreachable fetch, re-applying every still-queued reversal.
+        Returns ``(update, final_reports)`` pairs in settle order; never
+        raises on an unreachable remote.
+        """
+        sessions = self.sessions
+        pinned = [session._pin_pending_materializations() for session in sessions]
+        quarantined: list[dict[int, UndoToken]] = [{} for _ in sessions]
+        settled: list[PendingVerdict] = []
+        try:
+            timeline = sorted(
+                (
+                    (entry.seq, index, entry)
+                    for index, session in enumerate(sessions)
+                    for entry in session._pending
+                ),
+                reverse=True,
+            )
+            for seq, index, entry in timeline:
+                reversal = sessions[index]._quarantine_entry(entry)
+                if reversal is not None:
+                    quarantined[index][seq] = reversal
+            while True:
+                heads = [
+                    (session._pending[0].seq, index)
+                    for index, session in enumerate(sessions)
+                    if session._pending
+                ]
+                if not heads:
+                    break
+                _, index = min(heads)
+                session = sessions[index]
+                before = session.stats.remote_fetches
+                try:
+                    entry = session._settle_head(
+                        self.remote_source,
+                        CheckLevel.FULL_DATABASE,
+                        quarantined[index],
+                    )
+                except RemoteUnavailableError:
+                    break
+                self.stats.remote_round_trips += (
+                    session.stats.remote_fetches - before
+                )
+                settled.append(entry)
+        finally:
+            # Shard databases are disjoint, so per-shard redo order is
+            # physically equivalent to the global one.
+            for index, session in enumerate(sessions):
+                session._redo_quarantined(quarantined[index])
+                session._unpin_materializations(pinned[index])
+        results: list[tuple[Update, list[CheckReport]]] = []
+        for entry in settled:
+            reports = entry.ordered_reports(self.constraints)
+            self.stats.deferred_resolved += 1
+            deciding = (
+                max(report.level for report in reports)
+                if reports
+                else CheckLevel.CONSTRAINTS_ONLY
+            )
+            self.stats.resolved_at_level[deciding] += 1
+            if any(r.outcome is Outcome.VIOLATED for r in reports):
+                self.stats.rejected += 1
+            results.append((entry.update, reports))
+        self._sync_gauges()
+        return results
+
+    def _sync_gauges(self) -> None:
+        sync_session_gauges(
+            self.stats, self.sessions, self.compiler, self.remote_link
+        )
+        self.stats.deferred_rolled_back = sum(
+            session.stats.deferred_rolled_back for session in self.sessions
+        )

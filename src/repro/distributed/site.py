@@ -11,7 +11,7 @@ benchmark reports remote accesses avoided by the local tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Callable, Iterable, Mapping
 
 from repro.datalog.database import Database
 
@@ -109,6 +109,30 @@ class Site:
     def unmetered(self) -> Database:
         """Direct access for test fixtures and ground-truth checks."""
         return self._db
+
+    def partition(
+        self, owner: "Callable[[str, tuple], int]", shards: int
+    ) -> list[Database]:
+        """Split this site's contents into *shards* disjoint databases.
+
+        Each fact ``(predicate, values)`` lands in slice
+        ``owner(predicate, values)``.  The slices are fresh copies; a
+        sharded checker that adopts them becomes the authority over the
+        site's data and this site object is thereafter only the source
+        of the initial contents."""
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        slices = [Database() for _ in range(shards)]
+        for predicate in self._db.predicates():
+            for fact in self._db.facts(predicate):
+                index = owner(predicate, fact)
+                if not 0 <= index < shards:
+                    raise ValueError(
+                        f"owner({predicate!r}, {fact!r}) -> {index} is not a "
+                        f"shard index in [0, {shards})"
+                    )
+                slices[index].insert(predicate, fact)
+        return slices
 
     def __repr__(self) -> str:
         return f"Site({self.name!r}, {self._db!r})"
