@@ -35,6 +35,13 @@ back DEFERRED, are drained by ``resolve_pending`` once the link
 recovers, and the run ends with a degradation summary.  ``--pessimistic``
 holds updates back (instead of applying optimistically) until every
 verdict is SATISFIED.
+
+``--shards N`` partitions the local site into N per-shard check
+sessions (verdicts identical to a single session); ``--parallel N``
+additionally runs shard-confined updates on N worker threads with
+explicit fences around cross-shard work, and ``--overlap-remote``
+issues remote escalations asynchronously so the stream keeps flowing
+while a slow fetch is in flight.
 """
 
 from __future__ import annotations
@@ -198,6 +205,10 @@ def _build_remote_link(args: argparse.Namespace, remote_site):
         or args.remote_timeout is not None
     )
     if not faulty and args.retries is None:
+        if getattr(args, "overlap_remote", False):
+            # Overlap needs a link (the async queue lives there) even
+            # with a perfectly healthy remote.
+            return RemoteLink(remote_site)
         return None
     faults = FaultModel(
         failure_rate=args.fault_rate,
@@ -273,6 +284,10 @@ def _cmd_check_stream(args: argparse.Namespace) -> int:
         local_predicates=local_predicates,
     )
     link = _build_remote_link(args, sites.remote)
+    if args.parallel and not args.shards:
+        raise ReproError(
+            "--parallel needs --shards: the workers are per-shard sessions"
+        )
     if args.shards:
         from repro.distributed.sharded import ShardedChecker
 
@@ -287,12 +302,15 @@ def _cmd_check_stream(args: argparse.Namespace) -> int:
             partitioner=_build_partitioner(args, local_predicates),
             apply_on_unknown=not args.pessimistic,
             remote_link=link,
+            parallelism=args.parallel or 1,
+            overlap_remote=args.overlap_remote,
         )
     else:
         checker = DistributedChecker(
             constraints, sites,
             apply_on_unknown=not args.pessimistic,
             remote_link=link,
+            overlap_remote=args.overlap_remote,
         )
     exit_code = 0
     if args.transaction:
@@ -331,6 +349,10 @@ def _cmd_check_stream(args: argparse.Namespace) -> int:
     if checker.pending_count:
         print()
         print(f"resolving {checker.pending_count} deferred verdict(s)...")
+        if link is not None and args.overlap_remote:
+            # Let the in-flight escalation futures land so the drain can
+            # settle from their results instead of breaking on them.
+            link.wait_inflight()
         settled, remaining = _drain_pending(checker)
         for update, reports in settled:
             rejected = any(r.outcome is Outcome.VIOLATED for r in reports)
@@ -351,6 +373,7 @@ def _cmd_check_stream(args: argparse.Namespace) -> int:
     for label, value in checker.stats.summary_rows():
         print(f"{label:<{width}}  {value}")
     if link is not None:
+        link.close()
         print()
         print("-- remote link degradation --")
         rows = link.stats.summary_rows()
@@ -483,6 +506,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="key-range split PRED across the shards on its first "
         "column (N-1 sorted cut points; repeatable); other predicates "
         "stay whole, round-robin",
+    )
+    stream.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="run shard-confined updates on N worker threads "
+        "(fence-scheduled; verdicts identical to serial); needs --shards",
+    )
+    stream.add_argument(
+        "--overlap-remote", action="store_true",
+        help="issue remote escalations asynchronously: the update "
+        "defers immediately and the stream keeps flowing while the "
+        "fetch is in flight (settled by the post-stream drain)",
     )
     faults = stream.add_argument_group(
         "fault simulation",

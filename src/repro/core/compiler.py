@@ -23,6 +23,7 @@ per-call databases).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
@@ -216,6 +217,15 @@ class ConstraintCompiler:
     constraint set (assumed to hold initially), the predicates stored at
     this site, and whether single-variable ICQs should run the generated
     Fig. 6.1 datalog program instead of the direct interval algebra.
+
+    One compiler may be shared by sessions running on several threads
+    (the parallel sharded checker does exactly that): the static
+    compilation products are immutable after ``__init__``, and the two
+    mutable caches — the per-constraint level-1 LRU and the lazily built
+    plan dicts — are guarded by an internal lock, since an LRU hit is a
+    multi-step ``OrderedDict`` mutation.  Call :meth:`prewarm` before
+    fanning out to also force the lazily initialized per-constraint
+    engines and classifications on one thread.
     """
 
     def __init__(
@@ -231,6 +241,10 @@ class ConstraintCompiler:
         self.local_predicates = frozenset(local_predicates)
         self.use_interval_datalog = use_interval_datalog
         self.level1_cache_size = level1_cache_size
+        #: guards the level-1 LRUs and the lazy plan dicts under
+        #: multi-threaded session access (re-entrant: plan building may
+        #: consult level1 helpers)
+        self._lock = threading.RLock()
         self._compiled: dict[str, CompiledConstraint] = {}
         for constraint in constraints:
             compiled = CompiledConstraint(
@@ -259,39 +273,63 @@ class ConstraintCompiler:
     # -- level 1 ---------------------------------------------------------------
     def level1_verdict(self, constraint: Constraint, update: Update) -> bool:
         """Cached Section 4 independence verdict for one exact update."""
-        compiled = self._compiled[constraint.name]
-        key = (update.predicate, str(update), type(update).__name__)
-        verdict = compiled.level1_cache.get(key, _MISSING)
-        if verdict is not _MISSING:
+        with self._lock:
+            compiled = self._compiled[constraint.name]
+            key = (update.predicate, str(update), type(update).__name__)
+            verdict = compiled.level1_cache.get(key, _MISSING)
+            if verdict is not _MISSING:
+                return verdict
+            try:
+                verdict = cannot_cause_violation(
+                    constraint, update, self.constraints.others(constraint)
+                )
+            except (UndecidableError, UnsupportedClassError, NotApplicableError):
+                verdict = False
+            compiled.level1_cache.put(key, verdict)
             return verdict
-        try:
-            verdict = cannot_cause_violation(
-                constraint, update, self.constraints.others(constraint)
-            )
-        except (UndecidableError, UnsupportedClassError, NotApplicableError):
-            verdict = False
-        compiled.level1_cache.put(key, verdict)
-        return verdict
 
     def level1_cache_info(self) -> dict:
         """Aggregate hit/miss/size statistics across all constraints."""
         total = {"hits": 0, "misses": 0, "size": 0, "maxsize": 0}
-        for compiled in self._compiled.values():
-            info = compiled.level1_cache.info()
-            for key in total:
-                total[key] += info[key]
+        with self._lock:
+            for compiled in self._compiled.values():
+                info = compiled.level1_cache.info()
+                for key in total:
+                    total[key] += info[key]
         return total
 
     # -- level 2 plans -----------------------------------------------------------
     def local_test_plan(self, constraint: Constraint, predicate: str) -> LocalTestPlan:
         """The (cached) complete-local-test plan for insertions into
         *predicate* under *constraint*."""
-        compiled = self._compiled[constraint.name]
-        plan = compiled.plans.get(predicate)
-        if plan is None:
-            plan = self._build_plan(compiled, predicate)
-            compiled.plans[predicate] = plan
-        return plan
+        with self._lock:
+            compiled = self._compiled[constraint.name]
+            plan = compiled.plans.get(predicate)
+            if plan is None:
+                plan = self._build_plan(compiled, predicate)
+                compiled.plans[predicate] = plan
+            return plan
+
+    # -- thread preparation ------------------------------------------------------
+    def prewarm(self) -> None:
+        """Force the remaining lazy per-constraint state on this thread.
+
+        Constraints initialize their datalog :class:`Engine`, panic
+        polarities, and class label lazily on first use; those
+        initializations are idempotent but wasteful to race.  The
+        parallel sharded checker calls this once before fanning sessions
+        out to worker threads.
+        """
+        for compiled in self._compiled.values():
+            constraint = compiled.constraint
+            try:
+                constraint.engine.panic_polarities()
+            except ReproError:
+                pass
+            try:
+                constraint.constraint_class
+            except ReproError:
+                pass
 
     def _build_plan(
         self, compiled: CompiledConstraint, predicate: str

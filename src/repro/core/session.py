@@ -191,6 +191,13 @@ class PendingVerdict:
     reports: dict[str, CheckReport]
     applied: bool
     token: Optional[UndoToken] = None
+    #: overlapped escalation: the in-flight fetch future issued when this
+    #: entry deferred (``RemoteLink.fetch_nowait``), consumed by the drain
+    future: Optional[object] = None
+    #: the predicate restriction the future's fetch was issued with
+    #: (``None`` = unrestricted, covers everything); a settle whose needs
+    #: exceed it discards the future and fetches synchronously
+    future_predicates: Optional[frozenset] = None
 
     @property
     def resolved(self) -> bool:
@@ -509,6 +516,8 @@ class CheckSession:
         # raises RemoteUnavailableError degrades the unresolved verdicts
         # to DEFERRED instead of crashing the stream; the update is then
         # queued for resolve_pending().
+        defer_future = None
+        defer_future_predicates: Optional[frozenset] = None
         if pending_unknown:
             remote_db: Optional[Database] = None
             peer_db: Optional[Database] = None
@@ -528,6 +537,14 @@ class CheckSession:
                     remote_db = _fetch_remote(remote, needed)
                 except RemoteUnavailableError as exc:
                     unreachable = exc
+                    # An overlapped link raises with the fetch still in
+                    # flight; remember the future so the drain can settle
+                    # from its result instead of re-fetching.
+                    defer_future = getattr(exc, "future", None)
+                    if defer_future is not None:
+                        defer_future_predicates = getattr(
+                            exc, "predicates", None
+                        )
                 else:
                     # A Database handed in directly (e.g. by the
                     # resolve_pending drain, which fetched it itself and
@@ -600,7 +617,11 @@ class CheckSession:
                 # transaction the DEFERRED verdict aborts the transaction
                 # instead; a held retry after the abort would resurrect a
                 # rolled-back update.)
-                self._queue_pending(update, deferred, reports, applied=False)
+                self._queue_pending(
+                    update, deferred, reports, applied=False,
+                    future=defer_future,
+                    future_predicates=defer_future_predicates,
+                )
         else:
             self.stats.applied += 1
             if transaction is not None:
@@ -615,7 +636,9 @@ class CheckSession:
                 self.stats.deferred_remote += 1
                 if transaction is None:
                     self._queue_pending(
-                        update, deferred, reports, applied=True, token=token
+                        update, deferred, reports, applied=True, token=token,
+                        future=defer_future,
+                        future_predicates=defer_future_predicates,
                     )
         return ordered
 
@@ -762,6 +785,8 @@ class CheckSession:
         reports: dict[str, CheckReport],
         applied: bool,
         token: Optional[UndoToken] = None,
+        future: Optional[object] = None,
+        future_predicates: Optional[frozenset] = None,
     ) -> None:
         self._pending.append(
             PendingVerdict(
@@ -771,6 +796,8 @@ class CheckSession:
                 reports=dict(reports),
                 applied=applied,
                 token=token,
+                future=future,
+                future_predicates=future_predicates,
             )
         )
 
@@ -895,7 +922,16 @@ class CheckSession:
         against today's state — the fetch covers every remote predicate
         any constraint on the entry's relation could escalate for.
         Raises :class:`~repro.errors.RemoteUnavailableError` (leaving the
-        entry queued) when the remote stays unreachable.
+        entry queued) when the remote stays unreachable, or when the
+        entry's overlapped escalation future is still in flight — the
+        drain must not settle from data it does not have yet.
+
+        An entry carrying a completed future settles from that result as
+        long as the future's predicate restriction covers today's needs
+        (an unrestricted fetch always does); a too-narrow snapshot would
+        silently treat the missing relations as empty, so it is discarded
+        and the settle falls back to a synchronous fetch.  A future that
+        *failed* is cleared too — the next drain round re-fetches.
         """
         entry = self._pending[0]
         needed = self._remote_predicates(
@@ -903,7 +939,33 @@ class CheckSession:
             for constraint in self.constraints
             if self.compiler.mentions(constraint, entry.update.predicate)
         )
-        remote_db = _fetch_remote(remote, needed)
+        # Sibling-shard predicates come from the always-reachable peer
+        # source (the settle re-fetches them itself); only the true
+        # off-site part is the fetch's job — or the future's coverage.
+        needed -= self.peer_predicates
+        remote_db: Optional[Database] = None
+        future = entry.future
+        if future is not None:
+            covered = (
+                entry.future_predicates is None
+                or needed <= set(entry.future_predicates)
+            )
+            if not covered:
+                entry.future = None
+                entry.future_predicates = None
+            elif not future.done():
+                raise RemoteUnavailableError(
+                    "escalation fetch still in flight", reason="in-flight"
+                )
+            else:
+                entry.future = None
+                entry.future_predicates = None
+                # Raises RemoteUnavailableError on a failed fetch, which
+                # stops the drain exactly like a synchronous failure; the
+                # cleared future makes the next round fetch fresh.
+                remote_db = future.result()
+        if remote_db is None:
+            remote_db = _fetch_remote(remote, needed)
         self.stats.remote_fetches += 1
         self._pending.pop(0)
         quarantined.pop(entry.seq, None)

@@ -69,6 +69,12 @@ class ProtocolStats:
     #: transactions started / aborted via exact token rollback
     transactions: int = 0
     transactions_rolled_back: int = 0
+    #: parallel shard mode: fence-free segments drained at a barrier,
+    #: and updates that fenced (ran alone between barriers)
+    parallel_segments: int = 0
+    fences: int = 0
+    #: modifications decomposed into cross-shard delete+insert halves
+    cross_shard_modifications: int = 0
     #: level-1 verdict LRU accounting (shared by both modes)
     level1_cache_hits: int = 0
     level1_cache_misses: int = 0
@@ -121,6 +127,11 @@ class ProtocolStats:
         rows.append(("batch probe vetoes", self.batch_probe_vetoes))
         rows.append(("transactions", self.transactions))
         rows.append(("transactions rolled back", self.transactions_rolled_back))
+        rows.append(("parallel segments", self.parallel_segments))
+        rows.append(("fences", self.fences))
+        rows.append(
+            ("cross-shard modifications", self.cross_shard_modifications)
+        )
         rows.append(("level-1 cache hits", self.level1_cache_hits))
         rows.append(("level-1 cache misses", self.level1_cache_misses))
         rows.append(("deferred (remote unreachable)", self.deferred_remote))
@@ -219,7 +230,13 @@ class DistributedChecker:
         use_interval_datalog: bool = False,
         apply_on_unknown: bool = True,
         remote_link: Optional[RemoteLink] = None,
+        overlap_remote: bool = False,
     ) -> None:
+        if overlap_remote and remote_link is None:
+            raise ValueError(
+                "overlap_remote needs a RemoteLink (the raw site has no "
+                "async fetch queue)"
+            )
         self.sites = sites
         self.checker = PartialInfoChecker(
             constraints,
@@ -231,6 +248,10 @@ class DistributedChecker:
         #: retry/backoff/breaker policy; exhausted fetches degrade the
         #: verdict to DEFERRED instead of raising
         self.remote_link = remote_link
+        #: issue in-stream escalation fetches through the link's async
+        #: queue: the update defers immediately (future in tow) and the
+        #: stream keeps flowing while the fetch is in flight
+        self.overlap_remote = overlap_remote
         self.stats = ProtocolStats()
         self._session: Optional[CheckSession] = None
 
@@ -251,10 +272,22 @@ class DistributedChecker:
         """The escalation fetch function: the fault-tolerant link when
         configured, the raw metered site otherwise.  Both accept a
         ``predicates=`` restriction so escalations ship only the remote
-        relations the unresolved constraints mention."""
+        relations the unresolved constraints mention.  With
+        ``overlap_remote`` this is the link's async queue."""
         if self.remote_link is not None:
+            if self.overlap_remote:
+                return self.remote_link.fetch_nowait
             return self.remote_link.fetch
         return self.sites.remote.snapshot
+
+    @property
+    def _drain_source(self) -> Callable[..., Database]:
+        """The *blocking* fetch :meth:`resolve_pending` settles against —
+        never the async queue, whose raise mid-settle would leak an
+        unconsumed future."""
+        if self.remote_link is not None:
+            return self.remote_link.fetch
+        return self.remote_source
 
     @property
     def pending_count(self) -> int:
@@ -300,6 +333,8 @@ class DistributedChecker:
             update, local_db, remote_db=None, max_level=CheckLevel.WITH_LOCAL_DATA
         )
         unresolved = [r for r in reports if r.outcome is Outcome.UNKNOWN]
+        defer_future = None
+        defer_future_predicates = None
         if unresolved:
             needed = self._escalation_predicates(unresolved)
             try:
@@ -307,6 +342,12 @@ class DistributedChecker:
                     predicates=sorted(needed) if needed else None
                 )
             except RemoteUnavailableError as exc:
+                # An overlapped link raises with the fetch still in
+                # flight; the future rides on the queued entry so the
+                # drain settles from its result instead of re-fetching.
+                defer_future = getattr(exc, "future", None)
+                if defer_future is not None:
+                    defer_future_predicates = getattr(exc, "predicates", None)
                 reports = [
                     CheckReport(
                         report.constraint_name, Outcome.DEFERRED, report.level,
@@ -359,7 +400,9 @@ class DistributedChecker:
                 session = self.session
                 session.stats.deferred_remote += 1
                 session._queue_pending(
-                    update, deferred, report_map, applied=True, token=token
+                    update, deferred, report_map, applied=True, token=token,
+                    future=defer_future,
+                    future_predicates=defer_future_predicates,
                 )
         elif (
             deferred
@@ -371,7 +414,11 @@ class DistributedChecker:
             # the link recovers; resolve_pending retries it end to end.
             session = self.session
             session.stats.deferred_remote += 1
-            session._queue_pending(update, deferred, report_map, applied=False)
+            session._queue_pending(
+                update, deferred, report_map, applied=False,
+                future=defer_future,
+                future_predicates=defer_future_predicates,
+            )
         if self.remote_link is not None:
             self._sync_reuse_stats()
         return reports
@@ -458,7 +505,7 @@ class DistributedChecker:
         session = self.session
         before_fetches = session.stats.remote_fetches
         before_rolled_back = session.stats.deferred_rolled_back
-        entries = session.resolve_pending(self.remote_source)
+        entries = session.resolve_pending(self._drain_source)
         self.stats.remote_round_trips += (
             session.stats.remote_fetches - before_fetches
         )

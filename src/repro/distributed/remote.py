@@ -21,19 +21,70 @@ raises :class:`~repro.errors.RemoteUnavailableError`; the protocol layer
 degrades to a DEFERRED verdict instead of crashing the stream.  Nothing
 sleeps — backoff waits and attempt latencies accumulate on a simulated
 clock, which the benchmarks read as verdict latency.
+
+Two concurrency affordances sit on top of that policy:
+
+* the link is **thread-safe**: breaker state, statistics, and the clock
+  are guarded by one lock, while the actual ``snapshot`` calls are
+  serialized on a separate I/O lock — the link models one connection to
+  one remote site, so attempts form a total order (which is also what
+  makes "consecutive failures" well-defined) and the wrapped remote
+  never sees concurrent access;
+* :meth:`RemoteLink.fetch_nowait` is the **async escalation queue**: it
+  submits the fetch to a small worker pool and raises
+  :class:`RemoteFetchInFlight` (a :class:`RemoteUnavailableError`
+  carrying the future) immediately, so a slow-but-healthy remote no
+  longer blocks the stream — covered updates keep flowing and the
+  deferred entry settles from the future's result in arrival order
+  through the ordinary ``PendingVerdict`` / ``resolve_pending``
+  machinery.
 """
 
 from __future__ import annotations
 
 import enum
 import random
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable, Optional, Protocol
 
 from repro.datalog.database import Database
 from repro.errors import RemoteUnavailableError
 
-__all__ = ["BreakerState", "FetchPolicy", "LinkStats", "RemoteLink", "RemoteSite"]
+__all__ = [
+    "BreakerState",
+    "FetchPolicy",
+    "LinkStats",
+    "RemoteFetchInFlight",
+    "RemoteLink",
+    "RemoteSite",
+]
+
+
+class RemoteFetchInFlight(RemoteUnavailableError):
+    """The fetch was *issued* but has not completed — data unavailable now.
+
+    Raised by :meth:`RemoteLink.fetch_nowait` as soon as the fetch is on
+    the async pool: semantically the caller cannot have the snapshot
+    *yet*, so the protocol layer takes its ordinary DEFERRED path, but
+    :attr:`future` rides along on the queued
+    :class:`~repro.core.session.PendingVerdict` and the drain settles
+    from its result (or discards it, if the settle needs more predicates
+    than :attr:`predicates` covered) instead of re-fetching.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        future: "Future[Database]",
+        predicates: Iterable[str] | None = None,
+    ) -> None:
+        super().__init__(message, reason="in-flight")
+        self.future = future
+        self.predicates = (
+            frozenset(predicates) if predicates is not None else None
+        )
 
 
 class RemoteSite(Protocol):
@@ -111,6 +162,9 @@ class LinkStats:
     breaker_opens: int = 0
     breaker_half_opens: int = 0
     breaker_closes: int = 0
+    #: fetches issued asynchronously via :meth:`RemoteLink.fetch_nowait`
+    #: (each also counts as an ordinary fetch when its worker runs)
+    fetches_async: int = 0
     #: simulated seconds spent waiting in backoff
     backoff_waited: float = 0.0
     #: simulated seconds spent on attempt latency
@@ -119,6 +173,7 @@ class LinkStats:
     def summary_rows(self) -> list[tuple[str, object]]:
         return [
             ("remote fetches", self.fetches),
+            ("remote fetches async (overlapped)", self.fetches_async),
             ("remote fetches ok", self.fetches_ok),
             ("remote fetches failed", self.fetches_failed),
             ("remote fast-fails (breaker open)", self.fetches_fast_failed),
@@ -142,6 +197,14 @@ class RemoteLink:
     anything else and never blocks forever.  The simulated ``clock``
     advances by attempt latencies and backoff waits, so benchmarks can
     report verdict latency without sleeping.
+
+    The link is safe to call from multiple threads.  Breaker state,
+    statistics, the rng, and the clock live under one re-entrant lock;
+    the wrapped remote's ``snapshot`` calls are serialized on a separate
+    I/O lock (one link ~ one connection), so attempt outcomes form a
+    total order and "consecutive failures" keeps its serial meaning.
+    ``fetch_nowait`` overlaps a fetch with the caller's own work by
+    running ``fetch`` on a small internal worker pool.
     """
 
     def __init__(
@@ -149,7 +212,10 @@ class RemoteLink:
         remote: RemoteSite,
         policy: Optional[FetchPolicy] = None,
         seed: int = 0,
+        async_workers: int = 2,
     ) -> None:
+        if async_workers < 1:
+            raise ValueError("async_workers must be at least 1")
         self.remote = remote
         self.policy = policy if policy is not None else FetchPolicy()
         self.stats = LinkStats()
@@ -160,20 +226,32 @@ class RemoteLink:
         self._open_fetches = 0
         # Fault-aware remotes take a per-attempt timeout; plain Sites don't.
         self._supports_timeout = hasattr(remote, "last_latency")
+        #: guards breaker/stats/clock/rng bookkeeping (re-entrant: the
+        #: in-flight condition below shares it)
+        self._lock = threading.RLock()
+        #: serializes the actual ``remote.snapshot`` calls
+        self._io_lock = threading.Lock()
+        self._async_workers = async_workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._inflight = 0
+        self._inflight_cond = threading.Condition(self._lock)
 
     # -- breaker ----------------------------------------------------------------
     @property
     def state(self) -> BreakerState:
-        return self._state
+        with self._lock:
+            return self._state
 
     @property
     def available(self) -> bool:
         """Would a fetch right now at least try the remote?"""
-        return self._state is not BreakerState.OPEN or (
-            self._open_fetches >= self.policy.cooldown_fetches
-        )
+        with self._lock:
+            return self._state is not BreakerState.OPEN or (
+                self._open_fetches >= self.policy.cooldown_fetches
+            )
 
     def _transition(self, state: BreakerState) -> None:
+        # Callers hold self._lock.
         if state is self._state:
             return
         self._state = state
@@ -188,15 +266,21 @@ class RemoteLink:
 
     # -- fetching ---------------------------------------------------------------
     def _attempt(self, predicates: Iterable[str] | None) -> Database:
-        if self._supports_timeout:
-            try:
-                return self.remote.snapshot(
-                    predicates=predicates, timeout=self.policy.attempt_timeout
-                )
-            finally:
-                self.clock += getattr(self.remote, "last_latency", 0.0)
-                self.stats.attempt_latency += getattr(self.remote, "last_latency", 0.0)
-        return self.remote.snapshot(predicates=predicates)
+        # The remote itself is not assumed thread-safe; one connection,
+        # one snapshot at a time.  last_latency is read while we still
+        # hold the I/O lock so a concurrent attempt can't clobber it.
+        with self._io_lock:
+            if self._supports_timeout:
+                try:
+                    return self.remote.snapshot(
+                        predicates=predicates, timeout=self.policy.attempt_timeout
+                    )
+                finally:
+                    latency = getattr(self.remote, "last_latency", 0.0)
+                    with self._lock:
+                        self.clock += latency
+                        self.stats.attempt_latency += latency
+            return self.remote.snapshot(predicates=predicates)
 
     def fetch(self, predicates: Iterable[str] | None = None) -> Database:
         """Fetch a (possibly predicate-restricted) remote snapshot.
@@ -205,10 +289,92 @@ class RemoteLink:
         breaker is open (reason ``"circuit-open"``) or the retry budget
         is exhausted (reason ``"exhausted"``).
         """
-        self.stats.fetches += 1
         policy = self.policy
-        if self._state is BreakerState.OPEN:
-            if self._open_fetches < policy.cooldown_fetches:
+        with self._lock:
+            self.stats.fetches += 1
+            if self._state is BreakerState.OPEN:
+                if self._open_fetches < policy.cooldown_fetches:
+                    self._open_fetches += 1
+                    self.stats.fetches_fast_failed += 1
+                    raise RemoteUnavailableError(
+                        f"circuit breaker open ({self._open_fetches}/"
+                        f"{policy.cooldown_fetches} of cooldown)",
+                        reason="circuit-open",
+                    )
+                self._transition(BreakerState.HALF_OPEN)
+
+            # Half-open risks exactly one probe; closed gets the full budget.
+            budget = (
+                1 if self._state is BreakerState.HALF_OPEN else policy.max_attempts
+            )
+        last_error: Optional[RemoteUnavailableError] = None
+        for attempt in range(budget):
+            with self._lock:
+                if attempt:
+                    wait = policy.backoff(attempt, self._rng)
+                    self.clock += wait
+                    self.stats.backoff_waited += wait
+                    self.stats.retries += 1
+                self.stats.attempts += 1
+            try:
+                snapshot = self._attempt(predicates)
+            except RemoteUnavailableError as exc:
+                last_error = exc
+                with self._lock:
+                    self.stats.failures += 1
+                    if exc.reason == "timeout":
+                        self.stats.timeouts += 1
+                    self._consecutive_failures += 1
+                    if (
+                        self._state is BreakerState.HALF_OPEN
+                        or self._consecutive_failures >= policy.failure_threshold
+                    ):
+                        self._transition(BreakerState.OPEN)
+                        opened = True
+                    else:
+                        opened = False
+                if opened:
+                    break
+                continue
+            with self._lock:
+                self._consecutive_failures = 0
+                if self._state is not BreakerState.CLOSED:
+                    self._transition(BreakerState.CLOSED)
+                self.stats.fetches_ok += 1
+            return snapshot
+
+        with self._lock:
+            self.stats.fetches_failed += 1
+            state = self._state
+            attempts = self.stats.attempts
+        raise RemoteUnavailableError(
+            f"remote fetch failed after {attempts} cumulative "
+            f"attempts (breaker {state}): {last_error}",
+            reason="exhausted",
+        )
+
+    # -- overlapped (async) fetching --------------------------------------------
+    def fetch_nowait(
+        self, predicates: Iterable[str] | None = None
+    ) -> Database:
+        """Issue a fetch without waiting for it; always raises.
+
+        An open, still-cooling breaker fast-fails synchronously exactly
+        like :meth:`fetch` (queueing a fetch the breaker would reject is
+        pointless).  Otherwise the fetch is submitted to the link's
+        worker pool and :class:`RemoteFetchInFlight` is raised carrying
+        the future — the caller defers the update and the drain settles
+        it from the future's result.  Drains themselves must use the
+        blocking :meth:`fetch` as their source, never this method.
+        """
+        predicates = frozenset(predicates) if predicates is not None else None
+        policy = self.policy
+        with self._lock:
+            if (
+                self._state is BreakerState.OPEN
+                and self._open_fetches < policy.cooldown_fetches
+            ):
+                self.stats.fetches += 1
                 self._open_fetches += 1
                 self.stats.fetches_fast_failed += 1
                 raise RemoteUnavailableError(
@@ -216,42 +382,49 @@ class RemoteLink:
                     f"{policy.cooldown_fetches} of cooldown)",
                     reason="circuit-open",
                 )
-            self._transition(BreakerState.HALF_OPEN)
-
-        # Half-open risks exactly one probe; closed gets the full budget.
-        budget = 1 if self._state is BreakerState.HALF_OPEN else policy.max_attempts
-        last_error: Optional[RemoteUnavailableError] = None
-        for attempt in range(budget):
-            if attempt:
-                wait = policy.backoff(attempt, self._rng)
-                self.clock += wait
-                self.stats.backoff_waited += wait
-                self.stats.retries += 1
-            self.stats.attempts += 1
-            try:
-                snapshot = self._attempt(predicates)
-            except RemoteUnavailableError as exc:
-                last_error = exc
-                self.stats.failures += 1
-                if exc.reason == "timeout":
-                    self.stats.timeouts += 1
-                self._consecutive_failures += 1
-                if (
-                    self._state is BreakerState.HALF_OPEN
-                    or self._consecutive_failures >= policy.failure_threshold
-                ):
-                    self._transition(BreakerState.OPEN)
-                    break
-                continue
-            self._consecutive_failures = 0
-            if self._state is not BreakerState.CLOSED:
-                self._transition(BreakerState.CLOSED)
-            self.stats.fetches_ok += 1
-            return snapshot
-
-        self.stats.fetches_failed += 1
-        raise RemoteUnavailableError(
-            f"remote fetch failed after {self.stats.attempts} cumulative "
-            f"attempts (breaker {self._state}): {last_error}",
-            reason="exhausted",
+            self.stats.fetches_async += 1
+            self._inflight += 1
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._async_workers,
+                    thread_name_prefix="remote-fetch",
+                )
+            pool = self._pool
+        try:
+            future = pool.submit(self.fetch, predicates=predicates)
+        except BaseException:
+            with self._inflight_cond:
+                self._inflight -= 1
+                self._inflight_cond.notify_all()
+            raise
+        future.add_done_callback(self._fetch_settled)
+        raise RemoteFetchInFlight(
+            "escalation fetch issued asynchronously; result pending",
+            future,
+            predicates,
         )
+
+    def _fetch_settled(self, _future: "Future[Database]") -> None:
+        with self._inflight_cond:
+            self._inflight -= 1
+            self._inflight_cond.notify_all()
+
+    @property
+    def inflight(self) -> int:
+        """Async fetches issued but not yet completed."""
+        with self._lock:
+            return self._inflight
+
+    def wait_inflight(self, timeout: Optional[float] = None) -> bool:
+        """Block until every async fetch has completed (or timeout)."""
+        with self._inflight_cond:
+            return self._inflight_cond.wait_for(
+                lambda: self._inflight == 0, timeout=timeout
+            )
+
+    def close(self) -> None:
+        """Shut down the async worker pool, waiting for in-flight fetches."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)

@@ -30,6 +30,16 @@ The win is maintenance locality: an update's delta pass touches only
 its shard's materializations, so the summed per-shard maintenance work
 is strictly below one session maintaining everything (measured by
 ``benchmarks/bench_sharded.py``).
+
+With ``parallelism > 1`` the checker additionally converts shard
+independence into wall-clock overlap: updates whose constraint
+footprint is confined to their owning shard run concurrently on a
+thread pool, one worker per shard, while updates that would read across
+shards (spanning or mixed constraints, split predicates, cross-shard
+modifications) act as **fences** — the scheduler drains the open
+parallel segment first and runs them alone.  Verdicts stay byte-
+identical to the serial checker (see DESIGN.md §9 for the fence
+argument); ``benchmarks/bench_parallel.py`` measures the overlap.
 """
 
 from __future__ import annotations
@@ -37,6 +47,7 @@ from __future__ import annotations
 import itertools
 import zlib
 from bisect import bisect_right
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.constraints.constraint import Constraint, ConstraintSet
@@ -52,7 +63,16 @@ from repro.distributed.checker import ProtocolStats, sync_session_gauges
 from repro.distributed.remote import RemoteLink
 from repro.distributed.site import TwoSiteDatabase
 from repro.errors import RemoteUnavailableError
-from repro.updates.update import Modification, Update
+from repro.updates.update import Insertion, Modification, Update
+
+#: outcome severity for merging the two halves of a decomposed
+#: cross-shard modification into one per-constraint report
+_OUTCOME_SEVERITY = {
+    Outcome.SATISFIED: 0,
+    Outcome.UNKNOWN: 1,
+    Outcome.DEFERRED: 2,
+    Outcome.VIOLATED: 3,
+}
 
 __all__ = ["PredicatePartitioner", "KeyRangePartitioner", "ShardedChecker"]
 
@@ -169,7 +189,17 @@ class ShardedChecker:
         apply_on_unknown: bool = True,
         remote_link: Optional[RemoteLink] = None,
         max_materializations: Optional[int] = MATERIALIZATION_LIMIT,
+        parallelism: int = 1,
+        overlap_remote: bool = False,
+        session_factory: Optional[Callable[..., CheckSession]] = None,
     ) -> None:
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        if overlap_remote and remote_link is None:
+            raise ValueError(
+                "overlap_remote needs a RemoteLink (the raw site has no "
+                "async fetch queue)"
+            )
         self.sites = sites
         self.site_predicates = frozenset(sites.local_predicates)
         if partitioner is None:
@@ -182,19 +212,30 @@ class ShardedChecker:
         self.constraints = self.compiler.constraints
         self.apply_on_unknown = apply_on_unknown
         self.remote_link = remote_link
+        self.parallelism = parallelism
+        self.overlap_remote = overlap_remote
         self.stats = ProtocolStats()
 
         self._shard_dbs = sites.local.partition(
             self.partitioner.owner, self.shards
         )
         owned = self.partitioner.owned_predicates(self.site_predicates)
-        # One shared monotone clock for PendingVerdict sequence numbers:
-        # the drain's global newest-first quarantine / oldest-first settle
-        # order is meaningful only on a cross-shard timeline.
-        self._seq = itertools.count(1)
-        seq_source = lambda: next(self._seq)  # noqa: E731
+        self._owned = [frozenset(preds) for preds in owned]
+        #: (shard, predicate) -> does an update there fence the pipeline?
+        self._fence_cache: dict[tuple[int, str], bool] = {}
+        # One shared monotone arrival clock for PendingVerdict sequence
+        # numbers: the drain's global newest-first quarantine /
+        # oldest-first settle order is meaningful only on a cross-shard
+        # timeline.  Each shard reads its own stamp cell, written just
+        # before its session processes an update — under parallel
+        # execution a shared next()-per-queue-call counter would hand
+        # out numbers in settle-race order, not arrival order.
+        self._arrival = itertools.count(1)
+        self._seq_cells: list[list[int]] = [[0] for _ in range(self.shards)]
+        if session_factory is None:
+            session_factory = CheckSession
         self.sessions: list[CheckSession] = [
-            CheckSession(
+            session_factory(
                 compiler=self.compiler,
                 local_predicates=owned[index],
                 local_db=self._shard_dbs[index],
@@ -202,10 +243,14 @@ class ShardedChecker:
                 max_materializations=max_materializations,
                 peer_predicates=self.site_predicates - owned[index],
                 peer_source=self._peer_source(index),
-                seq_source=seq_source,
+                seq_source=(lambda cell=self._seq_cells[index]: cell[0]),
             )
             for index in range(self.shards)
         ]
+        if parallelism > 1:
+            # Force the per-constraint lazy engines/classifications on
+            # this thread before any worker touches them.
+            self.compiler.prewarm()
 
     # -- topology ---------------------------------------------------------------
     def _peer_source(self, index: int) -> Callable[..., Database]:
@@ -233,8 +278,10 @@ class ShardedChecker:
     def shard_of(self, update: Update) -> int:
         """The shard that owns *update* — and the validity checks that
         keep the shards disjoint: only site-local predicates may be
-        updated, and a modification may not move a fact between shards
-        (split it into an explicit deletion + insertion instead)."""
+        updated.  A modification that moves a fact between shards has no
+        single owner; :meth:`process` and :meth:`check_stream` decompose
+        it into its delete/insert halves instead (this method still
+        raises, for callers that need one index)."""
         predicate = update.predicate
         if predicate not in self.site_predicates:
             raise ValueError(
@@ -247,10 +294,23 @@ class ShardedChecker:
             if old != new:
                 raise ValueError(
                     f"modification moves {predicate!r} fact across shards "
-                    f"({old} -> {new}); split it into -old / +new updates"
+                    f"({old} -> {new}); process()/check_stream() decompose "
+                    f"it into -old / +new halves under a fence"
                 )
             return old
         return self.partitioner.owner(predicate, update.values)
+
+    def _cross_shard_modification(self, update: Update) -> Optional[tuple[int, int]]:
+        """``(delete_shard, insert_shard)`` when *update* is a
+        modification whose halves land in different shards, else None."""
+        if not isinstance(update, Modification):
+            return None
+        predicate = update.predicate
+        if predicate not in self.site_predicates:
+            return None
+        old = self.partitioner.owner(predicate, update.old_values)
+        new = self.partitioner.owner(predicate, update.new_values)
+        return (old, new) if old != new else None
 
     def shard_local_constraints(self) -> dict[str, int]:
         """Constraints decidable wholly inside one shard, by name."""
@@ -284,10 +344,24 @@ class ShardedChecker:
     @property
     def remote_source(self) -> Callable[..., Database]:
         """Off-site escalation: the fault-tolerant link when configured,
-        the raw metered remote site otherwise."""
+        the raw metered remote site otherwise.  With ``overlap_remote``
+        the in-stream source is the link's async queue — a slow-but-
+        healthy fetch defers the update (future in tow) instead of
+        stalling the stream."""
         if self.remote_link is not None:
+            if self.overlap_remote:
+                return self.remote_link.fetch_nowait
             return self.remote_link.fetch
         return self.sites.remote.snapshot
+
+    @property
+    def _drain_source(self) -> Callable[..., Database]:
+        """The *blocking* fetch the drain settles against — never the
+        async queue: a nowait raise mid-settle would leak an unconsumed
+        future on the entry it was trying to settle."""
+        if self.remote_link is not None:
+            return self.remote_link.fetch
+        return self.remote_source
 
     def local_database(self) -> Database:
         """The union of the shard slices — equal, update for update, to
@@ -304,18 +378,94 @@ class ShardedChecker:
         return sum(session.pending_count for session in self.sessions)
 
     # -- the protocol -----------------------------------------------------------
-    def process(self, update: Update) -> list[CheckReport]:
-        """Route one update to its shard and run the level pipeline."""
-        session = self.sessions[self.shard_of(update)]
+    def _process_on_shard(self, shard: int, update: Update) -> list[CheckReport]:
+        """Stamp the shard's arrival cell and run one update through its
+        session (main-thread path; workers go through
+        :meth:`_run_shard_slice`)."""
+        session = self.sessions[shard]
+        self._seq_cells[shard][0] = next(self._arrival)
         before = session.stats.remote_fetches
         reports = session.process(update, remote=self.remote_source)
-        self.stats.updates += 1
         self.stats.remote_round_trips += (
             session.stats.remote_fetches - before
         )
-        self.stats.record_reports(reports, self.apply_on_unknown)
+        return reports
+
+    def process(self, update: Update) -> list[CheckReport]:
+        """Route one update to its shard and run the level pipeline.
+
+        A modification whose halves land in different shards is
+        decomposed into its delete + insert halves (see
+        :meth:`_process_split_modification`).
+        """
+        if self._cross_shard_modification(update) is not None:
+            reports = self._process_split_modification(update)
+        else:
+            reports = self._process_on_shard(self.shard_of(update), update)
+            self.stats.updates += 1
+            self.stats.record_reports(reports, self.apply_on_unknown)
         self._sync_gauges()
         return reports
+
+    def _process_split_modification(self, update: Update) -> list[CheckReport]:
+        """Run a cross-shard modification as delete(old) then insert(new).
+
+        The delete half runs first on the old fact's shard; if it is
+        VIOLATED the modification is rejected whole and the insert half
+        never runs.  Otherwise the insert half runs on the new fact's
+        shard; if *it* is VIOLATED the already-applied delete is undone
+        (the old fact is restored unchecked — removing a fact from the
+        supported constraint classes cannot introduce a violation), so
+        the modification stays atomic.  The restore is skipped when the
+        delete half itself was DEFERRED or held: a deferred delete's
+        token is owned by the pending queue and will be reconciled by
+        the drain.  The per-constraint reports of both halves merge by
+        outcome severity (VIOLATED > DEFERRED > UNKNOWN > SATISFIED).
+        """
+        del_shard, ins_shard = self._cross_shard_modification(update)
+        predicate = update.predicate
+        deletion, insertion = update.deletion, update.insertion
+        was_present = update.old_values in self._shard_dbs[del_shard].facts(
+            predicate
+        )
+
+        self.stats.updates += 1
+        self.stats.cross_shard_modifications += 1
+        del_reports = self._process_on_shard(del_shard, deletion)
+        del_rejected = any(
+            r.outcome is Outcome.VIOLATED for r in del_reports
+        )
+        if del_rejected:
+            self.stats.record_reports(del_reports, self.apply_on_unknown)
+            return del_reports
+        del_deferred = any(
+            r.outcome is Outcome.DEFERRED for r in del_reports
+        )
+        del_held = not self.apply_on_unknown and any(
+            r.outcome in (Outcome.UNKNOWN, Outcome.DEFERRED)
+            for r in del_reports
+        )
+
+        ins_reports = self._process_on_shard(ins_shard, insertion)
+        ins_rejected = any(
+            r.outcome is Outcome.VIOLATED for r in ins_reports
+        )
+        if ins_rejected and was_present and not (del_deferred or del_held):
+            self.sessions[del_shard].apply_unchecked(
+                Insertion(predicate, update.old_values)
+            )
+
+        merged: dict[str, CheckReport] = {r.constraint_name: r for r in del_reports}
+        for report in ins_reports:
+            other = merged[report.constraint_name]
+            merged[report.constraint_name] = max(
+                other,
+                report,
+                key=lambda r: (_OUTCOME_SEVERITY[r.outcome], r.level),
+            )
+        ordered = [merged[c.name] for c in self.constraints]
+        self.stats.record_reports(ordered, self.apply_on_unknown)
+        return ordered
 
     def check_stream(
         self,
@@ -332,7 +482,14 @@ class ShardedChecker:
         materializes the union view every earlier delta has already
         reached its slice (batched deltas hit the database eagerly);
         verdicts therefore match global per-update processing.
+        Cross-shard modifications flush the run and decompose.
+
+        With ``parallelism > 1`` the stream runs on the fence-scheduled
+        thread pool instead (:meth:`_check_stream_parallel`); verdicts
+        are identical either way.
         """
+        if self.parallelism > 1:
+            return self._check_stream_parallel(updates, batch_size)
         results: list[list[CheckReport]] = []
         run: list[Update] = []
         run_shard: Optional[int] = None
@@ -341,9 +498,20 @@ class ShardedChecker:
             if not run:
                 return
             session = self.sessions[run_shard]
+            cell = self._seq_cells[run_shard]
+            items = tuple(run)
+
+            def feed():
+                # process_stream pulls one update at a time, so the
+                # stamp written here is the one _queue_pending reads if
+                # that update defers.
+                for item in items:
+                    cell[0] = next(self._arrival)
+                    yield item
+
             before = session.stats.remote_fetches
             run_results = session.process_stream(
-                run, remote=self.remote_source, batch_size=batch_size
+                feed(), remote=self.remote_source, batch_size=batch_size
             )
             self.stats.remote_round_trips += (
                 session.stats.remote_fetches - before
@@ -355,6 +523,11 @@ class ShardedChecker:
             run.clear()
 
         for update in updates:
+            if self._cross_shard_modification(update) is not None:
+                flush()
+                run_shard = None
+                results.append(self._process_split_modification(update))
+                continue
             shard = self.shard_of(update)
             if run_shard is not None and shard != run_shard:
                 flush()
@@ -363,6 +536,157 @@ class ShardedChecker:
         flush()
         self._sync_gauges()
         return results
+
+    # -- parallel execution ------------------------------------------------------
+    def _requires_fence(self, shard: int, predicate: str) -> bool:
+        """Must an update of *predicate* on *shard* run alone?
+
+        No fence is needed exactly when every non-subsumed constraint
+        mentioning the predicate keeps its site-local footprint inside
+        the owning shard: then the whole pipeline — including a remote
+        escalation's ``own-slice + remote`` merge — reads nothing a
+        concurrent sibling could be writing.  A constraint whose
+        site-local part crosses shards (spanning, or remote-mixed)
+        would materialize the cross-shard union view, so it fences;
+        split predicates are owned by no shard and always fence.
+        """
+        key = (shard, predicate)
+        cached = self._fence_cache.get(key)
+        if cached is not None:
+            return cached
+        owned = self._owned[shard]
+        fence = predicate not in owned
+        if not fence:
+            for constraint in self.constraints:
+                if self.compiler.compiled(constraint).subsumed:
+                    continue
+                if predicate not in constraint.predicates():
+                    continue
+                site_part = constraint.predicates() & self.site_predicates
+                if not site_part <= owned:
+                    fence = True
+                    break
+        self._fence_cache[key] = fence
+        return fence
+
+    def _run_shard_slice(
+        self,
+        shard: int,
+        items: Sequence[tuple[int, Update]],
+        batch_size: Optional[int],
+    ) -> tuple[list[tuple[int, list[CheckReport]]], int]:
+        """Worker body: one shard's slice of a parallel segment.
+
+        Runs on a pool thread.  Touches only this shard's session,
+        database, and stamp cell (plus the locked shared compiler /
+        link / sites), and returns ``(position, reports)`` pairs and the
+        session's remote-fetch delta so the main thread folds protocol
+        stats in stream order at the barrier — pool threads never mutate
+        ``ProtocolStats``.
+        """
+        session = self.sessions[shard]
+        cell = self._seq_cells[shard]
+
+        def feed():
+            for _pos, item in items:
+                cell[0] = next(self._arrival)
+                yield item
+
+        before = session.stats.remote_fetches
+        run_results = session.process_stream(
+            feed(), remote=self.remote_source, batch_size=batch_size
+        )
+        pairs = [
+            (pos, reports)
+            for (pos, _item), reports in zip(items, run_results)
+        ]
+        return pairs, session.stats.remote_fetches - before
+
+    def _check_stream_parallel(
+        self,
+        updates: Iterable[Update],
+        batch_size: Optional[int] = None,
+    ) -> list[list[CheckReport]]:
+        """Fence-scheduled parallel stream execution.
+
+        Updates accumulate into a *segment* as long as none of them
+        fences; a segment is executed by handing each shard's slice
+        (stream order preserved within the shard) to the pool at once
+        and waiting for all of them — shard databases are disjoint and
+        fence-free updates by construction read nothing outside their
+        shard, so the interleaving cannot change any verdict.  A fencing
+        update drains the segment (a counted barrier) and then runs
+        alone on this thread with every worker idle, exactly as in
+        serial mode.  Stats are folded only at barriers, in stream
+        order, so the counters match the serial run's.
+        """
+        results_map: dict[int, list[CheckReport]] = {}
+        segment: list[tuple[int, int, Update]] = []  # (pos, shard, update)
+        stats = self.stats
+        with ThreadPoolExecutor(
+            max_workers=min(self.parallelism, self.shards),
+            thread_name_prefix="shard",
+        ) as executor:
+
+            def run_segment() -> None:
+                if not segment:
+                    return
+                by_shard: dict[int, list[tuple[int, Update]]] = {}
+                for pos, shard, item in segment:
+                    by_shard.setdefault(shard, []).append((pos, item))
+                segment.clear()
+                stats.parallel_segments += 1
+                futures = [
+                    executor.submit(
+                        self._run_shard_slice, shard, items, batch_size
+                    )
+                    for shard, items in by_shard.items()
+                ]
+                # Wait for every slice even if one fails: a worker must
+                # never still be running once the barrier returns.
+                outcomes = []
+                for future in futures:
+                    try:
+                        outcomes.append((future.result(), None))
+                    except BaseException as exc:  # noqa: BLE001
+                        outcomes.append((None, exc))
+                errors = [exc for _out, exc in outcomes if exc is not None]
+                recorded: list[tuple[int, list[CheckReport]]] = []
+                for out, exc in outcomes:
+                    if exc is not None:
+                        continue
+                    pairs, fetch_delta = out
+                    stats.remote_round_trips += fetch_delta
+                    recorded.extend(pairs)
+                for pos, reports in sorted(recorded, key=lambda p: p[0]):
+                    stats.updates += 1
+                    stats.record_reports(reports, self.apply_on_unknown)
+                    results_map[pos] = reports
+                if errors:
+                    raise errors[0]
+
+            position = -1
+            for position, update in enumerate(updates):
+                if self._cross_shard_modification(update) is not None:
+                    run_segment()
+                    stats.fences += 1
+                    results_map[position] = self._process_split_modification(
+                        update
+                    )
+                    continue
+                shard = self.shard_of(update)
+                if self._requires_fence(shard, update.predicate):
+                    run_segment()
+                    stats.fences += 1
+                    reports = self._process_on_shard(shard, update)
+                    stats.updates += 1
+                    stats.record_reports(reports, self.apply_on_unknown)
+                    results_map[position] = reports
+                    continue
+                segment.append((position, shard, update))
+            run_segment()
+        self._sync_gauges()
+        return [results_map[index] for index in range(position + 1)]
 
     def resolve_pending(self) -> list[tuple[Update, list[CheckReport]]]:
         """Drain every shard's deferred-verdict queue as one global FIFO.
@@ -376,7 +700,11 @@ class ShardedChecker:
         **all** shards first (newest-first on the shared sequence
         clock), settles globally oldest-first — always the smallest head
         sequence number among the shard queues — and stops at the first
-        unreachable fetch, re-applying every still-queued reversal.
+        unreachable fetch (an entry whose overlapped escalation future
+        is still in flight counts: the drain must not settle from data
+        it does not have yet), re-applying every still-queued reversal.
+        The drain always settles through the *blocking* fetch source,
+        never the async queue.
         Returns ``(update, final_reports)`` pairs in settle order; never
         raises on an unreachable remote.
         """
@@ -410,7 +738,7 @@ class ShardedChecker:
                 before = session.stats.remote_fetches
                 try:
                     entry = session._settle_head(
-                        self.remote_source,
+                        self._drain_source,
                         CheckLevel.FULL_DATABASE,
                         quarantined[index],
                     )

@@ -10,6 +10,7 @@ benchmark reports remote accesses avoided by the local tests.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping
 
@@ -46,6 +47,12 @@ class Site:
 
     ``cost_per_read`` models the latency of touching the site; the bench
     harness sums ``simulated_cost`` rather than sleeping.
+
+    Access is thread-safe: each metered method runs under one internal
+    lock, so a snapshot taken by an async escalation worker observes a
+    consistent database and consistent counters even while another
+    thread writes.  (Overlapped fetches and parallel shard execution
+    both snapshot sites from pool threads.)
     """
 
     def __init__(
@@ -61,29 +68,34 @@ class Site:
             self._db = Database(contents)
         self.cost_per_read = cost_per_read
         self.stats = AccessStats()
+        self._lock = threading.Lock()
 
     # -- metered access -----------------------------------------------------------
     def facts(self, predicate: str) -> frozenset[tuple]:
-        result = self._db.facts(predicate)
-        self.stats.reads += 1
-        self.stats.tuples_read += len(result)
-        self.stats.simulated_cost += self.cost_per_read
-        return result
+        with self._lock:
+            result = self._db.facts(predicate)
+            self.stats.reads += 1
+            self.stats.tuples_read += len(result)
+            self.stats.simulated_cost += self.cost_per_read
+            return result
 
     def insert(self, predicate: str, fact: tuple) -> bool:
-        changed = self._db.insert(predicate, fact)
-        if changed:
-            self.stats.writes += 1
-        return changed
+        with self._lock:
+            changed = self._db.insert(predicate, fact)
+            if changed:
+                self.stats.writes += 1
+            return changed
 
     def delete(self, predicate: str, fact: tuple) -> bool:
-        changed = self._db.delete(predicate, fact)
-        if changed:
-            self.stats.writes += 1
-        return changed
+        with self._lock:
+            changed = self._db.delete(predicate, fact)
+            if changed:
+                self.stats.writes += 1
+            return changed
 
     def predicates(self) -> set[str]:
-        return self._db.predicates()
+        with self._lock:
+            return self._db.predicates()
 
     def snapshot(self, predicates: Iterable[str] | None = None) -> Database:
         """A copy of the site — one read per shipped relation.
@@ -92,19 +104,20 @@ class Site:
         metered: an escalation that needs two remote tables no longer
         pays for (or waits on) the whole remote database.
         """
-        if predicates is None:
-            wanted = self._db.predicates()
-            copied = self._db.copy()
-        else:
-            wanted = set(predicates) & self._db.predicates()
-            copied = self._db.restricted_to(wanted)
-        shipped = copied.size()
-        self.stats.reads += len(wanted)
-        self.stats.tuples_read += shipped
-        self.stats.snapshots += 1
-        self.stats.snapshot_facts += shipped
-        self.stats.simulated_cost += self.cost_per_read * max(1, len(wanted))
-        return copied
+        with self._lock:
+            if predicates is None:
+                wanted = self._db.predicates()
+                copied = self._db.copy()
+            else:
+                wanted = set(predicates) & self._db.predicates()
+                copied = self._db.restricted_to(wanted)
+            shipped = copied.size()
+            self.stats.reads += len(wanted)
+            self.stats.tuples_read += shipped
+            self.stats.snapshots += 1
+            self.stats.snapshot_facts += shipped
+            self.stats.simulated_cost += self.cost_per_read * max(1, len(wanted))
+            return copied
 
     def unmetered(self) -> Database:
         """Direct access for test fixtures and ground-truth checks."""
@@ -122,17 +135,18 @@ class Site:
         of the initial contents."""
         if shards < 1:
             raise ValueError("shards must be >= 1")
-        slices = [Database() for _ in range(shards)]
-        for predicate in self._db.predicates():
-            for fact in self._db.facts(predicate):
-                index = owner(predicate, fact)
-                if not 0 <= index < shards:
-                    raise ValueError(
-                        f"owner({predicate!r}, {fact!r}) -> {index} is not a "
-                        f"shard index in [0, {shards})"
-                    )
-                slices[index].insert(predicate, fact)
-        return slices
+        with self._lock:
+            slices = [Database() for _ in range(shards)]
+            for predicate in self._db.predicates():
+                for fact in self._db.facts(predicate):
+                    index = owner(predicate, fact)
+                    if not 0 <= index < shards:
+                        raise ValueError(
+                            f"owner({predicate!r}, {fact!r}) -> {index} is not a "
+                            f"shard index in [0, {shards})"
+                        )
+                    slices[index].insert(predicate, fact)
+            return slices
 
     def __repr__(self) -> str:
         return f"Site({self.name!r}, {self._db!r})"

@@ -153,15 +153,52 @@ class TestRouting:
         with pytest.raises(ValueError, match="non-local predicate"):
             checker.process(Insertion("rem", (1,)))
 
-    def test_cross_shard_modification_is_rejected(self):
+    def test_cross_shard_modification_is_decomposed(self):
         part = KeyRangePartitioner(2, {"p": [4]}, LOCAL)
         checker = ShardedChecker(CONSTRAINTS, make_sites(), partitioner=part)
         checker.process(Insertion("p", (1, 2)))
+        reports = checker.process(Modification("p", (1, 2), (7, 2)))
+        assert all(r.outcome is not Outcome.VIOLATED for r in reports)
+        assert checker.local_database().facts("p") == {(7, 2)}
+        assert not checker._shard_dbs[0].facts("p")
+        assert checker._shard_dbs[1].facts("p") == {(7, 2)}
+        assert checker.stats.cross_shard_modifications == 1
+        assert checker.stats.updates == 2
+        # shard_of still has no single answer for the moving fact.
         with pytest.raises(ValueError, match="across shards"):
-            checker.process(Modification("p", (1, 2), (7, 2)))
-        # Same-shard modifications stay legal.
-        checker.process(Modification("p", (1, 2), (2, 3)))
-        assert checker.local_database().facts("p") == {(2, 3)}
+            checker.shard_of(Modification("p", (7, 2), (1, 2)))
+        # Same-shard modifications still run whole.
+        checker.process(Modification("p", (7, 2), (7, 3)))
+        assert checker.local_database().facts("p") == {(7, 3)}
+        assert checker.stats.cross_shard_modifications == 1
+
+    def test_cross_shard_modification_restores_old_fact_on_violation(self):
+        # Inserting the new fact fires c_p against a sibling-shard fact;
+        # the already-applied delete half must be rolled back so the
+        # rejected modification leaves the database untouched.
+        part = KeyRangePartitioner(2, {"p": [4]}, LOCAL)
+        checker = ShardedChecker(CONSTRAINTS, make_sites(), partitioner=part)
+        checker.process(Insertion("p", (1, 2)))
+        checker.process(Insertion("p", (2, 7)))
+        reports = checker.process(Modification("p", (1, 2), (7, 2)))
+        assert any(r.outcome is Outcome.VIOLATED for r in reports)
+        assert checker.local_database().facts("p") == {(1, 2), (2, 7)}
+        assert checker.stats.rejected == 1
+
+    def test_cross_shard_modification_in_stream_mode(self):
+        part = KeyRangePartitioner(2, {"p": [4]}, LOCAL)
+        checker = ShardedChecker(CONSTRAINTS, make_sites(), partitioner=part)
+        results = checker.check_stream(
+            [
+                Insertion("p", (1, 2)),
+                Modification("p", (1, 2), (7, 2)),
+                Insertion("q", (7, 7)),
+            ]
+        )
+        assert len(results) == 3
+        assert checker.local_database().facts("p") == {(7, 2)}
+        assert checker.stats.cross_shard_modifications == 1
+        assert checker.stats.updates == 3
 
     def test_initial_contents_are_partitioned(self):
         sites = make_sites()
@@ -471,10 +508,12 @@ if HAVE_HYPOTHESIS:
         shards=st.integers(min_value=1, max_value=4),
         apply_on_unknown=st.booleans(),
         split_p=st.booleans(),
+        parallelism=st.integers(min_value=1, max_value=3),
+        use_stream=st.booleans(),
     )
     @settings(max_examples=60, deadline=None)
     def test_sharded_checker_equivalent_to_single_session(
-        updates, shards, apply_on_unknown, split_p
+        updates, shards, apply_on_unknown, split_p, parallelism, use_stream
     ):
         ref_sites = make_sites()
         session = single_session(ref_sites, apply_on_unknown=apply_on_unknown)
@@ -492,7 +531,13 @@ if HAVE_HYPOTHESIS:
             make_sites(),
             partitioner=partitioner,
             apply_on_unknown=apply_on_unknown,
+            parallelism=parallelism,
         )
-        actual = [verdict_key(checker.process(u)) for u in updates]
+        if use_stream:
+            # Parallelism only engages in stream mode (fence-scheduled
+            # thread pool); per-update process() is always serial.
+            actual = [verdict_key(r) for r in checker.check_stream(updates)]
+        else:
+            actual = [verdict_key(checker.process(u)) for u in updates]
         assert actual == expected
         assert db_state(checker.local_database()) == db_state(session.local_db)
