@@ -194,14 +194,16 @@ def load_updates(path: str | None) -> list[Update]:
     return updates
 
 
-def _build_remote_link(args: argparse.Namespace, remote_site):
+def _build_remote_link(args: argparse.Namespace, remote_site, rate=None):
     """The fault-tolerant link for ``check-stream``, or ``None`` when no
-    fault/retry flag asks for one."""
+    fault/retry flag asks for one.  *rate* overrides ``--fault-rate``
+    for this site (``--site-fault-rate``)."""
     from repro.distributed.faults import FaultModel, UnreliableRemote, parse_outage
     from repro.distributed.remote import FetchPolicy, RemoteLink
 
+    effective_rate = args.fault_rate if rate is None else rate
     faulty = bool(
-        args.fault_rate or args.outage or args.remote_latency
+        effective_rate or args.outage or args.remote_latency
         or args.remote_timeout is not None
     )
     if not faulty and args.retries is None:
@@ -211,7 +213,7 @@ def _build_remote_link(args: argparse.Namespace, remote_site):
             return RemoteLink(remote_site)
         return None
     faults = FaultModel(
-        failure_rate=args.fault_rate,
+        failure_rate=effective_rate,
         latency=args.remote_latency,
         outages=tuple(parse_outage(spec) for spec in args.outage or ()),
         seed=args.fault_seed,
@@ -222,6 +224,62 @@ def _build_remote_link(args: argparse.Namespace, remote_site):
     )
     return RemoteLink(
         UnreliableRemote(remote_site, faults), policy, seed=args.fault_seed
+    )
+
+
+def _parse_site_fault_rates(args: argparse.Namespace) -> dict[str, float]:
+    """``--site-fault-rate SITE=P`` specs (a bare ``P`` keys ``"*"``,
+    the every-site default)."""
+    rates: dict[str, float] = {}
+    for spec in getattr(args, "site_fault_rate", None) or ():
+        name, sep, value = spec.partition("=")
+        try:
+            if sep:
+                rates[name.strip()] = float(value)
+            else:
+                rates["*"] = float(spec)
+        except ValueError:
+            raise ReproError(
+                f"--site-fault-rate must look like SITE=P or P: {spec!r}"
+            )
+    return rates
+
+
+def _build_sites(args: argparse.Namespace, db: Database, local_predicates: set[str]):
+    """The (possibly federated) site topology for ``check-stream``.
+
+    ``--sites 2`` (the default) is the classic local + single-remote
+    split.  ``--sites N`` with N > 2 deals the remote predicates
+    round-robin (sorted, so deterministic) across N-1 named remote
+    sites ``remote1`` .. ``remoteN-1``."""
+    from repro.distributed.site import FederatedDatabase, Site, TwoSiteDatabase
+
+    total = args.sites if getattr(args, "sites", None) else 2
+    if total < 2:
+        raise ReproError("--sites needs at least 2 (one local, one remote)")
+    local = Site("local", db.restricted_to(local_predicates))
+    remote_predicates = sorted(db.predicates() - local_predicates)
+    if total == 2:
+        return TwoSiteDatabase(
+            local=local,
+            remote=Site("remote", db.restricted_to(set(remote_predicates))),
+            local_predicates=local_predicates,
+        )
+    count = total - 1
+    placement: dict[str, list[str]] = {
+        f"remote{i + 1}": [] for i in range(count)
+    }
+    for index, predicate in enumerate(remote_predicates):
+        placement[f"remote{(index % count) + 1}"].append(predicate)
+    remotes = [
+        Site(name, db.restricted_to(set(owned)))
+        for name, owned in placement.items()
+    ]
+    return FederatedDatabase(
+        local=local,
+        remotes=remotes,
+        local_predicates=local_predicates,
+        site_predicates=placement,
     )
 
 
@@ -272,18 +330,36 @@ def _drain_pending(checker) -> tuple[list, int]:
 
 def _cmd_check_stream(args: argparse.Namespace) -> int:
     from repro.distributed.checker import DistributedChecker
-    from repro.distributed.site import Site, TwoSiteDatabase
 
     constraints = load_constraints(args.constraints)
     db = load_database(args.db) if args.db else Database()
     updates = load_updates(args.updates)
     local_predicates = set(args.local or db.predicates())
-    sites = TwoSiteDatabase(
-        local=Site("local", db.restricted_to(local_predicates)),
-        remote=Site("remote", db.restricted_to(db.predicates() - local_predicates)),
-        local_predicates=local_predicates,
-    )
-    link = _build_remote_link(args, sites.remote)
+    sites = _build_sites(args, db, local_predicates)
+    site_rates = _parse_site_fault_rates(args)
+    unknown_rates = set(site_rates) - {"*"} - set(sites.site_names)
+    if unknown_rates:
+        raise ReproError(
+            f"--site-fault-rate names unknown site(s): {sorted(unknown_rates)} "
+            f"(sites: {sorted(sites.site_names)})"
+        )
+
+    def _site_link(name: str, site):
+        return _build_remote_link(
+            args, site, rate=site_rates.get(name, site_rates.get("*"))
+        )
+
+    if len(sites.remotes) == 1:
+        name, remote_site = next(iter(sites.remotes.items()))
+        remote_link = _site_link(name, remote_site)
+        remote_links = None
+    else:
+        remote_link = None
+        remote_links = {
+            name: built
+            for name, site in sites.remotes.items()
+            if (built := _site_link(name, site)) is not None
+        } or None
     if args.parallel and not args.shards:
         raise ReproError(
             "--parallel needs --shards: the workers are per-shard sessions"
@@ -301,7 +377,9 @@ def _cmd_check_stream(args: argparse.Namespace) -> int:
             shards=args.shards,
             partitioner=_build_partitioner(args, local_predicates),
             apply_on_unknown=not args.pessimistic,
-            remote_link=link,
+            remote_link=remote_link,
+            remote_links=remote_links,
+            snapshot_ttl=args.snapshot_ttl,
             parallelism=args.parallel or 1,
             overlap_remote=args.overlap_remote,
         )
@@ -309,9 +387,14 @@ def _cmd_check_stream(args: argparse.Namespace) -> int:
         checker = DistributedChecker(
             constraints, sites,
             apply_on_unknown=not args.pessimistic,
-            remote_link=link,
+            remote_link=remote_link,
+            remote_links=remote_links,
+            snapshot_ttl=args.snapshot_ttl,
             overlap_remote=args.overlap_remote,
         )
+    # The checker may have promoted the per-site links into a single
+    # FederationLink; tear down whatever it actually escalates through.
+    link = checker.remote_link
     exit_code = 0
     if args.transaction:
         committed, all_reports = checker.process_transaction(updates)
@@ -373,15 +456,33 @@ def _cmd_check_stream(args: argparse.Namespace) -> int:
     for label, value in checker.stats.summary_rows():
         print(f"{label:<{width}}  {value}")
     if link is not None:
+        from repro.distributed.remote import FederationLink
+
         link.close()
+
+        def _print_rows(rows):
+            width = max(len(label) for label, _ in rows)
+            for label, value in rows:
+                print(f"{label:<{width}}  {value}")
+
         print()
         print("-- remote link degradation --")
-        rows = link.stats.summary_rows()
+        rows = (
+            link.summary_rows()
+            if isinstance(link, FederationLink)
+            else link.stats.summary_rows()
+        )
         rows.append(("breaker state at exit", str(link.state)))
         rows.append(("simulated link clock", round(link.clock, 4)))
-        width = max(len(label) for label, _ in rows)
-        for label, value in rows:
-            print(f"{label:<{width}}  {value}")
+        _print_rows(rows)
+        if isinstance(link, FederationLink):
+            for name, site_link in sorted(link.links.items()):
+                print()
+                print(f"-- site {name} --")
+                rows = site_link.stats.summary_rows()
+                rows.append(("breaker state at exit", str(site_link.state)))
+                rows.append(("simulated link clock", round(site_link.clock, 4)))
+                _print_rows(rows)
     return exit_code
 
 
@@ -513,6 +614,18 @@ def build_parser() -> argparse.ArgumentParser:
         "(fence-scheduled; verdicts identical to serial); needs --shards",
     )
     stream.add_argument(
+        "--sites", type=int, default=2, metavar="N",
+        help="total number of sites: one local plus N-1 remotes; with "
+        "N > 2 the remote predicates are dealt round-robin (sorted) "
+        "across sites remote1..remoteN-1 and escalations fan out over "
+        "a federated link (default 2, the classic two-site split)",
+    )
+    stream.add_argument(
+        "--snapshot-ttl", type=float, default=None, metavar="SECS",
+        help="cache each remote site's fetched snapshot for SECS "
+        "simulated seconds on the federated link (default: no cache)",
+    )
+    stream.add_argument(
         "--overlap-remote", action="store_true",
         help="issue remote escalations asynchronously: the update "
         "defers immediately and the stream keeps flowing while the "
@@ -544,6 +657,12 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument(
         "--remote-latency", type=float, default=0.0, metavar="SECS",
         help="simulated latency per remote attempt",
+    )
+    faults.add_argument(
+        "--site-fault-rate", action="append", metavar="SITE=P",
+        help="per-site transient failure probability, overriding "
+        "--fault-rate for that site (repeatable; a bare P applies to "
+        "every site)",
     )
     faults.add_argument(
         "--fault-seed", type=int, default=0, metavar="SEED",

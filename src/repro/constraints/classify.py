@@ -11,17 +11,95 @@ The paper organizes constraint languages along three axes:
 in Fig. 2.1."  This module defines the lattice, a classifier that places
 any constraint program into its *least* class, and the partial order used
 by the closure results of Section 4 (Figs. 4.1/4.2).
+
+Beyond the language lattice, the module also classifies constraints by
+*site footprint*: in an N-site federation each non-local predicate is
+stored at exactly one remote site, so the minimal set of sites whose
+data can settle a constraint is simply the owners of its non-local
+predicates (:func:`minimal_site_needs`).  Minimality is exact under
+partitioned storage — any smaller site set is missing a relation the
+constraint reads (its level-3 check would have to treat that relation
+as unknown), and any larger set fetches data the check never consults.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Callable, Iterable, Iterator, Mapping, Optional, Union
 
 from repro.datalog.rules import Program, Rule
 
-__all__ = ["Shape", "ConstraintClass", "classify_program", "classify_rule", "ALL_CLASSES"]
+__all__ = [
+    "Shape",
+    "ConstraintClass",
+    "classify_program",
+    "classify_rule",
+    "ALL_CLASSES",
+    "DEFAULT_REMOTE_SITE",
+    "minimal_site_needs",
+    "group_predicates_by_site",
+]
+
+#: Site name assumed for a non-local predicate with no declared owner —
+#: the two-site special case, where everything off-site lives at "the"
+#: remote.
+DEFAULT_REMOTE_SITE = "remote"
+
+#: A predicate-to-site placement: a callable or mapping yielding the
+#: owning remote site's name, or ``None`` for a local predicate.
+SitePlacement = Union[Callable[[str], Optional[str]], Mapping[str, str], None]
+
+
+def _owner(site_of: SitePlacement, predicate: str) -> Optional[str]:
+    if site_of is None:
+        return None
+    if callable(site_of):
+        return site_of(predicate)
+    return site_of.get(predicate)
+
+
+def minimal_site_needs(
+    predicates: Iterable[str],
+    local_predicates: Iterable[str],
+    site_of: SitePlacement = None,
+    default_site: str = DEFAULT_REMOTE_SITE,
+) -> frozenset[str]:
+    """The minimal set of remote sites whose data can settle a constraint
+    reading *predicates*.
+
+    Under partitioned storage each non-local predicate has exactly one
+    owner, so the minimal settling set is the image of the constraint's
+    non-local predicates under *site_of*.  A predicate the placement does
+    not know (``site_of`` is ``None`` or returns ``None``) is charged to
+    *default_site* — the two-site degenerate case.  An empty result means
+    the constraint is purely local and never escalates.
+    """
+    local = (
+        local_predicates
+        if isinstance(local_predicates, (set, frozenset))
+        else frozenset(local_predicates)
+    )
+    needs = set()
+    for predicate in predicates:
+        if predicate in local:
+            continue
+        needs.add(_owner(site_of, predicate) or default_site)
+    return frozenset(needs)
+
+
+def group_predicates_by_site(
+    predicates: Iterable[str],
+    site_of: SitePlacement = None,
+    default_site: str = DEFAULT_REMOTE_SITE,
+) -> dict[str, set[str]]:
+    """Group (already non-local) *predicates* by their owning site — the
+    fan-out plan of a federated escalation fetch."""
+    groups: dict[str, set[str]] = {}
+    for predicate in predicates:
+        site = _owner(site_of, predicate) or default_site
+        groups.setdefault(site, set()).add(predicate)
+    return groups
 
 
 class Shape(enum.IntEnum):

@@ -34,6 +34,7 @@ from repro.errors import (
     UndecidableError,
     UnsupportedClassError,
 )
+from repro.constraints.classify import SitePlacement, minimal_site_needs
 from repro.constraints.constraint import Constraint, ConstraintSet
 from repro.constraints.subsumption import subsumes
 from repro.datalog.rules import Rule
@@ -208,6 +209,10 @@ class CompiledConstraint:
     subsumed: bool = False
     level1_cache: LRUCache = field(default_factory=LRUCache)
     plans: dict[str, LocalTestPlan] = field(default_factory=dict)
+    #: the minimal set of remote sites whose data can settle this
+    #: constraint (owners of its non-local predicates); empty when the
+    #: constraint is purely local and never escalates
+    site_needs: frozenset[str] = frozenset()
 
 
 class ConstraintCompiler:
@@ -234,6 +239,7 @@ class ConstraintCompiler:
         local_predicates: Iterable[str],
         use_interval_datalog: bool = False,
         level1_cache_size: int = LEVEL1_CACHE_SIZE,
+        site_of: SitePlacement = None,
     ) -> None:
         if not isinstance(constraints, ConstraintSet):
             constraints = ConstraintSet(constraints)
@@ -241,11 +247,17 @@ class ConstraintCompiler:
         self.local_predicates = frozenset(local_predicates)
         self.use_interval_datalog = use_interval_datalog
         self.level1_cache_size = level1_cache_size
+        #: the federation placement (predicate -> owning remote site name,
+        #: None for local); with no placement every non-local predicate is
+        #: charged to the single default remote — the two-site case
+        self.site_of = site_of
         #: guards the level-1 LRUs and the lazy plan dicts under
         #: multi-threaded session access (re-entrant: plan building may
         #: consult level1 helpers)
         self._lock = threading.RLock()
         self._compiled: dict[str, CompiledConstraint] = {}
+        #: per-predicate cache for :meth:`single_binding`
+        self._single_binding: dict[str, bool] = {}
         for constraint in constraints:
             compiled = CompiledConstraint(
                 constraint, level1_cache=LRUCache(level1_cache_size)
@@ -256,6 +268,9 @@ class ConstraintCompiler:
                     compiled.subsumed = subsumes(others, constraint)
                 except (UndecidableError, UnsupportedClassError):
                     compiled.subsumed = False
+            compiled.site_needs = minimal_site_needs(
+                constraint.predicates(), self.local_predicates, site_of
+            )
             self._compiled[constraint.name] = compiled
 
     # -- lookups ---------------------------------------------------------------
@@ -269,6 +284,56 @@ class ConstraintCompiler:
 
     def mentions(self, constraint: Constraint, predicate: str) -> bool:
         return predicate in constraint.predicates()
+
+    def site_needs(self, constraint: Constraint | str) -> frozenset[str]:
+        """The minimal set of remote sites that can settle *constraint*
+        (precomputed from the placement; empty = purely local)."""
+        return self.compiled(constraint).site_needs
+
+    def predicate_sites(self, predicates: Iterable[str]) -> frozenset[str]:
+        """The remote sites owning the non-local members of *predicates*
+        — the sites a fetch restricted to them must reach."""
+        return minimal_site_needs(predicates, self.local_predicates, self.site_of)
+
+    def single_binding(self, predicate: str) -> bool:
+        """Do updates of *predicate* commute with each other?
+
+        True when every constraint mentioning *predicate* binds at most
+        one positive atom of it in a single rule and never negates it:
+        then each tuple's violation status is decided by its own atom
+        binding — another tuple of the same relation can only ever *add*
+        a level-2 witness, never flip an outcome — so two such updates
+        can be settled in either order.  Multi-rule (or recursive)
+        programs are conservatively refused: an intermediate predicate
+        could smuggle in a second binding.  The verdict is static;
+        cached per predicate.
+        """
+        with self._lock:
+            cached = self._single_binding.get(predicate)
+            if cached is not None:
+                return cached
+        verdict = True
+        for constraint in self.constraints:
+            if predicate not in constraint.predicates():
+                continue
+            rules = constraint.program.rules
+            if len(rules) != 1:
+                verdict = False
+                break
+            rule = rules[0]
+            positives = sum(
+                1 for atom in rule.positive_atoms
+                if atom.predicate == predicate
+            )
+            negatives = sum(
+                1 for neg in rule.negations if neg.predicate == predicate
+            )
+            if negatives or positives > 1:
+                verdict = False
+                break
+        with self._lock:
+            self._single_binding[predicate] = verdict
+        return verdict
 
     # -- level 1 ---------------------------------------------------------------
     def level1_verdict(self, constraint: Constraint, update: Update) -> bool:

@@ -53,6 +53,10 @@ class PartialInfoChecker:
         When True, single-variable ICQs run the generated Fig. 6.1
         datalog program instead of the direct interval algebra (slower,
         but exercises the Theorem 6.1 artifact; the two are equivalent).
+    site_of:
+        Optional federation placement (predicate -> owning remote site
+        name, ``None`` for local) recorded per compiled constraint as
+        its minimal site-need set.
     """
 
     def __init__(
@@ -60,9 +64,10 @@ class PartialInfoChecker:
         constraints: ConstraintSet | Iterable[Constraint],
         local_predicates: Iterable[str],
         use_interval_datalog: bool = False,
+        site_of=None,
     ) -> None:
         self.compiler = ConstraintCompiler(
-            constraints, local_predicates, use_interval_datalog
+            constraints, local_predicates, use_interval_datalog, site_of=site_of
         )
         self.constraints = self.compiler.constraints
         self.local_predicates = self.compiler.local_predicates

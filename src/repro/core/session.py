@@ -832,10 +832,25 @@ class CheckSession:
         :attr:`SessionStats.deferred_rolled_back`).
 
         Returns the entries settled by this call, their ``reports``
-        updated in place with the final verdicts.  If the remote is
-        (still) unreachable the drain stops, the un-settled quarantined
-        entries are re-applied exactly (rolling back the reversal), and
-        the remainder stays queued; the call never raises
+        updated in place with the final verdicts.  The drain survives
+        **partial recovery**: a fetch failure that names the failed
+        sites (:attr:`~repro.errors.RemoteUnavailableError.sites`, as a
+        federated fan-out raises it) marks only those sites *dark* and
+        the walk continues, settling exactly the entries whose full
+        site-need set is still covered.  An entry is skipped when (a) it
+        needs a dark site, or (b) settling it out of order would not
+        commute with an already-skipped entry — i.e. some constraint
+        mentions both its update predicate and a skipped one; every
+        skipped entry's predicate joins the *blocked* set so the guard
+        is transitive.  Out-of-order settling is sound because the
+        quarantine has already stripped every unverified fact (the
+        settle runs against verified state only) and the commutation
+        guard means the skipped updates could equally well have arrived
+        after the settled ones.  An unattributed failure (a legacy
+        single-site source with unknown needs) stops the walk as
+        before.  Either way un-settled quarantined entries are re-applied
+        exactly (rolling back the reversal) and the remainder stays
+        queued; the call never raises
         :class:`~repro.errors.RemoteUnavailableError`.
 
         For the whole drain, the materializations the queued entries
@@ -856,13 +871,26 @@ class CheckSession:
                 reversal = self._quarantine_entry(entry)
                 if reversal is not None:
                     quarantined[entry.seq] = reversal
-            while self._pending:
+            dark: set[str] = set()
+            blocked: set[str] = set()
+            index = 0
+            while index < len(self._pending):
+                entry = self._pending[index]
+                if self._drain_blocked(entry, dark, blocked):
+                    blocked.add(entry.update.predicate)
+                    index += 1
+                    continue
                 try:
                     resolved.append(
-                        self._settle_head(remote, max_level, quarantined)
+                        self._settle_at(index, remote, max_level, quarantined)
                     )
-                except RemoteUnavailableError:
-                    break
+                except RemoteUnavailableError as exc:
+                    failed = set(exc.sites) or self._entry_site_needs(entry)
+                    if not failed:
+                        break
+                    dark |= failed
+                    blocked.add(entry.update.predicate)
+                    index += 1
         finally:
             self._redo_quarantined(quarantined)
             self._unpin_materializations(pinned)
@@ -901,6 +929,52 @@ class CheckSession:
         evicted = self._materializations.trim()
         self.stats.materializations_evicted += len(evicted)
 
+    def _entry_needed_predicates(self, entry: PendingVerdict) -> set[str]:
+        """The off-site predicates a settle of *entry* must fetch."""
+        needed = self._remote_predicates(
+            constraint
+            for constraint in self.constraints
+            if self.compiler.mentions(constraint, entry.update.predicate)
+        )
+        # Sibling-shard predicates come from the always-reachable peer
+        # source (the settle re-fetches them itself); only the true
+        # off-site part is the fetch's job.
+        return needed - self.peer_predicates
+
+    def _entry_site_needs(self, entry: PendingVerdict) -> frozenset[str]:
+        """The minimal set of remote sites that can settle *entry*."""
+        return self.compiler.predicate_sites(self._entry_needed_predicates(entry))
+
+    def _drain_blocked(
+        self, entry: PendingVerdict, dark: set[str], blocked: set[str]
+    ) -> bool:
+        """Must the partial-recovery walk skip *entry*?
+
+        Yes when its site needs touch a dark site, or when settling it
+        out of order would not commute with an already-skipped entry: a
+        constraint ties its update predicate to a *different* skipped
+        predicate, or to the *same* one through a self-join or negation
+        (:meth:`~repro.core.compiler.ConstraintCompiler.single_binding`
+        clears the common same-predicate stream case)."""
+        if dark and self._entry_site_needs(entry) & dark:
+            return True
+        if blocked:
+            predicate = entry.update.predicate
+            for constraint in self.constraints:
+                if not self.compiler.mentions(constraint, predicate):
+                    continue
+                others = blocked - {predicate}
+                if any(
+                    self.compiler.mentions(constraint, other)
+                    for other in others
+                ):
+                    return True
+            if predicate in blocked and not self.compiler.single_binding(
+                predicate
+            ):
+                return True
+        return False
+
     def _quarantine_entry(self, entry: PendingVerdict) -> Optional[UndoToken]:
         """Reverse one applied pending entry's effective token (no-op for
         held entries); returns the reversal for the redo."""
@@ -916,7 +990,18 @@ class CheckSession:
         max_level: CheckLevel,
         quarantined: dict[int, UndoToken],
     ) -> PendingVerdict:
-        """Fetch for and settle the oldest queued entry.
+        """Fetch for and settle the oldest queued entry (see
+        :meth:`_settle_at`)."""
+        return self._settle_at(0, remote, max_level, quarantined)
+
+    def _settle_at(
+        self,
+        position: int,
+        remote: RemoteSource,
+        max_level: CheckLevel,
+        quarantined: dict[int, UndoToken],
+    ) -> PendingVerdict:
+        """Fetch for and settle the queued entry at *position*.
 
         The whole pipeline is re-run, and its level-2 outcome may differ
         against today's state — the fetch covers every remote predicate
@@ -933,16 +1018,8 @@ class CheckSession:
         and the settle falls back to a synchronous fetch.  A future that
         *failed* is cleared too — the next drain round re-fetches.
         """
-        entry = self._pending[0]
-        needed = self._remote_predicates(
-            constraint
-            for constraint in self.constraints
-            if self.compiler.mentions(constraint, entry.update.predicate)
-        )
-        # Sibling-shard predicates come from the always-reachable peer
-        # source (the settle re-fetches them itself); only the true
-        # off-site part is the fetch's job — or the future's coverage.
-        needed -= self.peer_predicates
+        entry = self._pending[position]
+        needed = self._entry_needed_predicates(entry)
         remote_db: Optional[Database] = None
         future = entry.future
         if future is not None:
@@ -967,7 +1044,7 @@ class CheckSession:
         if remote_db is None:
             remote_db = _fetch_remote(remote, needed)
         self.stats.remote_fetches += 1
-        self._pending.pop(0)
+        self._pending.pop(position)
         quarantined.pop(entry.seq, None)
         self._settle_pending(entry, remote_db, max_level)
         self.stats.deferred_resolved += 1

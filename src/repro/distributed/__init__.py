@@ -1,10 +1,17 @@
 """Distributed-database simulation: metered sites, protocol, workloads,
-and the fault-tolerant remote link (faults, retries, circuit breaker)."""
+and the fault-tolerant remote link (faults, retries, circuit breaker) —
+generalized from two sites to an N-site federation with per-site links
+and fan-out escalation."""
 
-from repro.distributed.checker import DistributedChecker, ProtocolStats
+from repro.distributed.checker import (
+    DistributedChecker,
+    ProtocolStats,
+    resolve_escalation_link,
+)
 from repro.distributed.faults import FaultModel, UnreliableRemote, parse_outage
 from repro.distributed.remote import (
     BreakerState,
+    FederationLink,
     FetchPolicy,
     LinkStats,
     RemoteLink,
@@ -14,14 +21,26 @@ from repro.distributed.sharded import (
     PredicatePartitioner,
     ShardedChecker,
 )
-from repro.distributed.site import AccessStats, Site, TwoSiteDatabase
-from repro.distributed.workload import Workload, employee_workload, interval_workload
+from repro.distributed.site import (
+    AccessStats,
+    FederatedDatabase,
+    Site,
+    TwoSiteDatabase,
+)
+from repro.distributed.workload import (
+    Workload,
+    employee_workload,
+    federated_workload,
+    interval_workload,
+)
 
 __all__ = [
     "AccessStats",
     "BreakerState",
     "DistributedChecker",
     "FaultModel",
+    "FederatedDatabase",
+    "FederationLink",
     "FetchPolicy",
     "KeyRangePartitioner",
     "LinkStats",
@@ -34,6 +53,8 @@ __all__ = [
     "UnreliableRemote",
     "Workload",
     "employee_workload",
+    "federated_workload",
     "interval_workload",
     "parse_outage",
+    "resolve_escalation_link",
 ]

@@ -19,8 +19,7 @@ Two driving modes share one compiled constraint set:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional
+from typing import Callable, Iterable, Mapping, Optional, Union
 
 from repro.constraints.constraint import Constraint, ConstraintSet
 from repro.core.engine import PartialInfoChecker
@@ -28,226 +27,128 @@ from repro.core.outcomes import CheckLevel, CheckReport, Outcome
 from repro.core.session import CheckSession, PendingVerdict
 from repro.core.transaction import Transaction
 from repro.datalog.database import Database, UndoToken
-from repro.distributed.remote import RemoteLink
-from repro.distributed.site import Site, TwoSiteDatabase
+from repro.distributed.remote import FederationLink, RemoteLink
+from repro.distributed.site import FederatedDatabase, Site, TwoSiteDatabase
+from repro.distributed.stats import (  # noqa: F401  (re-exported)
+    _SESSION_GAUGES,
+    ProtocolStats,
+    sync_session_gauges,
+)
 from repro.errors import RemoteUnavailableError
 from repro.updates.update import Update
 
-__all__ = ["ProtocolStats", "DistributedChecker", "sync_session_gauges"]
+__all__ = [
+    "ProtocolStats",
+    "DistributedChecker",
+    "sync_session_gauges",
+    "resolve_escalation_link",
+]
+
+#: the escalation surface a checker fetches through — one link or a
+#: whole-federation fan-out (both expose fetch / fetch_nowait /
+#: wait_inflight / close / stats)
+EscalationLink = Union[RemoteLink, FederationLink]
 
 
-@dataclass
-class ProtocolStats:
-    """Aggregated statistics across processed updates."""
-
-    updates: int = 0
-    resolved_at_level: dict[CheckLevel, int] = field(
-        default_factory=lambda: {level: 0 for level in CheckLevel}
-    )
-    remote_round_trips: int = 0
-    #: shard mode: sibling-shard fetches for cross-shard union views
-    #: (site-local data, so never counted as remote round trips)
-    peer_fetches: int = 0
-    rejected: int = 0
-    #: updates withheld because a verdict stayed UNKNOWN while the
-    #: checker runs with ``apply_on_unknown=False``
-    deferred_unknown: int = 0
-    #: stream mode: constraint materializations built from scratch
-    materializations_built: int = 0
-    #: stream mode: checks answered from a maintained materialization
-    materialization_reuses: int = 0
-    #: stream mode: materializations dropped by the size/recency policy
-    materializations_evicted: int = 0
-    #: stream mode: delta-maintenance passes over materializations
-    incremental_deltas: int = 0
-    #: batched stream mode: coalesced maintenance flushes / updates
-    #: settled inside a batch / batches replayed / probe vetoes
-    batches_flushed: int = 0
-    batched_updates: int = 0
-    batch_replays: int = 0
-    batch_probe_vetoes: int = 0
-    #: transactions started / aborted via exact token rollback
-    transactions: int = 0
-    transactions_rolled_back: int = 0
-    #: parallel shard mode: fence-free segments drained at a barrier,
-    #: and updates that fenced (ran alone between barriers)
-    parallel_segments: int = 0
-    fences: int = 0
-    #: modifications decomposed into cross-shard delete+insert halves
-    cross_shard_modifications: int = 0
-    #: level-1 verdict LRU accounting (shared by both modes)
-    level1_cache_hits: int = 0
-    level1_cache_misses: int = 0
-    #: updates whose level-3 verdict was DEFERRED (remote unreachable)
-    deferred_remote: int = 0
-    #: deferred verdicts settled by :meth:`DistributedChecker.resolve_pending`
-    deferred_resolved: int = 0
-    #: optimistically applied deferred updates reversed on a VIOLATED resolution
-    deferred_rolled_back: int = 0
-    #: fault-tolerant link accounting (gauges mirrored from ``LinkStats``)
-    remote_retries: int = 0
-    remote_failures: int = 0
-    remote_fast_fails: int = 0
-    breaker_opens: int = 0
-    breaker_half_opens: int = 0
-    breaker_closes: int = 0
-
-    @property
-    def resolved_locally(self) -> int:
-        return (
-            self.resolved_at_level[CheckLevel.CONSTRAINTS_ONLY]
-            + self.resolved_at_level[CheckLevel.WITH_UPDATE]
-            + self.resolved_at_level[CheckLevel.WITH_LOCAL_DATA]
-        )
-
-    @property
-    def local_resolution_rate(self) -> float:
-        if self.updates == 0:
-            return 1.0
-        return self.resolved_locally / self.updates
-
-    def summary_rows(self) -> list[tuple[str, object]]:
-        rows: list[tuple[str, object]] = [("updates", self.updates)]
-        rows.extend(
-            (f"resolved at {level}", self.resolved_at_level[level])
-            for level in CheckLevel
-        )
-        rows.append(("remote round trips", self.remote_round_trips))
-        rows.append(("peer (cross-shard) fetches", self.peer_fetches))
-        rows.append(("rejected (violations)", self.rejected))
-        rows.append(("deferred on unknown", self.deferred_unknown))
-        rows.append(("local resolution rate", round(self.local_resolution_rate, 4)))
-        rows.append(("materializations built", self.materializations_built))
-        rows.append(("materialization reuses", self.materialization_reuses))
-        rows.append(("materializations evicted", self.materializations_evicted))
-        rows.append(("incremental deltas", self.incremental_deltas))
-        rows.append(("batches flushed", self.batches_flushed))
-        rows.append(("batched updates", self.batched_updates))
-        rows.append(("batch replays", self.batch_replays))
-        rows.append(("batch probe vetoes", self.batch_probe_vetoes))
-        rows.append(("transactions", self.transactions))
-        rows.append(("transactions rolled back", self.transactions_rolled_back))
-        rows.append(("parallel segments", self.parallel_segments))
-        rows.append(("fences", self.fences))
-        rows.append(
-            ("cross-shard modifications", self.cross_shard_modifications)
-        )
-        rows.append(("level-1 cache hits", self.level1_cache_hits))
-        rows.append(("level-1 cache misses", self.level1_cache_misses))
-        rows.append(("deferred (remote unreachable)", self.deferred_remote))
-        rows.append(("deferred resolved", self.deferred_resolved))
-        rows.append(("deferred rolled back", self.deferred_rolled_back))
-        rows.append(("remote retries", self.remote_retries))
-        rows.append(("remote failures", self.remote_failures))
-        rows.append(("remote fast-fails (breaker open)", self.remote_fast_fails))
-        rows.append(("breaker opens", self.breaker_opens))
-        rows.append(("breaker half-opens", self.breaker_half_opens))
-        rows.append(("breaker closes", self.breaker_closes))
-        return rows
-
-    def record_reports(
-        self, reports: list[CheckReport], apply_on_unknown: bool = True
-    ) -> None:
-        """Fold one update's final reports into the counters (shared by
-        :class:`DistributedChecker` and
-        :class:`~repro.distributed.sharded.ShardedChecker`)."""
-        if any(report.outcome is Outcome.VIOLATED for report in reports):
-            self.rejected += 1
-        elif any(report.outcome is Outcome.DEFERRED for report in reports):
-            # The deciding level is genuinely unknown while the remote is
-            # unreachable: nothing is added to resolved_at_level until
-            # resolve_pending settles the verdict, so local_resolution_rate
-            # never counts a deferral as local.
-            self.deferred_remote += 1
-            return
-        deciding = (
-            max(report.level for report in reports)
-            if reports
-            else CheckLevel.CONSTRAINTS_ONLY
-        )
-        self.resolved_at_level[deciding] += 1
-        if not apply_on_unknown and any(
-            report.outcome is Outcome.UNKNOWN for report in reports
-        ):
-            self.deferred_unknown += 1
-
-
-#: cumulative :class:`~repro.core.session.SessionStats` gauges mirrored
-#: (summed across sessions) into :class:`ProtocolStats` by
-#: :func:`sync_session_gauges`
-_SESSION_GAUGES = (
-    "materializations_built",
-    "materialization_reuses",
-    "materializations_evicted",
-    "incremental_deltas",
-    "batches_flushed",
-    "batched_updates",
-    "batch_replays",
-    "batch_probe_vetoes",
-    "peer_fetches",
-)
-
-
-def sync_session_gauges(
-    stats: ProtocolStats,
-    sessions: Iterable[Optional[CheckSession]],
-    compiler,
+def resolve_escalation_link(
+    sites: FederatedDatabase,
     remote_link: Optional[RemoteLink] = None,
-) -> None:
-    """Mirror the cumulative session/compiler/link gauges into *stats*.
+    remote_links: Optional[Mapping[str, RemoteLink]] = None,
+    parallel_fanout: bool = True,
+    snapshot_ttl: Optional[float] = None,
+    site_ttls: Optional[Mapping[str, float]] = None,
+) -> Optional[EscalationLink]:
+    """Resolve the escalation link for a (possibly federated) database.
 
-    Session gauges are *summed* across the given sessions — a single
-    session for :class:`DistributedChecker`, one per shard for
-    :class:`~repro.distributed.sharded.ShardedChecker`; they are
-    cumulative gauges, not per-call increments, so the copy is a
-    wholesale overwrite."""
-    live = [session for session in sessions if session is not None]
-    if live:
-        for gauge in _SESSION_GAUGES:
-            setattr(
-                stats, gauge, sum(getattr(s.stats, gauge) for s in live)
+    With a single remote the legacy surface is preserved exactly: the
+    scalar *remote_link* (or the one entry of *remote_links*) is used
+    as-is, and ``None`` means the checker falls back to the raw metered
+    ``remote.snapshot`` path.  With several remotes the result is always
+    a :class:`~repro.distributed.remote.FederationLink` — each site gets
+    its entry from *remote_links* or, when absent, a default fault-free
+    :class:`~repro.distributed.remote.RemoteLink` wrapper; a scalar
+    *remote_link* is rejected as ambiguous.
+    """
+    remotes = sites.remotes
+    if remote_links is not None:
+        unknown = set(remote_links) - set(remotes)
+        if unknown:
+            raise ValueError(
+                f"remote_links names unknown sites: {sorted(unknown)}"
             )
-    info = compiler.level1_cache_info()
-    stats.level1_cache_hits = info["hits"]
-    stats.level1_cache_misses = info["misses"]
+    if len(remotes) == 1:
+        only = next(iter(remotes))
+        if remote_link is not None and remote_links:
+            raise ValueError("pass remote_link or remote_links, not both")
+        if remote_links:
+            return remote_links.get(only)
+        return remote_link
     if remote_link is not None:
-        ls = remote_link.stats
-        stats.remote_retries = ls.retries
-        stats.remote_failures = ls.failures
-        stats.remote_fast_fails = ls.fetches_fast_failed
-        stats.breaker_opens = ls.breaker_opens
-        stats.breaker_half_opens = ls.breaker_half_opens
-        stats.breaker_closes = ls.breaker_closes
+        raise ValueError(
+            "a federated database has several remotes; pass per-site "
+            "remote_links instead of a single remote_link"
+        )
+    links = {
+        name: (remote_links or {}).get(name) or RemoteLink(site)
+        for name, site in remotes.items()
+    }
+    return FederationLink(
+        links,
+        sites.site_of,
+        parallel=parallel_fanout,
+        snapshot_ttl=snapshot_ttl,
+        site_ttls=site_ttls,
+    )
 
 
 class DistributedChecker:
-    """Enforce constraints at the local site of a two-site database."""
+    """Enforce constraints at the local site of a federated database.
+
+    *sites* may be the classic :class:`TwoSiteDatabase` or any
+    :class:`FederatedDatabase`; with several remotes every escalation
+    fetch fans out across the involved sites through a
+    :class:`~repro.distributed.remote.FederationLink` (see
+    :func:`resolve_escalation_link` for how *remote_link* /
+    *remote_links* resolve).
+    """
 
     def __init__(
         self,
         constraints: ConstraintSet | Iterable[Constraint],
-        sites: TwoSiteDatabase,
+        sites: FederatedDatabase,
         use_interval_datalog: bool = False,
         apply_on_unknown: bool = True,
         remote_link: Optional[RemoteLink] = None,
         overlap_remote: bool = False,
+        remote_links: Optional[Mapping[str, RemoteLink]] = None,
+        parallel_fanout: bool = True,
+        snapshot_ttl: Optional[float] = None,
+        site_ttls: Optional[Mapping[str, float]] = None,
     ) -> None:
-        if overlap_remote and remote_link is None:
+        self.sites = sites
+        resolved = resolve_escalation_link(
+            sites, remote_link, remote_links,
+            parallel_fanout=parallel_fanout,
+            snapshot_ttl=snapshot_ttl,
+            site_ttls=site_ttls,
+        )
+        if overlap_remote and resolved is None:
             raise ValueError(
                 "overlap_remote needs a RemoteLink (the raw site has no "
                 "async fetch queue)"
             )
-        self.sites = sites
         self.checker = PartialInfoChecker(
             constraints,
             local_predicates=sites.local_predicates,
             use_interval_datalog=use_interval_datalog,
+            site_of=sites.site_of,
         )
         self.apply_on_unknown = apply_on_unknown
-        #: when given, every remote fetch goes through the link's
-        #: retry/backoff/breaker policy; exhausted fetches degrade the
+        #: when set, every remote fetch goes through the link's
+        #: retry/backoff/breaker policy (a FederationLink's per-site
+        #: policies with several remotes); exhausted fetches degrade the
         #: verdict to DEFERRED instead of raising
-        self.remote_link = remote_link
+        self.remote_link: Optional[EscalationLink] = resolved
         #: issue in-stream escalation fetches through the link's async
         #: queue: the update defers immediately (future in tow) and the
         #: stream keeps flowing while the fetch is in flight
@@ -278,7 +179,8 @@ class DistributedChecker:
             if self.overlap_remote:
                 return self.remote_link.fetch_nowait
             return self.remote_link.fetch
-        return self.sites.remote.snapshot
+        # No link resolves only in the single-remote case.
+        return next(iter(self.sites.remotes.values())).snapshot
 
     @property
     def _drain_source(self) -> Callable[..., Database]:

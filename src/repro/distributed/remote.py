@@ -46,14 +46,17 @@ import enum
 import random
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import Iterable, Optional, Protocol
+from concurrent.futures import wait as _futures_wait
+from dataclasses import dataclass, fields
+from typing import Callable, Iterable, Mapping, Optional, Protocol
 
+from repro.constraints.classify import group_predicates_by_site
 from repro.datalog.database import Database
 from repro.errors import RemoteUnavailableError
 
 __all__ = [
     "BreakerState",
+    "FederationLink",
     "FetchPolicy",
     "LinkStats",
     "RemoteFetchInFlight",
@@ -423,8 +426,377 @@ class RemoteLink:
             )
 
     def close(self) -> None:
-        """Shut down the async worker pool, waiting for in-flight fetches."""
+        """Shut down the async worker pool, waiting for in-flight fetches.
+
+        Idempotent: the pool handle is swapped out under the lock before
+        shutdown, so a second (or concurrent) close finds nothing to do.
+        """
         with self._lock:
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+
+
+class FederationLink:
+    """Fan-out escalation across N per-site :class:`RemoteLink`\\ s.
+
+    The protocol layer keeps seeing one remote-source surface —
+    ``fetch(predicates=...)`` / ``fetch_nowait`` / ``wait_inflight`` /
+    ``close`` — while underneath each fetch is *split by owning site*
+    (via the federation's placement) and issued to every involved site's
+    own link, each with its own retry/backoff/breaker policy and fault
+    model.  Three things distinguish the federated surface:
+
+    * **parallel fan-out** (default): the per-site fetches of one
+      escalation ride each link's existing ``fetch_nowait`` worker pool
+      concurrently, so one slow site no longer serializes the others.
+      On the simulated clock the escalation costs the *maximum* of the
+      per-site latency deltas instead of their sum (``parallel=False``
+      keeps the sequential sum, for comparison — the M7 benchmark
+      measures the gap).
+    * **partial-failure attribution**: when some sites answer and others
+      do not, the raised :class:`~repro.errors.RemoteUnavailableError`
+      carries ``sites`` naming exactly the failed ones, and the answers
+      that did arrive are still cached — the partial-recovery drain in
+      :meth:`~repro.core.session.CheckSession.resolve_pending` marks
+      only those sites dark.
+    * a **verified-snapshot cache** with per-site staleness bounds:
+      a successful per-site fetch is remembered for ``snapshot_ttl``
+      simulated seconds on *that site's* link clock (``site_ttls``
+      overrides per site), and a later escalation whose needs are
+      covered is served from the cache without touching the site.  The
+      default (``None``) disables caching, preserving exact fetch-for-
+      fetch equivalence with the unfederated link.
+    """
+
+    def __init__(
+        self,
+        links: Mapping[str, RemoteLink],
+        site_of: Callable[[str], Optional[str]],
+        parallel: bool = True,
+        snapshot_ttl: Optional[float] = None,
+        site_ttls: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        if not links:
+            raise ValueError("a federation link needs at least one site link")
+        self.links: dict[str, RemoteLink] = dict(links)
+        self.site_of = site_of
+        self.parallel = parallel
+        self.snapshot_ttl = snapshot_ttl
+        self.site_ttls = dict(site_ttls or {})
+        unknown = set(self.site_ttls) - set(self.links)
+        if unknown:
+            raise ValueError(f"site_ttls names unknown sites: {sorted(unknown)}")
+        #: simulated federation clock: each escalation adds the max of
+        #: its per-site latency deltas when parallel, the sum otherwise
+        self.clock = 0.0
+        #: multi-site escalations issued / per-site fetches they fanned
+        #: out to / snapshot-cache accounting
+        self.fanouts = 0
+        self.fanout_fetches = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._lock = threading.Lock()
+        #: site -> (link clock at fetch, covered predicates or None, db)
+        self._cache: dict[str, tuple[float, Optional[frozenset], Database]] = {}
+        self._composites: set[Future] = set()
+
+    # -- plumbing ---------------------------------------------------------------
+    def _ttl(self, site: str) -> Optional[float]:
+        return self.site_ttls.get(site, self.snapshot_ttl)
+
+    def _split(self, predicates: Iterable[str] | None) -> dict[str, Optional[frozenset]]:
+        """The fan-out plan: site -> predicate restriction (``None`` =
+        unrestricted).  An unrestricted fetch involves every site."""
+        if predicates is None:
+            return {name: None for name in self.links}
+        default = next(iter(self.links))
+        groups = group_predicates_by_site(
+            predicates, self.site_of, default_site=default
+        )
+        unknown = set(groups) - set(self.links)
+        if unknown:
+            raise ValueError(
+                f"placement routes predicates to unknown sites: {sorted(unknown)}"
+            )
+        return {site: frozenset(wanted) for site, wanted in groups.items()}
+
+    def _serve_cached(
+        self, groups: dict[str, Optional[frozenset]]
+    ) -> tuple[dict[str, Database], list[str]]:
+        """Split the plan into cache-served answers and remaining sites."""
+        results: dict[str, Database] = {}
+        misses: list[str] = []
+        for site, wanted in groups.items():
+            hit = self._cached(site, wanted)
+            if hit is not None:
+                results[site] = hit
+            else:
+                misses.append(site)
+        return results, misses
+
+    def _cached(self, site: str, wanted: Optional[frozenset]) -> Optional[Database]:
+        ttl = self._ttl(site)
+        if ttl is None:
+            return None
+        with self._lock:
+            entry = self._cache.get(site)
+            link = self.links[site]
+            if entry is not None:
+                fetched_at, covered, db = entry
+                fresh = link.clock - fetched_at <= ttl
+                covers = covered is None or (
+                    wanted is not None and wanted <= covered
+                )
+                if fresh and covers:
+                    self.cache_hits += 1
+                    if wanted is not None and covered != wanted:
+                        return db.restricted_to(set(wanted))
+                    return db
+            self.cache_misses += 1
+            return None
+
+    def _store(self, site: str, wanted: Optional[frozenset], db: Database) -> None:
+        if self._ttl(site) is None:
+            return
+        with self._lock:
+            self._cache[site] = (self.links[site].clock, wanted, db.copy())
+
+    def _merge(
+        self, groups: dict[str, Optional[frozenset]], results: dict[str, Database]
+    ) -> Database:
+        merged = Database()
+        for site in groups:
+            db = results[site]
+            for predicate in db.predicates():
+                for fact in db.facts(predicate):
+                    merged.insert(predicate, fact)
+        return merged
+
+    @staticmethod
+    def _failure(
+        failures: dict[str, RemoteUnavailableError], total: int
+    ) -> RemoteUnavailableError:
+        reasons = {exc.reason for exc in failures.values()}
+        reason = reasons.pop() if len(reasons) == 1 else "federated"
+        detail = "; ".join(
+            f"{site}: {failures[site]}" for site in sorted(failures)
+        )
+        return RemoteUnavailableError(
+            f"{len(failures)}/{total} federated site fetch(es) failed: {detail}",
+            reason=reason,
+            sites=failures,
+        )
+
+    # -- fetching ---------------------------------------------------------------
+    def fetch(self, predicates: Iterable[str] | None = None) -> Database:
+        """Fetch (and merge) the snapshots of every site the restriction
+        touches; raises with ``sites`` naming the failed subset.
+
+        With ``parallel`` (the default) the per-site fetches of a multi-
+        site escalation run concurrently on the links' worker pools and
+        the federation clock advances by the slowest site, not the sum.
+        Every site is attempted even after another has failed, so the
+        failure attribution is complete and the successes are cached.
+        """
+        groups = self._split(predicates)
+        results, misses = self._serve_cached(groups)
+        failures: dict[str, RemoteUnavailableError] = {}
+        deltas: dict[str, float] = {}
+        if len(misses) > 1:
+            with self._lock:
+                self.fanouts += 1
+                self.fanout_fetches += len(misses)
+        if len(misses) > 1 and self.parallel:
+            pending: dict[str, Future] = {}
+            befores: dict[str, float] = {}
+            for site in misses:
+                link = self.links[site]
+                befores[site] = link.clock
+                try:
+                    link.fetch_nowait(predicates=self._restriction(groups[site]))
+                except RemoteFetchInFlight as exc:
+                    pending[site] = exc.future
+                except RemoteUnavailableError as exc:
+                    failures[site] = exc
+                    deltas[site] = link.clock - befores[site]
+            for site, future in pending.items():
+                link = self.links[site]
+                try:
+                    db = future.result()
+                except RemoteUnavailableError as exc:
+                    failures[site] = exc
+                else:
+                    results[site] = db
+                    self._store(site, groups[site], db)
+                deltas[site] = link.clock - befores[site]
+        else:
+            for site in misses:
+                link = self.links[site]
+                before = link.clock
+                try:
+                    db = link.fetch(predicates=self._restriction(groups[site]))
+                except RemoteUnavailableError as exc:
+                    failures[site] = exc
+                else:
+                    results[site] = db
+                    self._store(site, groups[site], db)
+                deltas[site] = link.clock - before
+        self._advance(deltas)
+        if failures:
+            raise self._failure(failures, len(groups))
+        return self._merge(groups, results)
+
+    @staticmethod
+    def _restriction(wanted: Optional[frozenset]) -> Optional[list[str]]:
+        return sorted(wanted) if wanted is not None else None
+
+    def _advance(self, deltas: dict[str, float]) -> None:
+        if not deltas:
+            return
+        cost = max(deltas.values()) if self.parallel else sum(deltas.values())
+        with self._lock:
+            self.clock += cost
+
+    def fetch_nowait(self, predicates: Iterable[str] | None = None) -> Database:
+        """Issue the fan-out without waiting for it.
+
+        Per-site fetches go to each involved link's async queue; a
+        composite future completes with the merged database once *every*
+        site has answered (or fails carrying the failed ``sites``), and
+        :class:`RemoteFetchInFlight` is raised with it so the caller's
+        DEFERRED path works exactly as with a single link.  Degenerate
+        cases stay synchronous: a fully cache-served plan returns the
+        merged database outright, and a plan whose every site fast-fails
+        (open breakers) raises immediately.
+        """
+        predicates = frozenset(predicates) if predicates is not None else None
+        groups = self._split(predicates)
+        results, misses = self._serve_cached(groups)
+        failures: dict[str, RemoteUnavailableError] = {}
+        pending: dict[str, Future] = {}
+        befores: dict[str, float] = {}
+        if len(misses) > 1:
+            with self._lock:
+                self.fanouts += 1
+                self.fanout_fetches += len(misses)
+        for site in misses:
+            link = self.links[site]
+            befores[site] = link.clock
+            try:
+                link.fetch_nowait(predicates=self._restriction(groups[site]))
+            except RemoteFetchInFlight as exc:
+                pending[site] = exc.future
+            except RemoteUnavailableError as exc:
+                failures[site] = exc
+        if not pending:
+            if failures:
+                raise self._failure(failures, len(groups))
+            return self._merge(groups, results)
+
+        composite: Future = Future()
+        composite.set_running_or_notify_cancel()
+        with self._lock:
+            self._composites.add(composite)
+        state = {"remaining": len(pending)}
+        state_lock = threading.Lock()
+        deltas: dict[str, float] = {}
+
+        def finish() -> None:
+            self._advance(deltas)
+            with self._lock:
+                self._composites.discard(composite)
+            if failures:
+                composite.set_exception(self._failure(failures, len(groups)))
+            else:
+                composite.set_result(self._merge(groups, results))
+
+        def make_callback(site: str) -> Callable[[Future], None]:
+            def on_done(future: Future) -> None:
+                link = self.links[site]
+                try:
+                    db = future.result()
+                except RemoteUnavailableError as exc:
+                    failures[site] = exc
+                except BaseException as exc:  # pragma: no cover - defensive
+                    failures[site] = RemoteUnavailableError(
+                        f"site {site!r} fetch worker died: {exc}",
+                        reason="worker-error",
+                        sites=[site],
+                    )
+                else:
+                    results[site] = db
+                    self._store(site, groups[site], db)
+                deltas[site] = link.clock - befores[site]
+                with state_lock:
+                    state["remaining"] -= 1
+                    last = state["remaining"] == 0
+                if last:
+                    finish()
+
+            return on_done
+
+        for site, future in pending.items():
+            future.add_done_callback(make_callback(site))
+        raise RemoteFetchInFlight(
+            "federated escalation fetch issued asynchronously; result pending",
+            composite,
+            predicates,
+        )
+
+    # -- aggregate accounting / lifecycle ----------------------------------------
+    @property
+    def stats(self) -> LinkStats:
+        """Per-site link statistics summed across the federation (the
+        gauges :func:`~repro.distributed.stats.sync_session_gauges`
+        mirrors into :class:`~repro.distributed.stats.ProtocolStats`)."""
+        total = LinkStats()
+        for link in self.links.values():
+            for spec in fields(LinkStats):
+                setattr(
+                    total,
+                    spec.name,
+                    getattr(total, spec.name) + getattr(link.stats, spec.name),
+                )
+        return total
+
+    @property
+    def state(self) -> BreakerState:
+        """The worst per-site breaker state (OPEN > HALF_OPEN > CLOSED)."""
+        order = [BreakerState.CLOSED, BreakerState.HALF_OPEN, BreakerState.OPEN]
+        return max((link.state for link in self.links.values()), key=order.index)
+
+    @property
+    def available(self) -> bool:
+        """Would a fan-out right now at least try every site?"""
+        return all(link.available for link in self.links.values())
+
+    @property
+    def inflight(self) -> int:
+        return sum(link.inflight for link in self.links.values())
+
+    def summary_rows(self) -> list[tuple[str, object]]:
+        rows = self.stats.summary_rows()
+        rows.append(("federated fan-outs", self.fanouts))
+        rows.append(("federated fan-out site fetches", self.fanout_fetches))
+        rows.append(("snapshot cache hits", self.cache_hits))
+        rows.append(("snapshot cache misses", self.cache_misses))
+        return rows
+
+    def wait_inflight(self, timeout: Optional[float] = None) -> bool:
+        """Block until every site's async fetches *and* every composite
+        fan-out future have completed (or timeout)."""
+        ok = True
+        for link in self.links.values():
+            ok = link.wait_inflight(timeout) and ok
+        with self._lock:
+            composites = list(self._composites)
+        if composites:
+            _done, not_done = _futures_wait(composites, timeout=timeout)
+            ok = ok and not not_done
+        return ok
+
+    def close(self) -> None:
+        """Shut down every site link's worker pool (idempotent)."""
+        for link in self.links.values():
+            link.close()

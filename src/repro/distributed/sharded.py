@@ -48,7 +48,7 @@ import itertools
 import zlib
 from bisect import bisect_right
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Callable, Iterable, Mapping, Optional, Sequence
 
 from repro.constraints.constraint import Constraint, ConstraintSet
 from repro.core.compiler import ConstraintCompiler
@@ -59,9 +59,10 @@ from repro.core.session import (
     PendingVerdict,
 )
 from repro.datalog.database import Database, UndoToken
-from repro.distributed.checker import ProtocolStats, sync_session_gauges
+from repro.distributed.checker import resolve_escalation_link
 from repro.distributed.remote import RemoteLink
-from repro.distributed.site import TwoSiteDatabase
+from repro.distributed.site import FederatedDatabase
+from repro.distributed.stats import ProtocolStats, sync_session_gauges
 from repro.errors import RemoteUnavailableError
 from repro.updates.update import Insertion, Modification, Update
 
@@ -182,7 +183,7 @@ class ShardedChecker:
     def __init__(
         self,
         constraints: ConstraintSet | Iterable[Constraint],
-        sites: TwoSiteDatabase,
+        sites: FederatedDatabase,
         shards: int = 2,
         partitioner: Optional[PredicatePartitioner] = None,
         use_interval_datalog: bool = False,
@@ -192,10 +193,20 @@ class ShardedChecker:
         parallelism: int = 1,
         overlap_remote: bool = False,
         session_factory: Optional[Callable[..., CheckSession]] = None,
+        remote_links: Optional[Mapping[str, RemoteLink]] = None,
+        parallel_fanout: bool = True,
+        snapshot_ttl: Optional[float] = None,
+        site_ttls: Optional[Mapping[str, float]] = None,
     ) -> None:
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
-        if overlap_remote and remote_link is None:
+        resolved = resolve_escalation_link(
+            sites, remote_link, remote_links,
+            parallel_fanout=parallel_fanout,
+            snapshot_ttl=snapshot_ttl,
+            site_ttls=site_ttls,
+        )
+        if overlap_remote and resolved is None:
             raise ValueError(
                 "overlap_remote needs a RemoteLink (the raw site has no "
                 "async fetch queue)"
@@ -207,11 +218,12 @@ class ShardedChecker:
         self.partitioner = partitioner
         self.shards = partitioner.shards
         self.compiler = ConstraintCompiler(
-            constraints, self.site_predicates, use_interval_datalog
+            constraints, self.site_predicates, use_interval_datalog,
+            site_of=sites.site_of,
         )
         self.constraints = self.compiler.constraints
         self.apply_on_unknown = apply_on_unknown
-        self.remote_link = remote_link
+        self.remote_link = resolved
         self.parallelism = parallelism
         self.overlap_remote = overlap_remote
         self.stats = ProtocolStats()
@@ -352,7 +364,8 @@ class ShardedChecker:
             if self.overlap_remote:
                 return self.remote_link.fetch_nowait
             return self.remote_link.fetch
-        return self.sites.remote.snapshot
+        # No link resolves only in the single-remote case.
+        return next(iter(self.sites.remotes.values())).snapshot
 
     @property
     def _drain_source(self) -> Callable[..., Database]:
@@ -698,13 +711,20 @@ class ShardedChecker:
         sibling's unverified optimistic fact would contaminate it.  The
         drain therefore pins materializations and quarantines across
         **all** shards first (newest-first on the shared sequence
-        clock), settles globally oldest-first — always the smallest head
-        sequence number among the shard queues — and stops at the first
-        unreachable fetch (an entry whose overlapped escalation future
-        is still in flight counts: the drain must not settle from data
-        it does not have yet), re-applying every still-queued reversal.
-        The drain always settles through the *blocking* fetch source,
-        never the async queue.
+        clock) and settles globally oldest-first — always the smallest
+        still-eligible sequence number among the shard queues.  Partial
+        recovery works exactly as in the single-session drain: a fetch
+        failure attributing its failed ``sites`` marks only those sites
+        dark and the global walk continues, skipping entries that need a
+        dark site or whose settle would not commute with an already
+        skipped entry (the dark/blocked sets are shared across the
+        shards — the compiler, and hence the commutation guard, is);
+        an unattributed failure (an entry whose overlapped escalation
+        future is still in flight counts: the drain must not settle from
+        data it does not have yet) stops the walk as before.  Every
+        still-queued reversal is re-applied on the way out.  The drain
+        always settles through the *blocking* fetch source, never the
+        async queue.
         Returns ``(update, final_reports)`` pairs in settle order; never
         raises on an unreachable remote.
         """
@@ -725,25 +745,41 @@ class ShardedChecker:
                 reversal = sessions[index]._quarantine_entry(entry)
                 if reversal is not None:
                     quarantined[index][seq] = reversal
+            dark: set[str] = set()
+            blocked: set[str] = set()
+            skipped: set[int] = set()
             while True:
-                heads = [
-                    (session._pending[0].seq, index)
-                    for index, session in enumerate(sessions)
-                    if session._pending
-                ]
-                if not heads:
+                head = None
+                for index, session in enumerate(sessions):
+                    for position, entry in enumerate(session._pending):
+                        if entry.seq in skipped:
+                            continue
+                        if head is None or entry.seq < head[0]:
+                            head = (entry.seq, index, position, entry)
+                if head is None:
                     break
-                _, index = min(heads)
+                seq, index, position, entry = head
                 session = sessions[index]
+                if session._drain_blocked(entry, dark, blocked):
+                    skipped.add(seq)
+                    blocked.add(entry.update.predicate)
+                    continue
                 before = session.stats.remote_fetches
                 try:
-                    entry = session._settle_head(
+                    entry = session._settle_at(
+                        position,
                         self._drain_source,
                         CheckLevel.FULL_DATABASE,
                         quarantined[index],
                     )
-                except RemoteUnavailableError:
-                    break
+                except RemoteUnavailableError as exc:
+                    failed = set(exc.sites) or session._entry_site_needs(entry)
+                    if not failed:
+                        break
+                    dark |= failed
+                    skipped.add(seq)
+                    blocked.add(entry.update.predicate)
+                    continue
                 self.stats.remote_round_trips += (
                     session.stats.remote_fetches - before
                 )

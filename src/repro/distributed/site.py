@@ -16,7 +16,7 @@ from typing import Callable, Iterable, Mapping
 
 from repro.datalog.database import Database
 
-__all__ = ["AccessStats", "Site", "TwoSiteDatabase"]
+__all__ = ["AccessStats", "Site", "FederatedDatabase", "TwoSiteDatabase"]
 
 
 @dataclass
@@ -152,13 +152,115 @@ class Site:
         return f"Site({self.name!r}, {self._db!r})"
 
 
-class TwoSiteDatabase:
-    """A local site plus a remote site, with convenience plumbing.
+class FederatedDatabase:
+    """One local site plus N named remote partitions.
+
+    Every non-local predicate is stored at exactly one remote site
+    (partitioned, not replicated): :meth:`site_of` maps a predicate to
+    its owning site's name, derived from each remote's contents plus the
+    optional *site_predicates* declarations (which matter for relations
+    that start out empty).  A non-local predicate no site declares or
+    stores is charged to the first remote — with one remote that is the
+    classic two-site reading, with several it is a deterministic default.
+
+    *remotes* is a sequence of :class:`Site`\\ s (keyed by their names)
+    or an explicit name-to-site mapping; names must be unique.
 
     *local_predicates* declares which predicates live locally; when
-    omitted it is derived from the local site's contents.  Passing it
-    explicitly matters for predicates that start out empty — they are
-    still local, even though no fact records that yet.
+    omitted it is derived from the local site's contents.
+    """
+
+    def __init__(
+        self,
+        local: Site,
+        remotes: Iterable[Site] | Mapping[str, Site],
+        local_predicates: Iterable[str] | None = None,
+        site_predicates: Mapping[str, Iterable[str]] | None = None,
+    ) -> None:
+        self.local = local
+        if isinstance(remotes, Mapping):
+            named = dict(remotes)
+        else:
+            named = {}
+            for site in remotes:
+                if site.name in named:
+                    raise ValueError(
+                        f"duplicate remote site name {site.name!r}"
+                    )
+                named[site.name] = site
+        if not named:
+            raise ValueError("a federation needs at least one remote site")
+        self.remotes: dict[str, Site] = named
+        self._local_predicates = (
+            set(local_predicates) if local_predicates is not None else None
+        )
+        self._declared: dict[str, str] = {}
+        for name, predicates in (site_predicates or {}).items():
+            if name not in named:
+                raise ValueError(f"site_predicates names unknown site {name!r}")
+            for predicate in predicates:
+                self._declared[predicate] = name
+
+    @property
+    def site_names(self) -> tuple[str, ...]:
+        return tuple(self.remotes)
+
+    @property
+    def local_predicates(self) -> set[str]:
+        if self._local_predicates is not None:
+            return self._local_predicates | self.local.predicates()
+        return self.local.predicates()
+
+    def site_of(self, predicate: str) -> str | None:
+        """The remote site owning *predicate*, or ``None`` when local."""
+        if predicate in self.local_predicates:
+            return None
+        owner = self._declared.get(predicate)
+        if owner is not None:
+            return owner
+        for name, site in self.remotes.items():
+            if predicate in site.predicates():
+                return name
+        return next(iter(self.remotes))
+
+    def remote_predicates(self, name: str) -> set[str]:
+        """The predicates stored (or declared) at remote site *name*."""
+        declared = {p for p, owner in self._declared.items() if owner == name}
+        return self.remotes[name].predicates() | declared
+
+    def full_database(self) -> Database:
+        """Merge every site (meters a full snapshot of each remote)."""
+        merged = self.local.unmetered().copy()
+        for site in self.remotes.values():
+            snapshot = site.snapshot()
+            for predicate in snapshot.predicates():
+                for fact in snapshot.facts(predicate):
+                    merged.insert(predicate, fact)
+        return merged
+
+    def ground_truth_database(self) -> Database:
+        """Merge every site without metering (for verification only)."""
+        merged = self.local.unmetered().copy()
+        for site in self.remotes.values():
+            contents = site.unmetered()
+            for predicate in contents.predicates():
+                for fact in contents.facts(predicate):
+                    merged.insert(predicate, fact)
+        return merged
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self.local!r}, "
+            f"remotes={list(self.remotes)!r})"
+        )
+
+
+class TwoSiteDatabase(FederatedDatabase):
+    """The N=2 special case: one local site, one remote site.
+
+    A thin shim over :class:`FederatedDatabase` preserving the original
+    two-site surface (``.remote``); everything downstream that only ever
+    talks to "the" remote keeps working unchanged.
     """
 
     def __init__(
@@ -167,32 +269,5 @@ class TwoSiteDatabase:
         remote: Site,
         local_predicates: Iterable[str] | None = None,
     ) -> None:
-        self.local = local
+        super().__init__(local, [remote], local_predicates=local_predicates)
         self.remote = remote
-        self._local_predicates = (
-            set(local_predicates) if local_predicates is not None else None
-        )
-
-    @property
-    def local_predicates(self) -> set[str]:
-        if self._local_predicates is not None:
-            return self._local_predicates | self.local.predicates()
-        return self.local.predicates()
-
-    def full_database(self) -> Database:
-        """Merge both sites (meters a full remote snapshot)."""
-        merged = self.local.unmetered().copy()
-        remote = self.remote.snapshot()
-        for predicate in remote.predicates():
-            for fact in remote.facts(predicate):
-                merged.insert(predicate, fact)
-        return merged
-
-    def ground_truth_database(self) -> Database:
-        """Merge both sites without metering (for verification only)."""
-        merged = self.local.unmetered().copy()
-        remote = self.remote.unmetered()
-        for predicate in remote.predicates():
-            for fact in remote.facts(predicate):
-                merged.insert(predicate, fact)
-        return merged

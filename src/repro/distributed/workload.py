@@ -10,6 +10,10 @@ Two scenarios keyed to the paper's running examples:
 * :func:`employee_workload` — the employee/department scenario of
   Section 2: local ``emp`` insertions checked against remote
   ``closedDept`` and ``salRange`` tables via CQC local tests.
+* :func:`federated_workload` — the employee scenario widened to N
+  remote sites: four policy tables dealt round-robin across the
+  remotes, so escalations fan out and per-site faults exercise the
+  partial-recovery drain.
 """
 
 from __future__ import annotations
@@ -18,10 +22,15 @@ import random
 from dataclasses import dataclass, field
 from repro.constraints.constraint import Constraint, ConstraintSet
 from repro.datalog.database import Database
-from repro.distributed.site import Site, TwoSiteDatabase
+from repro.distributed.site import FederatedDatabase, Site, TwoSiteDatabase
 from repro.updates.update import Insertion
 
-__all__ = ["Workload", "interval_workload", "employee_workload"]
+__all__ = [
+    "Workload",
+    "interval_workload",
+    "employee_workload",
+    "federated_workload",
+]
 
 
 @dataclass
@@ -30,7 +39,7 @@ class Workload:
 
     name: str
     constraints: ConstraintSet
-    sites: TwoSiteDatabase
+    sites: FederatedDatabase
     updates: list[Insertion] = field(default_factory=list)
 
     @property
@@ -168,6 +177,120 @@ def employee_workload(
     )
     return Workload(
         name="employees",
+        constraints=constraints,
+        sites=sites,
+        updates=updates,
+    )
+
+
+#: the federated policy tables, in round-robin placement order
+_FEDERATED_TABLES = ("closedDept", "salFloor", "blacklisted", "deptBudget")
+
+
+def federated_workload(
+    remote_sites: int = 3,
+    initial_employees: int = 200,
+    num_updates: int = 100,
+    departments: int = 20,
+    closed_departments: int = 3,
+    covered_fraction: float = 0.7,
+    blacklisted_fraction: float = 0.05,
+    seed: int = 0,
+    remote_cost: float = 1.0,
+) -> Workload:
+    """The employee scenario widened to an N-site federation.
+
+    Local ``emp``; four policy tables dealt round-robin across
+    *remote_sites* named remotes (``remote1`` .. ``remoteN``), declared
+    via ``site_predicates`` so ownership survives empty tables:
+
+    * ``closedDept(D)`` / ``salFloor(D,F)`` — as in
+      :func:`employee_workload`;
+    * ``blacklisted(E)`` — nobody on the blacklist may be hired
+      (``panic :- emp(E,D,S) & blacklisted(E)``); a *fresh* name can
+      never be cleared locally, so every insertion escalates at least to
+      the blacklist's site;
+    * ``deptBudget(D,B)`` — nobody may out-earn their department's
+      budget cap (``panic :- emp(E,D,S) & deptBudget(D,B) & S > B``).
+
+    A *covered_fraction* hire duplicates a colleague's salary, so the
+    three department constraints settle locally and the escalation
+    fetches exactly one site; the rest escalate wide (a multi-site
+    fan-out).  A *blacklisted_fraction* of the new names is seeded into
+    ``blacklisted``, so some escalations come back VIOLATED.
+    """
+    if remote_sites < 1:
+        raise ValueError("remote_sites must be >= 1")
+    rng = random.Random(seed)
+    open_departments = [f"d{i}" for i in range(closed_departments, departments)]
+    closed = [f"d{i}" for i in range(closed_departments)]
+    floors = {d: rng.randrange(20, 80) for d in open_departments}
+    # Salaries land in [floor, floor+119]; the cap clears every
+    # consistent hire and catches wild ones.
+    budgets = {d: f + 120 for d, f in floors.items()}
+
+    employees: list[tuple[str, str, int]] = []
+    for i in range(initial_employees):
+        dept = rng.choice(open_departments)
+        salary = floors[dept] + rng.randrange(0, 100)
+        employees.append((f"e{i}", dept, salary))
+
+    blacklisted = [
+        (f"n{i}",)
+        for i in range(num_updates)
+        if rng.random() < blacklisted_fraction
+    ]
+
+    updates: list[Insertion] = []
+    for i in range(num_updates):
+        name = f"n{i}"
+        if rng.random() < covered_fraction and employees:
+            # Duplicate a colleague's salary: the floor, budget, and
+            # closed-department constraints all settle locally, leaving
+            # only the blacklist check for the remote.
+            colleague = rng.choice(employees)
+            updates.append(Insertion("emp", (name, colleague[1], colleague[2])))
+        else:
+            dept = rng.choice(open_departments + closed)
+            salary = rng.randrange(0, 200)
+            updates.append(Insertion("emp", (name, dept, salary)))
+
+    tables: dict[str, list[tuple]] = {
+        "closedDept": [(d,) for d in closed],
+        "salFloor": [(d, f) for d, f in floors.items()],
+        "blacklisted": blacklisted,
+        "deptBudget": [(d, b) for d, b in budgets.items()],
+    }
+    placement: dict[str, list[str]] = {
+        f"remote{i + 1}": [] for i in range(remote_sites)
+    }
+    for index, table in enumerate(_FEDERATED_TABLES):
+        placement[f"remote{(index % remote_sites) + 1}"].append(table)
+    remotes = [
+        Site(
+            name,
+            {table: tables[table] for table in owned},
+            cost_per_read=remote_cost,
+        )
+        for name, owned in placement.items()
+    ]
+    sites = FederatedDatabase(
+        local=Site("local", {"emp": employees}),
+        remotes=remotes,
+        site_predicates=placement,
+    )
+    constraints = ConstraintSet(
+        [
+            Constraint("panic :- emp(E,D,S) & closedDept(D)", "no-closed-dept"),
+            Constraint("panic :- emp(E,D,S) & salFloor(D,F) & S < F", "salary-floor"),
+            Constraint("panic :- emp(E,D,S) & blacklisted(E)", "no-blacklisted"),
+            Constraint(
+                "panic :- emp(E,D,S) & deptBudget(D,B) & S > B", "dept-budget"
+            ),
+        ]
+    )
+    return Workload(
+        name=f"federated-employees-{remote_sites}",
         constraints=constraints,
         sites=sites,
         updates=updates,

@@ -83,8 +83,21 @@ class RemoteUnavailableError(ReproError):
     ``"circuit-open"``, ``"exhausted"``) so retry policies and statistics
     can distinguish them.  Callers that catch it degrade to a DEFERRED
     verdict instead of crashing the stream.
+
+    ``sites`` names the federated remote sites whose fetches failed, when
+    the raiser knows them (a multi-site fan-out may succeed on some sites
+    and fail on others).  The partial-recovery drain uses it to mark only
+    the failed sites dark and keep settling entries whose site needs are
+    still covered; an empty set means the failure is unattributed and the
+    caller must assume every site it asked for is affected.
     """
 
-    def __init__(self, message: str, reason: str = "transient") -> None:
+    def __init__(
+        self,
+        message: str,
+        reason: str = "transient",
+        sites: "Iterable[str] | None" = None,
+    ) -> None:
         super().__init__(message)
         self.reason = reason
+        self.sites = frozenset(sites) if sites is not None else frozenset()

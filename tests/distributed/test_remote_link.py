@@ -214,3 +214,25 @@ class TestLinkInvariants:
         link.fetch()
         assert link.clock == pytest.approx(0.25)
         assert link.stats.attempt_latency == pytest.approx(0.25)
+
+
+class TestTeardown:
+    def test_close_is_idempotent(self):
+        link = make_link([True])
+        link.fetch()
+        link.close()
+        link.close()  # second close must be a no-op, not an error
+
+    def test_wait_inflight_after_close(self):
+        link = make_link([True])
+        link.close()
+        assert link.wait_inflight(timeout=0.1) is True
+
+    def test_fetch_after_close_still_works_synchronously(self):
+        # close() only tears down the async pool; the synchronous path
+        # (used by the post-stream drain) must keep working.
+        link = make_link([True, True])
+        link.fetch()
+        link.close()
+        db = link.fetch()
+        assert db.facts("reading")
