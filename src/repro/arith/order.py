@@ -88,6 +88,35 @@ def compare_values(a: object, b: object) -> int:
 
 def comparison_holds(op: ComparisonOp, a: object, b: object) -> bool:
     """Evaluate a ground comparison under the dense total order."""
+    # Fast path: two plain ints/floats (the overwhelmingly common case on
+    # the maintenance hot path) compare natively, skipping the rank
+    # machinery.  bool is excluded so it keeps flowing through the same
+    # code path _rank classifies it under.
+    ta, tb = type(a), type(b)
+    if (ta is int or ta is float) and (tb is int or tb is float):
+        if op is ComparisonOp.LT:
+            return a < b
+        if op is ComparisonOp.LE:
+            return a <= b
+        if op is ComparisonOp.GT:
+            return a > b
+        if op is ComparisonOp.GE:
+            return a >= b
+        if op is ComparisonOp.EQ:
+            return a == b
+        return a != b  # NE
+    if ta is str and tb is str:
+        if op is ComparisonOp.LT:
+            return a < b
+        if op is ComparisonOp.LE:
+            return a <= b
+        if op is ComparisonOp.GT:
+            return a > b
+        if op is ComparisonOp.GE:
+            return a >= b
+        if op is ComparisonOp.EQ:
+            return a == b
+        return a != b  # NE
     sign = compare_values(a, b)
     if op is ComparisonOp.LT:
         return sign < 0

@@ -41,7 +41,12 @@ sessions (verdicts identical to a single session); ``--parallel N``
 additionally runs shard-confined updates on N worker threads with
 explicit fences around cross-shard work, and ``--overlap-remote``
 issues remote escalations asynchronously so the stream keeps flowing
-while a slow fetch is in flight.
+while a slow fetch is in flight.  ``--executor process`` moves each
+shard session into its own worker process (escalations bounce through
+the parent's fault-tolerant link; verdicts stay identical), and
+``--rebalance [N]`` enables live key-range rebalancing: every N routed
+updates a hot shard's range is split at its sampled median key and the
+affected facts (and pending verdicts) migrate at a fence.
 """
 
 from __future__ import annotations
@@ -229,19 +234,37 @@ def _build_remote_link(args: argparse.Namespace, remote_site, rate=None):
 
 def _parse_site_fault_rates(args: argparse.Namespace) -> dict[str, float]:
     """``--site-fault-rate SITE=P`` specs (a bare ``P`` keys ``"*"``,
-    the every-site default)."""
+    the every-site default).
+
+    Rejects duplicate site names and probabilities outside ``[0, 1]``
+    instead of silently letting the last (or a nonsensical) spec win;
+    unknown site names are checked against the built topology by the
+    caller."""
     rates: dict[str, float] = {}
     for spec in getattr(args, "site_fault_rate", None) or ():
         name, sep, value = spec.partition("=")
+        key = name.strip() if sep else "*"
         try:
-            if sep:
-                rates[name.strip()] = float(value)
-            else:
-                rates["*"] = float(spec)
+            rate = float(value if sep else spec)
         except ValueError:
             raise ReproError(
                 f"--site-fault-rate must look like SITE=P or P: {spec!r}"
             )
+        if sep and not key:
+            raise ReproError(
+                f"--site-fault-rate must look like SITE=P or P: {spec!r}"
+            )
+        if not 0.0 <= rate <= 1.0:
+            raise ReproError(
+                f"--site-fault-rate probability must be in [0, 1]: {spec!r}"
+            )
+        if key in rates:
+            label = "the default rate" if key == "*" else f"site {key!r}"
+            raise ReproError(
+                f"--site-fault-rate given twice for {label}: {spec!r} "
+                f"(already {rates[key]})"
+            )
+        rates[key] = rate
     return rates
 
 
@@ -364,7 +387,26 @@ def _cmd_check_stream(args: argparse.Namespace) -> int:
         raise ReproError(
             "--parallel needs --shards: the workers are per-shard sessions"
         )
+    if args.executor == "process" and not args.shards:
+        raise ReproError(
+            "--executor process needs --shards: the workers are per-shard "
+            "sessions"
+        )
+    if args.executor == "process" and args.overlap_remote:
+        raise ReproError(
+            "--overlap-remote needs the thread executor: an async fetch "
+            "future cannot cross the process boundary"
+        )
+    if args.rebalance is not None:
+        if args.rebalance < 1:
+            raise ReproError("--rebalance interval must be >= 1")
+        if not (args.shards and args.shard_by):
+            raise ReproError(
+                "--rebalance needs --shards and --shard-by: it moves "
+                "key-range cut points"
+            )
     if args.shards:
+        from repro.distributed.rebalance import RebalancePolicy
         from repro.distributed.sharded import ShardedChecker
 
         if args.transaction:
@@ -382,6 +424,12 @@ def _cmd_check_stream(args: argparse.Namespace) -> int:
             snapshot_ttl=args.snapshot_ttl,
             parallelism=args.parallel or 1,
             overlap_remote=args.overlap_remote,
+            executor=args.executor,
+            rebalance=(
+                RebalancePolicy(interval=args.rebalance)
+                if args.rebalance is not None
+                else None
+            ),
         )
     else:
         checker = DistributedChecker(
@@ -455,6 +503,9 @@ def _cmd_check_stream(args: argparse.Namespace) -> int:
     width = max(len(label) for label, _ in checker.stats.summary_rows())
     for label, value in checker.stats.summary_rows():
         print(f"{label:<{width}}  {value}")
+    # Tear down the process-pool workers (thread mode: no-op).
+    if hasattr(checker, "close"):
+        checker.close()
     if link is not None:
         from repro.distributed.remote import FederationLink
 
@@ -612,6 +663,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--parallel", type=int, default=None, metavar="N",
         help="run shard-confined updates on N worker threads "
         "(fence-scheduled; verdicts identical to serial); needs --shards",
+    )
+    stream.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="run the shard sessions on worker threads (default) or in "
+        "one worker process per shard (verdicts identical; escalations "
+        "bounce through the parent's link); needs --shards",
+    )
+    stream.add_argument(
+        "--rebalance", type=int, nargs="?", const=256, default=None,
+        metavar="N",
+        help="enable live key-range rebalancing: every N routed updates "
+        "(default 256) a hot shard's range is split at its sampled "
+        "median and migrated at a fence; needs --shards and --shard-by",
     )
     stream.add_argument(
         "--sites", type=int, default=2, metavar="N",

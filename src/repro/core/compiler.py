@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
@@ -115,6 +116,26 @@ class LRUCache:
         """Release a pin (the entry stays cached until a :meth:`trim` or
         a later :meth:`put` reclaims any overshoot)."""
         self._pinned.discard(key)
+
+    @contextmanager
+    def pinning(self, keys: Iterable):
+        """Pin *keys* for the duration of a ``with`` block.
+
+        The pins are released even when the body raises, so an exception
+        mid-drain can no longer leak a pinned entry and silently shrink
+        the effective cache capacity forever.  Any overshoot the pins
+        protected is left for the caller's :meth:`trim` (or the next
+        :meth:`put`) to reclaim — callers account evictions.  Yields the
+        list of pinned keys (a snapshot of *keys*).
+        """
+        pinned = list(keys)
+        for key in pinned:
+            self._pinned.add(key)
+        try:
+            yield pinned
+        finally:
+            for key in pinned:
+                self._pinned.discard(key)
 
     @property
     def pinned(self) -> frozenset:
@@ -340,7 +361,10 @@ class ConstraintCompiler:
         """Cached Section 4 independence verdict for one exact update."""
         with self._lock:
             compiled = self._compiled[constraint.name]
-            key = (update.predicate, str(update), type(update).__name__)
+            # Updates are frozen dataclasses: hashable, with equality
+            # distinguishing kind/predicate/values — exactly the cache
+            # identity, without rendering str(update) on every lookup.
+            key = update
             verdict = compiled.level1_cache.get(key, _MISSING)
             if verdict is not _MISSING:
                 return verdict

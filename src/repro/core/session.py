@@ -46,6 +46,7 @@ link recovers — covered updates keep flowing while uncovered ones wait.
 from __future__ import annotations
 
 import inspect
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Union
 
@@ -861,39 +862,38 @@ class CheckSession:
         from-scratch rebuilds against whatever state the settle loop is
         mid-way through.
         """
-        pinned = self._pin_pending_materializations()
         quarantined: dict[int, UndoToken] = {}
         resolved: list[PendingVerdict] = []
-        try:
-            # Quarantine: strip the unverified optimistic facts, newest
-            # first.
-            for entry in reversed(self._pending):
-                reversal = self._quarantine_entry(entry)
-                if reversal is not None:
-                    quarantined[entry.seq] = reversal
-            dark: set[str] = set()
-            blocked: set[str] = set()
-            index = 0
-            while index < len(self._pending):
-                entry = self._pending[index]
-                if self._drain_blocked(entry, dark, blocked):
-                    blocked.add(entry.update.predicate)
-                    index += 1
-                    continue
-                try:
-                    resolved.append(
-                        self._settle_at(index, remote, max_level, quarantined)
-                    )
-                except RemoteUnavailableError as exc:
-                    failed = set(exc.sites) or self._entry_site_needs(entry)
-                    if not failed:
-                        break
-                    dark |= failed
-                    blocked.add(entry.update.predicate)
-                    index += 1
-        finally:
-            self._redo_quarantined(quarantined)
-            self._unpin_materializations(pinned)
+        with self._pinned_pending_materializations():
+            try:
+                # Quarantine: strip the unverified optimistic facts,
+                # newest first.
+                for entry in reversed(self._pending):
+                    reversal = self._quarantine_entry(entry)
+                    if reversal is not None:
+                        quarantined[entry.seq] = reversal
+                dark: set[str] = set()
+                blocked: set[str] = set()
+                index = 0
+                while index < len(self._pending):
+                    entry = self._pending[index]
+                    if self._drain_blocked(entry, dark, blocked):
+                        blocked.add(entry.update.predicate)
+                        index += 1
+                        continue
+                    try:
+                        resolved.append(
+                            self._settle_at(index, remote, max_level, quarantined)
+                        )
+                    except RemoteUnavailableError as exc:
+                        failed = set(exc.sites) or self._entry_site_needs(entry)
+                        if not failed:
+                            break
+                        dark |= failed
+                        blocked.add(entry.update.predicate)
+                        index += 1
+            finally:
+                self._redo_quarantined(quarantined)
         return resolved
 
     # -- drain building blocks (shared with ShardedChecker) --------------------
@@ -907,27 +907,32 @@ class CheckSession:
             if any(self.compiler.mentions(constraint, p) for p in predicates)
         ]
 
-    def _pin_pending_materializations(self) -> list[str]:
+    @contextmanager
+    def _pinned_pending_materializations(self):
         """Build (from the current database) and pin every materialization
-        the queued entries reference.  Pinned entries survive the whole
-        drain, so the quarantine reversal, each settle, and the redo all
-        maintain them incrementally instead of skipping evicted ones."""
-        referenced = self._pending_local_constraints()
-        # Pin every name first, then build: a build's put must evict
-        # neither an already-cached referenced entry nor (with every
-        # other slot pinned) the entry it just added.
-        pinned = [constraint.name for constraint in referenced]
-        for name in pinned:
-            self._materializations.pin(name)
-        for constraint in referenced:
-            self._materialization(constraint)
-        return pinned
+        the queued entries reference, for the duration of a drain.
 
-    def _unpin_materializations(self, names: Iterable[str]) -> None:
-        for name in names:
-            self._materializations.unpin(name)
-        evicted = self._materializations.trim()
-        self.stats.materializations_evicted += len(evicted)
+        Pinned entries survive the whole drain, so the quarantine
+        reversal, each settle, and the redo all maintain them
+        incrementally instead of skipping evicted ones.  Every name is
+        pinned first, *then* built: a build's put must evict neither an
+        already-cached referenced entry nor (with every other slot
+        pinned) the entry it just added — and because the builds run
+        inside :meth:`~repro.core.compiler.LRUCache.pinning`, a build or
+        drain body that raises can no longer leak a pinned entry and
+        permanently shrink the cache.  Overshoot the pins protected is
+        reclaimed (and counted) on the way out."""
+        referenced = self._pending_local_constraints()
+        try:
+            with self._materializations.pinning(
+                constraint.name for constraint in referenced
+            ):
+                for constraint in referenced:
+                    self._materialization(constraint)
+                yield
+        finally:
+            evicted = self._materializations.trim()
+            self.stats.materializations_evicted += len(evicted)
 
     def _entry_needed_predicates(self, entry: PendingVerdict) -> set[str]:
         """The off-site predicates a settle of *entry* must fetch."""

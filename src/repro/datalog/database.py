@@ -23,13 +23,26 @@ Two mechanisms support the incremental check sessions:
 
 from __future__ import annotations
 
+from sys import intern as _intern
 from typing import Iterable, Iterator, Mapping
 
 from repro.errors import EvaluationError
 
-__all__ = ["Relation", "Database", "Delta", "UndoToken"]
+__all__ = ["Relation", "Database", "Delta", "UndoToken", "intern_fact"]
 
 Fact = tuple
+
+
+def intern_fact(fact: Iterable) -> Fact:
+    """Canonicalize a fact tuple for storage.
+
+    String components are interned so the equality probes the join inner
+    loop performs per candidate short-circuit on object identity, and so
+    long update streams repeating the same keys share one copy of each
+    string.  Non-string values (and str subclasses, which ``sys.intern``
+    rejects) pass through untouched.
+    """
+    return tuple(_intern(v) if type(v) is str else v for v in fact)
 
 
 class Relation:
@@ -46,7 +59,15 @@ class Relation:
     join do not re-allocate.
     """
 
-    __slots__ = ("name", "arity", "_tuples", "_indexes", "_lookup_cache", "_shared")
+    __slots__ = (
+        "name",
+        "arity",
+        "_tuples",
+        "_indexes",
+        "_lookup_cache",
+        "_facts_cache",
+        "_shared",
+    )
 
     def __init__(self, name: str, arity: int, tuples: Iterable[Fact] = ()) -> None:
         self.name = name
@@ -54,6 +75,7 @@ class Relation:
         self._tuples: set[Fact] = set()
         self._indexes: dict[int, dict[object, set[Fact]]] = {}
         self._lookup_cache: dict[tuple[int, object], frozenset] = {}
+        self._facts_cache: frozenset | None = None
         self._shared = False
         for fact in tuples:
             self.insert(fact)
@@ -72,7 +94,7 @@ class Relation:
     # -- mutation ------------------------------------------------------------
     def insert(self, fact: Fact) -> bool:
         """Add a tuple; returns True when it was not already present."""
-        fact = tuple(fact)
+        fact = intern_fact(fact)
         if len(fact) != self.arity:
             raise EvaluationError(
                 f"relation {self.name}/{self.arity} cannot hold tuple of length {len(fact)}"
@@ -81,6 +103,7 @@ class Relation:
             return False
         if self._shared:
             self._unshare()
+        self._facts_cache = None
         self._tuples.add(fact)
         for column, index in self._indexes.items():
             index.setdefault(fact[column], set()).add(fact)
@@ -96,6 +119,7 @@ class Relation:
             return False
         if self._shared:
             self._unshare()
+        self._facts_cache = None
         self._tuples.discard(fact)
         for column, index in self._indexes.items():
             bucket = index.get(fact[column])
@@ -139,6 +163,18 @@ class Relation:
         self._lookup_cache[key] = result
         return result
 
+    def as_frozenset(self) -> frozenset[Fact]:
+        """All tuples as a frozenset, memoized until the next mutation.
+
+        The semi-naive evaluator calls :meth:`Database.facts` once per
+        unindexed subgoal probe; without memoization each call allocated
+        a fresh frozenset over the whole relation.
+        """
+        cached = self._facts_cache
+        if cached is None:
+            cached = self._facts_cache = frozenset(self._tuples)
+        return cached
+
     def copy(self) -> "Relation":
         """A copy-on-write snapshot sharing tuples and built indexes."""
         clone = Relation.__new__(Relation)
@@ -147,6 +183,7 @@ class Relation:
         clone._tuples = self._tuples
         clone._indexes = self._indexes
         clone._lookup_cache = self._lookup_cache
+        clone._facts_cache = self._facts_cache
         clone._shared = True
         self._shared = True
         return clone
@@ -371,7 +408,7 @@ class Database:
         relation = self._relations.get(predicate)
         if relation is None:
             return frozenset()
-        return frozenset(relation)
+        return relation.as_frozenset()
 
     def contains(self, predicate: str, fact: Fact) -> bool:
         relation = self._relations.get(predicate)

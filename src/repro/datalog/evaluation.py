@@ -35,7 +35,6 @@ from repro.datalog.database import Database, Delta
 from repro.datalog.rules import Program, Rule
 from repro.datalog.safety import check_program_safety
 from repro.datalog.stratify import stratify
-from repro.datalog.substitution import Substitution, match_atom_against_fact
 from repro.datalog.terms import Constant, Variable
 
 __all__ = [
@@ -159,16 +158,53 @@ class _AdjustedSource:
         return self._edb.contains(predicate, fact)
 
 
-def _ground_value(term) -> object:
-    if isinstance(term, Constant):
-        return term.value
-    raise AssertionError(f"expected ground term, found {term!r}")  # pragma: no cover
+_UNBOUND = object()
+
+# Join environments are plain ``{Variable: raw value}`` dicts rather than
+# Substitution objects: the inner join loop runs once per candidate fact,
+# and wrapping every fact value in a fresh Constant (plus copying the
+# binding dict per extension) dominated the maintenance profile.  An
+# environment is copied at most once per match — on the first new binding
+# — so sibling branches of the backtracking search stay isolated.
 
 
-def _comparison_ground_holds(comparison: Comparison, subst: Substitution) -> bool:
-    left = subst.apply_term(comparison.left)
-    right = subst.apply_term(comparison.right)
-    return comparison_holds(comparison.op, _ground_value(left), _ground_value(right))
+def _match_fact(args: tuple, fact: Fact, env: dict) -> Optional[dict]:
+    """Extend *env* by matching atom *args* against a raw fact tuple.
+
+    Returns the (possibly shared) environment, or ``None`` on mismatch.
+    Constants compare by raw value — the same ``==`` the Constant
+    dataclass delegates to — and an existing binding must agree with the
+    fact's value at that position.
+    """
+    if len(args) != len(fact):
+        return None
+    copied = False
+    for term, value in zip(args, fact):
+        if isinstance(term, Constant):
+            if term.value != value:
+                return None
+            continue
+        bound = env.get(term, _UNBOUND)
+        if bound is _UNBOUND:
+            if not copied:
+                env = dict(env)
+                copied = True
+            env[term] = value
+        elif bound != value:
+            return None
+    return env
+
+
+def _comparison_env_holds(comparison: Comparison, env: dict) -> bool:
+    left = comparison.left
+    right = comparison.right
+    a = left.value if isinstance(left, Constant) else env[left]
+    b = right.value if isinstance(right, Constant) else env[right]
+    return comparison_holds(comparison.op, a, b)
+
+
+def _ground_args(args: tuple, env: dict) -> Fact:
+    return tuple(t.value if isinstance(t, Constant) else env[t] for t in args)
 
 
 def _order_body(rule: Rule, first: Optional[Atom] = None) -> list[BodyLiteral]:
@@ -230,27 +266,28 @@ def _evaluate_rule(
     ordered = _order_body(
         rule, first=restrict_atom if restrict_facts is not None else None
     )
+    length = len(ordered)
+    head_args = rule.head.args
     results: set[Fact] = set()
     # Depth-first join over the ordered body.
-    stack: list[tuple[int, Substitution]] = [(0, Substitution())]
+    stack: list[tuple[int, dict]] = [(0, {})]
     while stack:
-        position, subst = stack.pop()
-        if position == len(ordered):
-            head = subst.apply_atom(rule.head)
-            results.add(tuple(_ground_value(t) for t in head.args))
+        position, env = stack.pop()
+        if position == length:
+            results.add(_ground_args(head_args, env))
             continue
         literal = ordered[position]
         if isinstance(literal, Comparison):
-            if _comparison_ground_holds(literal, subst):
-                stack.append((position + 1, subst))
+            if _comparison_env_holds(literal, env):
+                stack.append((position + 1, env))
             continue
         if isinstance(literal, Negation):
-            atom = subst.apply_atom(literal.atom)
-            fact = tuple(_ground_value(t) for t in atom.args)
-            if not source.contains(atom.predicate, fact):
-                stack.append((position + 1, subst))
+            fact = _ground_args(literal.args, env)
+            if not source.contains(literal.predicate, fact):
+                stack.append((position + 1, env))
             continue
         assert isinstance(literal, Atom)
+        args = literal.args
         if literal is restrict_atom and restrict_facts is not None:
             candidates: Iterable[Fact] = restrict_facts
         else:
@@ -259,13 +296,13 @@ def _evaluate_rule(
             # only the matching bucket instead of scanning the relation.
             bound_column = -1
             bound_value: object = None
-            for column, term in enumerate(literal.args):
+            for column, term in enumerate(args):
                 if isinstance(term, Constant):
                     bound_column, bound_value = column, term.value
                     break
-                resolved = subst.apply_term(term)
-                if isinstance(resolved, Constant):
-                    bound_column, bound_value = column, resolved.value
+                value = env.get(term, _UNBOUND)
+                if value is not _UNBOUND:
+                    bound_column, bound_value = column, value
                     break
             if bound_column >= 0 and use_indexes:
                 candidates = source.facts_with(
@@ -273,10 +310,11 @@ def _evaluate_rule(
                 )
             else:
                 candidates = source.facts(literal.predicate)
+        next_position = position + 1
         for fact in candidates:
-            extended = match_atom_against_fact(literal, fact, subst)
+            extended = _match_fact(args, fact, env)
             if extended is not None:
-                stack.append((position + 1, extended))
+                stack.append((next_position, extended))
     return results
 
 
@@ -292,33 +330,37 @@ def _derives_fact(
     the join below is far cheaper than evaluating the rule outright.  The
     DRed rederivation phase calls this once per deletion candidate.
     """
-    initial = match_atom_against_fact(rule.head, fact, Substitution())
+    initial = _match_fact(rule.head.args, fact, {})
     if initial is None:
         return False
     ordered = _order_body(rule)
-    stack: list[tuple[int, Substitution]] = [(0, initial)]
+    length = len(ordered)
+    stack: list[tuple[int, dict]] = [(0, initial)]
     while stack:
-        position, subst = stack.pop()
-        if position == len(ordered):
+        position, env = stack.pop()
+        if position == length:
             return True
         literal = ordered[position]
         if isinstance(literal, Comparison):
-            if _comparison_ground_holds(literal, subst):
-                stack.append((position + 1, subst))
+            if _comparison_env_holds(literal, env):
+                stack.append((position + 1, env))
             continue
         if isinstance(literal, Negation):
-            atom = subst.apply_atom(literal.atom)
-            negated = tuple(_ground_value(t) for t in atom.args)
-            if not source.contains(atom.predicate, negated):
-                stack.append((position + 1, subst))
+            negated = _ground_args(literal.args, env)
+            if not source.contains(literal.predicate, negated):
+                stack.append((position + 1, env))
             continue
         assert isinstance(literal, Atom)
+        args = literal.args
         bound_column = -1
         bound_value: object = None
-        for column, term in enumerate(literal.args):
-            resolved = subst.apply_term(term)
-            if isinstance(resolved, Constant):
-                bound_column, bound_value = column, resolved.value
+        for column, term in enumerate(args):
+            if isinstance(term, Constant):
+                bound_column, bound_value = column, term.value
+                break
+            value = env.get(term, _UNBOUND)
+            if value is not _UNBOUND:
+                bound_column, bound_value = column, value
                 break
         if bound_column >= 0 and use_indexes:
             candidates: Iterable[Fact] = source.facts_with(
@@ -326,10 +368,11 @@ def _derives_fact(
             )
         else:
             candidates = source.facts(literal.predicate)
+        next_position = position + 1
         for candidate in candidates:
-            extended = match_atom_against_fact(literal, candidate, subst)
+            extended = _match_fact(args, candidate, env)
             if extended is not None:
-                stack.append((position + 1, extended))
+                stack.append((next_position, extended))
     return False
 
 

@@ -9,6 +9,11 @@ from repro.distributed.checker import (
     resolve_escalation_link,
 )
 from repro.distributed.faults import FaultModel, UnreliableRemote, parse_outage
+from repro.distributed.rebalance import (
+    RebalancePlan,
+    RebalancePolicy,
+    ShardLoadTracker,
+)
 from repro.distributed.remote import (
     BreakerState,
     FederationLink,
@@ -46,7 +51,10 @@ __all__ = [
     "LinkStats",
     "PredicatePartitioner",
     "ProtocolStats",
+    "RebalancePlan",
+    "RebalancePolicy",
     "RemoteLink",
+    "ShardLoadTracker",
     "ShardedChecker",
     "Site",
     "TwoSiteDatabase",

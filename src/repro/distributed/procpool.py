@@ -1,0 +1,765 @@
+"""Process-pool shard execution: the sharded protocol across processes.
+
+:class:`~repro.distributed.sharded.ShardedChecker` with
+``executor="process"`` runs each shard's level pipeline in its own
+worker **process** instead of a thread.  The GIL then stops being the
+ceiling for CPU-bound maintenance work — but nothing object-shaped can
+cross the boundary.  The contract (DESIGN.md §11):
+
+* each worker owns a serialized *state slice*: its shard's facts plus a
+  :class:`~repro.core.session.CheckSession` rebuilt over a prewarmed
+  :class:`~repro.core.compiler.ConstraintCompiler` from constraint
+  *source strings* (:class:`ShardConfig` — a pure-data pickle, no live
+  stores or sessions ever cross);
+* only picklable messages cross: update objects in,
+  :class:`~repro.core.outcomes.CheckReport` lists, fact tuples, and
+  :class:`~repro.core.session.SessionStats` snapshots out;
+* a worker can never reach the remote site.  Its session runs against a
+  raising remote source, so an escalation defers at the process
+  boundary and the **parent bounces it**: the worker reports the needed
+  predicates, the parent fetches through its fault-tolerant link, and
+  either ships the facts back (the worker settles the just-queued entry
+  tail — verdicts land exactly where the serial run's would) or ships
+  the failure detail (the entry stays queued, byte-identical DEFERRED
+  reports).  The breaker therefore sees the same fetch sequence as the
+  serial run;
+* the deferred-verdict drain is parent-coordinated: per-worker
+  quarantine under pinned materializations (``drain_begin``), a global
+  oldest-first walk over the shard queues with the parent evaluating
+  the partial-recovery dark/blocked guards on its own compiler, one
+  fetch + ``drain_settle`` per eligible entry, and ``drain_end`` to
+  redo what stayed queued.  Shard databases are disjoint, so per-worker
+  quarantine order is physically equivalent to the global newest-first
+  order the thread executor uses.
+
+Verdicts and final database state are byte-identical to the serial
+checker; stats are equivalent up to batching boundaries (an
+escalation-capable update always runs as its own slice so the worker
+never defers mid-stream).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import ExitStack
+from dataclasses import dataclass
+from types import SimpleNamespace
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.constraints.constraint import Constraint, ConstraintSet
+from repro.core.compiler import ConstraintCompiler
+from repro.core.outcomes import CheckLevel, CheckReport, Outcome
+from repro.core.session import CheckSession, _fetch_remote
+from repro.datalog.database import Database
+from repro.distributed.rebalance import extract_range, inject_range
+from repro.errors import RemoteUnavailableError
+from repro.updates.update import Update
+
+__all__ = ["ShardConfig", "ProcessShardRunner"]
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Everything a worker process needs to rebuild one shard's session.
+
+    Pure data: constraints travel as ``(name, source)`` pairs and facts
+    as tuples, so the pickle carries no live engine, database, or lock.
+    """
+
+    shard: int
+    constraint_sources: tuple[tuple[str, str], ...]
+    site_predicates: frozenset
+    local_predicates: frozenset
+    peer_predicates: frozenset
+    #: predicate -> owning remote site name (the federation placement)
+    placement: tuple[tuple[str, str], ...]
+    use_interval_datalog: bool
+    apply_on_unknown: bool
+    max_materializations: Optional[int]
+    facts: tuple[tuple[str, tuple], ...]
+
+
+# ---------------------------------------------------------------------------
+# Worker-side state and commands.  Everything below the line runs inside
+# the shard's worker process; the module-global ``_WORKER`` dict is that
+# process's whole mutable state (single-worker pools serialize commands,
+# so no locking is needed).
+# ---------------------------------------------------------------------------
+
+_WORKER: dict = {}
+
+
+def _boundary_remote(predicates=None):
+    """The worker's remote source: always unreachable.  An escalation
+    defers and queues exactly as behind a dead link; the parent then
+    bounces the fetch through its own link."""
+    raise RemoteUnavailableError(
+        "escalation crosses the process boundary", reason="process-boundary"
+    )
+
+
+def _peer_source(predicates=None):
+    """Serve the sibling-shard facts the parent injected with the
+    current command.  Fence scheduling guarantees a spanning read only
+    ever happens under a command that carried them."""
+    peer_db = _WORKER.get("peer_db")
+    if peer_db is None:
+        raise RuntimeError(
+            "spanning read without injected peer facts (fence protocol bug)"
+        )
+    if predicates is None:
+        return peer_db
+    restricted = Database()
+    wanted = set(predicates)
+    for predicate in peer_db.predicates():
+        if predicate in wanted:
+            for fact in peer_db.facts(predicate):
+                restricted.insert(predicate, fact)
+    return restricted
+
+
+def _build_db(facts: Mapping[str, Iterable[tuple]]) -> Database:
+    db = Database()
+    for predicate, rows in facts.items():
+        for row in rows:
+            db.insert(predicate, tuple(row))
+    return db
+
+
+def _init_worker(config: ShardConfig) -> None:
+    constraints = ConstraintSet(
+        [
+            Constraint(source, name)
+            for name, source in config.constraint_sources
+        ]
+    )
+    placement = dict(config.placement)
+    compiler = ConstraintCompiler(
+        constraints,
+        config.site_predicates,
+        config.use_interval_datalog,
+        site_of=placement.get,
+    )
+    compiler.prewarm()
+    seq_cell = [0]
+    session = CheckSession(
+        compiler=compiler,
+        local_predicates=config.local_predicates,
+        local_db=_build_db(dict(config.facts)),
+        apply_on_unknown=config.apply_on_unknown,
+        max_materializations=config.max_materializations,
+        peer_predicates=config.peer_predicates,
+        peer_source=_peer_source,
+        seq_source=lambda: seq_cell[0],
+    )
+    _WORKER.clear()
+    _WORKER.update(
+        {
+            "session": session,
+            "compiler": compiler,
+            "seq": seq_cell,
+            "peer_db": None,
+        }
+    )
+
+
+def _cmd_ping() -> bool:
+    return "session" in _WORKER
+
+
+def _cmd_run_slice(
+    items: Sequence[tuple[int, Update]], batch_size: Optional[int]
+) -> list[list[CheckReport]]:
+    """One fence-free, escalation-free run of updates through the
+    worker's session (stream order, optional coalesced batching)."""
+    session = _WORKER["session"]
+    cell = _WORKER["seq"]
+
+    def feed():
+        for seq, update in items:
+            cell[0] = seq
+            yield update
+
+    results = session.process_stream(
+        feed(), remote=_boundary_remote, batch_size=batch_size
+    )
+    for reports in results:
+        if any(r.outcome is Outcome.DEFERRED for r in reports):
+            raise RuntimeError(
+                "escalation inside a fence-free slice (routing bug: the "
+                "parent must dispatch escalation-capable updates alone)"
+            )
+    return results
+
+
+def _cmd_run_one(
+    seq: int,
+    update: Update,
+    peer_facts: Mapping[str, Iterable[tuple]],
+) -> dict:
+    """One update that may read peers (fenced) or escalate (bounced).
+
+    Returns the reports plus, when the update deferred at the process
+    boundary, the off-site predicates the parent must fetch — and
+    whether the deferral queued a pending entry (it does not when
+    another constraint already rejected the update outright).
+    """
+    session = _WORKER["session"]
+    _WORKER["peer_db"] = _build_db(peer_facts)
+    _WORKER["seq"][0] = seq
+    pending_before = session.pending_count
+    reports = session.process(update, remote=_boundary_remote)
+    needed: Optional[list[str]] = None
+    if any(r.outcome is Outcome.DEFERRED for r in reports):
+        needed = sorted(
+            session._remote_predicates(
+                constraint
+                for constraint in session.constraints
+                if session.compiler.mentions(constraint, update.predicate)
+            )
+            - session.peer_predicates
+        )
+    return {
+        "reports": reports,
+        "needed": needed,
+        "queued": session.pending_count > pending_before,
+    }
+
+
+def _cmd_settle_tail(facts: Mapping[str, Iterable[tuple]]) -> list[CheckReport]:
+    """Settle the just-bounced tail entry with the facts the parent
+    fetched, leaving verdicts, state, and counters exactly as if the
+    worker had reached the remote itself."""
+    session = _WORKER["session"]
+    entry = session._pending.pop()
+    session._quarantine_entry(entry)
+    was_applied = entry.applied
+    session._settle_pending(
+        entry, _build_db(facts), CheckLevel.FULL_DATABASE
+    )
+    # The serial run never deferred here: it fetched (one remote fetch)
+    # and settled in-stream.  Compensate the defer-time counters.
+    session.stats.remote_fetches += 1
+    session.stats.deferred_remote -= 1
+    if was_applied and not entry.applied:
+        session.stats.deferred_rolled_back -= 1
+    return entry.ordered_reports(session.constraints)
+
+
+def _cmd_rerun_with_remote(
+    update: Update, facts: Mapping[str, Iterable[tuple]]
+) -> list[CheckReport]:
+    """Re-run an update that deferred *without* queueing (a sibling
+    constraint rejected it outright, so ``_finish`` rolled it back and
+    left nothing pending) now that the parent has the remote facts.
+    The serial run fetched in-stream and produced definite FULL-level
+    verdicts alongside the rejection; replaying against the identical
+    pre-state reproduces them.  The deferred attempt already counted
+    the update and the rejection — compensate before recounting."""
+    session = _WORKER["session"]
+    session.stats.updates -= 1
+    session.stats.rejected -= 1
+    return session.process(update, remote=_build_db(facts))
+
+
+def _cmd_patch_defer_detail(detail: str) -> list[CheckReport]:
+    """The parent's bounce fetch failed: the entry stays queued, but its
+    DEFERRED reports take the *link's* failure detail so the stream
+    output is byte-identical to the serial run's."""
+    session = _WORKER["session"]
+    entry = session._pending[-1]
+    for name in entry.unresolved:
+        old = entry.reports[name]
+        entry.reports[name] = CheckReport(
+            name, old.outcome, old.level,
+            remote_accessed=False,
+            detail=f"remote unreachable: {detail}",
+        )
+    return entry.ordered_reports(session.constraints)
+
+
+def _cmd_contains(predicate: str, values: tuple) -> bool:
+    return tuple(values) in _WORKER["session"].local_db.facts(predicate)
+
+
+def _cmd_apply_unchecked(update: Update) -> None:
+    _WORKER["session"].apply_unchecked(update)
+
+
+def _cmd_dump_facts(
+    predicates: Optional[Sequence[str]] = None,
+) -> dict[str, list[tuple]]:
+    db = _WORKER["session"].local_db
+    names = db.predicates() if predicates is None else (
+        set(predicates) & db.predicates()
+    )
+    return {
+        predicate: sorted(db.facts(predicate), key=repr)
+        for predicate in names
+    }
+
+
+def _cmd_stats() -> dict:
+    session = _WORKER["session"]
+    return {
+        "stats": session.stats,
+        "level1": _WORKER["compiler"].level1_cache_info(),
+        "pending": session.pending_count,
+    }
+
+
+def _cmd_drain_begin() -> list[dict]:
+    """Enter the drain: pin the referenced materializations, quarantine
+    every applied pending entry (newest first within the shard — the
+    shard databases are disjoint, so this is physically equivalent to
+    the thread executor's global newest-first order), and describe the
+    queue so the parent can walk it globally oldest-first."""
+    session = _WORKER["session"]
+    pins = ExitStack()
+    pins.enter_context(session._pinned_pending_materializations())
+    _WORKER["drain_pins"] = pins
+    quarantined = {}
+    for entry in reversed(session._pending):
+        reversal = session._quarantine_entry(entry)
+        if reversal is not None:
+            quarantined[entry.seq] = reversal
+    _WORKER["drain_quarantine"] = quarantined
+    return [
+        {
+            "seq": entry.seq,
+            "predicate": entry.update.predicate,
+            "needed": sorted(session._entry_needed_predicates(entry)),
+            "sites": sorted(session._entry_site_needs(entry)),
+        }
+        for entry in session._pending
+    ]
+
+
+def _cmd_drain_settle(
+    seq: int,
+    facts: Mapping[str, Iterable[tuple]],
+    peer_facts: Mapping[str, Iterable[tuple]],
+) -> tuple[Update, list[CheckReport]]:
+    session = _WORKER["session"]
+    _WORKER["peer_db"] = _build_db(peer_facts)
+    for position, entry in enumerate(session._pending):
+        if entry.seq == seq:
+            break
+    else:
+        raise RuntimeError(f"drain_settle: no pending entry with seq {seq}")
+    entry = session._settle_at(
+        position,
+        _build_db(facts),
+        CheckLevel.FULL_DATABASE,
+        _WORKER["drain_quarantine"],
+    )
+    return entry.update, entry.ordered_reports(session.constraints)
+
+
+def _cmd_drain_end() -> dict:
+    session = _WORKER["session"]
+    try:
+        session._redo_quarantined(_WORKER.pop("drain_quarantine", {}))
+    finally:
+        pins = _WORKER.pop("drain_pins", None)
+        if pins is not None:
+            pins.close()
+    return _cmd_stats()
+
+
+def _cmd_extract_range(predicate: str, lo, hi) -> dict:
+    """Worker wrapper over :func:`repro.distributed.rebalance.extract_range`
+    (pure-data result: facts and entry descriptions pickle as-is — the
+    boundary remote never hands a worker entry a live future)."""
+    return extract_range(_WORKER["session"], predicate, lo, hi)
+
+
+def _cmd_inject_range(
+    predicate: str, facts: Sequence[tuple], entries: Sequence[dict]
+) -> None:
+    """Worker wrapper over :func:`repro.distributed.rebalance.inject_range`."""
+    inject_range(_WORKER["session"], predicate, facts, entries)
+
+
+def _patch_detail(
+    reports: list[CheckReport], detail: str
+) -> list[CheckReport]:
+    """Rewrite DEFERRED reports with the parent link's failure detail
+    (the unqueued-rejection case — no worker entry to patch)."""
+    return [
+        CheckReport(
+            report.constraint_name, report.outcome, report.level,
+            remote_accessed=False,
+            detail=f"remote unreachable: {detail}",
+        )
+        if report.outcome is Outcome.DEFERRED
+        else report
+        for report in reports
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Parent side.
+# ---------------------------------------------------------------------------
+
+
+class ProcessShardRunner:
+    """Drive one single-worker :class:`ProcessPoolExecutor` per shard on
+    behalf of a :class:`~repro.distributed.sharded.ShardedChecker`.
+
+    The runner owns no protocol logic of its own: routing, fence
+    classification, and the partial-recovery guards all come from the
+    parent checker's compiler, and every verdict is produced by the
+    worker sessions.  Single-worker pools serialize commands per shard,
+    so worker-held state (the drain's pins and quarantine) is safe
+    without locks.
+    """
+
+    def __init__(self, checker) -> None:
+        self.checker = checker
+        self._pools: list[ProcessPoolExecutor] = []
+        self._stats_cache: list[Optional[dict]] = [None] * checker.shards
+        placement = tuple(
+            sorted(
+                (predicate, site)
+                for predicate in self._constraint_predicates()
+                if (site := checker.sites.site_of(predicate)) is not None
+            )
+        )
+        sources = tuple(
+            (constraint.name, str(constraint.program))
+            for constraint in checker.constraints
+        )
+        for shard in range(checker.shards):
+            local = checker._owned[shard] | checker.key_aligned
+            db = checker._shard_dbs[shard]
+            config = ShardConfig(
+                shard=shard,
+                constraint_sources=sources,
+                site_predicates=checker.site_predicates,
+                local_predicates=local,
+                peer_predicates=(
+                    checker.site_predicates - local
+                ),
+                placement=placement,
+                use_interval_datalog=checker.compiler.use_interval_datalog,
+                apply_on_unknown=checker.apply_on_unknown,
+                max_materializations=checker.max_materializations,
+                facts=tuple(
+                    (predicate, tuple(db.facts(predicate)))
+                    for predicate in sorted(db.predicates())
+                ),
+            )
+            self._pools.append(
+                ProcessPoolExecutor(
+                    max_workers=1,
+                    initializer=_init_worker,
+                    initargs=(config,),
+                )
+            )
+        # Spawn the workers now, single-threaded, so no fork happens
+        # later under segment driver threads — and so a config that
+        # cannot pickle or rebuild fails here, not mid-stream.
+        for future in [pool.submit(_cmd_ping) for pool in self._pools]:
+            if not future.result():
+                raise RuntimeError("shard worker failed to initialize")
+
+    def _constraint_predicates(self) -> set[str]:
+        predicates: set[str] = set(self.checker.site_predicates)
+        for constraint in self.checker.constraints:
+            predicates |= constraint.predicates()
+        return predicates
+
+    def _submit(self, shard: int, command, *args):
+        return self._pools[shard].submit(command, *args)
+
+    def _call(self, shard: int, command, *args):
+        return self._submit(shard, command, *args).result()
+
+    # -- fact plumbing --------------------------------------------------------
+    def gather_facts(
+        self, predicates: set[str], exclude: Optional[int] = None
+    ) -> dict[str, list[tuple]]:
+        """Merge the requested predicates' facts from every shard but
+        *exclude* — the cross-shard part of a union view."""
+        if not predicates:
+            return {}
+        wanted = sorted(predicates)
+        futures = [
+            (shard, self._submit(shard, _cmd_dump_facts, wanted))
+            for shard in range(self.checker.shards)
+            if shard != exclude
+        ]
+        merged: dict[str, list[tuple]] = {}
+        for _shard, future in futures:
+            for predicate, facts in future.result().items():
+                merged.setdefault(predicate, []).extend(
+                    tuple(fact) for fact in facts
+                )
+        return merged
+
+    def contains(self, shard: int, predicate: str, values: tuple) -> bool:
+        return self._call(shard, _cmd_contains, predicate, tuple(values))
+
+    def apply_unchecked(self, shard: int, update: Update) -> None:
+        self._call(shard, _cmd_apply_unchecked, update)
+
+    def local_facts(self) -> Database:
+        merged = Database()
+        futures = [
+            self._submit(shard, _cmd_dump_facts, None)
+            for shard in range(self.checker.shards)
+        ]
+        for future in futures:
+            for predicate, facts in future.result().items():
+                for fact in facts:
+                    merged.insert(predicate, tuple(fact))
+        return merged
+
+    # -- the protocol ---------------------------------------------------------
+    def _peer_needs(self, shard: int, predicate: str) -> set[str]:
+        """The sibling-shard predicates a check of *predicate* on *shard*
+        could read through the union view."""
+        checker = self.checker
+        needed: set[str] = set()
+        for constraint in checker.constraints:
+            if checker.compiler.compiled(constraint).subsumed:
+                continue
+            if predicate not in constraint.predicates():
+                continue
+            needed |= constraint.predicates() & checker.site_predicates
+        return needed - (checker._owned[shard] | checker.key_aligned)
+
+    def run_one(self, shard: int, update: Update) -> list[CheckReport]:
+        """One update through its shard's worker: peers pre-gathered for
+        a fenced spanning read, the escalation bounced through the
+        parent's link when the worker defers at the boundary."""
+        checker = self.checker
+        seq = next(checker._arrival)
+        peer_facts = self.gather_facts(
+            self._peer_needs(shard, update.predicate), exclude=shard
+        )
+        out = self._call(shard, _cmd_run_one, seq, update, peer_facts)
+        self._stats_cache[shard] = None
+        reports, fetched = self._escalate(shard, update, out)
+        if fetched:
+            checker.stats.remote_round_trips += 1
+        return reports
+
+    def _escalate(
+        self, shard: int, update: Update, out: dict
+    ) -> tuple[list[CheckReport], bool]:
+        """Finish a ``_cmd_run_one`` result: bounce the deferred fetch
+        through the parent's link when the worker hit the process
+        boundary.  Returns the final reports and whether a remote fetch
+        succeeded (the caller attributes the round trip — directly on
+        the fenced path, folded at the segment barrier inside slices)."""
+        if out["needed"] is None:
+            return out["reports"], False
+        try:
+            remote_db = _fetch_remote(
+                self.checker._drain_source, set(out["needed"])
+            )
+        except RemoteUnavailableError as exc:
+            if out["queued"]:
+                return (
+                    self._call(shard, _cmd_patch_defer_detail, str(exc)),
+                    False,
+                )
+            return _patch_detail(out["reports"], str(exc)), False
+        facts = self._dump_db(remote_db)
+        if out["queued"]:
+            return self._call(shard, _cmd_settle_tail, facts), True
+        return self._call(shard, _cmd_rerun_with_remote, update, facts), True
+
+    def run_slice(
+        self,
+        shard: int,
+        items: Sequence[tuple[int, Update]],
+        batch_size: Optional[int],
+    ) -> tuple[list[tuple[int, list[CheckReport]]], int]:
+        """One shard's slice of a parallel segment (driver-thread body;
+        mirrors ``ShardedChecker._run_shard_slice``).
+
+        Escalation-capable updates run as their own singleton command —
+        the worker's stream must never defer mid-slice, or its later
+        verdicts would read unsettled optimistic state the serial run
+        settled in place.  The bounce happens here on the driver thread,
+        so sibling shards keep streaming while this one waits on the
+        link.  Returns ``(position, reports)`` pairs plus the number of
+        successful bounce fetches (the segment barrier folds them into
+        ``remote_round_trips`` in stream order, like thread mode).
+        """
+        checker = self.checker
+        pairs: list[tuple[int, list[CheckReport]]] = []
+        fetches = 0
+        chunk: list[tuple[int, int, Update]] = []  # (pos, seq, update)
+
+        def flush_chunk() -> None:
+            if not chunk:
+                return
+            stamped = [(seq, update) for _pos, seq, update in chunk]
+            results = self._call(shard, _cmd_run_slice, stamped, batch_size)
+            pairs.extend(
+                (pos, reports)
+                for (pos, _seq, _update), reports in zip(chunk, results)
+            )
+            chunk.clear()
+
+        for pos, update in items:
+            seq = next(checker._arrival)
+            if checker._escalation_capable(update.predicate):
+                flush_chunk()
+                # Fence-free by construction, so no peers to gather.
+                out = self._call(shard, _cmd_run_one, seq, update, {})
+                reports, fetched = self._escalate(shard, update, out)
+                if fetched:
+                    fetches += 1
+                pairs.append((pos, reports))
+                continue
+            chunk.append((pos, seq, update))
+        flush_chunk()
+        self._stats_cache[shard] = None
+        return pairs, fetches
+
+    @staticmethod
+    def _dump_db(db: Database) -> dict[str, list[tuple]]:
+        return {
+            predicate: list(db.facts(predicate))
+            for predicate in db.predicates()
+        }
+
+    # -- drain ----------------------------------------------------------------
+    def _drain_blocked(self, desc: dict, dark: set, blocked: set) -> bool:
+        """The partial-recovery skip guard, evaluated on the parent's
+        compiler from a worker's entry descriptor (mirrors
+        ``CheckSession._drain_blocked``)."""
+        checker = self.checker
+        if dark and set(desc["sites"]) & dark:
+            return True
+        if blocked:
+            predicate = desc["predicate"]
+            for constraint in checker.constraints:
+                if not checker.compiler.mentions(constraint, predicate):
+                    continue
+                others = blocked - {predicate}
+                if any(
+                    checker.compiler.mentions(constraint, other)
+                    for other in others
+                ):
+                    return True
+            if predicate in blocked and not checker.compiler.single_binding(
+                predicate
+            ):
+                return True
+        return False
+
+    def resolve_pending(self) -> list[tuple[Update, list[CheckReport]]]:
+        """The global drain across the worker processes (mirrors
+        ``ShardedChecker.resolve_pending``; same soundness argument —
+        quarantine everywhere first, settle globally oldest-first,
+        dark/blocked partial recovery, redo on the way out)."""
+        checker = self.checker
+        shards = range(checker.shards)
+        queues: dict[int, list[dict]] = {}
+        begin = [(shard, self._submit(shard, _cmd_drain_begin)) for shard in shards]
+        for shard, future in begin:
+            queues[shard] = future.result()
+        settled: list[tuple[Update, list[CheckReport]]] = []
+        try:
+            dark: set[str] = set()
+            blocked: set[str] = set()
+            skipped: set[int] = set()
+            while True:
+                head = None
+                for shard, entries in queues.items():
+                    for desc in entries:
+                        if desc["seq"] in skipped:
+                            continue
+                        if head is None or desc["seq"] < head[1]["seq"]:
+                            head = (shard, desc)
+                if head is None:
+                    break
+                shard, desc = head
+                if self._drain_blocked(desc, dark, blocked):
+                    skipped.add(desc["seq"])
+                    blocked.add(desc["predicate"])
+                    continue
+                try:
+                    remote_db = _fetch_remote(
+                        checker._drain_source, set(desc["needed"])
+                    )
+                except RemoteUnavailableError as exc:
+                    failed = set(exc.sites) or set(desc["sites"])
+                    if not failed:
+                        break
+                    dark |= failed
+                    skipped.add(desc["seq"])
+                    blocked.add(desc["predicate"])
+                    continue
+                peer_facts = self.gather_facts(
+                    self._peer_needs(shard, desc["predicate"]), exclude=shard
+                )
+                update, reports = self._call(
+                    shard,
+                    _cmd_drain_settle,
+                    desc["seq"],
+                    self._dump_db(remote_db),
+                    peer_facts,
+                )
+                checker.stats.remote_round_trips += 1
+                queues[shard].remove(desc)
+                settled.append((update, reports))
+        finally:
+            ends = [(shard, self._submit(shard, _cmd_drain_end)) for shard in shards]
+            for shard, future in ends:
+                self._stats_cache[shard] = future.result()
+        return settled
+
+    # -- stats / lifecycle ----------------------------------------------------
+    def _payloads(self) -> list[dict]:
+        missing = [
+            (shard, self._submit(shard, _cmd_stats))
+            for shard, cached in enumerate(self._stats_cache)
+            if cached is None
+        ]
+        for shard, future in missing:
+            self._stats_cache[shard] = future.result()
+        return list(self._stats_cache)
+
+    def stats_view(self) -> tuple[list, object]:
+        """Fresh worker snapshots shaped for ``sync_session_gauges``:
+        stats-bearing session stand-ins plus a compiler stand-in whose
+        level-1 cache info is the sum over the workers'."""
+        payloads = self._payloads()
+        sessions = [
+            SimpleNamespace(stats=payload["stats"]) for payload in payloads
+        ]
+        info = {
+            "hits": sum(p["level1"]["hits"] for p in payloads),
+            "misses": sum(p["level1"]["misses"] for p in payloads),
+        }
+        compiler = SimpleNamespace(level1_cache_info=lambda: info)
+        return sessions, compiler
+
+    def pending_count(self) -> int:
+        return sum(payload["pending"] for payload in self._payloads())
+
+    def migrate_range(
+        self, predicate: str, lo, hi, source: int, target: int
+    ) -> int:
+        """Move the key range ``[lo, hi)`` of *predicate* from *source*
+        to *target*: verified facts plus reversed pending entries out,
+        replayed in sequence order on the other side."""
+        out = self._call(source, _cmd_extract_range, predicate, lo, hi)
+        self._call(
+            target, _cmd_inject_range, predicate, out["facts"], out["entries"]
+        )
+        self._stats_cache[source] = None
+        self._stats_cache[target] = None
+        return len(out["facts"])
+
+    def close(self) -> None:
+        for pool in self._pools:
+            pool.shutdown(wait=True)
+        self._pools = []

@@ -236,6 +236,7 @@ class RemoteLink:
         self._io_lock = threading.Lock()
         self._async_workers = async_workers
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._closed = False
         self._inflight = 0
         self._inflight_cond = threading.Condition(self._lock)
 
@@ -373,6 +374,14 @@ class RemoteLink:
         predicates = frozenset(predicates) if predicates is not None else None
         policy = self.policy
         with self._lock:
+            if self._closed:
+                # A closed link must not resurrect its worker pool: the
+                # caller raced close() and loses deterministically, with
+                # the same degrade-to-DEFERRED surface as any other
+                # unavailability.
+                raise RemoteUnavailableError(
+                    "remote link is closed", reason="closed"
+                )
             if (
                 self._state is BreakerState.OPEN
                 and self._open_fetches < policy.cooldown_fetches
@@ -392,14 +401,16 @@ class RemoteLink:
                     max_workers=self._async_workers,
                     thread_name_prefix="remote-fetch",
                 )
-            pool = self._pool
-        try:
-            future = pool.submit(self.fetch, predicates=predicates)
-        except BaseException:
-            with self._inflight_cond:
+            # Submit while still holding the lock: close() swaps the pool
+            # handle out under the same lock before shutting it down, so
+            # a submit can never hit an already-shut-down executor
+            # (previously a RuntimeError escaping the link's surface).
+            try:
+                future = self._pool.submit(self.fetch, predicates=predicates)
+            except BaseException:
                 self._inflight -= 1
                 self._inflight_cond.notify_all()
-            raise
+                raise
         future.add_done_callback(self._fetch_settled)
         raise RemoteFetchInFlight(
             "escalation fetch issued asynchronously; result pending",
@@ -428,10 +439,18 @@ class RemoteLink:
     def close(self) -> None:
         """Shut down the async worker pool, waiting for in-flight fetches.
 
+        Deterministic under concurrent :meth:`fetch_nowait` callers: a
+        caller that acquired the lock before the close got its fetch
+        submitted and ``close`` **waits** for it (already-queued fetches
+        run to completion, so their futures settle normally and every
+        stats write happens before ``close`` returns); a caller that
+        arrives after the close is rejected with reason ``"closed"`` —
+        the pool is never lazily resurrected on a closed link.
         Idempotent: the pool handle is swapped out under the lock before
         shutdown, so a second (or concurrent) close finds nothing to do.
         """
         with self._lock:
+            self._closed = True
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)

@@ -48,10 +48,13 @@ import itertools
 import zlib
 from bisect import bisect_right
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import ExitStack
 from typing import Callable, Iterable, Mapping, Optional, Sequence
 
 from repro.constraints.constraint import Constraint, ConstraintSet
 from repro.core.compiler import ConstraintCompiler
+from repro.datalog.atoms import Atom, Comparison
+from repro.datalog.terms import Variable
 from repro.core.outcomes import CheckLevel, CheckReport, Outcome
 from repro.core.session import (
     MATERIALIZATION_LIMIT,
@@ -60,6 +63,15 @@ from repro.core.session import (
 )
 from repro.datalog.database import Database, UndoToken
 from repro.distributed.checker import resolve_escalation_link
+from repro.distributed.rebalance import (
+    RebalancePlan,
+    RebalancePolicy,
+    ShardLoadTracker,
+    extract_range,
+    inject_range,
+    propose_split,
+    routing_values,
+)
 from repro.distributed.remote import RemoteLink
 from repro.distributed.site import FederatedDatabase
 from repro.distributed.stats import ProtocolStats, sync_session_gauges
@@ -137,19 +149,31 @@ class KeyRangePartitioner(PredicatePartitioner):
         predicates: Iterable[str] = (),
     ) -> None:
         super().__init__(shards, predicates)
-        self._boundaries = {
-            predicate: tuple(cuts) for predicate, cuts in boundaries.items()
-        }
-        for predicate, cuts in self._boundaries.items():
-            if len(cuts) != shards - 1:
-                raise ValueError(
-                    f"key-range split of {predicate!r} needs {shards - 1} "
-                    f"boundaries for {shards} shards, got {len(cuts)}"
-                )
-            if list(cuts) != sorted(cuts):
-                raise ValueError(
-                    f"key-range boundaries for {predicate!r} must be sorted"
-                )
+        self._boundaries: dict[str, tuple] = {}
+        for predicate, cuts in boundaries.items():
+            self.set_boundaries(predicate, cuts)
+
+    def set_boundaries(self, predicate: str, cuts: Sequence) -> None:
+        """Install (or replace) the cut vector of a split predicate.
+
+        Live rebalancing moves cut points at a fence; the routing
+        contract is the constructor's: ``shards - 1`` sorted cuts.
+        """
+        cuts = tuple(cuts)
+        if len(cuts) != self.shards - 1:
+            raise ValueError(
+                f"key-range split of {predicate!r} needs {self.shards - 1} "
+                f"boundaries for {self.shards} shards, got {len(cuts)}"
+            )
+        if list(cuts) != sorted(cuts):
+            raise ValueError(
+                f"key-range boundaries for {predicate!r} must be sorted"
+            )
+        self._boundaries[predicate] = cuts
+
+    def boundaries(self, predicate: str) -> tuple:
+        """The current cut vector of a split predicate."""
+        return self._boundaries[predicate]
 
     @property
     def split_predicates(self) -> frozenset[str]:
@@ -197,9 +221,26 @@ class ShardedChecker:
         parallel_fanout: bool = True,
         snapshot_ttl: Optional[float] = None,
         site_ttls: Optional[Mapping[str, float]] = None,
+        executor: str = "thread",
+        rebalance: Optional[RebalancePolicy | bool] = None,
     ) -> None:
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
+        if executor not in ("thread", "process"):
+            raise ValueError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
+        if executor == "process":
+            if overlap_remote:
+                raise ValueError(
+                    "overlap_remote requires the thread executor: an async "
+                    "fetch future cannot cross the process boundary"
+                )
+            if session_factory is not None:
+                raise ValueError(
+                    "session_factory requires the thread executor: live "
+                    "sessions cannot cross the process boundary"
+                )
         resolved = resolve_escalation_link(
             sites, remote_link, remote_links,
             parallel_fanout=parallel_fanout,
@@ -223,9 +264,11 @@ class ShardedChecker:
         )
         self.constraints = self.compiler.constraints
         self.apply_on_unknown = apply_on_unknown
+        self.max_materializations = max_materializations
         self.remote_link = resolved
         self.parallelism = parallelism
         self.overlap_remote = overlap_remote
+        self.executor = executor
         self.stats = ProtocolStats()
 
         self._shard_dbs = sites.local.partition(
@@ -233,8 +276,27 @@ class ShardedChecker:
         )
         owned = self.partitioner.owned_predicates(self.site_predicates)
         self._owned = [frozenset(preds) for preds in owned]
+        #: split predicates whose constraints confine every derivation
+        #: to one key range — local to *every* shard, never fencing
+        self.key_aligned: frozenset[str] = self._compute_key_aligned()
         #: (shard, predicate) -> does an update there fence the pipeline?
         self._fence_cache: dict[tuple[int, str], bool] = {}
+        #: predicate -> could an update there escalate off-site?
+        self._escalation_cache: dict[str, bool] = {}
+        if rebalance is True:
+            rebalance = RebalancePolicy()
+        self.rebalance_policy: Optional[RebalancePolicy] = rebalance or None
+        if self.rebalance_policy and not self.partitioner.split_predicates:
+            raise ValueError(
+                "rebalancing moves key-range cut points; the partitioner "
+                "has no split predicates to move them on"
+            )
+        self._load_tracker = (
+            ShardLoadTracker(self.shards, self.rebalance_policy)
+            if self.rebalance_policy
+            else None
+        )
+        self._since_rebalance = 0
         # One shared monotone arrival clock for PendingVerdict sequence
         # numbers: the drain's global newest-first quarantine /
         # oldest-first settle order is meaningful only on a cross-shard
@@ -244,27 +306,97 @@ class ShardedChecker:
         # out numbers in settle-race order, not arrival order.
         self._arrival = itertools.count(1)
         self._seq_cells: list[list[int]] = [[0] for _ in range(self.shards)]
-        if session_factory is None:
-            session_factory = CheckSession
-        self.sessions: list[CheckSession] = [
-            session_factory(
-                compiler=self.compiler,
-                local_predicates=owned[index],
-                local_db=self._shard_dbs[index],
-                apply_on_unknown=apply_on_unknown,
-                max_materializations=max_materializations,
-                peer_predicates=self.site_predicates - owned[index],
-                peer_source=self._peer_source(index),
-                seq_source=(lambda cell=self._seq_cells[index]: cell[0]),
-            )
-            for index in range(self.shards)
-        ]
-        if parallelism > 1:
+        self._procpool = None
+        if executor == "process":
+            # No parent-side sessions: the worker processes rebuild them
+            # from ShardConfig pickles and the parent keeps only the
+            # protocol surface (routing, fences, stats, the link).
+            self.sessions: list[CheckSession] = []
+            from repro.distributed.procpool import ProcessShardRunner
+
+            self._procpool = ProcessShardRunner(self)
+            # The slices were handed off; keeping them here would leave a
+            # stale copy silently available to future code.
+            self._shard_dbs = None
+        else:
+            if session_factory is None:
+                session_factory = CheckSession
+            self.sessions = [
+                session_factory(
+                    compiler=self.compiler,
+                    local_predicates=owned[index] | self.key_aligned,
+                    local_db=self._shard_dbs[index],
+                    apply_on_unknown=apply_on_unknown,
+                    max_materializations=max_materializations,
+                    peer_predicates=(
+                        self.site_predicates - owned[index] - self.key_aligned
+                    ),
+                    peer_source=self._peer_source(index),
+                    seq_source=(lambda cell=self._seq_cells[index]: cell[0]),
+                )
+                for index in range(self.shards)
+            ]
+        if parallelism > 1 or executor == "process":
             # Force the per-constraint lazy engines/classifications on
-            # this thread before any worker touches them.
+            # this thread before any worker touches them (segment driver
+            # threads consult the parent compiler in process mode too).
             self.compiler.prewarm()
 
     # -- topology ---------------------------------------------------------------
+    def _compute_key_aligned(self) -> frozenset[str]:
+        """Split predicates whose every derivation is confined to one
+        key — hence to one shard's slice.
+
+        A split predicate ``P`` is *key-aligned* when every non-subsumed
+        constraint mentioning it (i) is a single rule, (ii) has
+        site-local predicate footprint exactly ``{P}``, and (iii) keeps
+        one shared key: every ``P``-literal in the rule — positive or
+        negated — carries the same column-0 variable, bound by at least
+        one positive ``P``-atom.  Any violation derivation then joins
+        only ``P``-facts of a single key value, all of which live in the
+        key's owning shard, so that shard's slice alone decides the
+        constraint: the sessions treat ``P`` as *local* (maintained
+        materializations, no union view) and updates on it never fence.
+        A negated ``P``-literal is safe because its key variable is
+        bound by a positive ``P``-atom against the own slice, so absence
+        is only ever tested for keys the shard owns completely.
+        """
+        aligned: set[str] = set()
+        for predicate in self.partitioner.split_predicates:
+            if self._key_confined(predicate):
+                aligned.add(predicate)
+        return frozenset(aligned)
+
+    def _key_confined(self, predicate: str) -> bool:
+        for constraint in self.constraints:
+            if predicate not in constraint.predicates():
+                continue
+            if self.compiler.compiled(constraint).subsumed:
+                continue
+            if not constraint.is_single_rule:
+                return False
+            site_part = constraint.predicates() & self.site_predicates
+            if site_part != {predicate}:
+                return False
+            keys: set = set()
+            positive_keys: set = set()
+            for literal in constraint.as_rule().body:
+                if isinstance(literal, Comparison):
+                    continue
+                if literal.predicate != predicate:
+                    continue
+                if not literal.args:
+                    return False
+                keys.add(literal.args[0])
+                if isinstance(literal, Atom):
+                    positive_keys.add(literal.args[0])
+            if len(keys) != 1:
+                return False
+            (key,) = keys
+            if not isinstance(key, Variable) or key not in positive_keys:
+                return False
+        return True
+
     def _peer_source(self, index: int) -> Callable[..., Database]:
         """A fetch over every *sibling* shard's slice — the lazily
         materialized part of the cross-shard union view (the caller's
@@ -327,9 +459,10 @@ class ShardedChecker:
     def shard_local_constraints(self) -> dict[str, int]:
         """Constraints decidable wholly inside one shard, by name."""
         placed: dict[str, int] = {}
-        for index, session in enumerate(self.sessions):
+        for index in range(self.shards):
+            local = self._owned[index] | self.key_aligned
             for constraint in self.constraints:
-                if constraint.predicates() <= session.local_predicates:
+                if constraint.predicates() <= local:
                     placed[constraint.name] = index
         return placed
 
@@ -379,6 +512,8 @@ class ShardedChecker:
     def local_database(self) -> Database:
         """The union of the shard slices — equal, update for update, to
         the single database an unsharded session would maintain."""
+        if self._procpool is not None:
+            return self._procpool.local_facts()
         merged = Database()
         for db in self._shard_dbs:
             for predicate in db.predicates():
@@ -388,13 +523,29 @@ class ShardedChecker:
 
     @property
     def pending_count(self) -> int:
+        if self._procpool is not None:
+            return self._procpool.pending_count()
         return sum(session.pending_count for session in self.sessions)
+
+    def close(self) -> None:
+        """Shut down the process-pool workers (thread mode: no-op).  The
+        checker is unusable afterwards."""
+        if self._procpool is not None:
+            self._procpool.close()
+
+    def __enter__(self) -> "ShardedChecker":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- the protocol -----------------------------------------------------------
     def _process_on_shard(self, shard: int, update: Update) -> list[CheckReport]:
         """Stamp the shard's arrival cell and run one update through its
         session (main-thread path; workers go through
         :meth:`_run_shard_slice`)."""
+        if self._procpool is not None:
+            return self._procpool.run_one(shard, update)
         session = self.sessions[shard]
         self._seq_cells[shard][0] = next(self._arrival)
         before = session.stats.remote_fetches
@@ -404,6 +555,19 @@ class ShardedChecker:
         )
         return reports
 
+    def _backend_contains(
+        self, shard: int, predicate: str, values: tuple
+    ) -> bool:
+        if self._procpool is not None:
+            return self._procpool.contains(shard, predicate, values)
+        return values in self._shard_dbs[shard].facts(predicate)
+
+    def _backend_apply_unchecked(self, shard: int, update: Update) -> None:
+        if self._procpool is not None:
+            self._procpool.apply_unchecked(shard, update)
+        else:
+            self.sessions[shard].apply_unchecked(update)
+
     def process(self, update: Update) -> list[CheckReport]:
         """Route one update to its shard and run the level pipeline.
 
@@ -411,10 +575,15 @@ class ShardedChecker:
         decomposed into its delete + insert halves (see
         :meth:`_process_split_modification`).
         """
+        if self._rebalance_due:
+            # process() is synchronous: between calls *is* a fence.
+            self.maybe_rebalance()
         if self._cross_shard_modification(update) is not None:
             reports = self._process_split_modification(update)
         else:
-            reports = self._process_on_shard(self.shard_of(update), update)
+            shard = self.shard_of(update)
+            self._observe(shard, update)
+            reports = self._process_on_shard(shard, update)
             self.stats.updates += 1
             self.stats.record_reports(reports, self.apply_on_unknown)
         self._sync_gauges()
@@ -438,8 +607,8 @@ class ShardedChecker:
         del_shard, ins_shard = self._cross_shard_modification(update)
         predicate = update.predicate
         deletion, insertion = update.deletion, update.insertion
-        was_present = update.old_values in self._shard_dbs[del_shard].facts(
-            predicate
+        was_present = self._backend_contains(
+            del_shard, predicate, update.old_values
         )
 
         self.stats.updates += 1
@@ -464,8 +633,8 @@ class ShardedChecker:
             r.outcome is Outcome.VIOLATED for r in ins_reports
         )
         if ins_rejected and was_present and not (del_deferred or del_held):
-            self.sessions[del_shard].apply_unchecked(
-                Insertion(predicate, update.old_values)
+            self._backend_apply_unchecked(
+                del_shard, Insertion(predicate, update.old_values)
             )
 
         merged: dict[str, CheckReport] = {r.constraint_name: r for r in del_reports}
@@ -497,11 +666,13 @@ class ShardedChecker:
         verdicts therefore match global per-update processing.
         Cross-shard modifications flush the run and decompose.
 
-        With ``parallelism > 1`` the stream runs on the fence-scheduled
-        thread pool instead (:meth:`_check_stream_parallel`); verdicts
-        are identical either way.
+        With ``parallelism > 1`` — or the process executor, whose
+        parallelism lives in the worker pool itself — the stream runs on
+        the fence-scheduled path instead
+        (:meth:`_check_stream_parallel`); verdicts are identical either
+        way.
         """
-        if self.parallelism > 1:
+        if self.parallelism > 1 or self._procpool is not None:
             return self._check_stream_parallel(updates, batch_size)
         results: list[list[CheckReport]] = []
         run: list[Update] = []
@@ -536,12 +707,19 @@ class ShardedChecker:
             run.clear()
 
         for update in updates:
+            if self._rebalance_due:
+                # Flush first: a rebalance changes routing, and the
+                # accumulated run was routed under the old cuts.
+                flush()
+                run_shard = None
+                self.maybe_rebalance()
             if self._cross_shard_modification(update) is not None:
                 flush()
                 run_shard = None
                 results.append(self._process_split_modification(update))
                 continue
             shard = self.shard_of(update)
+            self._observe(shard, update)
             if run_shard is not None and shard != run_shard:
                 flush()
             run_shard = shard
@@ -549,6 +727,96 @@ class ShardedChecker:
         flush()
         self._sync_gauges()
         return results
+
+    # -- live rebalancing --------------------------------------------------------
+    def _observe(self, shard: int, update: Update) -> None:
+        """Feed the load gauges: one call per routed update, at routing
+        time on the main thread (workers never touch the tracker)."""
+        if self._load_tracker is None:
+            return
+        key = None
+        if update.predicate in self.partitioner.split_predicates:
+            values = routing_values(update)
+            key = values[0] if values else None
+        self._load_tracker.observe(shard, update.predicate, key)
+        self._since_rebalance += 1
+
+    @property
+    def _rebalance_due(self) -> bool:
+        return (
+            self._load_tracker is not None
+            and self._since_rebalance >= self.rebalance_policy.interval
+        )
+
+    def maybe_rebalance(self) -> Optional[RebalancePlan]:
+        """Inspect the load gauges and, when one shard runs hot, move a
+        cut point: split the hot shard's range at the median of its
+        sampled keys and merge the coldest adjacent range pair
+        (:func:`~repro.distributed.rebalance.propose_split`).
+
+        Must only be called at a fence — no open parallel segment, no
+        accumulated serial run — because routing and shard data change
+        together (the stream drivers call it between segments; direct
+        callers get the same guarantee from ``process()`` being
+        synchronous).  Returns the applied plan, or None when the load
+        is even or no productive cut exists.
+        """
+        if self._load_tracker is None:
+            return None
+        self._since_rebalance = 0
+        tracker = self._load_tracker
+        hot = tracker.hot_shard()
+        if hot is None:
+            return None
+        loads = tracker.loads()
+        plan = None
+        for predicate in sorted(self.partitioner.split_predicates):
+            plan = propose_split(
+                predicate,
+                self.partitioner.boundaries(predicate),
+                hot,
+                tracker.keys(predicate, hot),
+                loads,
+            )
+            if plan is not None:
+                break
+        if plan is None:
+            return None
+        self._apply_rebalance(plan)
+        return plan
+
+    def _apply_rebalance(self, plan: RebalancePlan) -> None:
+        """The two-phase fence handoff: migrate every key range whose
+        owner changes, then install the new cut vector.  Data moves
+        before routing changes, so a crash between the phases leaves
+        facts findable under the *old* routing — never orphaned."""
+        moved = 0
+        for lo, hi, source, target in plan.moves:
+            moved += self._migrate_range(plan.predicate, lo, hi, source, target)
+        self.partitioner.set_boundaries(plan.predicate, plan.new_cuts)
+        self.stats.rebalances += 1
+        self.stats.rebalance_moved_facts += moved
+        # The window describes the topology that no longer exists.
+        self._load_tracker.reset()
+
+    def _migrate_range(
+        self, predicate: str, lo, hi, source: int, target: int
+    ) -> int:
+        """Move the half-open key range ``[lo, hi)`` of *predicate* from
+        *source* to *target*: verified facts plus reversed pending
+        entries out, replayed in sequence order on the other side.
+        Returns the number of facts moved."""
+        if source == target:
+            return 0
+        if self._procpool is not None:
+            return self._procpool.migrate_range(
+                predicate, lo, hi, source, target
+            )
+        out = extract_range(self.sessions[source], predicate, lo, hi)
+        inject_range(
+            self.sessions[target], predicate, out["facts"], out["entries"]
+        )
+        return len(out["facts"])
 
     # -- parallel execution ------------------------------------------------------
     def _requires_fence(self, shard: int, predicate: str) -> bool:
@@ -561,13 +829,16 @@ class ShardedChecker:
         concurrent sibling could be writing.  A constraint whose
         site-local part crosses shards (spanning, or remote-mixed)
         would materialize the cross-shard union view, so it fences;
-        split predicates are owned by no shard and always fence.
+        split predicates are owned by no shard and fence *unless* they
+        are key-aligned (see :meth:`_compute_key_aligned`), in which
+        case the owning shard's slice already decides every constraint
+        and the update is as parallel-safe as a shard-local one.
         """
         key = (shard, predicate)
         cached = self._fence_cache.get(key)
         if cached is not None:
             return cached
-        owned = self._owned[shard]
+        owned = self._owned[shard] | self.key_aligned
         fence = predicate not in owned
         if not fence:
             for constraint in self.constraints:
@@ -581,6 +852,26 @@ class ShardedChecker:
                     break
         self._fence_cache[key] = fence
         return fence
+
+    def _escalation_capable(self, predicate: str) -> bool:
+        """Could an update of *predicate* escalate off-site?  True when
+        some non-subsumed constraint mentioning it reads beyond the
+        local site.  The process executor runs such updates as singleton
+        commands: a worker stream must never defer mid-slice."""
+        cached = self._escalation_cache.get(predicate)
+        if cached is not None:
+            return cached
+        capable = False
+        for constraint in self.constraints:
+            if self.compiler.compiled(constraint).subsumed:
+                continue
+            if predicate not in constraint.predicates():
+                continue
+            if not constraint.predicates() <= self.site_predicates:
+                capable = True
+                break
+        self._escalation_cache[predicate] = capable
+        return capable
 
     def _run_shard_slice(
         self,
@@ -597,6 +888,8 @@ class ShardedChecker:
         stats in stream order at the barrier — pool threads never mutate
         ``ProtocolStats``.
         """
+        if self._procpool is not None:
+            return self._procpool.run_slice(shard, items, batch_size)
         session = self.sessions[shard]
         cell = self._seq_cells[shard]
 
@@ -636,8 +929,16 @@ class ShardedChecker:
         results_map: dict[int, list[CheckReport]] = {}
         segment: list[tuple[int, int, Update]] = []  # (pos, shard, update)
         stats = self.stats
+        # Thread mode: the pool threads *are* the parallelism.  Process
+        # mode: they are cheap drivers blocking on worker futures, one
+        # per shard, so the worker processes all stream concurrently.
+        workers = (
+            self.shards
+            if self._procpool is not None
+            else min(self.parallelism, self.shards)
+        )
         with ThreadPoolExecutor(
-            max_workers=min(self.parallelism, self.shards),
+            max_workers=workers,
             thread_name_prefix="shard",
         ) as executor:
 
@@ -680,6 +981,11 @@ class ShardedChecker:
 
             position = -1
             for position, update in enumerate(updates):
+                if self._rebalance_due:
+                    # Barrier first: the open segment was routed under
+                    # the old cuts and must land before they move.
+                    run_segment()
+                    self.maybe_rebalance()
                 if self._cross_shard_modification(update) is not None:
                     run_segment()
                     stats.fences += 1
@@ -688,6 +994,7 @@ class ShardedChecker:
                     )
                     continue
                 shard = self.shard_of(update)
+                self._observe(shard, update)
                 if self._requires_fence(shard, update.predicate):
                     run_segment()
                     stats.fences += 1
@@ -727,89 +1034,109 @@ class ShardedChecker:
         async queue.
         Returns ``(update, final_reports)`` pairs in settle order; never
         raises on an unreachable remote.
+
+        With the process executor the same walk runs parent-coordinated
+        over the worker queues
+        (:meth:`~repro.distributed.procpool.ProcessShardRunner.resolve_pending`).
         """
+        if self._procpool is not None:
+            results = self._procpool.resolve_pending()
+            for _update, reports in results:
+                self._record_resolved(reports)
+            self._sync_gauges()
+            return results
         sessions = self.sessions
-        pinned = [session._pin_pending_materializations() for session in sessions]
         quarantined: list[dict[int, UndoToken]] = [{} for _ in sessions]
         settled: list[PendingVerdict] = []
-        try:
-            timeline = sorted(
-                (
-                    (entry.seq, index, entry)
-                    for index, session in enumerate(sessions)
-                    for entry in session._pending
-                ),
-                reverse=True,
-            )
-            for seq, index, entry in timeline:
-                reversal = sessions[index]._quarantine_entry(entry)
-                if reversal is not None:
-                    quarantined[index][seq] = reversal
-            dark: set[str] = set()
-            blocked: set[str] = set()
-            skipped: set[int] = set()
-            while True:
-                head = None
-                for index, session in enumerate(sessions):
-                    for position, entry in enumerate(session._pending):
-                        if entry.seq in skipped:
-                            continue
-                        if head is None or entry.seq < head[0]:
-                            head = (entry.seq, index, position, entry)
-                if head is None:
-                    break
-                seq, index, position, entry = head
-                session = sessions[index]
-                if session._drain_blocked(entry, dark, blocked):
-                    skipped.add(seq)
-                    blocked.add(entry.update.predicate)
-                    continue
-                before = session.stats.remote_fetches
-                try:
-                    entry = session._settle_at(
-                        position,
-                        self._drain_source,
-                        CheckLevel.FULL_DATABASE,
-                        quarantined[index],
-                    )
-                except RemoteUnavailableError as exc:
-                    failed = set(exc.sites) or session._entry_site_needs(entry)
-                    if not failed:
-                        break
-                    dark |= failed
-                    skipped.add(seq)
-                    blocked.add(entry.update.predicate)
-                    continue
-                self.stats.remote_round_trips += (
-                    session.stats.remote_fetches - before
+        with ExitStack() as pins:
+            for session in sessions:
+                pins.enter_context(session._pinned_pending_materializations())
+            try:
+                timeline = sorted(
+                    (
+                        (entry.seq, index, entry)
+                        for index, session in enumerate(sessions)
+                        for entry in session._pending
+                    ),
+                    reverse=True,
                 )
-                settled.append(entry)
-        finally:
-            # Shard databases are disjoint, so per-shard redo order is
-            # physically equivalent to the global one.
-            for index, session in enumerate(sessions):
-                session._redo_quarantined(quarantined[index])
-                session._unpin_materializations(pinned[index])
+                for seq, index, entry in timeline:
+                    reversal = sessions[index]._quarantine_entry(entry)
+                    if reversal is not None:
+                        quarantined[index][seq] = reversal
+                dark: set[str] = set()
+                blocked: set[str] = set()
+                skipped: set[int] = set()
+                while True:
+                    head = None
+                    for index, session in enumerate(sessions):
+                        for position, entry in enumerate(session._pending):
+                            if entry.seq in skipped:
+                                continue
+                            if head is None or entry.seq < head[0]:
+                                head = (entry.seq, index, position, entry)
+                    if head is None:
+                        break
+                    seq, index, position, entry = head
+                    session = sessions[index]
+                    if session._drain_blocked(entry, dark, blocked):
+                        skipped.add(seq)
+                        blocked.add(entry.update.predicate)
+                        continue
+                    before = session.stats.remote_fetches
+                    try:
+                        entry = session._settle_at(
+                            position,
+                            self._drain_source,
+                            CheckLevel.FULL_DATABASE,
+                            quarantined[index],
+                        )
+                    except RemoteUnavailableError as exc:
+                        failed = set(exc.sites) or session._entry_site_needs(entry)
+                        if not failed:
+                            break
+                        dark |= failed
+                        skipped.add(seq)
+                        blocked.add(entry.update.predicate)
+                        continue
+                    self.stats.remote_round_trips += (
+                        session.stats.remote_fetches - before
+                    )
+                    settled.append(entry)
+            finally:
+                # Shard databases are disjoint, so per-shard redo order is
+                # physically equivalent to the global one.
+                for index, session in enumerate(sessions):
+                    session._redo_quarantined(quarantined[index])
         results: list[tuple[Update, list[CheckReport]]] = []
         for entry in settled:
             reports = entry.ordered_reports(self.constraints)
-            self.stats.deferred_resolved += 1
-            deciding = (
-                max(report.level for report in reports)
-                if reports
-                else CheckLevel.CONSTRAINTS_ONLY
-            )
-            self.stats.resolved_at_level[deciding] += 1
-            if any(r.outcome is Outcome.VIOLATED for r in reports):
-                self.stats.rejected += 1
+            self._record_resolved(reports)
             results.append((entry.update, reports))
         self._sync_gauges()
         return results
 
+    def _record_resolved(self, reports: list[CheckReport]) -> None:
+        """Fold one settled entry's final reports into the protocol
+        stats (shared by the thread- and process-mode drains)."""
+        self.stats.deferred_resolved += 1
+        deciding = (
+            max(report.level for report in reports)
+            if reports
+            else CheckLevel.CONSTRAINTS_ONLY
+        )
+        self.stats.resolved_at_level[deciding] += 1
+        if any(r.outcome is Outcome.VIOLATED for r in reports):
+            self.stats.rejected += 1
+
     def _sync_gauges(self) -> None:
+        if self._procpool is not None:
+            sessions, compiler = self._procpool.stats_view()
+        else:
+            sessions, compiler = self.sessions, self.compiler
         sync_session_gauges(
-            self.stats, self.sessions, self.compiler, self.remote_link
+            self.stats, sessions, compiler, self.remote_link
         )
         self.stats.deferred_rolled_back = sum(
-            session.stats.deferred_rolled_back for session in self.sessions
+            session.stats.deferred_rolled_back for session in sessions
         )

@@ -58,6 +58,10 @@ class ProtocolStats:
     fences: int = 0
     #: modifications decomposed into cross-shard delete+insert halves
     cross_shard_modifications: int = 0
+    #: live rebalancing: cut-vector changes applied at a fence, and the
+    #: total facts migrated between shards by them
+    rebalances: int = 0
+    rebalance_moved_facts: int = 0
     #: level-1 verdict LRU accounting (shared by both modes)
     level1_cache_hits: int = 0
     level1_cache_misses: int = 0
@@ -116,6 +120,8 @@ class ProtocolStats:
         rows.append(
             ("cross-shard modifications", self.cross_shard_modifications)
         )
+        rows.append(("rebalances", self.rebalances))
+        rows.append(("rebalance moved facts", self.rebalance_moved_facts))
         rows.append(("level-1 cache hits", self.level1_cache_hits))
         rows.append(("level-1 cache misses", self.level1_cache_misses))
         rows.append(("deferred (remote unreachable)", self.deferred_remote))

@@ -124,6 +124,85 @@ class TestDrainPinsMaterializations:
         assert_no_drift(session, self.CONSTRAINTS)
 
 
+class TestPinningSurvivesMidDrainFailure:
+    """Regression: a materialization build (or any drain step) that raised
+    between pin and unpin used to leak the pinned names forever — every
+    later eviction pass skipped them, silently shrinking the effective
+    cache capacity.  Pinning is a context manager now; the pins must be
+    gone after a forced mid-drain failure, and a retry must drain clean."""
+
+    def make_session(self):
+        constraints = ConstraintSet(
+            [
+                Constraint("panic :- p(X, Y) & p(Y, X)", "c_p"),
+                Constraint("panic :- q(X, Y) & q(Y, X)", "c_q"),
+                Constraint("panic :- p(X, Y) & rem(Y)", "cr_p"),
+                Constraint("panic :- q(X, Y) & rem(Y)", "cr_q"),
+            ]
+        )
+        session = CheckSession(
+            constraints,
+            {"p", "q"},
+            local_db=Database({"p": [], "q": []}),
+            max_materializations=1,
+        )
+        return constraints, session
+
+    def down(self, predicates=None):
+        raise RemoteUnavailableError("down")
+
+    def healthy(self, predicates=None):
+        return Database({"rem": [(99,)]})
+
+    def test_pinned_empty_after_forced_mid_drain_failure(self, monkeypatch):
+        constraints, session = self.make_session()
+        session.process(Insertion("p", (1, 2)), remote=self.down)
+        session.process(Insertion("q", (3, 4)), remote=self.down)
+        assert session.pending_count == 2
+
+        # Both pending entries reference c_p and c_q; with a bound of 1
+        # at most one is cached, so the drain must build the other while
+        # its name is already pinned.  Make every fresh build blow up.
+        def boom(db):
+            raise RuntimeError("forced mid-drain build failure")
+
+        monkeypatch.setattr(constraints["c_p"].engine, "materialize", boom)
+        monkeypatch.setattr(constraints["c_q"].engine, "materialize", boom)
+        with pytest.raises(RuntimeError, match="forced mid-drain"):
+            session.resolve_pending(self.healthy)
+
+        # The leak: these pins used to survive the exception forever.
+        assert session._materializations.pinned == frozenset()
+        assert len(session._materializations) <= 1
+
+        # With the fault gone the same drain settles both entries and the
+        # cache bound still holds — capacity was not silently lost.
+        monkeypatch.undo()
+        resolved = session.resolve_pending(self.healthy)
+        assert len(resolved) == 2
+        assert session.pending_count == 0
+        assert session._materializations.pinned == frozenset()
+        assert len(session._materializations) <= 1
+        assert_no_drift(session, constraints)
+
+    def test_lru_pinning_context_releases_on_exception(self):
+        from repro.core.compiler import LRUCache
+
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        with pytest.raises(ValueError):
+            # Pin names before building, like the drain does: the new
+            # entry's own put must not evict it.
+            with cache.pinning(["a", "b", "c"]):
+                cache.put("c", 3)  # overshoot: every resident pinned
+                assert set(cache.keys()) == {"a", "b", "c"}
+                raise ValueError("boom")
+        assert cache.pinned == frozenset()
+        cache.trim()
+        assert len(cache) <= 2
+
+
 class TestBatchProbeInvariance:
     """Bug: the flush probe could evict a pre-batch LRU entry and then
     rebuild it from *post-batch* state; the replay path only dropped

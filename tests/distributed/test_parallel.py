@@ -61,6 +61,18 @@ FENCE_CONSTRAINTS = ConstraintSet(
 )
 FENCE_LOCAL = {"a", "b", "c", "d", "rloc"}
 
+# Key-aligned set: every constraint touching the split predicate hot
+# joins its atoms on one shared column-0 key variable, so a key-range
+# shard's own slice decides the constraint and updates need no fence.
+KEY_CONSTRAINTS = ConstraintSet(
+    [
+        Constraint("panic :- hot(K, A) & hot(K, B) & A < B", "c_uniq"),
+        Constraint("panic :- hot(K, A) & A > 90", "c_cap"),
+        Constraint("panic :- b(X, Y) & b(Y, X)", "c_b"),
+    ]
+)
+KEY_LOCAL = {"hot", "b"}
+
 
 def make_sites(local_predicates=LOCAL):
     return TwoSiteDatabase(
@@ -187,9 +199,12 @@ class TestFenceClassification:
         shard = checker.partitioner.owner("rloc")
         assert checker._requires_fence(shard, "rloc") is False
 
-    def test_split_predicates_always_fence(self):
+    def test_misaligned_split_predicates_fence(self):
+        # c_a joins a(X, Y) with a(Y, X): the atoms disagree on the
+        # column-0 key, so a split of a is not key-aligned and fences.
         part = KeyRangePartitioner(2, {"a": [4]}, FENCE_LOCAL)
         checker = self.make_checker(partitioner=part)
+        assert checker.key_aligned == frozenset()
         assert checker._requires_fence(0, "a") is True
         assert checker._requires_fence(1, "a") is True
 
@@ -197,6 +212,95 @@ class TestFenceClassification:
         checker = self.make_checker()
         assert checker._requires_fence(0, "a") is checker._requires_fence(0, "a")
         assert (0, "a") in checker._fence_cache
+
+
+class TestKeyAlignedSplit:
+    """Key-range splits whose constraints join on the range key are
+    local to every shard: no union view, no fence, same verdicts."""
+
+    def make_checker(self, cut=3, **kwargs):
+        part = KeyRangePartitioner(2, {"hot": [cut]}, KEY_LOCAL)
+        return ShardedChecker(
+            KEY_CONSTRAINTS, make_sites(KEY_LOCAL), partitioner=part,
+            **kwargs,
+        )
+
+    def test_alignment_detected_and_fence_free(self):
+        checker = self.make_checker()
+        assert checker.key_aligned == frozenset({"hot"})
+        assert checker._requires_fence(0, "hot") is False
+        assert checker._requires_fence(1, "hot") is False
+        # hot is local to *every* session; nothing spans.
+        for session in checker.sessions:
+            assert "hot" in session.local_predicates
+        assert checker.spanning_constraints() == ()
+
+    def test_spanning_footprint_breaks_alignment(self):
+        # mix joins the split predicate with b: the site-local part is
+        # {mix, b}, so a shard's own slice cannot decide it.
+        constraints = ConstraintSet(
+            [Constraint("panic :- mix(K, A) & b(K, A)", "c_mix")]
+        )
+        part = KeyRangePartitioner(2, {"mix": [3]}, {"mix", "b"})
+        checker = ShardedChecker(
+            constraints, make_sites({"mix", "b"}), partitioner=part
+        )
+        assert checker.key_aligned == frozenset()
+        assert checker._requires_fence(0, "mix") is True
+
+    def test_unbound_negated_key_breaks_alignment(self):
+        # The only neg literal's key comes from the remote atom, so the
+        # absence test could probe keys a sibling shard owns.
+        constraints = ConstraintSet(
+            [Constraint("panic :- rem(K) & not neg(K, 1)", "c_neg")]
+        )
+        part = KeyRangePartitioner(2, {"neg": [3]}, {"neg"})
+        checker = ShardedChecker(
+            constraints, make_sites({"neg"}), partitioner=part
+        )
+        assert checker.key_aligned == frozenset()
+
+    def test_positively_bound_negated_key_is_aligned(self):
+        constraints = ConstraintSet(
+            [Constraint("panic :- hot(K, A) & not hot(K, 0)", "c_zero")]
+        )
+        part = KeyRangePartitioner(2, {"hot": [3]}, {"hot"})
+        checker = ShardedChecker(
+            constraints, make_sites({"hot"}), partitioner=part
+        )
+        assert checker.key_aligned == frozenset({"hot"})
+
+    def test_serial_sharded_matches_unsharded_session(self):
+        updates = weighted_stream(7, 200, [("hot", 8), ("b", 2)])
+        sites = make_sites(KEY_LOCAL)
+        session = CheckSession(
+            KEY_CONSTRAINTS, KEY_LOCAL, local_db=sites.local.unmetered()
+        )
+        expected = [
+            verdict_key(session.process(u, remote=sites.remote.snapshot))
+            for u in updates
+        ]
+        checker = self.make_checker()
+        actual = [verdict_key(r) for r in checker.check_stream(updates)]
+        assert actual == expected
+        assert db_state(checker.local_database()) == db_state(
+            session.local_db
+        )
+
+    @pytest.mark.parametrize("seed", [8, 9])
+    def test_parallel_matches_serial_without_fences(self, seed):
+        updates = weighted_stream(seed, 200, [("hot", 8), ("b", 2)])
+        serial = self.make_checker()
+        expected = [verdict_key(r) for r in serial.check_stream(updates)]
+        parallel = self.make_checker(parallelism=2)
+        actual = [verdict_key(r) for r in parallel.check_stream(updates)]
+        assert actual == expected
+        assert db_state(parallel.local_database()) == db_state(
+            serial.local_database()
+        )
+        # The whole point: a key-aligned hot stream never fences.
+        assert parallel.stats.fences == 0
+        assert parallel.stats.parallel_segments > 0
 
 
 class TestParallelEquivalence:

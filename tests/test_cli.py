@@ -1,6 +1,7 @@
 """CLI tests: file loading, update parsing, each subcommand end to end."""
 
 import json
+import re
 
 import pytest
 
@@ -338,3 +339,159 @@ class TestCommands:
     def test_missing_file_is_reported(self, capsys):
         assert main(["classify", "/nonexistent/path.dl"]) == 3
         assert "error" in capsys.readouterr().err
+
+
+class TestSiteFaultRateParsing:
+    """Regressions for ``--site-fault-rate SITE=P`` validation: duplicate
+    site names used to silently last-write-win, and any float parsed —
+    including probabilities outside [0, 1]."""
+
+    def parse(self, specs):
+        import argparse
+
+        from repro.cli import _parse_site_fault_rates
+
+        return _parse_site_fault_rates(
+            argparse.Namespace(site_fault_rate=list(specs))
+        )
+
+    def test_valid_specs(self):
+        rates = self.parse(["remote1=0.25", "remote2=1", "0.1"])
+        assert rates == {"remote1": 0.25, "remote2": 1.0, "*": 0.1}
+
+    def test_duplicate_site_rejected(self):
+        with pytest.raises(ReproError, match="twice for site 'remote1'"):
+            self.parse(["remote1=0.2", "remote1=0.9"])
+
+    def test_duplicate_default_rejected(self):
+        with pytest.raises(ReproError, match="twice for the default rate"):
+            self.parse(["0.2", "0.3"])
+
+    def test_out_of_range_probability_rejected(self):
+        for bad in ("remote1=1.5", "remote1=-0.1", "remote1=nan", "2.0"):
+            with pytest.raises(ReproError, match=r"must be in \[0, 1\]"):
+                self.parse([bad])
+
+    def test_malformed_spec_rejected(self):
+        for bad in ("remote1=", "=0.5", "abc", "remote1=p"):
+            with pytest.raises(ReproError, match="must look like SITE=P"):
+                self.parse([bad])
+
+    def test_unknown_site_rejected_end_to_end(self, tmp_path, capsys):
+        constraints = tmp_path / "c.dl"
+        constraints.write_text("%% guard\npanic :- p(X) & rem(X)\n")
+        db = tmp_path / "db.json"
+        db.write_text(json.dumps({"p": [], "rem": []}))
+        stream = tmp_path / "stream.txt"
+        stream.write_text("+p(1)\n")
+        code = main(
+            [
+                "check-stream",
+                str(constraints),
+                "--db",
+                str(db),
+                "--updates",
+                str(stream),
+                "--local",
+                "p",
+                "--site-fault-rate",
+                "nosuch=0.5",
+            ]
+        )
+        assert code == 3
+        assert "unknown site" in capsys.readouterr().err
+
+
+class TestExecutorAndRebalanceFlags:
+    """``--executor process`` and ``--rebalance`` wiring: flag validation
+    surfaces as exit 3, and both modes run a sharded stream end to end."""
+
+    def sharded_stream(self, tmp_path, keys):
+        constraints = tmp_path / "uniq.dl"
+        constraints.write_text(
+            "%% uniq\npanic :- hot(K, A) & hot(K, B) & A < B\n"
+        )
+        stream = tmp_path / "stream.txt"
+        stream.write_text(
+            "".join(f"+hot({key}, {index})\n" for index, key in enumerate(keys))
+        )
+        return str(constraints), str(stream)
+
+    def test_process_executor_end_to_end(self, tmp_path, capsys):
+        constraints, stream = self.sharded_stream(
+            tmp_path, [1, 60, 2, 70, 1]  # duplicate key 1: rejected
+        )
+        code = main(
+            [
+                "check-stream",
+                constraints,
+                "--updates",
+                stream,
+                "--local",
+                "hot",
+                "--shards",
+                "2",
+                "--shard-by",
+                "hot=50",
+                "--executor",
+                "process",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert out.count("applied") == 4
+        assert out.count("REJECTED") == 1
+
+    def test_rebalance_end_to_end(self, tmp_path, capsys):
+        # Every key lands on shard 0; once the default policy has enough
+        # observations the hot range splits and the cut moves.
+        constraints = tmp_path / "cap.dl"
+        constraints.write_text("%% cap\npanic :- hot(K, A) & A > 90\n")
+        stream = tmp_path / "stream.txt"
+        stream.write_text(
+            "".join(f"+hot({index % 40}, {index % 7})\n" for index in range(90))
+        )
+        code = main(
+            [
+                "check-stream",
+                str(constraints),
+                "--updates",
+                str(stream),
+                "--local",
+                "hot",
+                "--shards",
+                "2",
+                "--shard-by",
+                "hot=50",
+                "--rebalance",
+                "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("applied") == 90
+        assert re.search(r"rebalances\s+[1-9]", out)
+
+    @pytest.mark.parametrize(
+        "extra, message",
+        [
+            (["--executor", "process"], "needs --shards"),
+            (
+                ["--shards", "2", "--executor", "process", "--overlap-remote"],
+                "thread executor",
+            ),
+            (["--shards", "2", "--rebalance"], "needs --shards and --shard-by"),
+            (
+                ["--shards", "2", "--shard-by", "hot=50", "--rebalance", "0"],
+                ">= 1",
+            ),
+        ],
+    )
+    def test_invalid_combinations_exit_3(self, tmp_path, capsys, extra, message):
+        constraints, stream = self.sharded_stream(tmp_path, [1])
+        code = main(
+            ["check-stream", constraints, "--updates", stream,
+             "--local", "hot", *extra]
+        )
+        assert code == 3
+        assert message in capsys.readouterr().err
