@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Sequence
 
@@ -341,6 +342,160 @@ def _build_partitioner(args: argparse.Namespace, local_predicates: set[str]):
 _MAX_DRAIN_ROUNDS = 100
 
 
+# -- durability (--journal / --resume) ---------------------------------------
+
+
+def _journal_flag_conflicts(args: argparse.Namespace) -> None:
+    """``--journal`` supports the serial in-process configurations only:
+    the journal records exactly one effect per update in arrival order,
+    which parallel segments, worker processes, overlapped escalation
+    futures, transactional rollback, and the federation snapshot cache
+    cannot guarantee (or cannot serialize)."""
+    conflicts = (
+        (bool(args.parallel), "--parallel"),
+        (args.overlap_remote, "--overlap-remote"),
+        (args.executor == "process", "--executor process"),
+        (args.transaction, "--transaction"),
+        (args.snapshot_ttl is not None, "--snapshot-ttl"),
+    )
+    for active, name in conflicts:
+        if active:
+            raise ReproError(
+                f"--journal cannot be combined with {name}: the journal "
+                "needs the serial in-process stream (one durable effect "
+                "record per update, in arrival order)"
+            )
+
+
+def _journal_config(args: argparse.Namespace, constraints, local_predicates):
+    """The run-configuration fingerprint persisted as ``meta.json``.
+    ``--resume`` refuses a journal whose fingerprint differs — the
+    journal's records only mean anything under the configuration that
+    wrote them."""
+    return {
+        "constraints": [[c.name, str(c.program)] for c in constraints],
+        "local": sorted(local_predicates),
+        "sites": args.sites,
+        "shards": args.shards or 0,
+        "shard_by": sorted(args.shard_by or ()),
+        "batch": args.batch or 0,
+        "apply_on_unknown": not args.pessimistic,
+        "rebalance": args.rebalance or 0,
+        "faults": {
+            "rate": args.fault_rate,
+            "outages": sorted(args.outage or ()),
+            "retries": args.retries,
+            "timeout": args.remote_timeout,
+            "latency": args.remote_latency,
+            "seed": args.fault_seed,
+            "site_rates": sorted(args.site_fault_rate or ()),
+        },
+    }
+
+
+def _overlay_recovered_facts(db: Database, local_predicates, recovered) -> Database:
+    """The resumed run's database: remote predicates straight from the
+    ``--db`` file (remote sites are never mutated), local predicates
+    exactly as recovered — a local predicate absent from the recovered
+    state was empty at the crash, so nothing falls back to the file."""
+    merged = Database()
+    for predicate in db.predicates():
+        if predicate in local_predicates:
+            continue
+        for fact in db.facts(predicate):
+            merged.insert(predicate, fact)
+    for predicate, facts in recovered.facts.items():
+        for fact in sorted(facts, key=repr):
+            merged.insert(predicate, fact)
+    return merged
+
+
+def _checkpoint_payload(pos: int, args: argparse.Namespace, checker, link) -> dict:
+    """One checkpoint manifest payload: everything ``--resume`` needs at
+    stream position *pos* (facts, pending queue, arrival clock floor,
+    protocol + session stats, shard cuts, link state)."""
+    from repro.durability.journal import entry_to_json
+
+    if args.shards:
+        local_db = checker.local_database()
+        sessions = checker.sessions
+    else:
+        local_db = checker.sites.local.unmetered()
+        sessions = [checker.session]
+    pending = sorted(
+        (entry for session in sessions for entry in session._pending),
+        key=lambda entry: entry.seq,
+    )
+    payload = {
+        "pos": pos,
+        "facts": {
+            predicate: sorted(
+                (list(fact) for fact in local_db.facts(predicate)), key=repr
+            )
+            for predicate in sorted(local_db.predicates())
+        },
+        "pending": [entry_to_json(entry) for entry in pending],
+        "seq": max((entry.seq for entry in pending), default=0),
+        "stats": checker.stats.to_dict(),
+        "session_stats": [session.stats.to_dict() for session in sessions],
+        "cuts": {},
+        "link": link.state_dict() if link is not None else None,
+    }
+    if args.shards and args.shard_by:
+        payload["cuts"] = {
+            predicate: list(checker.partitioner.boundaries(predicate))
+            for predicate in sorted(checker.partitioner.split_predicates)
+        }
+    return payload
+
+
+def _restore_into(args: argparse.Namespace, checker, recovered, link) -> None:
+    """Install a recovered state into a freshly built checker: pending
+    entries re-queued per shard in sequence order, the arrival clock
+    restarted past every recovered sequence number, protocol + session
+    stats and the remote link's RNG/breaker state reinstated.  (Session
+    gauges and round-trip counters reflect the last checkpoint, so they
+    may under-count the replayed tail window; verdicts and state are
+    exact.)"""
+    import itertools
+
+    from repro.core.session import SessionStats
+    from repro.durability.journal import entry_from_json
+
+    entries = [entry_from_json(desc) for desc in recovered.pending]
+    if args.shards:
+        sessions = checker.sessions
+        for entry in entries:
+            sessions[checker.shard_of(entry.update)]._pending.append(entry)
+        for session in sessions:
+            session._pending.sort(key=lambda entry: entry.seq)
+        checker._arrival = itertools.count(recovered.seq + 1)
+    else:
+        sessions = [checker.session]
+        checker.session._pending.extend(entries)
+        checker.session._pending_seq = recovered.seq
+    for session, data in zip(sessions, recovered.session_stats):
+        session.stats = SessionStats.from_dict(data)
+    checker.stats = recovered.stats
+    if link is not None and recovered.link_state is not None:
+        link.restore_state(recovered.link_state)
+
+
+def _stream_status(reports, pessimistic: bool) -> tuple[str, bool]:
+    """The per-update verdict line's status text (shared by the live
+    stream loop and the ``--resume`` journal echo, so a resumed run's
+    output diffs clean against an uninterrupted one)."""
+    rejected = any(r.outcome is Outcome.VIOLATED for r in reports)
+    deferred = any(r.outcome is Outcome.DEFERRED for r in reports)
+    if rejected:
+        return "REJECTED", True
+    if deferred:
+        return "DEFERRED (remote unreachable)", False
+    if pessimistic and any(r.outcome is Outcome.UNKNOWN for r in reports):
+        return "held (unknown)", False
+    return "applied", False
+
+
 def _drain_pending(checker) -> tuple[list, int]:
     """Drain deferred verdicts until settled or the link looks dead."""
     settled: list = []
@@ -358,6 +513,54 @@ def _cmd_check_stream(args: argparse.Namespace) -> int:
     db = load_database(args.db) if args.db else Database()
     updates = load_updates(args.updates)
     local_predicates = set(args.local or db.predicates())
+
+    recovered = None
+    injector = None
+    journal_config = None
+    if args.resume and not args.journal:
+        raise ReproError("--resume needs --journal DIR")
+    if args.crash_at:
+        from repro.distributed.faults import CrashInjector, parse_crash_point
+
+        try:
+            injector = CrashInjector(
+                [
+                    parse_crash_point(spec, hard=args.crash_mode == "hard")
+                    for spec in args.crash_at
+                ]
+            )
+        except ValueError as exc:
+            raise ReproError(str(exc)) from exc
+    if args.journal:
+        _journal_flag_conflicts(args)
+        journal_config = _journal_config(args, constraints, local_predicates)
+        if args.resume:
+            from repro.durability.recovery import recover
+
+            recovered = recover(args.journal)
+            if recovered.meta is not None and recovered.meta != journal_config:
+                raise ReproError(
+                    "--resume configuration differs from the journal's "
+                    "meta.json; a journal only replays under the exact "
+                    "configuration that wrote it"
+                )
+            if recovered.dropped_lines:
+                print(
+                    f"journal: truncated {recovered.dropped_lines} torn/corrupt "
+                    "trailing line(s); their updates will be reprocessed",
+                    file=sys.stderr,
+                )
+            db = _overlay_recovered_facts(db, local_predicates, recovered)
+        else:
+            from repro.durability.journal import JOURNAL_FILE
+
+            if os.path.exists(os.path.join(args.journal, JOURNAL_FILE)):
+                raise ReproError(
+                    f"journal directory {args.journal!r} already holds a run; "
+                    "pass --resume to continue it or point --journal at a "
+                    "fresh directory"
+                )
+
     sites = _build_sites(args, db, local_predicates)
     site_rates = _parse_site_fault_rates(args)
     unknown_rates = set(site_rates) - {"*"} - set(sites.site_names)
@@ -414,10 +617,16 @@ def _cmd_check_stream(args: argparse.Namespace) -> int:
                 "--transaction cannot be combined with --shards: the "
                 "atomic rollback spans one session, not a shard fleet"
             )
+        partitioner = _build_partitioner(args, local_predicates)
+        if recovered is not None:
+            # The checker partitions the local database at construction
+            # time, so the recovered cut vectors go in first.
+            for predicate, cuts in recovered.cuts.items():
+                partitioner.set_boundaries(predicate, cuts)
         checker = ShardedChecker(
             constraints, sites,
             shards=args.shards,
-            partitioner=_build_partitioner(args, local_predicates),
+            partitioner=partitioner,
             apply_on_unknown=not args.pessimistic,
             remote_link=remote_link,
             remote_links=remote_links,
@@ -430,6 +639,7 @@ def _cmd_check_stream(args: argparse.Namespace) -> int:
                 if args.rebalance is not None
                 else None
             ),
+            chaos=injector,
         )
     else:
         checker = DistributedChecker(
@@ -443,6 +653,42 @@ def _cmd_check_stream(args: argparse.Namespace) -> int:
     # The checker may have promoted the per-site links into a single
     # FederationLink; tear down whatever it actually escalates through.
     link = checker.remote_link
+    writer = None
+    if args.journal:
+        from repro.durability.checkpoint import write_checkpoint
+        from repro.durability.journal import JournalWriter
+        from repro.durability.recovery import write_meta
+
+        if recovered is not None:
+            # Restore before the writer exists: its link-state probe must
+            # start from the recovered fetch counters, not fresh zeros.
+            _restore_into(args, checker, recovered, link)
+        else:
+            write_meta(args.journal, journal_config)
+
+        def _write_manifest(pos: int) -> None:
+            write_checkpoint(
+                args.journal, _checkpoint_payload(pos, args, checker, link)
+            )
+
+        writer = JournalWriter(
+            args.journal,
+            sync_every=args.sync_every,
+            link=link,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_cb=_write_manifest,
+            crash_injector=injector,
+        )
+        if recovered is not None:
+            writer.pos = recovered.pos
+        if args.shards:
+            checker.attach_effect_log(writer)
+        else:
+            checker.session.effect_log = writer
+        if recovered is None:
+            # The resume floor: a pos-0 manifest of the initial state, so
+            # recovery always finds a valid checkpoint to replay from.
+            writer.checkpoint_now()
     exit_code = 0
     if args.transaction:
         committed, all_reports = checker.process_transaction(updates)
@@ -458,25 +704,37 @@ def _cmd_check_stream(args: argparse.Namespace) -> int:
             print("transaction: ROLLED BACK (local site restored exactly)")
             exit_code = 1
     else:
+        if recovered is not None:
+            # Re-echo the journalled prefix's verdicts so the resumed
+            # run's output covers the whole stream and diffs clean
+            # against an uninterrupted run.
+            from repro.durability.journal import report_from_json, update_from_json
+
+            for record in recovered.records:
+                update = update_from_json(record["update"])
+                reports = [report_from_json(r) for r in record["reports"]]
+                status, rejected = _stream_status(reports, args.pessimistic)
+                if rejected:
+                    exit_code = 1
+                print(f"{update}: {status}")
+                if args.verbose:
+                    for report in reports:
+                        print(f"    {report}")
+            updates = updates[recovered.pos:]
         results = checker.check_stream(updates, batch_size=args.batch)
         for update, reports in zip(updates, results):
-            rejected = any(r.outcome is Outcome.VIOLATED for r in reports)
-            deferred = any(r.outcome is Outcome.DEFERRED for r in reports)
+            status, rejected = _stream_status(reports, args.pessimistic)
             if rejected:
                 exit_code = 1
-                status = "REJECTED"
-            elif deferred:
-                status = "DEFERRED (remote unreachable)"
-            elif args.pessimistic and any(
-                r.outcome is Outcome.UNKNOWN for r in reports
-            ):
-                status = "held (unknown)"
-            else:
-                status = "applied"
             print(f"{update}: {status}")
             if args.verbose:
                 for report in reports:
                     print(f"    {report}")
+    if writer is not None:
+        # End-of-stream manifest *before* the drain: drains are never
+        # journalled (resume re-drains deterministically), so a crash
+        # anywhere in the drain resumes from here.
+        writer.checkpoint_now()
     if checker.pending_count:
         print()
         print(f"resolving {checker.pending_count} deferred verdict(s)...")
@@ -484,6 +742,11 @@ def _cmd_check_stream(args: argparse.Namespace) -> int:
             # Let the in-flight escalation futures land so the drain can
             # settle from their results instead of breaking on them.
             link.wait_inflight()
+        if injector is not None and not args.shards:
+            # The sharded checker hits this point itself, between the
+            # quarantine and settle phases; the plain checker's drain is
+            # one session call, so the boundary lives here.
+            injector.hit("mid-drain")
         settled, remaining = _drain_pending(checker)
         for update, reports in settled:
             rejected = any(r.outcome is Outcome.VIOLATED for r in reports)
@@ -499,6 +762,8 @@ def _cmd_check_stream(args: argparse.Namespace) -> int:
                 f"{_MAX_DRAIN_ROUNDS} drain rounds — remote unreachable"
             )
             exit_code = exit_code or 2
+    if writer is not None:
+        writer.close()
     print()
     width = max(len(label) for label, _ in checker.stats.summary_rows())
     for label, value in checker.stats.summary_rows():
@@ -525,6 +790,9 @@ def _cmd_check_stream(args: argparse.Namespace) -> int:
         )
         rows.append(("breaker state at exit", str(link.state)))
         rows.append(("simulated link clock", round(link.clock, 4)))
+        # Echo the effective seed (including the default) so a degraded
+        # run is reproducible from its own output.
+        rows.append(("fault seed", args.fault_seed))
         _print_rows(rows)
         if isinstance(link, FederationLink):
             for name, site_link in sorted(link.links.items()):
@@ -731,6 +999,44 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument(
         "--fault-seed", type=int, default=0, metavar="SEED",
         help="seed for the fault model and retry jitter (default 0)",
+    )
+    durability = stream.add_argument_group(
+        "durability",
+        "journal every update's effects plus periodic checkpoint "
+        "manifests, so a killed run resumes to the exact same verdicts "
+        "and final state (serial in-process configurations only)",
+    )
+    durability.add_argument(
+        "--journal", metavar="DIR", default=None,
+        help="write an append-only CRC-framed effects journal and "
+        "checkpoint manifests under DIR",
+    )
+    durability.add_argument(
+        "--resume", action="store_true",
+        help="recover DIR's newest valid checkpoint, replay the journal "
+        "tail, and continue the stream from where the last run stopped",
+    )
+    durability.add_argument(
+        "--sync-every", type=int, default=16, metavar="N",
+        help="fsync the journal every N updates (default 16; 1 is "
+        "write-through — a crash then loses nothing)",
+    )
+    durability.add_argument(
+        "--checkpoint-every", type=int, default=64, metavar="N",
+        help="write a checkpoint manifest every N updates so recovery "
+        "replays only the tail (default 64; 0 = only the initial and "
+        "end-of-stream manifests)",
+    )
+    durability.add_argument(
+        "--crash-at", action="append", metavar="POINT[:K]",
+        help="chaos injection: crash at the K-th visit (default 1st) of "
+        "a named point — update, fence, mid-drain, mid-rebalance "
+        "(repeatable)",
+    )
+    durability.add_argument(
+        "--crash-mode", choices=("hard", "soft"), default="hard",
+        help="hard: SIGKILL the process at the crash point, exactly like "
+        "kill -9 (default); soft: raise a typed InjectedCrash instead",
     )
     stream.set_defaults(func=_cmd_check_stream)
 

@@ -47,7 +47,7 @@ from __future__ import annotations
 
 import inspect
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Callable, Iterable, Optional, Union
 
 from repro.constraints.constraint import Constraint, ConstraintSet
@@ -171,6 +171,14 @@ class SessionStats:
             ("deferred resolved", self.deferred_resolved),
             ("deferred rolled back", self.deferred_rolled_back),
         ]
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for checkpoint manifests (JSON-safe)."""
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SessionStats":
+        return cls(**payload)
 
 
 @dataclass
@@ -329,6 +337,14 @@ class CheckSession:
         self._pending: list[PendingVerdict] = []
         self._pending_seq = 0
         self._seq_source = seq_source
+        #: optional durability sink (see :mod:`repro.durability.journal`):
+        #: an object with ``record_update(update, reports, applied, token,
+        #: entry)`` called once per stream update in arrival order, and
+        #: ``safe_point()`` called whenever the session is back at a
+        #: consistent between-updates boundary (the journal batches its
+        #: fsyncs and takes checkpoints there).  Drain settles never
+        #: record — recovery restores the pre-drain state and re-drains.
+        self.effect_log = None
 
     # -- materialization plumbing ---------------------------------------------
     def _materialization(self, constraint: Constraint) -> Materialization:
@@ -486,10 +502,17 @@ class CheckSession:
         max_level: CheckLevel,
         apply_when_safe: bool,
         transaction: Optional[Transaction],
+        record: bool = True,
     ) -> list[CheckReport]:
         """The stateful tail of :meth:`process`: apply the delta, settle
         the pending verdicts against the post-update state, and keep or
-        roll back the update."""
+        roll back the update.
+
+        *record* gates the effect-log hook: drain settles re-enter this
+        tail for an update the journal already holds a record for, so
+        they pass ``record=False``.
+        """
+        pending_before = len(self._pending)
         # Apply the delta once; all post-state evaluation below shares it.
         token = self.local_db.apply(update.as_delta())
         effective = token.as_delta()
@@ -641,6 +664,20 @@ class CheckSession:
                         future=defer_future,
                         future_predicates=defer_future_predicates,
                     )
+        if record and self.effect_log is not None:
+            applied_now = not (rejected or held or not apply_when_safe)
+            queued = (
+                self._pending[-1]
+                if len(self._pending) > pending_before
+                else None
+            )
+            self.effect_log.record_update(
+                update,
+                ordered,
+                applied=applied_now,
+                token=token if applied_now else None,
+                entry=queued,
+            )
         return ordered
 
     def process(
@@ -668,10 +705,13 @@ class CheckSession:
         reports, pending_local, pending_unknown = self._static_checks(
             update, max_level
         )
-        return self._finish(
+        ordered = self._finish(
             update, reports, pending_local, pending_unknown,
             remote, max_level, apply_when_safe, transaction,
         )
+        if self.effect_log is not None:
+            self.effect_log.safe_point()
+        return ordered
 
     def check(
         self,
@@ -1086,7 +1126,7 @@ class CheckSession:
         )
         ordered = self._finish(
             entry.update, reports, pending_local, pending_unknown,
-            remote_db, max_level, True, None,
+            remote_db, max_level, True, None, record=False,
         )
         entry.reports = {r.constraint_name: r for r in ordered}
         entry.unresolved = ()
@@ -1182,14 +1222,26 @@ class CheckSession:
             self.stats.applied += count
             self.stats.batched_updates += count
             results = []
-            for reports, pending in zip(batch.reports, batch.pending_locals):
+            for index, (reports, pending) in enumerate(
+                zip(batch.reports, batch.pending_locals)
+            ):
                 for constraint in pending:
                     reports[constraint.name] = CheckReport(
                         constraint.name, Outcome.SATISFIED,
                         CheckLevel.WITH_LOCAL_DATA,
                         remote_accessed=False, detail="constraint is purely local",
                     )
-                results.append([reports[c.name] for c in self.constraints])
+                ordered = [reports[c.name] for c in self.constraints]
+                results.append(ordered)
+                if self.effect_log is not None:
+                    # One record per member, in stream order — a batch is
+                    # a maintenance optimization, not a journal unit.
+                    self.effect_log.record_update(
+                        batch.updates[index], ordered,
+                        applied=True, token=batch.tokens[index], entry=None,
+                    )
+            if self.effect_log is not None:
+                self.effect_log.safe_point()
             return results
 
         # Exact replay: restore the pre-batch state, then re-process each
@@ -1285,6 +1337,8 @@ class CheckSession:
                         remote, max_level, True, None,
                     )
                 )
+                if self.effect_log is not None:
+                    self.effect_log.safe_point()
                 continue
             token = self.local_db.apply(update.as_delta())
             if pending_local and self._probe_fires(pending_local, token):

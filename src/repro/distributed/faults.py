@@ -25,15 +25,24 @@ in tests and benchmarks.
 
 from __future__ import annotations
 
+import os
 import random
+import signal
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from repro.datalog.database import Database
 from repro.distributed.site import Site
-from repro.errors import RemoteUnavailableError
+from repro.errors import InjectedCrash, RemoteUnavailableError
 
-__all__ = ["FaultModel", "UnreliableRemote", "parse_outage"]
+__all__ = [
+    "CrashInjector",
+    "CrashPoint",
+    "FaultModel",
+    "UnreliableRemote",
+    "parse_outage",
+    "parse_crash_point",
+]
 
 
 def parse_outage(spec: str) -> tuple[int, int]:
@@ -49,6 +58,96 @@ def parse_outage(spec: str) -> tuple[int, int]:
     if start < 0 or length <= 0:
         raise ValueError(f"outage window must be non-negative with positive length: {spec!r}")
     return (start, start + length)
+
+
+#: crash-point names the checkers recognise; anything else in a
+#: :class:`CrashPoint` is silently never hit.
+KNOWN_CRASH_POINTS = ("update", "fence", "mid-drain", "mid-rebalance")
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """A named place in the protocol where an injected crash fires.
+
+    The checkers call :meth:`CrashInjector.hit` at a handful of
+    well-known points — ``"update"`` (the journal writer's safe point
+    after an update is fully recorded), ``"fence"`` (the parallel
+    barrier), ``"mid-drain"`` (between the quarantine and settle phases
+    of ``resolve_pending``), ``"mid-rebalance"`` (between the two
+    migration phases of a rebalance).  The point fires on its
+    *occurrence*-th visit (1-based), once.  ``hard=True`` delivers a
+    real ``SIGKILL`` to the current process — the honest model of a
+    crash, used by the CLI and the kill-and-resume smoke test;
+    ``hard=False`` raises :class:`~repro.errors.InjectedCrash` instead,
+    which in-process tests can catch.
+    """
+
+    name: str
+    occurrence: int = 1
+    hard: bool = False
+
+    def __post_init__(self) -> None:
+        if self.occurrence < 1:
+            raise ValueError(f"occurrence must be >= 1: {self.occurrence}")
+
+
+def parse_crash_point(spec: str, hard: bool = False) -> CrashPoint:
+    """Parse ``"POINT"`` or ``"POINT:N"`` into a :class:`CrashPoint`."""
+    name, _, occurrence_text = spec.partition(":")
+    occurrence = 1
+    if occurrence_text:
+        try:
+            occurrence = int(occurrence_text)
+        except ValueError as exc:
+            raise ValueError(
+                f"crash point must look like POINT or POINT:N, got {spec!r}"
+            ) from exc
+    if name not in KNOWN_CRASH_POINTS:
+        raise ValueError(
+            f"unknown crash point {name!r}; known: {', '.join(KNOWN_CRASH_POINTS)}"
+        )
+    return CrashPoint(name, occurrence, hard)
+
+
+class CrashInjector:
+    """Counts visits to named crash points and fires the armed ones.
+
+    One injector is shared per checker run; each
+    :class:`CrashPoint` fires at most once (so a resumed run that
+    passes the same point again does not re-crash — the CLI arms a
+    fresh injector only when ``--crash-at`` is given, never on
+    ``--resume``).
+    """
+
+    def __init__(self, points: Iterable[CrashPoint] = ()) -> None:
+        self.points = list(points)
+        self._visits: dict[str, int] = {}
+        self._fired: set[tuple[str, int]] = set()
+        #: called (if set) immediately before a hard kill, so the
+        #: journal writer can flush its buffered tail first — a hard
+        #: crash loses *unsynced* work by design, but the CLI smoke
+        #: wants the crash point itself to be a clean boundary.
+        self.pre_kill = None
+
+    def hit(self, name: str) -> None:
+        """Record one visit to *name*; crash if an armed point matches."""
+        count = self._visits.get(name, 0) + 1
+        self._visits[name] = count
+        for point in self.points:
+            key = (point.name, point.occurrence)
+            if point.name != name or key in self._fired:
+                continue
+            if count != point.occurrence:
+                continue
+            self._fired.add(key)
+            if point.hard:
+                if self.pre_kill is not None:
+                    self.pre_kill()
+                os.kill(os.getpid(), signal.SIGKILL)
+            raise InjectedCrash(name, count)
+
+    def visits(self, name: str) -> int:
+        return self._visits.get(name, 0)
 
 
 @dataclass(frozen=True)
@@ -85,6 +184,10 @@ class FaultModel:
     outages: tuple[tuple[int, int], ...] = ()
     stale_rate: float = 0.0
     seed: int = 0
+    #: named protocol points where an injected crash fires (chaos
+    #: testing; see :class:`CrashPoint`) — not a network fault, but the
+    #: same "what can go wrong" configuration surface
+    crash_points: tuple[CrashPoint, ...] = ()
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.failure_rate <= 1.0:
@@ -187,6 +290,54 @@ class UnreliableRemote:
 
     def predicates(self) -> set[str]:
         return self.site.predicates()
+
+    def state_dict(self) -> dict:
+        """JSON-serializable mutable state for checkpoint manifests.
+
+        The fault RNG state is the Mersenne Twister triple from
+        ``random.Random.getstate()``; restoring it replays the exact
+        same latency/failure/staleness draws, which is what makes a
+        resumed faulted run byte-identical to an uninterrupted one.
+        The cached last-good snapshot is stored as plain fact lists.
+        """
+        version, internal, gauss_next = self._rng.getstate()
+        return {
+            "rng": [version, list(internal), gauss_next],
+            "attempts": self.attempts,
+            "failures": self.failures,
+            "stale_served": self.stale_served,
+            "last_latency": self.last_latency,
+            "last_good": (
+                None
+                if self._last_good is None
+                else {
+                    predicate: sorted(
+                        (list(fact) for fact in self._last_good.facts(predicate)),
+                        key=repr,
+                    )
+                    for predicate in sorted(self._last_good.predicates())
+                }
+            ),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        version, internal, gauss_next = state["rng"]
+        self._rng.setstate((version, tuple(internal), gauss_next))
+        self.attempts = state["attempts"]
+        self.failures = state["failures"]
+        self.stale_served = state["stale_served"]
+        self.last_latency = state["last_latency"]
+        last_good = state["last_good"]
+        self._last_good = (
+            None
+            if last_good is None
+            else Database(
+                {
+                    predicate: [tuple(fact) for fact in facts]
+                    for predicate, facts in last_good.items()
+                }
+            )
+        )
 
     def __repr__(self) -> str:
         return f"UnreliableRemote({self.site!r}, {self.faults!r})"

@@ -36,13 +36,30 @@ Verdicts and final database state are byte-identical to the serial
 checker; stats are equivalent up to batching boundaries (an
 escalation-capable update always runs as its own slice so the worker
 never defers mid-stream).
+
+The parent additionally **supervises** its workers: a worker process
+that dies (OOM-killed, segfaulted, ``kill -9``-ed) surfaces as
+``BrokenProcessPool`` on the next command, and the runner respawns it
+from the shard's :class:`ShardConfig` baseline, replays the parent-held
+log of mutating commands since that baseline (every command is
+deterministic because the parent injects all remote and sibling-shard
+data with the command itself), and retries the command that found the
+pool broken — it never reached the worker's state, so the retry is
+exact.  The baseline is refreshed from the live worker every
+``_REFRESH_EVERY`` mutating commands so a respawn replays a short
+suffix, not the whole history.  Each respawn counts into
+``ProtocolStats.worker_restarts``; once a shard exhausts
+``max_worker_restarts``, the typed
+:class:`~repro.errors.ShardWorkerCrashed` (shard index + last
+dispatched sequence number) propagates instead of the raw pool error.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import ExitStack
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from types import SimpleNamespace
 from typing import Iterable, Mapping, Optional, Sequence
 
@@ -52,7 +69,7 @@ from repro.core.outcomes import CheckLevel, CheckReport, Outcome
 from repro.core.session import CheckSession, _fetch_remote
 from repro.datalog.database import Database
 from repro.distributed.rebalance import extract_range, inject_range
-from repro.errors import RemoteUnavailableError
+from repro.errors import RemoteUnavailableError, ShardWorkerCrashed
 from repro.updates.update import Update
 
 __all__ = ["ShardConfig", "ProcessShardRunner"]
@@ -381,6 +398,58 @@ def _cmd_inject_range(
     inject_range(_WORKER["session"], predicate, facts, entries)
 
 
+def _cmd_dump_state() -> dict:
+    """The worker's whole rebuildable state, for the parent's
+    supervision baseline: the current facts (applied optimistic deltas
+    included), the pending queue verbatim (entries are pure data here —
+    undo tokens are plain fact-set dicts, and a worker entry never
+    carries a fetch future because its remote source always raises),
+    and the session stats snapshot."""
+    session = _WORKER["session"]
+    for entry in session._pending:
+        if entry.future is not None:
+            raise RuntimeError(
+                "worker pending entry carries a future (boundary bug)"
+            )
+    return {
+        "facts": _cmd_dump_facts(None),
+        "pending": list(session._pending),
+        "stats": session.stats,
+    }
+
+
+def _cmd_restore_state(pending: Sequence, stats) -> None:
+    """Install a supervision baseline into a freshly respawned worker.
+    The facts already arrived through the :class:`ShardConfig` pickle;
+    the pending queue and stats land verbatim — the queued tokens undo
+    by value, so they stay valid against the rebuilt database."""
+    session = _WORKER["session"]
+    session._pending[:] = list(pending)
+    session.stats = stats
+
+
+#: commands that change worker state — the ones the parent's
+#: supervision log must replay into a respawned worker
+_MUTATING = frozenset(
+    {
+        _cmd_run_slice,
+        _cmd_run_one,
+        _cmd_settle_tail,
+        _cmd_rerun_with_remote,
+        _cmd_patch_defer_detail,
+        _cmd_apply_unchecked,
+        _cmd_drain_begin,
+        _cmd_drain_settle,
+        _cmd_drain_end,
+        _cmd_extract_range,
+        _cmd_inject_range,
+    }
+)
+
+#: mutating commands between supervision-baseline refreshes
+_REFRESH_EVERY = 64
+
+
 def _patch_detail(
     reports: list[CheckReport], detail: str
 ) -> list[CheckReport]:
@@ -419,6 +488,15 @@ class ProcessShardRunner:
         self.checker = checker
         self._pools: list[ProcessPoolExecutor] = []
         self._stats_cache: list[Optional[dict]] = [None] * checker.shards
+        #: per-shard respawn baseline: the (refreshed) ShardConfig plus
+        #: the pending queue / stats captured with it
+        self._configs: list[ShardConfig] = []
+        self._baselines: list[Optional[dict]] = [None] * checker.shards
+        #: mutating commands successfully applied since the baseline
+        self._log: list[list[tuple]] = [[] for _ in range(checker.shards)]
+        self._restarts = [0] * checker.shards
+        self._last_seq = [0] * checker.shards
+        self._in_drain = False
         placement = tuple(
             sorted(
                 (predicate, site)
@@ -450,13 +528,8 @@ class ProcessShardRunner:
                     for predicate in sorted(db.predicates())
                 ),
             )
-            self._pools.append(
-                ProcessPoolExecutor(
-                    max_workers=1,
-                    initializer=_init_worker,
-                    initargs=(config,),
-                )
-            )
+            self._configs.append(config)
+            self._pools.append(self._spawn(config))
         # Spawn the workers now, single-threaded, so no fork happens
         # later under segment driver threads — and so a config that
         # cannot pickle or rebuild fails here, not mid-stream.
@@ -470,11 +543,114 @@ class ProcessShardRunner:
             predicates |= constraint.predicates()
         return predicates
 
+    @staticmethod
+    def _spawn(config: ShardConfig) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=1,
+            initializer=_init_worker,
+            initargs=(config,),
+        )
+
     def _submit(self, shard: int, command, *args):
-        return self._pools[shard].submit(command, *args)
+        # A pool whose worker already died raises at submit time, not
+        # just at result time — revive before dispatching.
+        while True:
+            try:
+                return self._pools[shard].submit(command, *args)
+            except BrokenProcessPool:
+                self._revive(shard)
 
     def _call(self, shard: int, command, *args):
-        return self._submit(shard, command, *args).result()
+        return self._result(
+            shard, self._submit(shard, command, *args), command, args
+        )
+
+    # -- worker supervision ---------------------------------------------------
+    def _result(self, shard: int, future, command, args=()):
+        """Await one command, supervising the worker: a dead process
+        surfaces as ``BrokenProcessPool``, the shard is revived (respawn
+        from baseline + command-log replay), and the command retried —
+        it never reached the revived worker's state, so the retry is
+        exact.  Mutating commands join the replay log only once they
+        succeed."""
+        try:
+            value = future.result()
+        except BrokenProcessPool:
+            value = self._retry(shard, command, args)
+        if command in _MUTATING:
+            self._log[shard].append((command, args))
+            self._maybe_refresh(shard)
+        return value
+
+    def _retry(self, shard: int, command, args):
+        while True:
+            self._revive(shard)
+            try:
+                return self._pools[shard].submit(command, *args).result()
+            except BrokenProcessPool:
+                continue
+
+    def _revive(self, shard: int) -> None:
+        """Respawn a dead shard worker and rehydrate it: baseline config
+        (facts) through the initializer, baseline pending queue + stats
+        through ``_cmd_restore_state``, then the mutating-command log
+        replayed in order.  Raises :class:`ShardWorkerCrashed` once the
+        shard's restart budget is exhausted."""
+        checker = self.checker
+        self._restarts[shard] += 1
+        if self._restarts[shard] > checker.max_worker_restarts:
+            raise ShardWorkerCrashed(
+                f"shard {shard} worker process died and its restart "
+                f"budget (max_worker_restarts="
+                f"{checker.max_worker_restarts}) is exhausted",
+                shard=shard,
+                last_seq=self._last_seq[shard],
+            )
+        checker.stats.worker_restarts += 1
+        self._pools[shard].shutdown(wait=False)
+        pool = self._spawn(self._configs[shard])
+        self._pools[shard] = pool
+        self._stats_cache[shard] = None
+        try:
+            if not pool.submit(_cmd_ping).result():
+                raise RuntimeError(
+                    "respawned shard worker failed to initialize"
+                )
+            baseline = self._baselines[shard]
+            if baseline is not None:
+                pool.submit(
+                    _cmd_restore_state, baseline["pending"], baseline["stats"]
+                ).result()
+            for command, args in self._log[shard]:
+                pool.submit(command, *args).result()
+        except BrokenProcessPool:
+            # Died again mid-rehydration: charge another restart and
+            # rebuild from the baseline (the budget bounds the loop).
+            self._revive(shard)
+
+    def _maybe_refresh(self, shard: int) -> None:
+        """Re-baseline every ``_REFRESH_EVERY`` mutating commands, so a
+        respawn replays a short suffix instead of the whole history —
+        but never mid-drain: the drain's worker-held pins and quarantine
+        must stay inside one replayable begin..end command span."""
+        if self._in_drain or len(self._log[shard]) < _REFRESH_EVERY:
+            return
+        try:
+            state = self._pools[shard].submit(_cmd_dump_state).result()
+        except BrokenProcessPool:
+            return  # the next command revives and replays the old log
+        self._configs[shard] = replace(
+            self._configs[shard],
+            facts=tuple(
+                (predicate, tuple(tuple(fact) for fact in facts))
+                for predicate, facts in sorted(state["facts"].items())
+            ),
+        )
+        self._baselines[shard] = {
+            "pending": state["pending"],
+            "stats": state["stats"],
+        }
+        self._log[shard].clear()
 
     # -- fact plumbing --------------------------------------------------------
     def gather_facts(
@@ -491,8 +667,9 @@ class ProcessShardRunner:
             if shard != exclude
         ]
         merged: dict[str, list[tuple]] = {}
-        for _shard, future in futures:
-            for predicate, facts in future.result().items():
+        for shard, future in futures:
+            dumped = self._result(shard, future, _cmd_dump_facts, (wanted,))
+            for predicate, facts in dumped.items():
                 merged.setdefault(predicate, []).extend(
                     tuple(fact) for fact in facts
                 )
@@ -507,11 +684,12 @@ class ProcessShardRunner:
     def local_facts(self) -> Database:
         merged = Database()
         futures = [
-            self._submit(shard, _cmd_dump_facts, None)
+            (shard, self._submit(shard, _cmd_dump_facts, None))
             for shard in range(self.checker.shards)
         ]
-        for future in futures:
-            for predicate, facts in future.result().items():
+        for shard, future in futures:
+            dumped = self._result(shard, future, _cmd_dump_facts, (None,))
+            for predicate, facts in dumped.items():
                 for fact in facts:
                     merged.insert(predicate, tuple(fact))
         return merged
@@ -536,6 +714,7 @@ class ProcessShardRunner:
         parent's link when the worker defers at the boundary."""
         checker = self.checker
         seq = next(checker._arrival)
+        self._last_seq[shard] = max(self._last_seq[shard], seq)
         peer_facts = self.gather_facts(
             self._peer_needs(shard, update.predicate), exclude=shard
         )
@@ -608,6 +787,7 @@ class ProcessShardRunner:
 
         for pos, update in items:
             seq = next(checker._arrival)
+            self._last_seq[shard] = max(self._last_seq[shard], seq)
             if checker._escalation_capable(update.predicate):
                 flush_chunk()
                 # Fence-free by construction, so no peers to gather.
@@ -662,11 +842,13 @@ class ProcessShardRunner:
         checker = self.checker
         shards = range(checker.shards)
         queues: dict[int, list[dict]] = {}
+        self._in_drain = True
         begin = [(shard, self._submit(shard, _cmd_drain_begin)) for shard in shards]
         for shard, future in begin:
-            queues[shard] = future.result()
+            queues[shard] = self._result(shard, future, _cmd_drain_begin)
         settled: list[tuple[Update, list[CheckReport]]] = []
         try:
+            checker._chaos_hit("mid-drain")
             dark: set[str] = set()
             blocked: set[str] = set()
             skipped: set[int] = set()
@@ -713,7 +895,10 @@ class ProcessShardRunner:
         finally:
             ends = [(shard, self._submit(shard, _cmd_drain_end)) for shard in shards]
             for shard, future in ends:
-                self._stats_cache[shard] = future.result()
+                self._stats_cache[shard] = self._result(
+                    shard, future, _cmd_drain_end
+                )
+            self._in_drain = False
         return settled
 
     # -- stats / lifecycle ----------------------------------------------------
@@ -724,7 +909,9 @@ class ProcessShardRunner:
             if cached is None
         ]
         for shard, future in missing:
-            self._stats_cache[shard] = future.result()
+            self._stats_cache[shard] = self._result(
+                shard, future, _cmd_stats
+            )
         return list(self._stats_cache)
 
     def stats_view(self) -> tuple[list, object]:

@@ -56,6 +56,7 @@ __all__ = [
     "propose_split",
     "extract_range",
     "inject_range",
+    "replay_entries",
     "routing_values",
 ]
 
@@ -329,17 +330,14 @@ def extract_range(
     return {"facts": moved, "entries": entries}
 
 
-def inject_range(
-    session: CheckSession,
-    predicate: str,
-    facts: Sequence[tuple],
-    entries: Sequence[dict],
-) -> None:
-    """Install a migrated key range: base facts first, then each pending
-    entry replayed in sequence order — re-applying its optimistic delta
-    against this database yields a fresh, locally valid undo token."""
-    for fact in facts:
-        session.apply_unchecked(Insertion(predicate, tuple(fact)))
+def replay_entries(session: CheckSession, entries: Sequence[dict]) -> None:
+    """Replay pending-entry descriptions into *session*'s queue in
+    global sequence order: each applied entry's optimistic delta is
+    re-applied against this database (maintained materializations
+    included) for a fresh, locally valid undo token, and the rebuilt
+    entries merge into the existing queue by sequence number.  Shared by
+    the rebalance handoff (:func:`inject_range`) and worker-crash
+    rehydration (:mod:`repro.distributed.procpool`)."""
     rebuilt = []
     for desc in sorted(entries, key=lambda d: d["seq"]):
         token = None
@@ -366,3 +364,16 @@ def inject_range(
         list(session._pending) + rebuilt, key=lambda entry: entry.seq
     )
     session._pending[:] = merged
+
+
+def inject_range(
+    session: CheckSession,
+    predicate: str,
+    facts: Sequence[tuple],
+    entries: Sequence[dict],
+) -> None:
+    """Install a migrated key range: base facts first, then each pending
+    entry replayed in sequence order (:func:`replay_entries`)."""
+    for fact in facts:
+        session.apply_unchecked(Insertion(predicate, tuple(fact)))
+    replay_entries(session, entries)

@@ -191,6 +191,14 @@ class LinkStats:
             ("simulated attempt latency", round(self.attempt_latency, 4)),
         ]
 
+    def to_dict(self) -> dict:
+        """Plain-dict form for checkpoint manifests (JSON-safe)."""
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LinkStats":
+        return cls(**payload)
+
 
 class RemoteLink:
     """A remote site behind a retry/backoff/breaker fetch policy.
@@ -435,6 +443,44 @@ class RemoteLink:
             return self._inflight_cond.wait_for(
                 lambda: self._inflight == 0, timeout=timeout
             )
+
+    # -- durability --------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable mutable state for checkpoint manifests.
+
+        Captures everything a resumed run needs to continue the fetch
+        sequence exactly where the crashed run left off: breaker state
+        and counters, the simulated clock, the backoff-jitter RNG, the
+        fetch statistics, and — when the wrapped remote is an
+        :class:`~repro.distributed.faults.UnreliableRemote` — its fault
+        RNG and attempt counters, so outage windows and transient draws
+        line up attempt-for-attempt after recovery.
+        """
+        with self._lock:
+            version, internal, gauss_next = self._rng.getstate()
+            state = {
+                "breaker": self._state.value,
+                "consecutive_failures": self._consecutive_failures,
+                "open_fetches": self._open_fetches,
+                "clock": self.clock,
+                "rng": [version, list(internal), gauss_next],
+                "stats": self.stats.to_dict(),
+            }
+            if hasattr(self.remote, "state_dict"):
+                state["remote"] = self.remote.state_dict()
+            return state
+
+    def restore_state(self, state: dict) -> None:
+        with self._lock:
+            self._state = BreakerState(state["breaker"])
+            self._consecutive_failures = state["consecutive_failures"]
+            self._open_fetches = state["open_fetches"]
+            self.clock = state["clock"]
+            version, internal, gauss_next = state["rng"]
+            self._rng.setstate((version, tuple(internal), gauss_next))
+            self.stats = LinkStats.from_dict(state["stats"])
+            if "remote" in state and hasattr(self.remote, "restore_state"):
+                self.remote.restore_state(state["remote"])
 
     def close(self) -> None:
         """Shut down the async worker pool, waiting for in-flight fetches.
@@ -801,6 +847,36 @@ class FederationLink:
         rows.append(("snapshot cache hits", self.cache_hits))
         rows.append(("snapshot cache misses", self.cache_misses))
         return rows
+
+    def state_dict(self) -> dict:
+        """Per-site link states plus the federation's own counters.
+
+        The verified-snapshot cache is deliberately *not* captured: a
+        journalled run disables caching (``--snapshot-ttl`` is rejected
+        with ``--journal``), because a resume that re-fetched what the
+        crashed run served from cache would diverge fetch-for-fetch.
+        """
+        return {
+            "links": {
+                site: link.state_dict() for site, link in self.links.items()
+            },
+            "clock": self.clock,
+            "fanouts": self.fanouts,
+            "fanout_fetches": self.fanout_fetches,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        for site, link_state in state["links"].items():
+            if site not in self.links:
+                raise ValueError(f"state names unknown federated site {site!r}")
+            self.links[site].restore_state(link_state)
+        self.clock = state["clock"]
+        self.fanouts = state["fanouts"]
+        self.fanout_fetches = state["fanout_fetches"]
+        self.cache_hits = state["cache_hits"]
+        self.cache_misses = state["cache_misses"]
 
     def wait_inflight(self, timeout: Optional[float] = None) -> bool:
         """Block until every site's async fetches *and* every composite

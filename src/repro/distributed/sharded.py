@@ -72,10 +72,11 @@ from repro.distributed.rebalance import (
     propose_split,
     routing_values,
 )
+from repro.distributed.faults import CrashInjector
 from repro.distributed.remote import RemoteLink
 from repro.distributed.site import FederatedDatabase
 from repro.distributed.stats import ProtocolStats, sync_session_gauges
-from repro.errors import RemoteUnavailableError
+from repro.errors import RemoteUnavailableError, ReproError
 from repro.updates.update import Insertion, Modification, Update
 
 #: outcome severity for merging the two halves of a decomposed
@@ -223,6 +224,8 @@ class ShardedChecker:
         site_ttls: Optional[Mapping[str, float]] = None,
         executor: str = "thread",
         rebalance: Optional[RebalancePolicy | bool] = None,
+        chaos: Optional[CrashInjector] = None,
+        max_worker_restarts: int = 2,
     ) -> None:
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
@@ -270,6 +273,15 @@ class ShardedChecker:
         self.overlap_remote = overlap_remote
         self.executor = executor
         self.stats = ProtocolStats()
+        #: named crash-point injector (chaos testing; see faults.py)
+        self.chaos = chaos
+        if max_worker_restarts < 0:
+            raise ValueError("max_worker_restarts must be non-negative")
+        #: process-executor supervision: worker respawns allowed per
+        #: shard before ShardWorkerCrashed propagates
+        self.max_worker_restarts = max_worker_restarts
+        #: attached durability sink (see :meth:`attach_effect_log`)
+        self._effect_log = None
 
         self._shard_dbs = sites.local.partition(
             self.partitioner.owner, self.shards
@@ -539,6 +551,34 @@ class ShardedChecker:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    # -- durability / chaos ------------------------------------------------------
+    def _chaos_hit(self, name: str) -> None:
+        """Visit a named crash point (no-op without an injector)."""
+        if self.chaos is not None:
+            self.chaos.hit(name)
+
+    def attach_effect_log(self, writer) -> None:
+        """Journal this checker's stream through *writer* (the
+        ``CheckSession.effect_log`` protocol — see
+        :class:`repro.durability.journal.JournalWriter`).
+
+        Journaling supports the serial in-process configuration only:
+        parallel segments would interleave shard records out of stream
+        order, and worker-process sessions cannot share the parent's
+        writer.  Rebalances journal their cut-vector changes
+        (:meth:`_apply_rebalance`); a cross-shard split modification is
+        rejected at runtime because its delete/insert halves would
+        write two journal records for one stream update.
+        """
+        if self.parallelism > 1 or self._procpool is not None:
+            raise ValueError(
+                "journaling requires the serial in-process checker "
+                "(parallelism=1, thread executor)"
+            )
+        self._effect_log = writer
+        for session in self.sessions:
+            session.effect_log = writer
+
     # -- the protocol -----------------------------------------------------------
     def _process_on_shard(self, shard: int, update: Update) -> list[CheckReport]:
         """Stamp the shard's arrival cell and run one update through its
@@ -604,6 +644,12 @@ class ShardedChecker:
         the drain.  The per-constraint reports of both halves merge by
         outcome severity (VIOLATED > DEFERRED > UNKNOWN > SATISFIED).
         """
+        if self._effect_log is not None:
+            raise ReproError(
+                f"cannot journal cross-shard modification {update}: its "
+                "delete/insert halves would write two journal records for "
+                "one stream update"
+            )
         del_shard, ins_shard = self._cross_shard_modification(update)
         predicate = update.predicate
         deletion, insertion = update.deletion, update.insertion
@@ -793,9 +839,14 @@ class ShardedChecker:
         moved = 0
         for lo, hi, source, target in plan.moves:
             moved += self._migrate_range(plan.predicate, lo, hi, source, target)
+        # Chaos point: data has moved but the old routing is still live
+        # — the window the two-phase argument above is about.
+        self._chaos_hit("mid-rebalance")
         self.partitioner.set_boundaries(plan.predicate, plan.new_cuts)
         self.stats.rebalances += 1
         self.stats.rebalance_moved_facts += moved
+        if self._effect_log is not None:
+            self._effect_log.record_rebalance(plan.predicate, plan.new_cuts)
         # The window describes the topology that no longer exists.
         self._load_tracker.reset()
 
@@ -989,6 +1040,7 @@ class ShardedChecker:
                 if self._cross_shard_modification(update) is not None:
                     run_segment()
                     stats.fences += 1
+                    self._chaos_hit("fence")
                     results_map[position] = self._process_split_modification(
                         update
                     )
@@ -998,6 +1050,9 @@ class ShardedChecker:
                 if self._requires_fence(shard, update.predicate):
                     run_segment()
                     stats.fences += 1
+                    # Chaos point: the segment barrier has drained but
+                    # the fencing update has not run yet.
+                    self._chaos_hit("fence")
                     reports = self._process_on_shard(shard, update)
                     stats.updates += 1
                     stats.record_reports(reports, self.apply_on_unknown)
@@ -1064,6 +1119,10 @@ class ShardedChecker:
                     reversal = sessions[index]._quarantine_entry(entry)
                     if reversal is not None:
                         quarantined[index][seq] = reversal
+                # Chaos point: every optimistic fact is reversed but
+                # nothing has settled — a hard kill here must resume to
+                # the pre-drain state and re-drain from scratch.
+                self._chaos_hit("mid-drain")
                 dark: set[str] = set()
                 blocked: set[str] = set()
                 skipped: set[int] = set()

@@ -10,7 +10,7 @@ checkers cannot drift apart in how they fold the same numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Iterable, Optional
 
 from repro.core.outcomes import CheckLevel, CheckReport, Outcome
@@ -79,6 +79,9 @@ class ProtocolStats:
     breaker_opens: int = 0
     breaker_half_opens: int = 0
     breaker_closes: int = 0
+    #: process-executor supervision: dead shard workers respawned from
+    #: their ``ShardConfig`` pickle and rehydrated by command replay
+    worker_restarts: int = 0
 
     @property
     def resolved_locally(self) -> int:
@@ -133,7 +136,34 @@ class ProtocolStats:
         rows.append(("breaker opens", self.breaker_opens))
         rows.append(("breaker half-opens", self.breaker_half_opens))
         rows.append(("breaker closes", self.breaker_closes))
+        rows.append(("worker restarts", self.worker_restarts))
         return rows
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for checkpoint manifests (JSON-safe).
+
+        ``resolved_at_level`` is keyed by the integer level value; every
+        other field is already a plain int.
+        """
+        payload = {
+            field_.name: getattr(self, field_.name)
+            for field_ in fields(self)
+            if field_.name != "resolved_at_level"
+        }
+        payload["resolved_at_level"] = {
+            str(int(level)): count
+            for level, count in self.resolved_at_level.items()
+        }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ProtocolStats":
+        data = dict(payload)
+        levels = data.pop("resolved_at_level", {})
+        stats = cls(**data)
+        for key, count in levels.items():
+            stats.resolved_at_level[CheckLevel(int(key))] = count
+        return stats
 
     def record_reports(
         self, reports: list[CheckReport], apply_on_unknown: bool = True

@@ -14,6 +14,10 @@ Two scenarios keyed to the paper's running examples:
   remote sites: four policy tables dealt round-robin across the
   remotes, so escalations fan out and per-site faults exercise the
   partial-recovery drain.
+* :func:`bursty_workload` — an adversarial metering stream: hot-key
+  bursts (for key-range rebalancing and crash-recovery runs) threaded
+  with clusters of cap-violating readings, so rejections arrive in
+  bunches rather than uniformly.
 """
 
 from __future__ import annotations
@@ -23,13 +27,14 @@ from dataclasses import dataclass, field
 from repro.constraints.constraint import Constraint, ConstraintSet
 from repro.datalog.database import Database
 from repro.distributed.site import FederatedDatabase, Site, TwoSiteDatabase
-from repro.updates.update import Insertion
+from repro.updates.update import Deletion, Insertion, Update
 
 __all__ = [
     "Workload",
     "interval_workload",
     "employee_workload",
     "federated_workload",
+    "bursty_workload",
 ]
 
 
@@ -292,6 +297,125 @@ def federated_workload(
     return Workload(
         name=f"federated-employees-{remote_sites}",
         constraints=constraints,
+        sites=sites,
+        updates=updates,
+    )
+
+
+def bursty_workload(
+    num_updates: int = 500,
+    key_space: int = 200,
+    cap: int = 100,
+    burst_probability: float = 0.25,
+    burst_length: tuple[int, int] = (8, 32),
+    hot_width: int = 20,
+    violation_cluster_rate: float = 0.2,
+    covered_fraction: float = 0.8,
+    deletion_rate: float = 0.15,
+    initial_readings: int = 60,
+    seed: int = 0,
+    remote_cost: float = 1.0,
+) -> Workload:
+    """Adversarial metering stream: hot-key bursts + violation clusters.
+
+    Local ``meter(K, V)`` readings, a remote global alarm threshold
+    ``capLimit(C)``, one CQC constraint: no reading may exceed the
+    threshold (``panic :- meter(K,V) & capLimit(C) & V > C``).  The
+    Theorem 5.2 local test clears a new reading whenever some accepted
+    reading already carries an equal-or-higher value, so a
+    *covered_fraction* of the stream resolves locally and the rest
+    escalates to the remote site.
+
+    The stream alternates between a *background* regime (uniform keys)
+    and *bursts*: a run of ``burst_length[0]..burst_length[1]``
+    consecutive updates whose keys all land in one hot window of
+    *hot_width* keys — the adversarial shape for key-range sharding
+    (one shard absorbs the whole burst, driving rebalances) and for
+    crash recovery (a kill inside a burst leaves a dense, correlated
+    tail to replay).  A *violation_cluster_rate* fraction of bursts is
+    poisoned: every reading in the burst exceeds the threshold, so
+    rejections arrive in bunches rather than uniformly — and under a
+    faulty link the same clusters defer in bunches instead.
+    *deletion_rate* of the background updates retract a previously
+    inserted reading, so recovery must reproduce effective (not just
+    additive) deltas.
+
+    First-column keys are integers, so ``KeyRangePartitioner`` cuts
+    apply directly.
+    """
+    if num_updates < 0:
+        raise ValueError("num_updates must be non-negative")
+    if not 0 < hot_width <= key_space:
+        raise ValueError("hot_width must be in 1..key_space")
+    lo, hi = burst_length
+    if not 1 <= lo <= hi:
+        raise ValueError("burst_length must be an ascending positive pair")
+    rng = random.Random(seed)
+
+    readings: list[tuple[int, int]] = []
+    for _ in range(initial_readings):
+        readings.append((rng.randrange(key_space), rng.randrange(cap)))
+    # Deletions are only ever drawn from facts still live, so the stream
+    # never retracts the same fact twice (duplicate insertions stay in
+    # the stream — they exercise the redundant-insert path).
+    live: list[tuple[int, int]] = []
+    live_set: set[tuple[int, int]] = set()
+
+    def _track(fact: tuple[int, int]) -> None:
+        if fact not in live_set:
+            live.append(fact)
+            live_set.add(fact)
+
+    for fact in readings:
+        _track(fact)
+
+    def _value(poisoned: bool) -> int:
+        if poisoned:
+            return cap + 1 + rng.randrange(cap)
+        if live and rng.random() < covered_fraction:
+            # At or below an accepted reading: the local containment
+            # test proves safety without touching the remote threshold.
+            _, ceiling = live[rng.randrange(len(live))]
+            return rng.randrange(ceiling + 1)
+        return rng.randrange(cap)
+
+    updates: list[Update] = []
+    remaining_burst = 0
+    hot_base = 0
+    poisoned = False
+    while len(updates) < num_updates:
+        if remaining_burst == 0 and rng.random() < burst_probability:
+            remaining_burst = rng.randrange(lo, hi + 1)
+            hot_base = rng.randrange(key_space - hot_width + 1)
+            poisoned = rng.random() < violation_cluster_rate
+        if remaining_burst:
+            remaining_burst -= 1
+            key = hot_base + rng.randrange(hot_width)
+            value = _value(poisoned)
+            updates.append(Insertion("meter", (key, value)))
+            if not poisoned:
+                _track((key, value))
+        elif live and rng.random() < deletion_rate:
+            victim = live.pop(rng.randrange(len(live)))
+            live_set.discard(victim)
+            updates.append(Deletion("meter", victim))
+        else:
+            fact = (rng.randrange(key_space), _value(False))
+            updates.append(Insertion("meter", fact))
+            _track(fact)
+
+    sites = TwoSiteDatabase(
+        local=Site("local", {"meter": readings}),
+        remote=Site(
+            "remote", {"capLimit": [(cap,)]}, cost_per_read=remote_cost
+        ),
+    )
+    constraint = Constraint(
+        "panic :- meter(K,V) & capLimit(C) & V > C", "reading-within-cap"
+    )
+    return Workload(
+        name="bursty-metering",
+        constraints=ConstraintSet([constraint]),
         sites=sites,
         updates=updates,
     )

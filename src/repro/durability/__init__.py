@@ -1,0 +1,35 @@
+"""Durable journal + checkpoint/resume for the check-stream protocol.
+
+The paper's protocol runs over an unbounded update stream; this package
+makes a stream run survive a crash at any point:
+
+* :mod:`repro.durability.journal` — an append-only JSONL write-ahead
+  *effects* journal: one CRC-guarded record per stream update carrying
+  the update, its final verdicts, the effective database delta, and the
+  queued pending-verdict descriptor, with batched fsync;
+* :mod:`repro.durability.checkpoint` — periodic atomic-rename manifest
+  snapshots (site facts, pending queue, arrival clock, protocol stats,
+  shard boundary cuts) validated by a payload hash;
+* :mod:`repro.durability.recovery` — restores the newest valid
+  checkpoint and replays only the journal *tail* to the exact pre-crash
+  consistent prefix, from which ``check-stream --resume`` continues the
+  stream byte-identically to an uninterrupted run.
+"""
+
+from repro.durability.checkpoint import (
+    latest_checkpoint,
+    list_checkpoints,
+    write_checkpoint,
+)
+from repro.durability.journal import JournalWriter, read_journal
+from repro.durability.recovery import RecoveredState, recover
+
+__all__ = [
+    "JournalWriter",
+    "RecoveredState",
+    "latest_checkpoint",
+    "list_checkpoints",
+    "read_journal",
+    "recover",
+    "write_checkpoint",
+]

@@ -1,0 +1,89 @@
+"""Atomic, hash-validated checkpoint manifests.
+
+A checkpoint is one JSON file ``checkpoint-<pos>.json`` whose payload is
+wrapped with its own SHA-256 — a manifest that fails the hash (torn
+write, bit rot) is ignored by recovery, which falls back to the next
+newest valid one.  Writes are crash-atomic: the manifest is written to a
+temp file in the same directory, fsynced, and ``os.replace``d into
+place, so a crash mid-checkpoint leaves either the old file set or the
+new one, never a half manifest under the final name.
+
+The payload layout is owned by the CLI/recovery layer (see
+:mod:`repro.durability.recovery`); this module only guarantees
+atomicity, validation, and newest-valid-wins selection keyed on the
+stream position embedded in the filename.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from typing import Optional
+
+__all__ = [
+    "write_checkpoint",
+    "list_checkpoints",
+    "latest_checkpoint",
+    "manifest_digest",
+]
+
+_CHECKPOINT_RE = re.compile(r"^checkpoint-(\d+)\.json$")
+
+
+def manifest_digest(payload: dict) -> str:
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+def write_checkpoint(directory: str, payload: dict) -> str:
+    """Atomically write ``checkpoint-<payload['pos']>.json``; returns the
+    final path.  An existing manifest at the same position is replaced
+    (idempotent re-checkpoint after an unchanged resume)."""
+    pos = int(payload["pos"])
+    os.makedirs(directory, exist_ok=True)
+    wrapped = {"sha256": manifest_digest(payload), "payload": payload}
+    final = os.path.join(directory, f"checkpoint-{pos:09d}.json")
+    temp = final + ".tmp"
+    with open(temp, "w", encoding="utf-8") as fh:
+        json.dump(wrapped, fh, sort_keys=True, separators=(",", ":"))
+        fh.write("\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(temp, final)
+    return final
+
+
+def _load_manifest(path: str) -> Optional[dict]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            wrapped = json.load(fh)
+        payload = wrapped["payload"]
+        if manifest_digest(payload) != wrapped["sha256"]:
+            return None
+        return payload
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def list_checkpoints(directory: str) -> list[tuple[int, str]]:
+    """Every manifest file present, as ``(pos, path)`` sorted ascending —
+    including invalid ones (validation happens at load time)."""
+    if not os.path.isdir(directory):
+        return []
+    found = []
+    for name in os.listdir(directory):
+        match = _CHECKPOINT_RE.match(name)
+        if match:
+            found.append((int(match.group(1)), os.path.join(directory, name)))
+    return sorted(found)
+
+
+def latest_checkpoint(directory: str) -> Optional[dict]:
+    """The newest manifest that validates, or ``None``."""
+    for _pos, path in reversed(list_checkpoints(directory)):
+        payload = _load_manifest(path)
+        if payload is not None:
+            return payload
+    return None

@@ -74,6 +74,42 @@ class EvaluationError(ReproError):
     """Raised for runtime failures of the datalog or algebra evaluators."""
 
 
+class ShardWorkerCrashed(ReproError):
+    """Raised when a process-pool shard worker dies.
+
+    A dead worker used to escape as a raw
+    ``concurrent.futures.process.BrokenProcessPool`` — an implementation
+    detail of the executor, not an error a caller of the checker can
+    reasonably catch.  This wrapper carries the crashed ``shard`` id and
+    ``last_seq``, the arrival-clock stamp of the last update dispatched
+    to that shard before the crash, so supervisors and operators know
+    exactly where the stream stopped.
+    """
+
+    def __init__(self, message: str, shard: int, last_seq: int = 0) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.last_seq = last_seq
+
+
+class InjectedCrash(ReproError):
+    """Raised by a soft :class:`~repro.distributed.faults.CrashPoint`.
+
+    Chaos injection distinguishes *hard* crashes (``SIGKILL`` to the
+    current process — nothing is catchable) from *soft* ones, which
+    raise this error at the named point so in-process tests can assert
+    that recovery from exactly that point reproduces the uninterrupted
+    run.  ``name`` is the crash point's label and ``occurrence`` the
+    1-based count of how many times the point had been passed when it
+    fired.
+    """
+
+    def __init__(self, name: str, occurrence: int = 1) -> None:
+        super().__init__(f"injected crash at point {name!r} (occurrence {occurrence})")
+        self.name = name
+        self.occurrence = occurrence
+
+
 class RemoteUnavailableError(ReproError):
     """Raised when remote data cannot be fetched for a level-3 check.
 

@@ -289,3 +289,66 @@ class TestPickleRoundTrip:
             facts=(("p", ((1, 2), (3, 4))),),
         )
         assert pickle.loads(pickle.dumps(config)) == config
+
+
+def _kill_workers(checker, shard=None):
+    """SIGKILL the live worker process(es) behind the runner's pools."""
+    import os
+    import signal
+
+    runner = checker._procpool
+    shards = range(checker.shards) if shard is None else [shard]
+    for index in shards:
+        for pid in list(runner._pools[index]._processes):
+            os.kill(pid, signal.SIGKILL)
+
+
+class TestWorkerSupervision:
+    """A dead shard worker is respawned, rehydrated, and retried — and a
+    raw ``BrokenProcessPool`` never reaches the caller."""
+
+    def test_dead_worker_surfaces_as_typed_error_not_broken_pool(self):
+        # Regression: before supervision landed, killing a worker made
+        # the next command escape as concurrent.futures' raw
+        # BrokenProcessPool with no shard attribution.
+        from repro.errors import ShardWorkerCrashed
+
+        updates = weighted_stream(7, 12, [("p", 1), ("q", 1), ("t", 1)])
+        with process_checker(max_worker_restarts=0) as checker:
+            checker.check_stream(updates)
+            _kill_workers(checker)
+            with pytest.raises(ShardWorkerCrashed) as caught:
+                checker.check_stream(updates)
+            assert caught.value.shard in range(checker.shards)
+            assert caught.value.last_seq >= 1
+            assert "max_worker_restarts=0" in str(caught.value)
+
+    def test_killed_worker_respawns_and_preserves_verdicts(self):
+        updates = weighted_stream(
+            3, 60, [("p", 3), ("q", 2), ("s", 2), ("t", 3)]
+        )
+        head, tail = updates[:30], updates[30:]
+        base = serial_checker()
+        base_results = base.check_stream(updates)
+        with process_checker() as checker:
+            results = checker.check_stream(head)
+            _kill_workers(checker)
+            results += checker.check_stream(tail)
+            facts = db_state(checker.local_database())
+        assert checker.stats.worker_restarts >= 1
+        assert verdicts_of(results) == verdicts_of(base_results)
+        assert facts == db_state(base.local_database())
+
+    def test_single_dead_shard_only_charges_that_shard(self):
+        updates = weighted_stream(9, 24, [("p", 2), ("q", 1), ("s", 2)])
+        with process_checker() as checker:
+            checker.check_stream(updates)
+            _kill_workers(checker, shard=0)
+            checker.check_stream(updates[:6])
+            restarts = list(checker._procpool._restarts)
+        assert restarts[0] >= 1
+        assert restarts[1] == 0
+
+    def test_budget_validated_at_construction(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            serial_checker(max_worker_restarts=-1)

@@ -1,0 +1,73 @@
+"""Checkpoint manifests: hash validation, atomicity, newest-valid-wins."""
+
+import json
+import os
+
+from repro.durability.checkpoint import (
+    latest_checkpoint,
+    list_checkpoints,
+    manifest_digest,
+    write_checkpoint,
+)
+
+
+def payload(pos, **extra):
+    return {"pos": pos, "facts": {"p": [[1, 2]]}, **extra}
+
+
+class TestWriteRead:
+    def test_round_trip(self, tmp_path):
+        write_checkpoint(str(tmp_path), payload(5, marker="x"))
+        found = latest_checkpoint(str(tmp_path))
+        assert found == payload(5, marker="x")
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        write_checkpoint(str(tmp_path), payload(1))
+        assert not [name for name in os.listdir(tmp_path) if ".tmp" in name]
+
+    def test_digest_is_order_insensitive(self):
+        assert manifest_digest({"a": 1, "b": 2}) == manifest_digest(
+            {"b": 2, "a": 1}
+        )
+
+    def test_listing_sorts_by_position(self, tmp_path):
+        for pos in (20, 3, 100):
+            write_checkpoint(str(tmp_path), payload(pos))
+        assert [pos for pos, _ in list_checkpoints(str(tmp_path))] == [3, 20, 100]
+
+
+class TestNewestValidWins:
+    def test_latest_manifest_wins(self, tmp_path):
+        write_checkpoint(str(tmp_path), payload(1))
+        write_checkpoint(str(tmp_path), payload(9))
+        assert latest_checkpoint(str(tmp_path))["pos"] == 9
+
+    def test_tampered_newest_falls_back(self, tmp_path):
+        write_checkpoint(str(tmp_path), payload(1))
+        write_checkpoint(str(tmp_path), payload(9))
+        newest = tmp_path / "checkpoint-000000009.json"
+        manifest = json.loads(newest.read_text())
+        manifest["payload"]["facts"]["p"] = [[666, 666]]  # hash now lies
+        newest.write_text(json.dumps(manifest))
+        assert latest_checkpoint(str(tmp_path))["pos"] == 1
+
+    def test_truncated_newest_falls_back(self, tmp_path):
+        write_checkpoint(str(tmp_path), payload(1))
+        write_checkpoint(str(tmp_path), payload(9))
+        newest = tmp_path / "checkpoint-000000009.json"
+        newest.write_bytes(newest.read_bytes()[: newest.stat().st_size // 2])
+        assert latest_checkpoint(str(tmp_path))["pos"] == 1
+
+    def test_all_invalid_means_none(self, tmp_path):
+        write_checkpoint(str(tmp_path), payload(4))
+        (tmp_path / "checkpoint-000000004.json").write_text("{not json")
+        assert latest_checkpoint(str(tmp_path)) is None
+
+    def test_empty_directory_means_none(self, tmp_path):
+        assert latest_checkpoint(str(tmp_path)) is None
+
+    def test_foreign_files_ignored(self, tmp_path):
+        write_checkpoint(str(tmp_path), payload(2))
+        (tmp_path / "journal.jsonl").write_text("irrelevant\n")
+        (tmp_path / "checkpoint-abc.json").write_text("not a manifest")
+        assert latest_checkpoint(str(tmp_path))["pos"] == 2

@@ -495,3 +495,85 @@ class TestExecutorAndRebalanceFlags:
         )
         assert code == 3
         assert message in capsys.readouterr().err
+
+
+class TestDurabilityFlags:
+    """``--journal`` / ``--resume`` / ``--crash-at`` validation and the
+    journal's on-disk footprint."""
+
+    def stream(self, tmp_path, constraint_file, db_file, *extra):
+        updates = tmp_path / "updates.txt"
+        updates.write_text("+emp(bob, toys, 60)\n-emp(ann, toys, 50)\n")
+        return [
+            "check-stream", constraint_file,
+            "--db", db_file, "--updates", str(updates),
+            "--local", "emp", "dept", "salFloor",
+            *extra,
+        ]
+
+    def test_resume_needs_journal(self, tmp_path, constraint_file, db_file, capsys):
+        code = main(self.stream(tmp_path, constraint_file, db_file, "--resume"))
+        assert code == 3
+        assert "--resume needs --journal" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ("--parallel", "2"),
+            ("--executor", "process", "--shards", "2"),
+            ("--transaction",),
+            ("--overlap-remote",),
+            ("--snapshot-ttl", "5"),
+        ],
+    )
+    def test_journal_needs_the_serial_stream(
+        self, tmp_path, constraint_file, db_file, capsys, flags
+    ):
+        journal = str(tmp_path / "journal")
+        code = main(
+            self.stream(
+                tmp_path, constraint_file, db_file, "--journal", journal, *flags
+            )
+        )
+        assert code == 3
+        assert "cannot be combined" in capsys.readouterr().err
+
+    def test_bad_crash_point_is_a_clean_error(
+        self, tmp_path, constraint_file, db_file, capsys
+    ):
+        code = main(
+            self.stream(
+                tmp_path, constraint_file, db_file, "--crash-at", "teardown"
+            )
+        )
+        assert code == 3
+        assert "unknown crash point" in capsys.readouterr().err
+
+    def test_journal_leaves_a_resumable_footprint(
+        self, tmp_path, constraint_file, db_file, capsys
+    ):
+        journal = tmp_path / "journal"
+        code = main(
+            self.stream(
+                tmp_path, constraint_file, db_file, "--journal", str(journal)
+            )
+        )
+        assert code == 0
+        names = set(p.name for p in journal.iterdir())
+        assert "journal.jsonl" in names
+        assert "meta.json" in names
+        assert any(name.startswith("checkpoint-") for name in names)
+
+    def test_degradation_summary_echoes_fault_seed(
+        self, tmp_path, constraint_file, db_file, capsys
+    ):
+        code = main(
+            self.stream(
+                tmp_path, constraint_file, db_file,
+                "--fault-rate", "0.5", "--fault-seed", "42",
+            )
+        )
+        assert code in (0, 1)
+        out = capsys.readouterr().out
+        row = [line for line in out.splitlines() if "fault seed" in line]
+        assert row and "42" in row[0]
