@@ -1,6 +1,6 @@
-"""M9 — durable journal overhead and kill-anywhere recovery.
+"""M9/M10 — durable journal overhead and kill-anywhere recovery.
 
-Two experiments over the bursty metering workload
+Three experiments over the bursty metering workload
 (:func:`repro.distributed.workload.bursty_workload` — hot-key bursts
 threaded with violation clusters), both driven through the real CLI so
 the measured path is exactly what ``check-stream --journal`` ships:
@@ -11,6 +11,12 @@ once bare, once with ``--journal`` (CRC-framed effects records, batched
 fsync every 16 updates, a checkpoint manifest every 64).  The verdict
 lines must be byte-identical, and the journalled run may cost at most
 15% more wall clock than the bare run.
+
+**Parallel journal overhead (M10).** The same comparison with
+``--shards 4 --parallel 4``, so the seq-ordered commit path is in
+play: four shard workers stage effects out of arrival order and the
+parent's reorder buffer flushes only the contiguous prefix.  Same 15%
+ceiling, same byte-identical-verdicts requirement.
 
 **Kill-anywhere recovery.** A subprocess runs the journalled stream
 with ``--crash-at update:K`` (a real ``SIGKILL``, exit 137) two-thirds
@@ -134,15 +140,26 @@ def verdict_lines(text: str) -> list[str]:
     ]
 
 
-def run_overhead_experiment(base_args, journal_dir, num_updates):
+def run_overhead_experiment(base_args, journal_dir, num_updates, *,
+                            label="M9a", extra_flags=()):
+    """Bare vs journalled wall clock for one executor configuration.
+
+    ``extra_flags`` select the executor (e.g. ``--shards 4 --parallel
+    4`` for M10); both runs get them, so the delta isolates the journal.
+    """
+    extra_flags = list(extra_flags)
+    # Untimed warmup: first-run costs (imports, compiler warm, thread
+    # pool spin-up) otherwise land on whichever side runs first and
+    # swamp the few-hundred-ms quick configuration.
+    run_cli(base_args + extra_flags)
     with storage_latency(STORAGE_LATENCY):
         t0 = time.perf_counter()
-        bare_code, bare_out = run_cli(base_args)
+        bare_code, bare_out = run_cli(base_args + extra_flags)
         bare_seconds = time.perf_counter() - t0
 
         t0 = time.perf_counter()
         journal_code, journal_out = run_cli(
-            base_args + [
+            base_args + extra_flags + [
                 "--journal", journal_dir,
                 "--sync-every", str(SYNC_EVERY),
                 "--checkpoint-every", str(CHECKPOINT_EVERY),
@@ -163,10 +180,11 @@ def run_overhead_experiment(base_args, journal_dir, num_updates):
         f"{journaled_seconds:.3f}s journalled)"
     )
 
+    mode = " ".join(extra_flags) if extra_flags else "serial stream"
     print_table(
-        f"M9a — journal overhead ({num_updates} bursty updates, fsync every "
-        f"{SYNC_EVERY}, checkpoint every {CHECKPOINT_EVERY}, "
-        f"{STORAGE_LATENCY * 1000:.0f}ms storage latency)",
+        f"{label} — journal overhead ({num_updates} bursty updates, "
+        f"{mode}, fsync every {SYNC_EVERY}, checkpoint every "
+        f"{CHECKPOINT_EVERY}, {STORAGE_LATENCY * 1000:.0f}ms storage latency)",
         ["configuration", "wall (s)", "overhead"],
         [
             ("bare stream", f"{bare_seconds:.3f}", "--"),
@@ -175,6 +193,7 @@ def run_overhead_experiment(base_args, journal_dir, num_updates):
     )
     return {
         "updates": num_updates,
+        "mode": mode,
         "storage_latency_ms": STORAGE_LATENCY * 1000,
         "sync_every": SYNC_EVERY,
         "checkpoint_every": CHECKPOINT_EVERY,
@@ -266,16 +285,28 @@ def run_benchmark(quick: bool = False):
         overhead, bare_out = run_overhead_experiment(
             base_args, os.path.join(workdir, "journal-overhead"), num_updates
         )
+        # M10: the same ceiling with the seq-ordered commit path in
+        # play — 4 shards checked by 4 worker threads, effects staged
+        # out of order and flushed as a contiguous prefix.
+        overhead_parallel, _ = run_overhead_experiment(
+            base_args, os.path.join(workdir, "journal-parallel"), num_updates,
+            label="M10", extra_flags=["--shards", "4", "--parallel", "4"],
+        )
         recovery = run_recovery_experiment(
             base_args, os.path.join(workdir, "journal-crash"), num_updates,
             bare_out,
         )
-    return {"overhead": overhead, "recovery": recovery}
+    return {
+        "overhead": overhead,
+        "overhead_parallel": overhead_parallel,
+        "recovery": recovery,
+    }
 
 
 def test_m9_recovery(benchmark):
     result = run_benchmark(quick=False)
     assert result["overhead"]["overhead_pct"] < OVERHEAD_CEILING_PCT
+    assert result["overhead_parallel"]["overhead_pct"] < OVERHEAD_CEILING_PCT
     assert result["recovery"]["replayed_tail"] <= CHECKPOINT_EVERY + SYNC_EVERY
     with tempfile.TemporaryDirectory() as workdir:
         cons, db, updates, local = write_workload(workdir, 120)

@@ -57,7 +57,7 @@ import os
 import sys
 from typing import Sequence
 
-from repro.errors import ReproError
+from repro.errors import InjectedCrash, ReproError
 from repro.constraints.constraint import Constraint, ConstraintSet
 from repro.constraints.subsumption import subsumes
 from repro.core.engine import PartialInfoChecker
@@ -346,15 +346,16 @@ _MAX_DRAIN_ROUNDS = 100
 
 
 def _journal_flag_conflicts(args: argparse.Namespace) -> None:
-    """``--journal`` supports the serial in-process configurations only:
-    the journal records exactly one effect per update in arrival order,
-    which parallel segments, worker processes, overlapped escalation
-    futures, transactional rollback, and the federation snapshot cache
-    cannot guarantee (or cannot serialize)."""
+    """Reject ``--journal`` combinations the journal cannot serialize.
+
+    Parallel segments, process-pool workers, and overlapped escalation
+    futures all journal now (effects are emitted at settle time and
+    committed in arrival order through the
+    :class:`~repro.durability.journal.OrderedJournalCommitter`).  What
+    remains out: transactional rollback (a rolled-back prefix has no
+    durable meaning) and the federation snapshot cache (a snapshot-served
+    verdict depends on cache age the journal cannot replay)."""
     conflicts = (
-        (bool(args.parallel), "--parallel"),
-        (args.overlap_remote, "--overlap-remote"),
-        (args.executor == "process", "--executor process"),
         (args.transaction, "--transaction"),
         (args.snapshot_ttl is not None, "--snapshot-ttl"),
     )
@@ -362,8 +363,17 @@ def _journal_flag_conflicts(args: argparse.Namespace) -> None:
         if active:
             raise ReproError(
                 f"--journal cannot be combined with {name}: the journal "
-                "needs the serial in-process stream (one durable effect "
-                "record per update, in arrival order)"
+                "needs durable effect records the checker can replay "
+                "in arrival order"
+            )
+    for value, name in (
+        (args.sync_every, "--sync-every"),
+        (args.checkpoint_every, "--checkpoint-every"),
+    ):
+        if value < 1:
+            raise ReproError(
+                f"{name} must be at least 1 (got {value}); the journal's "
+                "sync and checkpoint cadences count safe points"
             )
 
 
@@ -378,6 +388,9 @@ def _journal_config(args: argparse.Namespace, constraints, local_predicates):
         "sites": args.sites,
         "shards": args.shards or 0,
         "shard_by": sorted(args.shard_by or ()),
+        "parallel": args.parallel or 0,
+        "executor": args.executor,
+        "overlap_remote": bool(args.overlap_remote),
         "batch": args.batch or 0,
         "apply_on_unknown": not args.pessimistic,
         "rebalance": args.rebalance or 0,
@@ -413,19 +426,53 @@ def _overlay_recovered_facts(db: Database, local_predicates, recovered) -> Datab
 def _checkpoint_payload(pos: int, args: argparse.Namespace, checker, link) -> dict:
     """One checkpoint manifest payload: everything ``--resume`` needs at
     stream position *pos* (facts, pending queue, arrival clock floor,
-    protocol + session stats, shard cuts, link state)."""
+    protocol + session stats, shard cuts + per-shard queues/clock cells,
+    worker-restart counters, link state).
+
+    Sharded manifests carry the pending queues *per shard*
+    (``shard_pending``) alongside the flat sorted list, plus each
+    shard's arrival-clock cell (``shard_seq``) — a shard may have
+    stamped sequence numbers without queueing anything, and the resumed
+    arrival clock must restart past those too.  Manifests are only cut
+    at barriers (or the serial between-updates boundary), where the
+    checkpointed state provably equals the journal's committed prefix.
+    """
     from repro.durability.journal import entry_to_json
 
-    if args.shards:
+    shard_pending = None
+    shard_seq = None
+    worker_restarts = None
+    if args.shards and getattr(checker, "_procpool", None) is not None:
+        states = checker._procpool.checkpoint_state()
         local_db = checker.local_database()
-        sessions = checker.sessions
+        shard_pending = [
+            [entry_to_json(entry) for entry in state["pending"]]
+            for state in states
+        ]
+        shard_seq = [state["seq"] for state in states]
+        worker_restarts = checker._procpool.restart_counts()
+        session_stats = [state["stats"].to_dict() for state in states]
+        pending = sorted(
+            (entry for state in states for entry in state["pending"]),
+            key=lambda entry: entry.seq,
+        )
     else:
-        local_db = checker.sites.local.unmetered()
-        sessions = [checker.session]
-    pending = sorted(
-        (entry for session in sessions for entry in session._pending),
-        key=lambda entry: entry.seq,
-    )
+        if args.shards:
+            local_db = checker.local_database()
+            sessions = checker.sessions
+            shard_pending = [
+                [entry_to_json(entry) for entry in session._pending]
+                for session in sessions
+            ]
+            shard_seq = [cell[0] for cell in checker._seq_cells]
+        else:
+            local_db = checker.sites.local.unmetered()
+            sessions = [checker.session]
+        session_stats = [session.stats.to_dict() for session in sessions]
+        pending = sorted(
+            (entry for session in sessions for entry in session._pending),
+            key=lambda entry: entry.seq,
+        )
     payload = {
         "pos": pos,
         "facts": {
@@ -437,10 +484,15 @@ def _checkpoint_payload(pos: int, args: argparse.Namespace, checker, link) -> di
         "pending": [entry_to_json(entry) for entry in pending],
         "seq": max((entry.seq for entry in pending), default=0),
         "stats": checker.stats.to_dict(),
-        "session_stats": [session.stats.to_dict() for session in sessions],
+        "session_stats": session_stats,
         "cuts": {},
         "link": link.state_dict() if link is not None else None,
     }
+    if shard_pending is not None:
+        payload["shard_pending"] = shard_pending
+        payload["shard_seq"] = shard_seq
+    if worker_restarts is not None:
+        payload["worker_restarts"] = worker_restarts
     if args.shards and args.shard_by:
         payload["cuts"] = {
             predicate: list(checker.partitioner.boundaries(predicate))
@@ -462,23 +514,72 @@ def _restore_into(args: argparse.Namespace, checker, recovered, link) -> None:
     from repro.core.session import SessionStats
     from repro.durability.journal import entry_from_json
 
-    entries = [entry_from_json(desc) for desc in recovered.pending]
     if args.shards:
-        sessions = checker.sessions
-        for entry in entries:
-            sessions[checker.shard_of(entry.update)]._pending.append(entry)
-        for session in sessions:
-            session._pending.sort(key=lambda entry: entry.seq)
+        # Per-shard queues straight from the manifest when it has them
+        # (the journal-tail descriptors are not in the manifest's shard
+        # split and route by the partitioner); pre-shard-manifest
+        # journals route everything by the partitioner.
+        if recovered.shard_pending is not None:
+            per_shard = [
+                [entry_from_json(desc) for desc in queue]
+                for queue in recovered.shard_pending
+            ]
+            for desc in recovered.tail_pending:
+                entry = entry_from_json(desc)
+                per_shard[checker.shard_of(entry.update)].append(entry)
+        else:
+            per_shard = [[] for _ in range(checker.shards)]
+            for desc in recovered.pending:
+                entry = entry_from_json(desc)
+                per_shard[checker.shard_of(entry.update)].append(entry)
+        for queue in per_shard:
+            queue.sort(key=lambda entry: entry.seq)
+        if checker._procpool is not None:
+            checker._procpool.restore_checkpoint(
+                per_shard,
+                [
+                    SessionStats.from_dict(data)
+                    for data in recovered.session_stats
+                ],
+                recovered.worker_restarts,
+            )
+        else:
+            for session, queue, data in zip(
+                checker.sessions, per_shard, recovered.session_stats
+            ):
+                session._pending.extend(queue)
+                session.stats = SessionStats.from_dict(data)
+        if recovered.shard_seq is not None:
+            for cell, seq in zip(checker._seq_cells, recovered.shard_seq):
+                cell[0] = seq
         checker._arrival = itertools.count(recovered.seq + 1)
     else:
-        sessions = [checker.session]
+        entries = [entry_from_json(desc) for desc in recovered.pending]
         checker.session._pending.extend(entries)
         checker.session._pending_seq = recovered.seq
-    for session, data in zip(sessions, recovered.session_stats):
-        session.stats = SessionStats.from_dict(data)
+        for session, data in zip([checker.session], recovered.session_stats):
+            session.stats = SessionStats.from_dict(data)
     checker.stats = recovered.stats
     if link is not None and recovered.link_state is not None:
         link.restore_state(recovered.link_state)
+
+
+def _journal_future_patches(args: argparse.Namespace, checker, writer) -> None:
+    """Journal which pending entries' overlapped escalation futures have
+    landed (one ``"fp"`` record per landed future).
+
+    An ``--overlap-remote`` run journals a deferred update *at settle
+    time* with a future-pending marker — the fetch is still in flight.
+    Once :meth:`~repro.distributed.remote.RemoteLink.wait_inflight`
+    returns, the landed futures' results exist, and the patch records
+    let a journal-tail-only recovery mark those descriptors resolved
+    (the resumed drain re-fetches synchronously either way; the marker
+    preserves what the crashed run knew)."""
+    sessions = checker.sessions if args.shards else [checker.session]
+    for session in sessions:
+        for entry in session._pending:
+            if entry.future is not None and entry.future.done():
+                writer.record_future_patch(entry.seq)
 
 
 def _stream_status(reports, pessimistic: bool) -> tuple[str, bool]:
@@ -535,8 +636,14 @@ def _cmd_check_stream(args: argparse.Namespace) -> int:
         _journal_flag_conflicts(args)
         journal_config = _journal_config(args, constraints, local_predicates)
         if args.resume:
+            from repro.durability.journal import JOURNAL_FILE
             from repro.durability.recovery import recover
 
+            if not os.path.exists(os.path.join(args.journal, JOURNAL_FILE)):
+                raise ReproError(
+                    f"no journal found at {args.journal!r}; "
+                    "did you mean a fresh --journal run?"
+                )
             recovered = recover(args.journal)
             if recovered.meta is not None and recovered.meta != journal_config:
                 raise ReproError(
@@ -690,29 +797,40 @@ def _cmd_check_stream(args: argparse.Namespace) -> int:
             # recovery always finds a valid checkpoint to replay from.
             writer.checkpoint_now()
     exit_code = 0
-    if args.transaction:
-        committed, all_reports = checker.process_transaction(updates)
-        for update, reports in zip(updates, all_reports):
-            rejected = any(r.outcome is Outcome.VIOLATED for r in reports)
-            print(f"{update}: {'REJECTED' if rejected else 'ok'}")
-            if args.verbose:
-                for report in reports:
-                    print(f"    {report}")
-        if committed:
-            print("transaction: COMMITTED")
+    try:
+        if args.transaction:
+            committed, all_reports = checker.process_transaction(updates)
+            for update, reports in zip(updates, all_reports):
+                rejected = any(r.outcome is Outcome.VIOLATED for r in reports)
+                print(f"{update}: {'REJECTED' if rejected else 'ok'}")
+                if args.verbose:
+                    for report in reports:
+                        print(f"    {report}")
+            if committed:
+                print("transaction: COMMITTED")
+            else:
+                print("transaction: ROLLED BACK (local site restored exactly)")
+                exit_code = 1
         else:
-            print("transaction: ROLLED BACK (local site restored exactly)")
-            exit_code = 1
-    else:
-        if recovered is not None:
-            # Re-echo the journalled prefix's verdicts so the resumed
-            # run's output covers the whole stream and diffs clean
-            # against an uninterrupted run.
-            from repro.durability.journal import report_from_json, update_from_json
+            if recovered is not None:
+                # Re-echo the journalled prefix's verdicts so the resumed
+                # run's output covers the whole stream and diffs clean
+                # against an uninterrupted run.
+                from repro.durability.journal import report_from_json, update_from_json
 
-            for record in recovered.records:
-                update = update_from_json(record["update"])
-                reports = [report_from_json(r) for r in record["reports"]]
+                for record in recovered.records:
+                    update = update_from_json(record["update"])
+                    reports = [report_from_json(r) for r in record["reports"]]
+                    status, rejected = _stream_status(reports, args.pessimistic)
+                    if rejected:
+                        exit_code = 1
+                    print(f"{update}: {status}")
+                    if args.verbose:
+                        for report in reports:
+                            print(f"    {report}")
+                updates = updates[recovered.pos:]
+            results = checker.check_stream(updates, batch_size=args.batch)
+            for update, reports in zip(updates, results):
                 status, rejected = _stream_status(reports, args.pessimistic)
                 if rejected:
                     exit_code = 1
@@ -720,57 +838,64 @@ def _cmd_check_stream(args: argparse.Namespace) -> int:
                 if args.verbose:
                     for report in reports:
                         print(f"    {report}")
-            updates = updates[recovered.pos:]
-        results = checker.check_stream(updates, batch_size=args.batch)
-        for update, reports in zip(updates, results):
-            status, rejected = _stream_status(reports, args.pessimistic)
-            if rejected:
-                exit_code = 1
-            print(f"{update}: {status}")
-            if args.verbose:
-                for report in reports:
-                    print(f"    {report}")
-    if writer is not None:
-        # End-of-stream manifest *before* the drain: drains are never
-        # journalled (resume re-drains deterministically), so a crash
-        # anywhere in the drain resumes from here.
-        writer.checkpoint_now()
-    if checker.pending_count:
-        print()
-        print(f"resolving {checker.pending_count} deferred verdict(s)...")
-        if link is not None and args.overlap_remote:
-            # Let the in-flight escalation futures land so the drain can
-            # settle from their results instead of breaking on them.
-            link.wait_inflight()
-        if injector is not None and not args.shards:
-            # The sharded checker hits this point itself, between the
-            # quarantine and settle phases; the plain checker's drain is
-            # one session call, so the boundary lives here.
-            injector.hit("mid-drain")
-        settled, remaining = _drain_pending(checker)
-        for update, reports in settled:
-            rejected = any(r.outcome is Outcome.VIOLATED for r in reports)
-            if rejected:
-                exit_code = 1
-            print(f"{update}: {'REJECTED' if rejected else 'applied'} (resolved)")
-            if args.verbose:
-                for report in reports:
-                    print(f"    {report}")
-        if remaining:
-            print(
-                f"{remaining} update(s) still pending after "
-                f"{_MAX_DRAIN_ROUNDS} drain rounds — remote unreachable"
-            )
-            exit_code = exit_code or 2
-    if writer is not None:
-        writer.close()
+        if writer is not None:
+            if link is not None and args.overlap_remote:
+                # Close the overlap window first: once the in-flight
+                # escalation futures land, journal a future-patch record
+                # per landed future, so a resume from the journal alone
+                # knows those pending records' fetches completed.
+                link.wait_inflight()
+                _journal_future_patches(args, checker, writer)
+            # End-of-stream manifest *before* the drain: drains are never
+            # journalled (resume re-drains deterministically), so a crash
+            # anywhere in the drain resumes from here.
+            writer.checkpoint_now()
+        if checker.pending_count:
+            print()
+            print(f"resolving {checker.pending_count} deferred verdict(s)...")
+            if link is not None and args.overlap_remote:
+                # Let the in-flight escalation futures land so the drain
+                # can settle from their results instead of breaking on
+                # them (a no-op when the journal block above waited).
+                link.wait_inflight()
+            if injector is not None and not args.shards:
+                # The sharded checker hits this point itself, between the
+                # quarantine and settle phases; the plain checker's drain
+                # is one session call, so the boundary lives here.
+                injector.hit("mid-drain")
+            settled, remaining = _drain_pending(checker)
+            for update, reports in settled:
+                rejected = any(r.outcome is Outcome.VIOLATED for r in reports)
+                if rejected:
+                    exit_code = 1
+                print(f"{update}: {'REJECTED' if rejected else 'applied'} (resolved)")
+                if args.verbose:
+                    for report in reports:
+                        print(f"    {report}")
+            if remaining:
+                print(
+                    f"{remaining} update(s) still pending after "
+                    f"{_MAX_DRAIN_ROUNDS} drain rounds — remote unreachable"
+                )
+                exit_code = exit_code or 2
+        if writer is not None:
+            writer.close()
+    except InjectedCrash:
+        # A soft crash loses the unsynced journal suffix exactly as a
+        # hard kill would — abandon, never flush.
+        if writer is not None:
+            writer.abandon()
+        raise
+    finally:
+        # Tear down the process-pool workers even on a crash, so the
+        # in-process kill-anywhere tests never leak worker processes
+        # (thread mode: no-op).
+        if hasattr(checker, "close"):
+            checker.close()
     print()
     width = max(len(label) for label, _ in checker.stats.summary_rows())
     for label, value in checker.stats.summary_rows():
         print(f"{label:<{width}}  {value}")
-    # Tear down the process-pool workers (thread mode: no-op).
-    if hasattr(checker, "close"):
-        checker.close()
     if link is not None:
         from repro.distributed.remote import FederationLink
 
@@ -1004,7 +1129,8 @@ def build_parser() -> argparse.ArgumentParser:
         "durability",
         "journal every update's effects plus periodic checkpoint "
         "manifests, so a killed run resumes to the exact same verdicts "
-        "and final state (serial in-process configurations only)",
+        "and final state (serial, --parallel, and --executor process "
+        "runs; not --transaction or --snapshot-ttl)",
     )
     durability.add_argument(
         "--journal", metavar="DIR", default=None,
@@ -1024,14 +1150,14 @@ def build_parser() -> argparse.ArgumentParser:
     durability.add_argument(
         "--checkpoint-every", type=int, default=64, metavar="N",
         help="write a checkpoint manifest every N updates so recovery "
-        "replays only the tail (default 64; 0 = only the initial and "
-        "end-of-stream manifests)",
+        "replays only the tail (default 64; must be >= 1 — the initial "
+        "and end-of-stream manifests are always written)",
     )
     durability.add_argument(
         "--crash-at", action="append", metavar="POINT[:K]",
         help="chaos injection: crash at the K-th visit (default 1st) of "
-        "a named point — update, fence, mid-drain, mid-rebalance "
-        "(repeatable)",
+        "a named point — update, fence, mid-drain, mid-rebalance, "
+        "segment-dispatch, barrier-fold, worker-revive (repeatable)",
     )
     durability.add_argument(
         "--crash-mode", choices=("hard", "soft"), default="hard",

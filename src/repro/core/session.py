@@ -1110,7 +1110,11 @@ class CheckSession:
                         mat.apply_delta(effective)
 
     def _settle_pending(
-        self, entry: PendingVerdict, remote_db: Database, max_level: CheckLevel
+        self,
+        entry: PendingVerdict,
+        remote_db: Database,
+        max_level: CheckLevel,
+        record: bool = False,
     ) -> None:
         """Finalize one queue entry against a successfully fetched remote.
 
@@ -1118,7 +1122,11 @@ class CheckSession:
         happened; the update is simply retried end to end against the
         current verified state.  ``stats.updates`` was counted at defer
         time, so the pipeline is driven directly rather than through
-        :meth:`process`.
+        :meth:`process`.  Drains settle with ``record=False`` (they are
+        never journalled); the process-pool escalation bounce settles the
+        just-deferred tail entry with ``record=True`` so the journal gets
+        the *final* record — settled verdicts and the fresh apply token —
+        instead of the provisional deferred one.
         """
         was_applied = entry.applied
         reports, pending_local, pending_unknown = self._static_checks(
@@ -1126,7 +1134,7 @@ class CheckSession:
         )
         ordered = self._finish(
             entry.update, reports, pending_local, pending_unknown,
-            remote_db, max_level, True, None, record=False,
+            remote_db, max_level, True, None, record=record,
         )
         entry.reports = {r.constraint_name: r for r in ordered}
         entry.unresolved = ()

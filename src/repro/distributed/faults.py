@@ -62,7 +62,15 @@ def parse_outage(spec: str) -> tuple[int, int]:
 
 #: crash-point names the checkers recognise; anything else in a
 #: :class:`CrashPoint` is silently never hit.
-KNOWN_CRASH_POINTS = ("update", "fence", "mid-drain", "mid-rebalance")
+KNOWN_CRASH_POINTS = (
+    "update",
+    "fence",
+    "mid-drain",
+    "mid-rebalance",
+    "segment-dispatch",
+    "barrier-fold",
+    "worker-revive",
+)
 
 
 @dataclass(frozen=True)
@@ -74,7 +82,13 @@ class CrashPoint:
     after an update is fully recorded), ``"fence"`` (the parallel
     barrier), ``"mid-drain"`` (between the quarantine and settle phases
     of ``resolve_pending``), ``"mid-rebalance"`` (between the two
-    migration phases of a rebalance).  The point fires on its
+    migration phases of a rebalance), ``"segment-dispatch"`` (as a
+    parallel segment is about to fan out to the executor, before any of
+    it runs), ``"barrier-fold"`` (inside the barrier, after the slices
+    settled but before their stats/records fold), and
+    ``"worker-revive"`` (after a crashed process-pool worker has been
+    respawned and rehydrated, before its interrupted command is
+    retried).  The point fires on its
     *occurrence*-th visit (1-based), once.  ``hard=True`` delivers a
     real ``SIGKILL`` to the current process — the honest model of a
     crash, used by the CLI and the kill-and-resume smoke test;

@@ -56,6 +56,9 @@ dispatched sequence number) propagates instead of the raw pool error.
 
 from __future__ import annotations
 
+import os
+import threading
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import ExitStack
@@ -94,6 +97,10 @@ class ShardConfig:
     apply_on_unknown: bool
     max_materializations: Optional[int]
     facts: tuple[tuple[str, tuple], ...]
+    #: stage effect records in the worker for the parent's journal
+    #: (workers never touch the journal file — effects ride the
+    #: command results; see ``_WorkerEffectLog``)
+    journal: bool = False
 
 
 # ---------------------------------------------------------------------------
@@ -104,6 +111,45 @@ class ShardConfig:
 # ---------------------------------------------------------------------------
 
 _WORKER: dict = {}
+
+
+class _WorkerEffectLog:
+    """Worker-side stand-in for the journal's effect log.
+
+    A worker process must never touch the journal file — the parent owns
+    the single append stream and its commit order.  Instead the session
+    stages its would-be records here, and each stream command drains the
+    staged list into its (picklable) result; the parent commits them
+    through its :class:`~repro.durability.journal.OrderedJournalCommitter`.
+    Replayed commands during a worker revive stage again, but the parent
+    discards replay results, so every effect journals exactly once.
+    """
+
+    __slots__ = ("staged",)
+
+    def __init__(self) -> None:
+        self.staged: list[tuple] = []
+
+    def record_update(self, update, reports, *, applied, token, entry) -> None:
+        self.staged.append((update, list(reports), applied, token, entry))
+
+    def safe_point(self) -> None:
+        """Sync/checkpoint cadence is parent-side (per committed record)."""
+
+
+def _clear_effects() -> None:
+    log = _WORKER["session"].effect_log
+    if log is not None:
+        log.staged = []
+
+
+def _drain_effects() -> Optional[list[tuple]]:
+    log = _WORKER["session"].effect_log
+    if log is None:
+        return None
+    staged = log.staged
+    log.staged = []
+    return staged
 
 
 def _boundary_remote(predicates=None):
@@ -143,7 +189,26 @@ def _build_db(facts: Mapping[str, Iterable[tuple]]) -> Database:
     return db
 
 
+def _watch_parent(parent_pid: int) -> None:
+    """Exit the worker once its parent is gone (reparented to init).
+
+    A ``kill -9`` of the parent cannot run executor shutdown, and the
+    pool's call-queue pipe never sees EOF (every worker inherits the
+    write end), so orphaned workers would otherwise block on the queue
+    forever — and keep the crashed run's stdout/stderr pipes open,
+    wedging any supervisor that waits for them.  The crash-safety story
+    (journal + ``--resume``) only works if a hard kill actually ends
+    the whole tree.
+    """
+    while os.getppid() == parent_pid:
+        time.sleep(1.0)
+    os._exit(2)
+
+
 def _init_worker(config: ShardConfig) -> None:
+    threading.Thread(
+        target=_watch_parent, args=(os.getppid(),), daemon=True
+    ).start()
     constraints = ConstraintSet(
         [
             Constraint(source, name)
@@ -169,6 +234,8 @@ def _init_worker(config: ShardConfig) -> None:
         peer_source=_peer_source,
         seq_source=lambda: seq_cell[0],
     )
+    if config.journal:
+        session.effect_log = _WorkerEffectLog()
     _WORKER.clear()
     _WORKER.update(
         {
@@ -186,11 +253,14 @@ def _cmd_ping() -> bool:
 
 def _cmd_run_slice(
     items: Sequence[tuple[int, Update]], batch_size: Optional[int]
-) -> list[list[CheckReport]]:
+) -> dict:
     """One fence-free, escalation-free run of updates through the
-    worker's session (stream order, optional coalesced batching)."""
+    worker's session (stream order, optional coalesced batching).
+    Returns the per-update report lists plus the staged journal effects
+    (one per update, slice order) when the worker journals."""
     session = _WORKER["session"]
     cell = _WORKER["seq"]
+    _clear_effects()
 
     def feed():
         for seq, update in items:
@@ -206,7 +276,7 @@ def _cmd_run_slice(
                 "escalation inside a fence-free slice (routing bug: the "
                 "parent must dispatch escalation-capable updates alone)"
             )
-    return results
+    return {"results": results, "effects": _drain_effects()}
 
 
 def _cmd_run_one(
@@ -224,6 +294,7 @@ def _cmd_run_one(
     session = _WORKER["session"]
     _WORKER["peer_db"] = _build_db(peer_facts)
     _WORKER["seq"][0] = seq
+    _clear_effects()
     pending_before = session.pending_count
     reports = session.process(update, remote=_boundary_remote)
     needed: Optional[list[str]] = None
@@ -240,19 +311,25 @@ def _cmd_run_one(
         "reports": reports,
         "needed": needed,
         "queued": session.pending_count > pending_before,
+        "effects": _drain_effects(),
     }
 
 
-def _cmd_settle_tail(facts: Mapping[str, Iterable[tuple]]) -> list[CheckReport]:
+def _cmd_settle_tail(facts: Mapping[str, Iterable[tuple]]) -> dict:
     """Settle the just-bounced tail entry with the facts the parent
     fetched, leaving verdicts, state, and counters exactly as if the
-    worker had reached the remote itself."""
+    worker had reached the remote itself.  Under journaling the settle
+    re-records, so the bounced update's journal slot gets the *final*
+    verdicts and a fresh application token instead of the deferred
+    stand-ins staged by ``_cmd_run_one``."""
     session = _WORKER["session"]
+    _clear_effects()
     entry = session._pending.pop()
     session._quarantine_entry(entry)
     was_applied = entry.applied
     session._settle_pending(
-        entry, _build_db(facts), CheckLevel.FULL_DATABASE
+        entry, _build_db(facts), CheckLevel.FULL_DATABASE,
+        record=session.effect_log is not None,
     )
     # The serial run never deferred here: it fetched (one remote fetch)
     # and settled in-stream.  Compensate the defer-time counters.
@@ -260,12 +337,15 @@ def _cmd_settle_tail(facts: Mapping[str, Iterable[tuple]]) -> list[CheckReport]:
     session.stats.deferred_remote -= 1
     if was_applied and not entry.applied:
         session.stats.deferred_rolled_back -= 1
-    return entry.ordered_reports(session.constraints)
+    return {
+        "reports": entry.ordered_reports(session.constraints),
+        "effects": _drain_effects(),
+    }
 
 
 def _cmd_rerun_with_remote(
     update: Update, facts: Mapping[str, Iterable[tuple]]
-) -> list[CheckReport]:
+) -> dict:
     """Re-run an update that deferred *without* queueing (a sibling
     constraint rejected it outright, so ``_finish`` rolled it back and
     left nothing pending) now that the parent has the remote facts.
@@ -274,9 +354,11 @@ def _cmd_rerun_with_remote(
     pre-state reproduces them.  The deferred attempt already counted
     the update and the rejection — compensate before recounting."""
     session = _WORKER["session"]
+    _clear_effects()
     session.stats.updates -= 1
     session.stats.rejected -= 1
-    return session.process(update, remote=_build_db(facts))
+    reports = session.process(update, remote=_build_db(facts))
+    return {"reports": reports, "effects": _drain_effects()}
 
 
 def _cmd_patch_defer_detail(detail: str) -> list[CheckReport]:
@@ -428,6 +510,31 @@ def _cmd_restore_state(pending: Sequence, stats) -> None:
     session.stats = stats
 
 
+def _cmd_set_journal(on: bool) -> None:
+    """Attach (or detach) the worker's staging effect log on a live
+    worker.  Respawned workers get it through ``ShardConfig.journal``
+    instead, so a revive mid-journalled-stream stages replays too."""
+    session = _WORKER["session"]
+    session.effect_log = _WorkerEffectLog() if on else None
+
+
+def _cmd_checkpoint_state() -> dict:
+    """The manifest-shaped slice of worker state: the pending queue
+    (pure data — a worker entry never carries a live future), the
+    session stats, and the last arrival seq stamped on this worker."""
+    session = _WORKER["session"]
+    for entry in session._pending:
+        if entry.future is not None:
+            raise RuntimeError(
+                "worker pending entry carries a future (boundary bug)"
+            )
+    return {
+        "pending": list(session._pending),
+        "stats": session.stats,
+        "seq": _WORKER["seq"][0],
+    }
+
+
 #: commands that change worker state — the ones the parent's
 #: supervision log must replay into a respawned worker
 _MUTATING = frozenset(
@@ -497,6 +604,9 @@ class ProcessShardRunner:
         self._restarts = [0] * checker.shards
         self._last_seq = [0] * checker.shards
         self._in_drain = False
+        #: the parent-held OrderedJournalCommitter once a journal is
+        #: attached; workers only ever see the staging stand-in
+        self._journal = None
         placement = tuple(
             sorted(
                 (predicate, site)
@@ -627,6 +737,8 @@ class ProcessShardRunner:
             # Died again mid-rehydration: charge another restart and
             # rebuild from the baseline (the budget bounds the loop).
             self._revive(shard)
+            return
+        checker._chaos_hit("worker-revive")
 
     def _maybe_refresh(self, shard: int) -> None:
         """Re-baseline every ``_REFRESH_EVERY`` mutating commands, so a
@@ -651,6 +763,61 @@ class ProcessShardRunner:
             "stats": state["stats"],
         }
         self._log[shard].clear()
+
+    # -- journal plumbing -----------------------------------------------------
+    def attach_journal(self, committer) -> None:
+        """Route worker effects into the parent's write-ahead journal.
+
+        Workers never touch the journal file: each stream command stages
+        its would-be records in a :class:`_WorkerEffectLog` and returns
+        them with its result, and the parent commits them here — in
+        arrival order per shard, folded into stream-position order by
+        the :class:`~repro.durability.journal.OrderedJournalCommitter`.
+        The flag also lands in the respawn configs, so a worker revived
+        mid-stream stages its replayed commands too (the parent discards
+        replay results, so each effect journals exactly once).
+        """
+        self._journal = committer
+        self._configs = [
+            replace(config, journal=True) for config in self._configs
+        ]
+        for shard in range(self.checker.shards):
+            self._call(shard, _cmd_set_journal, True)
+
+    def _stage_effect(self, journal_pos: Optional[int], effect) -> None:
+        if self._journal is None:
+            return
+        if effect is None:
+            raise RuntimeError(
+                "journal attached but the worker returned no effect "
+                "record (worker/parent journal wiring bug)"
+            )
+        pos = (
+            journal_pos
+            if journal_pos is not None
+            else self._journal.reserve_next()
+        )
+        update, reports, applied, token, entry = effect
+        self._journal.stage(pos, ("u", update, reports, applied, token, entry))
+
+    @staticmethod
+    def _patch_effect(effect, detail: str):
+        """Mirror ``_cmd_patch_defer_detail`` / ``_patch_detail`` on the
+        parent's copy of a staged effect, so the journalled reports (and
+        the pending descriptor's) carry the link's failure detail."""
+        if effect is None:
+            return None
+        update, reports, applied, token, entry = effect
+        patched = _patch_detail(reports, detail)
+        if entry is not None:
+            for name in entry.unresolved:
+                old = entry.reports[name]
+                entry.reports[name] = CheckReport(
+                    name, old.outcome, old.level,
+                    remote_accessed=False,
+                    detail=f"remote unreachable: {detail}",
+                )
+        return (update, patched, applied, token, entry)
 
     # -- fact plumbing --------------------------------------------------------
     def gather_facts(
@@ -708,10 +875,15 @@ class ProcessShardRunner:
             needed |= constraint.predicates() & checker.site_predicates
         return needed - (checker._owned[shard] | checker.key_aligned)
 
-    def run_one(self, shard: int, update: Update) -> list[CheckReport]:
+    def run_one(
+        self, shard: int, update: Update,
+        journal_pos: Optional[int] = None,
+    ) -> list[CheckReport]:
         """One update through its shard's worker: peers pre-gathered for
         a fenced spanning read, the escalation bounced through the
-        parent's link when the worker defers at the boundary."""
+        parent's link when the worker defers at the boundary.  With a
+        journal attached, the update's *final* effect (post-bounce) is
+        staged at ``journal_pos`` for the committer."""
         checker = self.checker
         seq = next(checker._arrival)
         self._last_seq[shard] = max(self._last_seq[shard], seq)
@@ -720,21 +892,27 @@ class ProcessShardRunner:
         )
         out = self._call(shard, _cmd_run_one, seq, update, peer_facts)
         self._stats_cache[shard] = None
-        reports, fetched = self._escalate(shard, update, out)
+        reports, fetched, effect = self._escalate(shard, update, out)
         if fetched:
             checker.stats.remote_round_trips += 1
+        self._stage_effect(journal_pos, effect)
         return reports
 
     def _escalate(
         self, shard: int, update: Update, out: dict
-    ) -> tuple[list[CheckReport], bool]:
+    ) -> tuple[list[CheckReport], bool, Optional[tuple]]:
         """Finish a ``_cmd_run_one`` result: bounce the deferred fetch
         through the parent's link when the worker hit the process
-        boundary.  Returns the final reports and whether a remote fetch
+        boundary.  Returns the final reports, whether a remote fetch
         succeeded (the caller attributes the round trip — directly on
-        the fenced path, folded at the segment barrier inside slices)."""
+        the fenced path, folded at the segment barrier inside slices),
+        and the update's final journal effect (``None`` off-journal).
+        A settle or rerun replaces the deferred effect wholesale; a
+        failed bounce patches the parent's copy in place."""
+        effects = out.get("effects")
+        effect = effects[0] if effects else None
         if out["needed"] is None:
-            return out["reports"], False
+            return out["reports"], False, effect
         try:
             remote_db = _fetch_remote(
                 self.checker._drain_source, set(out["needed"])
@@ -744,18 +922,28 @@ class ProcessShardRunner:
                 return (
                     self._call(shard, _cmd_patch_defer_detail, str(exc)),
                     False,
+                    self._patch_effect(effect, str(exc)),
                 )
-            return _patch_detail(out["reports"], str(exc)), False
+            return (
+                _patch_detail(out["reports"], str(exc)),
+                False,
+                self._patch_effect(effect, str(exc)),
+            )
         facts = self._dump_db(remote_db)
         if out["queued"]:
-            return self._call(shard, _cmd_settle_tail, facts), True
-        return self._call(shard, _cmd_rerun_with_remote, update, facts), True
+            settled = self._call(shard, _cmd_settle_tail, facts)
+            final = settled["effects"]
+            return settled["reports"], True, (final[0] if final else effect)
+        rerun = self._call(shard, _cmd_rerun_with_remote, update, facts)
+        final = rerun["effects"]
+        return rerun["reports"], True, (final[0] if final else effect)
 
     def run_slice(
         self,
         shard: int,
         items: Sequence[tuple[int, Update]],
         batch_size: Optional[int],
+        journal_base: Optional[int] = None,
     ) -> tuple[list[tuple[int, list[CheckReport]]], int]:
         """One shard's slice of a parallel segment (driver-thread body;
         mirrors ``ShardedChecker._run_shard_slice``).
@@ -774,15 +962,21 @@ class ProcessShardRunner:
         fetches = 0
         chunk: list[tuple[int, int, Update]] = []  # (pos, seq, update)
 
+        def journal_pos(pos: int) -> Optional[int]:
+            return None if journal_base is None else journal_base + pos + 1
+
         def flush_chunk() -> None:
             if not chunk:
                 return
             stamped = [(seq, update) for _pos, seq, update in chunk]
-            results = self._call(shard, _cmd_run_slice, stamped, batch_size)
-            pairs.extend(
-                (pos, reports)
-                for (pos, _seq, _update), reports in zip(chunk, results)
-            )
+            out = self._call(shard, _cmd_run_slice, stamped, batch_size)
+            results = out["results"]
+            effects = out["effects"] or [None] * len(results)
+            for (pos, _seq, _update), reports, effect in zip(
+                chunk, results, effects
+            ):
+                pairs.append((pos, reports))
+                self._stage_effect(journal_pos(pos), effect)
             chunk.clear()
 
         for pos, update in items:
@@ -792,10 +986,11 @@ class ProcessShardRunner:
                 flush_chunk()
                 # Fence-free by construction, so no peers to gather.
                 out = self._call(shard, _cmd_run_one, seq, update, {})
-                reports, fetched = self._escalate(shard, update, out)
+                reports, fetched, effect = self._escalate(shard, update, out)
                 if fetched:
                     fetches += 1
                 pairs.append((pos, reports))
+                self._stage_effect(journal_pos(pos), effect)
                 continue
             chunk.append((pos, seq, update))
         flush_chunk()
@@ -945,6 +1140,42 @@ class ProcessShardRunner:
         self._stats_cache[source] = None
         self._stats_cache[target] = None
         return len(out["facts"])
+
+    def checkpoint_state(self) -> list[dict]:
+        """Per-shard manifest payloads (pending queue, stats, last seq)
+        for checkpoint manifests — one round trip per shard."""
+        futures = [
+            (shard, self._submit(shard, _cmd_checkpoint_state))
+            for shard in range(self.checker.shards)
+        ]
+        return [
+            self._result(shard, future, _cmd_checkpoint_state)
+            for shard, future in futures
+        ]
+
+    def restart_counts(self) -> list[int]:
+        return list(self._restarts)
+
+    def restore_checkpoint(
+        self,
+        pending_per_shard: Sequence[Sequence],
+        stats_per_shard: Sequence,
+        restarts: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Install recovered per-shard state into the fresh workers (the
+        facts already arrived through ``ShardConfig``).  The restored
+        queues/stats become each shard's supervision *baseline*, so a
+        later revive rehydrates the recovered state, not the empty
+        boot state; restart counters carry the crashed run's budget
+        spend forward."""
+        for shard in range(self.checker.shards):
+            pending = list(pending_per_shard[shard])
+            stats = stats_per_shard[shard]
+            self._call(shard, _cmd_restore_state, pending, stats)
+            self._baselines[shard] = {"pending": pending, "stats": stats}
+            self._stats_cache[shard] = None
+        if restarts:
+            self._restarts = [int(count) for count in restarts]
 
     def close(self) -> None:
         for pool in self._pools:

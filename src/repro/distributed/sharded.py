@@ -47,6 +47,7 @@ from __future__ import annotations
 import itertools
 import zlib
 from bisect import bisect_right
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import ExitStack
 from typing import Callable, Iterable, Mapping, Optional, Sequence
@@ -191,6 +192,44 @@ class KeyRangePartitioner(PredicatePartitioner):
         return bisect_right(cuts, values[0])
 
 
+class _StagedEffectLog:
+    """Per-shard ``CheckSession.effect_log`` for thread-parallel journaling.
+
+    A pool-thread session emits effect records at settle time, but the
+    journal must commit them in contiguous stream order — so this stand-in
+    stages each record into the shared
+    :class:`~repro.durability.journal.OrderedJournalCommitter` under the
+    stream position the driver queued for it (:meth:`begin_slice`), and
+    the committer flushes whatever prefix the races have made contiguous.
+    ``safe_point`` is a no-op: the committer accounts sync/checkpoint
+    cadence per *committed* record, not per settled one.
+    """
+
+    __slots__ = ("committer", "_positions")
+
+    def __init__(self, committer) -> None:
+        self.committer = committer
+        self._positions: deque[int] = deque()
+
+    def begin_slice(self, positions: Iterable[int]) -> None:
+        """Queue the journal positions of the slice about to stream."""
+        self._positions.extend(positions)
+
+    def record_update(self, update, reports, applied, token, entry) -> None:
+        if self._positions:
+            pos = self._positions.popleft()
+        else:
+            # Positionless path (direct ``process()`` between streams):
+            # synchronous, so the next unstaged position is this record's.
+            pos = self.committer.reserve_next()
+        self.committer.stage(
+            pos, ("u", update, list(reports), applied, token, entry)
+        )
+
+    def safe_point(self) -> None:
+        pass
+
+
 class ShardedChecker:
     """Enforce constraints over a predicate-partitioned local site.
 
@@ -282,6 +321,8 @@ class ShardedChecker:
         self.max_worker_restarts = max_worker_restarts
         #: attached durability sink (see :meth:`attach_effect_log`)
         self._effect_log = None
+        #: ordered commit front for parallel/process journaling
+        self._committer = None
 
         self._shard_dbs = sites.local.partition(
             self.partitioner.owner, self.shards
@@ -562,31 +603,61 @@ class ShardedChecker:
         ``CheckSession.effect_log`` protocol — see
         :class:`repro.durability.journal.JournalWriter`).
 
-        Journaling supports the serial in-process configuration only:
-        parallel segments would interleave shard records out of stream
-        order, and worker-process sessions cannot share the parent's
-        writer.  Rebalances journal their cut-vector changes
-        (:meth:`_apply_rebalance`); a cross-shard split modification is
-        rejected at runtime because its delete/insert halves would
-        write two journal records for one stream update.
+        The serial in-process configuration shares the writer across the
+        shard sessions directly (updates settle in arrival order).  With
+        ``parallelism > 1`` or the process executor, effects instead go
+        through an :class:`~repro.durability.journal.OrderedJournalCommitter`
+        — pool threads (or the process runner's drivers) stage records at
+        settle time and the committer flushes the contiguous stream
+        prefix; fence/flush barriers assert the prefix whole and cut any
+        due checkpoint manifest (:meth:`_journal_barrier`).  Rebalances
+        journal their cut-vector changes (:meth:`_apply_rebalance`); a
+        cross-shard split modification is rejected at runtime because its
+        delete/insert halves would write two journal records for one
+        stream update.
         """
-        if self.parallelism > 1 or self._procpool is not None:
-            raise ValueError(
-                "journaling requires the serial in-process checker "
-                "(parallelism=1, thread executor)"
-            )
         self._effect_log = writer
-        for session in self.sessions:
-            session.effect_log = writer
+        if self.parallelism > 1 or self._procpool is not None:
+            from repro.durability.journal import OrderedJournalCommitter
+
+            self._committer = OrderedJournalCommitter(writer)
+            if self._procpool is not None:
+                self._procpool.attach_journal(self._committer)
+            else:
+                for session in self.sessions:
+                    session.effect_log = _StagedEffectLog(self._committer)
+        else:
+            for session in self.sessions:
+                session.effect_log = writer
+
+    def _journal_barrier(self) -> None:
+        """Journal bookkeeping at a fence/flush barrier: every staged
+        record must now be committed, and a deferred checkpoint cadence
+        may fire (the in-memory state equals the committed prefix exactly
+        here)."""
+        if self._committer is not None:
+            self._committer.barrier()
 
     # -- the protocol -----------------------------------------------------------
-    def _process_on_shard(self, shard: int, update: Update) -> list[CheckReport]:
+    def _process_on_shard(
+        self,
+        shard: int,
+        update: Update,
+        journal_pos: Optional[int] = None,
+    ) -> list[CheckReport]:
         """Stamp the shard's arrival cell and run one update through its
         session (main-thread path; workers go through
-        :meth:`_run_shard_slice`)."""
+        :meth:`_run_shard_slice`).  *journal_pos* is the stream position
+        the update's journal record commits under when a parallel-mode
+        journal is attached (``None`` routes through the positionless
+        fallback)."""
         if self._procpool is not None:
-            return self._procpool.run_one(shard, update)
+            return self._procpool.run_one(shard, update, journal_pos=journal_pos)
         session = self.sessions[shard]
+        if journal_pos is not None and isinstance(
+            session.effect_log, _StagedEffectLog
+        ):
+            session.effect_log.begin_slice((journal_pos,))
         self._seq_cells[shard][0] = next(self._arrival)
         before = session.stats.remote_fetches
         reports = session.process(update, remote=self.remote_source)
@@ -929,6 +1000,7 @@ class ShardedChecker:
         shard: int,
         items: Sequence[tuple[int, Update]],
         batch_size: Optional[int],
+        journal_base: Optional[int] = None,
     ) -> tuple[list[tuple[int, list[CheckReport]]], int]:
         """Worker body: one shard's slice of a parallel segment.
 
@@ -937,11 +1009,23 @@ class ShardedChecker:
         link / sites), and returns ``(position, reports)`` pairs and the
         session's remote-fetch delta so the main thread folds protocol
         stats in stream order at the barrier — pool threads never mutate
-        ``ProtocolStats``.
+        ``ProtocolStats``.  When a journal is attached, *journal_base* is
+        the committed stream position before this stream started: each
+        slice item at enumerate position ``pos`` journals at
+        ``journal_base + pos + 1``, emitted here at settle time and
+        committed by the shared reorder buffer in stream order.
         """
         if self._procpool is not None:
-            return self._procpool.run_slice(shard, items, batch_size)
+            return self._procpool.run_slice(
+                shard, items, batch_size, journal_base=journal_base
+            )
         session = self.sessions[shard]
+        if journal_base is not None and isinstance(
+            session.effect_log, _StagedEffectLog
+        ):
+            session.effect_log.begin_slice(
+                journal_base + pos + 1 for pos, _item in items
+            )
         cell = self._seq_cells[shard]
 
         def feed():
@@ -980,6 +1064,12 @@ class ShardedChecker:
         results_map: dict[int, list[CheckReport]] = {}
         segment: list[tuple[int, int, Update]] = []  # (pos, shard, update)
         stats = self.stats
+        # Journal base: stream position already committed before this
+        # stream starts (0 fresh, the recovered pos on --resume); slice
+        # item `pos` journals at `jbase + pos + 1`.
+        jbase = (
+            self._committer.prefix_pos if self._committer is not None else None
+        )
         # Thread mode: the pool threads *are* the parallelism.  Process
         # mode: they are cheap drivers blocking on worker futures, one
         # per shard, so the worker processes all stream concurrently.
@@ -1001,9 +1091,13 @@ class ShardedChecker:
                     by_shard.setdefault(shard, []).append((pos, item))
                 segment.clear()
                 stats.parallel_segments += 1
+                # Chaos point: the segment is about to fan out — nothing
+                # of it has run, the journal prefix ends at the previous
+                # barrier.
+                self._chaos_hit("segment-dispatch")
                 futures = [
                     executor.submit(
-                        self._run_shard_slice, shard, items, batch_size
+                        self._run_shard_slice, shard, items, batch_size, jbase
                     )
                     for shard, items in by_shard.items()
                 ]
@@ -1016,6 +1110,9 @@ class ShardedChecker:
                     except BaseException as exc:  # noqa: BLE001
                         outcomes.append((None, exc))
                 errors = [exc for _out, exc in outcomes if exc is not None]
+                # Chaos point: every slice has settled (and journalled),
+                # but the barrier has not folded stats or checkpointed.
+                self._chaos_hit("barrier-fold")
                 recorded: list[tuple[int, list[CheckReport]]] = []
                 for out, exc in outcomes:
                     if exc is not None:
@@ -1029,6 +1126,7 @@ class ShardedChecker:
                     results_map[pos] = reports
                 if errors:
                     raise errors[0]
+                self._journal_barrier()
 
             position = -1
             for position, update in enumerate(updates):
@@ -1053,10 +1151,16 @@ class ShardedChecker:
                     # Chaos point: the segment barrier has drained but
                     # the fencing update has not run yet.
                     self._chaos_hit("fence")
-                    reports = self._process_on_shard(shard, update)
+                    reports = self._process_on_shard(
+                        shard, update,
+                        journal_pos=(
+                            None if jbase is None else jbase + position + 1
+                        ),
+                    )
                     stats.updates += 1
                     stats.record_reports(reports, self.apply_on_unknown)
                     results_map[position] = reports
+                    self._journal_barrier()
                     continue
                 segment.append((position, shard, update))
             run_segment()

@@ -24,16 +24,19 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import zlib
 from typing import Callable, Iterable, Optional
 
 from repro.core.outcomes import CheckLevel, CheckReport, Outcome
 from repro.core.session import PendingVerdict
 from repro.datalog.database import UndoToken
+from repro.errors import ReproError
 from repro.updates.update import Deletion, Insertion, Modification, Update
 
 __all__ = [
     "JournalWriter",
+    "OrderedJournalCommitter",
     "read_journal",
     "update_to_json",
     "update_from_json",
@@ -131,15 +134,15 @@ def token_from_json(payload: dict) -> UndoToken:
 def entry_to_json(entry: PendingVerdict) -> dict:
     """A queued deferred verdict as a plain descriptor.
 
-    Overlapped-escalation futures are deliberately unsupported: the CLI
-    rejects ``--overlap-remote`` with ``--journal``, because an in-flight
-    fetch cannot be journalled.
+    An overlapped-escalation future cannot ride the journal (it is a live
+    handle, not data), so an entry that carries one is described by a
+    *future-pending* marker instead: the predicates the fetch was covering
+    and whether it had landed when the descriptor was cut.  Recovery
+    re-queues the entry without a future — the resumed drain simply
+    re-fetches synchronously, which is sound because drains are never
+    journalled and remote site contents are fetch-order independent.
     """
-    if entry.future is not None:
-        raise ValueError(
-            "cannot journal a pending entry carrying an in-flight fetch future"
-        )
-    return {
+    descriptor = {
         "seq": entry.seq,
         "update": update_to_json(entry.update),
         "unresolved": list(entry.unresolved),
@@ -147,9 +150,22 @@ def entry_to_json(entry: PendingVerdict) -> dict:
         "applied": entry.applied,
         "token": None if entry.token is None else token_to_json(entry.token),
     }
+    if entry.future is not None:
+        descriptor["future"] = {
+            "pending": not entry.future.done(),
+            "predicates": (
+                None
+                if entry.future_predicates is None
+                else sorted(entry.future_predicates)
+            ),
+        }
+    return descriptor
 
 
 def entry_from_json(payload: dict) -> PendingVerdict:
+    # A "future" marker (see entry_to_json) is informational only: the
+    # restored entry never carries a live future, so the resumed drain
+    # fetches its remote needs synchronously.
     reports = [report_from_json(r) for r in payload["reports"]]
     return PendingVerdict(
         seq=payload["seq"],
@@ -189,9 +205,11 @@ def _decode_line(line: bytes) -> Optional[dict]:
 class JournalWriter:
     """The session-facing durability sink (``CheckSession.effect_log``).
 
-    One writer serves a whole checker run — in shard mode every session
-    shares it, which is sound because the journalled modes process
-    updates serially in arrival order.  The writer owns:
+    One writer serves a whole checker run — serial shard mode shares it
+    across sessions directly (updates settle in arrival order), while
+    parallel and process-pool modes route concurrently-settled effects
+    through an :class:`OrderedJournalCommitter` in front of it.  The
+    writer owns:
 
     * the record counter ``pos`` (1-based stream position of the last
       update record — batching is a maintenance optimization, so batch
@@ -223,9 +241,9 @@ class JournalWriter:
         crash_injector=None,
     ) -> None:
         if sync_every < 1:
-            raise ValueError("sync_every must be at least 1")
+            raise ReproError("sync_every must be at least 1")
         if checkpoint_every < 0:
-            raise ValueError("checkpoint_every must be non-negative")
+            raise ReproError("checkpoint_every must be non-negative")
         self.directory = directory
         os.makedirs(directory, exist_ok=True)
         self.path = os.path.join(directory, JOURNAL_FILE)
@@ -240,6 +258,7 @@ class JournalWriter:
         self._safe_points_since_sync = 0
         self._safe_points_since_checkpoint = 0
         self._last_link_probe: Optional[tuple] = None
+        self._closed = False
         self._fh = open(self.path, "ab")
         if self.link is not None:
             self._last_link_probe = self._link_probe()
@@ -290,18 +309,59 @@ class JournalWriter:
             )
         )
 
-    def safe_point(self) -> None:
+    def record_future_patch(self, seq: int) -> None:
+        """Journal that a pending entry's in-flight fetch has landed.
+
+        Patches the future-pending marker a ``"u"`` record carried for the
+        entry with arrival stamp ``seq``: recovery clears the marker on the
+        matching descriptor, so a manifest-less resume still knows the
+        overlap window closed before the record was cut.
+        """
+        self._buffer.append(
+            _encode_line({"t": "fp", "pos": self.pos, "seq": seq})
+        )
+
+    def safe_point(self, defer_checkpoint: bool = False) -> None:
+        """Between-updates boundary: sync cadence, checkpoint cadence, chaos.
+
+        Under concurrent execution the caller passes ``defer_checkpoint``:
+        the cadence still accumulates (and syncs still fire), but the
+        manifest write is postponed to the next :meth:`barrier`, where the
+        in-memory state provably equals the committed prefix.  A manifest
+        cut mid-segment would pair a prefix position with state from
+        updates whose records are still staged.
+        """
         self._safe_points_since_sync += 1
         if self._safe_points_since_sync >= self.sync_every:
             self.sync()
         if self.checkpoint_every and self.checkpoint_cb is not None:
             self._safe_points_since_checkpoint += 1
-            if self._safe_points_since_checkpoint >= self.checkpoint_every:
+            if (
+                not defer_checkpoint
+                and self._safe_points_since_checkpoint >= self.checkpoint_every
+            ):
                 self._safe_points_since_checkpoint = 0
                 self.sync()
                 self.checkpoint_cb(self.pos)
         if self.crash_injector is not None:
             self.crash_injector.hit("update")
+
+    def barrier(self) -> None:
+        """Fire a checkpoint deferred by ``safe_point(defer_checkpoint=True)``.
+
+        Called at fence/flush barriers, where every record at ``pos <=
+        self.pos`` is committed and the checker's in-memory state reflects
+        exactly those records.  At most one manifest is cut per barrier,
+        however many safe points accumulated inside the segment.
+        """
+        if (
+            self.checkpoint_every
+            and self.checkpoint_cb is not None
+            and self._safe_points_since_checkpoint >= self.checkpoint_every
+        ):
+            self._safe_points_since_checkpoint = 0
+            self.sync()
+            self.checkpoint_cb(self.pos)
 
     # -- durability --------------------------------------------------------
     def sync(self) -> None:
@@ -320,9 +380,12 @@ class JournalWriter:
         What a real crash does to the unsynced suffix, in process: the
         kill-anywhere property test calls this instead of SIGKILLing
         itself, then recovers from what actually reached the disk.
+        Idempotent, in either order with :meth:`close`.
         """
         self._buffer.clear()
-        self._fh.close()
+        if not self._closed:
+            self._closed = True
+            self._fh.close()
 
     def checkpoint_now(self, payload_extra: Optional[dict] = None) -> None:
         """Sync and fire the checkpoint callback unconditionally (the CLI
@@ -334,8 +397,101 @@ class JournalWriter:
             self.checkpoint_cb(self.pos)
 
     def close(self) -> None:
+        """Sync and close.  Idempotent; a no-op after :meth:`abandon`."""
+        if self._closed:
+            return
         self.sync()
+        self._closed = True
         self._fh.close()
+
+
+class OrderedJournalCommitter:
+    """Commit concurrently-settled effects in contiguous stream order.
+
+    Parallel and process-pool execution settle updates out of stream
+    order (shard slices race), but the journal's meaning depends on
+    contiguous positions: recovery refuses gaps, and a crash must lose a
+    *suffix*, never punch a hole.  So effects are **emitted at settle
+    time but committed in arrival order**: any thread may :meth:`stage`
+    the effect for stream position ``pos``; the committer buffers it and
+    flushes only the contiguous prefix into the wrapped
+    :class:`JournalWriter` — each flushed record also advances the
+    writer's sync cadence and passes the ``"update"`` chaos point, so a
+    kill at "update K" means kill at the K-th *committed* record exactly
+    as in serial mode.  Checkpoint manifests are deferred to
+    :meth:`barrier` (see ``JournalWriter.safe_point``).
+    """
+
+    def __init__(self, writer: JournalWriter) -> None:
+        self.writer = writer
+        self._lock = threading.Lock()
+        self._staged: dict[int, tuple] = {}
+        self._next = writer.pos + 1
+
+    @property
+    def prefix_pos(self) -> int:
+        """Stream position of the last committed record."""
+        return self._next - 1
+
+    def reserve_next(self) -> int:
+        """The position a positionless (fence-serial) record will take.
+
+        Only valid between segments, when nothing is staged — a reserved
+        position is immediately satisfiable, so staging it commits it.
+        """
+        with self._lock:
+            if self._staged:
+                raise ReproError(
+                    "cannot reserve a journal position while "
+                    f"{len(self._staged)} staged record(s) await commit"
+                )
+            return self._next
+
+    def stage(self, pos: int, effect: tuple) -> None:
+        """Stage the effect for stream position ``pos`` (1-based).
+
+        ``effect`` is ``("u", update, reports, applied, token, entry)`` or
+        ``("r", predicate, cuts)``.  Thread-safe; flushes every staged
+        record the new arrival makes contiguous.
+        """
+        with self._lock:
+            if pos < self._next or pos in self._staged:
+                raise ReproError(
+                    f"duplicate journal record for stream position {pos} "
+                    f"(committed prefix ends at {self._next - 1})"
+                )
+            self._staged[pos] = effect
+            while self._next in self._staged:
+                effect = self._staged.pop(self._next)
+                self._next += 1
+                if effect[0] == "u":
+                    _, update, reports, applied, token, entry = effect
+                    self.writer.record_update(
+                        update, reports, applied=applied, token=token,
+                        entry=entry,
+                    )
+                    self.writer.safe_point(defer_checkpoint=True)
+                elif effect[0] == "r":
+                    _, predicate, cuts = effect
+                    self.writer.record_rebalance(predicate, cuts)
+                else:
+                    raise ReproError(f"unknown staged effect kind {effect[0]!r}")
+
+    def barrier(self) -> None:
+        """Assert the prefix is whole and cut any due checkpoint manifest.
+
+        Called at fence/flush barriers after every in-flight slice has
+        settled; staged leftovers here would mean a hole in the stream.
+        """
+        with self._lock:
+            if self._staged:
+                missing = min(self._staged)
+                raise ReproError(
+                    f"journal commit barrier with {len(self._staged)} "
+                    f"staged record(s) but position {self._next} missing "
+                    f"(earliest staged: {missing})"
+                )
+        self.writer.barrier()
 
 
 def read_journal(directory: str) -> tuple[list[dict], int]:

@@ -85,6 +85,19 @@ class RecoveredState:
     #: the tail's session-gauge contributions are not journalled, so
     #: these under-count by at most one checkpoint interval
     session_stats: list[dict] = field(default_factory=list)
+    #: per-shard pending-queue descriptors as of the checkpoint (shard
+    #: order); ``None`` for unsharded manifests and pre-PR-9 journals
+    shard_pending: Optional[list[list[dict]]] = None
+    #: per-shard arrival-clock cells (the seq last stamped on each
+    #: shard); ``None`` when the manifest predates them or is unsharded
+    shard_seq: Optional[list[int]] = None
+    #: per-shard worker-restart counters (process executor), so a
+    #: resumed run's supervision budget carries over; ``None`` otherwise
+    worker_restarts: Optional[list[int]] = None
+    #: pending descriptors replayed from the journal *tail* (a subset of
+    #: ``pending``); these are not in ``shard_pending`` and the resuming
+    #: checker must route them by its own partitioner
+    tail_pending: list[dict] = field(default_factory=list)
     #: key-range cut vectors, predicate -> list of boundaries
     cuts: dict[str, list] = field(default_factory=dict)
     #: remote link ``state_dict`` as of the last recovered record
@@ -139,6 +152,9 @@ def recover(directory: str) -> RecoveredState:
         seq=int(checkpoint.get("seq", 0)),
         stats=ProtocolStats.from_dict(checkpoint["stats"]),
         session_stats=list(checkpoint.get("session_stats", [])),
+        shard_pending=checkpoint.get("shard_pending"),
+        shard_seq=checkpoint.get("shard_seq"),
+        worker_restarts=checkpoint.get("worker_restarts"),
         cuts={
             predicate: list(bounds)
             for predicate, bounds in checkpoint.get("cuts", {}).items()
@@ -165,6 +181,7 @@ def recover(directory: str) -> RecoveredState:
             _apply_delta(state.facts, record["delta"])
         if record["pending"] is not None:
             state.pending.append(record["pending"])
+            state.tail_pending.append(record["pending"])
         if "link" in record:
             state.link_state = record["link"]
         # Fold the journalled verdicts exactly the way the live checker
@@ -180,6 +197,20 @@ def recover(directory: str) -> RecoveredState:
         if record.get("t") == "r":
             state.cuts[record["pred"]] = list(record["cuts"])
 
+    # Future patches: an "fp" record says the in-flight fetch journalled
+    # with the matching pending descriptor landed before the crash —
+    # clear the marker so the recovered descriptors reflect it.
+    landed = {
+        record["seq"] for record in records if record.get("t") == "fp"
+    }
+    if landed:
+        for descriptor in state.pending:
+            marker = descriptor.get("future")
+            if marker is not None and int(descriptor["seq"]) in landed:
+                descriptor["future"] = dict(marker, pending=False)
+
     for descriptor in state.pending:
         state.seq = max(state.seq, int(descriptor["seq"]))
+    if state.shard_seq:
+        state.seq = max(state.seq, *state.shard_seq)
     return state

@@ -16,10 +16,12 @@ import pytest
 
 from repro.core.outcomes import CheckLevel, CheckReport, Outcome
 from repro.core.session import PendingVerdict
+from repro.errors import ReproError
 from repro.datalog.database import UndoToken
 from repro.durability.journal import (
     JOURNAL_FILE,
     JournalWriter,
+    OrderedJournalCommitter,
     _decode_line,
     _encode_line,
     entry_from_json,
@@ -88,7 +90,12 @@ class TestSerialization:
         assert clone.applied is True
         assert clone.token.insertions == {"p": {(1, 2)}}
 
-    def test_in_flight_future_is_unjournallable(self):
+    @pytest.mark.parametrize("done", [False, True])
+    def test_in_flight_future_round_trips_as_marker(self, done):
+        class _Future:
+            def done(self):
+                return done
+
         entry = PendingVerdict(
             seq=1,
             update=Insertion("p", (1,)),
@@ -96,10 +103,19 @@ class TestSerialization:
             reports={},
             applied=False,
             token=None,
-            future=object(),
+            future=_Future(),
+            future_predicates={"dept", "emp"},
         )
-        with pytest.raises(ValueError, match="in-flight"):
-            entry_to_json(entry)
+        descriptor = json.loads(json.dumps(entry_to_json(entry)))
+        assert descriptor["future"] == {
+            "pending": not done,
+            "predicates": ["dept", "emp"],
+        }
+        # The live future never crosses the journal: the restored entry
+        # re-fetches synchronously in the resumed drain.
+        clone = entry_from_json(descriptor)
+        assert clone.future is None
+        assert clone.unresolved == ("c1",)
 
 
 class TestFraming:
@@ -246,7 +262,113 @@ class TestWriter:
         assert "link" not in records[2]  # unchanged again
 
     def test_validates_cadence_arguments(self, tmp_path):
-        with pytest.raises(ValueError):
+        with pytest.raises(ReproError):
             JournalWriter(str(tmp_path), sync_every=0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ReproError):
             JournalWriter(str(tmp_path), checkpoint_every=-1)
+
+    def test_close_is_idempotent(self, tmp_path):
+        writer = JournalWriter(str(tmp_path), sync_every=4)
+        _write_updates(writer, 2)
+        writer.close()
+        writer.close()  # second close must not raise or double-sync
+        records, dropped = read_journal(str(tmp_path))
+        assert [r["pos"] for r in records] == [1, 2]
+        assert dropped == 0
+
+    def test_close_after_abandon_is_a_noop(self, tmp_path):
+        writer = JournalWriter(str(tmp_path), sync_every=4)
+        _write_updates(writer, 4)  # synced
+        _write_updates(writer, 2, start=5)  # buffered
+        writer.abandon()
+        writer.close()  # must not resurrect the abandoned suffix
+        records, _ = read_journal(str(tmp_path))
+        assert [r["pos"] for r in records] == [1, 2, 3, 4]
+
+    def test_abandon_after_close_is_a_noop(self, tmp_path):
+        writer = JournalWriter(str(tmp_path), sync_every=4)
+        _write_updates(writer, 2)
+        writer.close()  # syncs the buffer
+        writer.abandon()
+        writer.abandon()  # and idempotent with itself
+        records, _ = read_journal(str(tmp_path))
+        assert [r["pos"] for r in records] == [1, 2]
+
+
+class TestOrderedJournalCommitter:
+    def _effect(self, index):
+        return (
+            "u",
+            Insertion("p", (index,)),
+            [CheckReport("c", Outcome.SATISFIED, CheckLevel.WITH_UPDATE, False)],
+            True,
+            UndoToken(insertions={"p": {(index,)}}, deletions={}),
+            None,
+        )
+
+    def test_out_of_order_staging_commits_the_contiguous_prefix(self, tmp_path):
+        writer = JournalWriter(str(tmp_path), sync_every=1)
+        committer = OrderedJournalCommitter(writer)
+        committer.stage(2, self._effect(2))
+        committer.stage(4, self._effect(4))
+        assert committer.prefix_pos == 0  # position 1 still missing
+        committer.stage(1, self._effect(1))
+        assert committer.prefix_pos == 2  # 1..2 flushed, 4 still staged
+        committer.stage(3, self._effect(3))
+        assert committer.prefix_pos == 4
+        committer.barrier()
+        writer.close()
+        records, _ = read_journal(str(tmp_path))
+        assert [r["pos"] for r in records] == [1, 2, 3, 4]
+        assert [r["update"]["values"] for r in records] == [[1], [2], [3], [4]]
+
+    def test_barrier_with_a_hole_is_an_error(self, tmp_path):
+        writer = JournalWriter(str(tmp_path), sync_every=1)
+        committer = OrderedJournalCommitter(writer)
+        committer.stage(2, self._effect(2))
+        with pytest.raises(ReproError, match="position 1 missing"):
+            committer.barrier()
+
+    def test_duplicate_or_already_committed_position_is_an_error(self, tmp_path):
+        writer = JournalWriter(str(tmp_path), sync_every=1)
+        committer = OrderedJournalCommitter(writer)
+        committer.stage(1, self._effect(1))
+        with pytest.raises(ReproError, match="duplicate journal record"):
+            committer.stage(1, self._effect(1))
+        committer.stage(3, self._effect(3))
+        with pytest.raises(ReproError, match="duplicate journal record"):
+            committer.stage(3, self._effect(3))
+
+    def test_reserve_next_requires_an_empty_stage(self, tmp_path):
+        writer = JournalWriter(str(tmp_path), sync_every=1)
+        committer = OrderedJournalCommitter(writer)
+        assert committer.reserve_next() == 1
+        committer.stage(2, self._effect(2))
+        with pytest.raises(ReproError, match="reserve"):
+            committer.reserve_next()
+
+    def test_resumes_past_the_writer_position(self, tmp_path):
+        writer = JournalWriter(str(tmp_path), sync_every=1)
+        writer.pos = 7  # as --resume sets it
+        committer = OrderedJournalCommitter(writer)
+        assert committer.prefix_pos == 7
+        assert committer.reserve_next() == 8
+
+    def test_commits_drive_sync_cadence_and_defer_checkpoints(self, tmp_path):
+        fired = []
+        writer = JournalWriter(
+            str(tmp_path), sync_every=1, checkpoint_every=2,
+            checkpoint_cb=fired.append,
+        )
+        committer = OrderedJournalCommitter(writer)
+        committer.stage(2, self._effect(2))
+        committer.stage(1, self._effect(1))
+        committer.stage(3, self._effect(3))
+        # Records synced per commit, but no manifest until the barrier —
+        # mid-segment state may not match the committed prefix.
+        records, _ = read_journal(str(tmp_path))
+        assert [r["pos"] for r in records] == [1, 2, 3]
+        assert fired == []
+        committer.barrier()
+        assert fired == [3]  # one manifest per barrier, however many due
+        writer.close()

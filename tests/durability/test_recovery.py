@@ -274,6 +274,98 @@ def test_kill_anywhere_resume_equivalence(
         assert final_facts(crash_dir) == final_facts(clean_dir)
 
 
+#: executor/overlap configurations the journal must survive a kill under.
+#: Fault-free on purpose: concurrent shard slices draw from the shared
+#: link RNG in settle order, so a faulty parallel run is not
+#: deterministic run-to-run — the serial property above keeps the fault
+#: regime covered.
+EXECUTOR_MODES = {
+    "serial-overlap": ["--overlap-remote"],
+    "parallel": ["--shards", "2", "--parallel", "2"],
+    "parallel-overlap": [
+        "--shards", "2", "--parallel", "2", "--overlap-remote",
+    ],
+    "process": ["--shards", "2", "--executor", "process"],
+}
+
+
+@pytest.mark.parametrize("mode", sorted(EXECUTOR_MODES))
+@settings(max_examples=5, deadline=None)
+@given(
+    crash_at=st.integers(min_value=1, max_value=NUM_UPDATES),
+    sync_every=st.integers(min_value=1, max_value=7),
+    checkpoint_every=st.integers(min_value=1, max_value=9),
+    seed=st.integers(min_value=0, max_value=2),
+)
+def test_kill_anywhere_resume_equivalence_across_executors(
+    mode, crash_at, sync_every, checkpoint_every, seed
+):
+    """The kill-anywhere property across the parallel, process-pool, and
+    overlapped configurations: effects journal at settle time but commit
+    in arrival order, so a crash at ANY committed record still loses a
+    consistent suffix and ``--resume`` reproduces the uninterrupted
+    run's verdicts, exit code, and final facts byte-for-byte."""
+    with tempfile.TemporaryDirectory() as workdir:
+        base = write_workload_files(workdir, NUM_UPDATES, seed)
+        base += EXECUTOR_MODES[mode]
+        cadence = [
+            "--sync-every", str(sync_every),
+            "--checkpoint-every", str(checkpoint_every),
+        ]
+        clean_dir = os.path.join(workdir, "clean")
+        crash_dir = os.path.join(workdir, "crash")
+
+        clean_code, clean_out = run_cli(
+            base + ["--journal", clean_dir] + cadence
+        )
+
+        crash_code, _ = run_cli(
+            base + ["--journal", crash_dir] + cadence
+            + ["--crash-at", f"update:{crash_at}", "--crash-mode", "soft"]
+        )
+        assert crash_code == 3
+
+        resume_code, resume_out = run_cli(
+            base + ["--journal", crash_dir] + cadence + ["--resume"]
+        )
+        assert verdict_lines(resume_out) == verdict_lines(clean_out)
+        assert resume_code == clean_code
+        assert final_facts(crash_dir) == final_facts(clean_dir)
+
+
+@pytest.mark.parametrize(
+    "crash_spec",
+    ["segment-dispatch:2", "barrier-fold:2", "fence:1"],
+)
+def test_parallel_crash_points_resume_clean(tmp_path, crash_spec):
+    """Soft crashes at the parallel pipeline's own boundaries (segment
+    fan-out, barrier fold, fence) leave a resumable journal too — the
+    committed prefix never depends on where inside the segment machinery
+    the run died."""
+    base = write_workload_files(str(tmp_path), NUM_UPDATES, seed=2)
+    base += ["--shards", "2", "--parallel", "2"]
+    cadence = ["--sync-every", "2", "--checkpoint-every", "4"]
+    clean_dir = str(tmp_path / "clean")
+    crash_dir = str(tmp_path / "crash")
+
+    clean_code, clean_out = run_cli(base + ["--journal", clean_dir] + cadence)
+    crash_code, _ = run_cli(
+        base + ["--journal", crash_dir] + cadence
+        + ["--crash-at", crash_spec, "--crash-mode", "soft"]
+    )
+    if crash_code == 3:
+        resume_code, resume_out = run_cli(
+            base + ["--journal", crash_dir] + cadence + ["--resume"]
+        )
+        assert verdict_lines(resume_out) == verdict_lines(clean_out)
+        assert resume_code == clean_code
+        assert final_facts(crash_dir) == final_facts(clean_dir)
+    else:
+        # The workload never visited the point (e.g. it has no fence);
+        # the run must then match the clean one outright.
+        assert crash_code == clean_code
+
+
 def test_real_sigkill_resume_equivalence(tmp_path):
     """One honest kill -9: the hard variant of the property above."""
     base = write_workload_files(str(tmp_path), NUM_UPDATES, seed=1)
@@ -296,6 +388,46 @@ def test_real_sigkill_resume_equivalence(tmp_path):
         + ["--crash-at", "update:13"],
         env=env,
         capture_output=True,
+    )
+    assert proc.returncode in (-signal.SIGKILL, 128 + signal.SIGKILL)
+
+    resume_code, resume_out = run_cli(
+        base + ["--journal", journal] + cadence + ["--resume"]
+    )
+    assert verdict_lines(resume_out) == verdict_lines(clean_out)
+    assert resume_code == clean_code
+
+
+def test_real_sigkill_resume_equivalence_process_executor(tmp_path):
+    """kill -9 of the *parent* of a process-pool run: the parent owns
+    the journal, so the workers' un-returned effects die with it and the
+    synced prefix still replays to the uninterrupted run's verdicts."""
+    flags = ["--shards", "2", "--executor", "process"]
+    base = write_workload_files(str(tmp_path), NUM_UPDATES, seed=1) + flags
+    journal = str(tmp_path / "journal")
+    cadence = ["--sync-every", "3", "--checkpoint-every", "5"]
+
+    clean_code, clean_out = run_cli(base)
+
+    env = dict(os.environ)
+    src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+        "src",
+    )
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro"]
+        + base
+        + ["--journal", journal]
+        + cadence
+        + ["--crash-at", "update:13"],
+        env=env,
+        # The SIGKILL'd parent's worker processes inherit its
+        # stdout/stderr; route them to DEVNULL so there is no pipe to
+        # wait on (the crash run's output is unused anyway).
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        timeout=120,
     )
     assert proc.returncode in (-signal.SIGKILL, 128 + signal.SIGKILL)
 

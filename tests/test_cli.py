@@ -519,14 +519,11 @@ class TestDurabilityFlags:
     @pytest.mark.parametrize(
         "flags",
         [
-            ("--parallel", "2"),
-            ("--executor", "process", "--shards", "2"),
             ("--transaction",),
-            ("--overlap-remote",),
             ("--snapshot-ttl", "5"),
         ],
     )
-    def test_journal_needs_the_serial_stream(
+    def test_journal_rejects_unreplayable_modes(
         self, tmp_path, constraint_file, db_file, capsys, flags
     ):
         journal = str(tmp_path / "journal")
@@ -537,6 +534,77 @@ class TestDurabilityFlags:
         )
         assert code == 3
         assert "cannot be combined" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ("--shards", "2", "--parallel", "2"),
+            ("--shards", "2", "--executor", "process"),
+            ("--overlap-remote",),
+        ],
+    )
+    def test_journal_accepts_parallel_and_process_modes(
+        self, tmp_path, constraint_file, db_file, capsys, flags
+    ):
+        journal = tmp_path / "journal"
+        code = main(
+            self.stream(
+                tmp_path, constraint_file, db_file,
+                "--journal", str(journal), *flags,
+            )
+        )
+        assert code == 0
+        assert "applied" in capsys.readouterr().out
+        assert (journal / "journal.jsonl").exists()
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ("--sync-every", "0"),
+            ("--checkpoint-every", "0"),
+            ("--sync-every", "-3"),
+        ],
+    )
+    def test_journal_cadences_must_be_positive(
+        self, tmp_path, constraint_file, db_file, capsys, flags
+    ):
+        journal = str(tmp_path / "journal")
+        code = main(
+            self.stream(
+                tmp_path, constraint_file, db_file, "--journal", journal, *flags
+            )
+        )
+        assert code == 3
+        assert "must be at least 1" in capsys.readouterr().err
+
+    def test_resume_without_a_journal_dir_is_a_clean_error(
+        self, tmp_path, constraint_file, db_file, capsys
+    ):
+        missing = str(tmp_path / "never-created")
+        code = main(
+            self.stream(
+                tmp_path, constraint_file, db_file,
+                "--journal", missing, "--resume",
+            )
+        )
+        assert code == 3
+        err = capsys.readouterr().err
+        assert f"no journal found at {missing!r}" in err
+        assert "did you mean a fresh --journal run?" in err
+
+    def test_resume_at_empty_journal_dir_is_a_clean_error(
+        self, tmp_path, constraint_file, db_file, capsys
+    ):
+        empty = tmp_path / "journal"
+        empty.mkdir()
+        code = main(
+            self.stream(
+                tmp_path, constraint_file, db_file,
+                "--journal", str(empty), "--resume",
+            )
+        )
+        assert code == 3
+        assert "no journal found at" in capsys.readouterr().err
 
     def test_bad_crash_point_is_a_clean_error(
         self, tmp_path, constraint_file, db_file, capsys
