@@ -281,7 +281,17 @@ def _build_sites(args: argparse.Namespace, db: Database, local_predicates: set[s
     total = args.sites if getattr(args, "sites", None) else 2
     if total < 2:
         raise ReproError("--sites needs at least 2 (one local, one remote)")
-    local = Site("local", db.restricted_to(local_predicates))
+    backend_name = getattr(args, "backend", None) or "memory"
+    if backend_name == "memory":
+        local = Site("local", db.restricted_to(local_predicates))
+    else:
+        from repro.storage import make_backend
+
+        local = Site(
+            "local",
+            db.restricted_to(local_predicates),
+            backend=make_backend(backend_name),
+        )
     remote_predicates = sorted(db.predicates() - local_predicates)
     if total == 2:
         return TwoSiteDatabase(
@@ -385,6 +395,7 @@ def _journal_config(args: argparse.Namespace, constraints, local_predicates):
     return {
         "constraints": [[c.name, str(c.program)] for c in constraints],
         "local": sorted(local_predicates),
+        "backend": getattr(args, "backend", None) or "memory",
         "sites": args.sites,
         "shards": args.shards or 0,
         "shard_by": sorted(args.shard_by or ()),
@@ -637,7 +648,7 @@ def _cmd_check_stream(args: argparse.Namespace) -> int:
         journal_config = _journal_config(args, constraints, local_predicates)
         if args.resume:
             from repro.durability.journal import JOURNAL_FILE
-            from repro.durability.recovery import recover
+            from repro.durability.recovery import check_backend_compatible, recover
 
             if not os.path.exists(os.path.join(args.journal, JOURNAL_FILE)):
                 raise ReproError(
@@ -645,6 +656,9 @@ def _cmd_check_stream(args: argparse.Namespace) -> int:
                     "did you mean a fresh --journal run?"
                 )
             recovered = recover(args.journal)
+            check_backend_compatible(
+                recovered.meta, getattr(args, "backend", None) or "memory"
+            )
             if recovered.meta is not None and recovered.meta != journal_config:
                 raise ReproError(
                     "--resume configuration differs from the journal's "
@@ -668,6 +682,13 @@ def _cmd_check_stream(args: argparse.Namespace) -> int:
                     "fresh directory"
                 )
 
+    if (getattr(args, "backend", None) or "memory") != "memory" and args.shards:
+        raise ReproError(
+            "--backend sqlite cannot be combined with --shards: shard "
+            "sessions re-partition the local site into per-shard in-memory "
+            "databases, and a sqlite connection cannot cross the worker "
+            "boundary"
+        )
     sites = _build_sites(args, db, local_predicates)
     site_rates = _parse_site_fault_rates(args)
     unknown_rates = set(site_rates) - {"*"} - set(sites.site_names)
@@ -1018,6 +1039,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stream.add_argument(
         "--local", nargs="*", help="predicates stored locally (default: all)"
+    )
+    stream.add_argument(
+        "--backend", choices=("memory", "sqlite"), default="memory",
+        help="storage backend for the local site: in-memory relations "
+        "(default) or indexed SQLite tables with Theorem 5.3 local "
+        "tests pushed down as compiled SQL (verdicts identical)",
     )
     stream.add_argument(
         "-v", "--verbose", action="store_true",

@@ -220,6 +220,25 @@ class LocalTestPlan:
                 return False
         return True
 
+    def run_against(
+        self, values: tuple, local_db, constraint_name: str
+    ) -> Optional[bool]:
+        """Execute the plan against a database, pushing an algebraic test
+        down to the storage backend when it can run compiled Theorem 5.3
+        tests itself (``run_local_test``, e.g. the SQLite backend's
+        indexed ``SELECT EXISTS``) instead of materializing
+        ``facts(predicate)`` per probe.  Verdicts are identical to
+        :meth:`run`; only where the test executes changes."""
+        if self.kind == "algebraic":
+            runner = getattr(local_db, "run_local_test", None)
+            if runner is not None:
+                return runner(
+                    self.algebraic_test,
+                    tuple(values),
+                    (constraint_name, self.predicate),
+                )
+        return self.run(values, local_db.facts(self.predicate))
+
 
 @dataclass
 class CompiledConstraint:

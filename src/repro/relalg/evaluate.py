@@ -1,10 +1,19 @@
-"""Evaluation of relational algebra expressions over a Database."""
+"""Evaluation of relational algebra expressions over a Database.
+
+``Select`` over a ``Product`` with cross-factor equality conditions is
+evaluated as a hash join: the product is flattened into its factors and
+built left to right, probing a hash index on the equated columns instead
+of materializing the full cartesian product.  Output is identical to the
+naive evaluation (the regression tests hold the two pointwise equal);
+only the intermediate size changes.
+"""
 
 from __future__ import annotations
 
 from repro.errors import EvaluationError
 from repro.arith.order import comparison_holds
 from repro.datalog.database import Database
+from repro.ops import ComparisonOp
 from repro.relalg.expressions import (
     Col,
     Condition,
@@ -17,6 +26,7 @@ from repro.relalg.expressions import (
     RelationRef,
     Select,
     Union,
+    arity_of,
 )
 
 __all__ = ["evaluate_expression", "is_nonempty"]
@@ -37,6 +47,135 @@ def _condition_holds(condition: Condition, row: tuple) -> bool:
     )
 
 
+def _flatten_product(expression: Expression) -> list[Expression]:
+    if isinstance(expression, Product):
+        return _flatten_product(expression.left) + _flatten_product(
+            expression.right
+        )
+    return [expression]
+
+
+def _max_col(condition: Condition) -> int:
+    return max(
+        (
+            operand.index
+            for operand in (condition.left, condition.right)
+            if isinstance(operand, Col)
+        ),
+        default=-1,
+    )
+
+
+def _try_hash_join(expression: Select, db: Database):
+    """Evaluate ``Select(Product(...), conditions)`` as a left-to-right
+    hash join, or return ``None`` when no equality condition crosses a
+    factor boundary (the naive path is then no worse).
+
+    Equality-key matching uses Python hash/equality, which coincides with
+    ``comparison_holds`` EQ over the value domain (numeric equality
+    across int/float/bool, code-point equality for strings, False across
+    strata) — so the output is exactly the naive evaluation's.
+    """
+    factors = _flatten_product(expression.source)
+    boundaries = [0]
+    for factor in factors:
+        boundaries.append(boundaries[-1] + arity_of(factor))
+    total = boundaries[-1]
+
+    def crosses(condition: Condition) -> bool:
+        if condition.op is not ComparisonOp.EQ:
+            return False
+        if not (
+            isinstance(condition.left, Col)
+            and isinstance(condition.right, Col)
+        ):
+            return False
+        a, b = condition.left.index, condition.right.index
+        if not (0 <= a < total and 0 <= b < total):
+            return False
+        factor_of_a = next(i for i in range(len(factors)) if a < boundaries[i + 1])
+        factor_of_b = next(i for i in range(len(factors)) if b < boundaries[i + 1])
+        return factor_of_a != factor_of_b
+
+    if not any(crosses(condition) for condition in expression.conditions):
+        return None
+
+    # Evaluate every factor up front (the naive path does too, so arity
+    # errors surface identically even when an early factor is empty).
+    factor_rows = [evaluate_expression(factor, db) for factor in factors]
+
+    pending = dict(enumerate(expression.conditions))
+    rows: list[tuple] = [()]
+    prefix = 0
+    for width, fact_rows in zip(
+        (arity_of(factor) for factor in factors), factor_rows
+    ):
+        new_prefix = prefix + width
+        keys: list[tuple[int, int, int]] = []  # (cond idx, prefix col, factor col)
+        for idx, condition in pending.items():
+            if condition.op is not ComparisonOp.EQ:
+                continue
+            if not (
+                isinstance(condition.left, Col)
+                and isinstance(condition.right, Col)
+            ):
+                continue
+            a, b = condition.left.index, condition.right.index
+            lo, hi = min(a, b), max(a, b)
+            if lo < prefix and prefix <= hi < new_prefix:
+                keys.append((idx, lo, hi - prefix))
+        if keys and rows:
+            for idx, _, _ in keys:
+                del pending[idx]
+            index: dict = {}
+            for fact_row in fact_rows:
+                key = tuple(fact_row[fcol] for _, _, fcol in keys)
+                index.setdefault(key, []).append(fact_row)
+            rows = [
+                prefix_row + fact_row
+                for prefix_row in rows
+                for fact_row in index.get(
+                    tuple(prefix_row[pcol] for _, pcol, _ in keys), ()
+                )
+            ]
+        else:
+            rows = [
+                prefix_row + fact_row
+                for prefix_row in rows
+                for fact_row in fact_rows
+            ]
+        prefix = new_prefix
+        # Apply every remaining condition the prefix now fully binds.
+        filters = [
+            (idx, condition)
+            for idx, condition in pending.items()
+            if _max_col(condition) < prefix
+        ]
+        if filters and rows:
+            for idx, _ in filters:
+                del pending[idx]
+            rows = [
+                row
+                for row in rows
+                if all(
+                    _condition_holds(condition, row)
+                    for _, condition in filters
+                )
+            ]
+    # Conditions referencing columns past the product's arity: evaluate
+    # them per row exactly as the naive path would (IndexError included).
+    if pending and rows:
+        rows = [
+            row
+            for row in rows
+            if all(
+                _condition_holds(condition, row)
+                for condition in pending.values()
+            )
+        ]
+    return frozenset(rows)
+
+
 def evaluate_expression(expression: Expression, db: Database) -> frozenset[tuple]:
     """Evaluate *expression* against *db*, returning a set of tuples."""
     if isinstance(expression, RelationRef):
@@ -52,6 +191,10 @@ def evaluate_expression(expression: Expression, db: Database) -> frozenset[tuple
     if isinstance(expression, ConstantRelation):
         return frozenset(expression.tuples)
     if isinstance(expression, Select):
+        if isinstance(expression.source, Product):
+            joined = _try_hash_join(expression, db)
+            if joined is not None:
+                return joined
         source = evaluate_expression(expression.source, db)
         return frozenset(
             row

@@ -1,0 +1,41 @@
+"""Pluggable storage backends for site databases.
+
+The in-memory :class:`~repro.datalog.database.Database` is the default
+and the semantic oracle; :class:`~repro.storage.sqlite.SQLiteBackend`
+stores base relations in indexed SQLite tables and pushes compiled
+Theorem 5.3 local tests down to the query planner.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.storage.base import StorageBackend
+from repro.storage.memory import MemoryBackend
+from repro.storage.sqlite import SQLiteBackend, SQLiteDatabase, SQLiteRelation
+
+__all__ = [
+    "StorageBackend",
+    "MemoryBackend",
+    "SQLiteBackend",
+    "SQLiteDatabase",
+    "SQLiteRelation",
+    "BACKENDS",
+    "make_backend",
+]
+
+BACKENDS = {
+    MemoryBackend.name: MemoryBackend,
+    SQLiteBackend.name: SQLiteBackend,
+}
+
+
+def make_backend(name: str, **kwargs) -> StorageBackend:
+    """Instantiate a backend by its CLI-facing name."""
+    try:
+        factory = BACKENDS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown storage backend {name!r}; "
+            f"available: {sorted(BACKENDS)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,43 @@
+"""The pluggable storage-backend interface for a site's database.
+
+A backend is a factory for database objects exposing the
+:class:`~repro.datalog.database.Database` surface the sessions, engines,
+and checkers consume: ``insert`` / ``delete`` / ``apply(delta)`` →
+:class:`~repro.datalog.database.UndoToken` / ``undo(token)``,
+``relation(predicate)`` (with ``lookup``), ``facts`` / ``contains`` /
+``predicates`` / ``arity_of`` / ``size``, and the snapshot trio
+``copy`` / ``snapshot`` / ``restricted_to``.  The in-memory engine is
+the default and the semantic oracle; alternative backends must be
+observationally equivalent (the backend-equivalence property test holds
+them to byte-identical verdicts, drained verdicts, final state, and
+stats gauges).
+
+A backend database *may* additionally expose
+``run_local_test(test, values, key)``: sessions detect the capability
+and push compiled Theorem 5.3 local tests down to it instead of
+materializing ``facts(predicate)`` per probe.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Mapping
+
+from repro.datalog.database import Database
+
+__all__ = ["StorageBackend"]
+
+
+class StorageBackend(ABC):
+    """A named factory for site databases."""
+
+    #: the CLI-facing backend name (``--backend <name>``)
+    name: str = "abstract"
+
+    @abstractmethod
+    def create_database(
+        self, contents: Mapping[str, Iterable[tuple]] | Database | None = None
+    ):
+        """A fresh database preloaded with *contents* (a mapping of
+        predicate to fact tuples, an existing :class:`Database` to copy
+        from, or ``None`` for empty)."""

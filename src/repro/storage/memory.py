@@ -1,0 +1,23 @@
+"""The default backend: the in-memory copy-on-write ``Database``."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.datalog.database import Database
+from repro.storage.base import StorageBackend
+
+__all__ = ["MemoryBackend"]
+
+
+class MemoryBackend(StorageBackend):
+    """Plain in-memory relations — the semantic oracle."""
+
+    name = "memory"
+
+    def create_database(
+        self, contents: Mapping[str, Iterable[tuple]] | Database | None = None
+    ) -> Database:
+        if isinstance(contents, Database):
+            return contents.copy()
+        return Database(contents)

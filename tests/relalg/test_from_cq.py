@@ -55,3 +55,80 @@ class TestAgainstEngine:
             expected = engine.evaluate_predicate(db, "q")
             actual = evaluate_expression(expression, db)
             assert actual == expected, f"{text} differs on {db}"
+
+
+class TestCornerCases:
+    """Corner shapes of the CQ compiler, each checked two ways: the
+    in-memory evaluator and the SQLite backend must agree on the
+    compiled expression."""
+
+    def both_ways(self, expression, contents):
+        from repro.storage.sqlite import SQLiteDatabase
+
+        mem = evaluate_expression(expression, Database(contents))
+        sql = SQLiteDatabase(contents=contents).evaluate_expression(expression)
+        assert mem == sql
+        return mem
+
+    def test_zero_atom_query_true(self):
+        """No ordinary subgoals: a selection over the unit relation."""
+        expression = cq_to_algebra(parse_rule("q(yes) :- 1 < 2 & 2 <= 2"))
+        assert self.both_ways(expression, {}) == frozenset({("yes",)})
+
+    def test_zero_atom_query_false(self):
+        expression = cq_to_algebra(parse_rule("q(yes) :- 2 < 1"))
+        assert self.both_ways(expression, {}) == frozenset()
+
+    def test_zero_atom_nullary_head(self):
+        expression = cq_to_algebra(parse_rule("q :- 1 = 1"))
+        assert self.both_ways(expression, {}) == frozenset({()})
+
+    def test_duplicate_atoms_of_one_predicate(self):
+        """e joined with itself: self-join columns stay independent."""
+        rule = parse_rule("q(X,Z) :- e(X,Y) & e(Y,Z)")
+        expression = cq_to_algebra(rule)
+        contents = {"e": [(1, 2), (2, 3), (3, 1)]}
+        expected = frozenset({(1, 3), (2, 1), (3, 2)})
+        assert self.both_ways(expression, contents) == expected
+
+    def test_triplicate_atom(self):
+        rule = parse_rule("q(X) :- e(X,A) & e(A,B) & e(B,X)")
+        expression = cq_to_algebra(rule)
+        contents = {"e": [(1, 2), (2, 3), (3, 1), (5, 5)]}
+        expected = frozenset({(1,), (2,), (3,), (5,)})
+        assert self.both_ways(expression, contents) == expected
+
+    def test_all_constant_atom_present(self):
+        """Every argument a constant: the atom is a membership test."""
+        rule = parse_rule("q(hit) :- e(1,2)")
+        expression = cq_to_algebra(rule)
+        assert self.both_ways(expression, {"e": [(1, 2), (3, 4)]}) == frozenset(
+            {("hit",)}
+        )
+
+    def test_all_constant_atom_absent(self):
+        rule = parse_rule("q(hit) :- e(1,9)")
+        expression = cq_to_algebra(rule)
+        assert self.both_ways(expression, {"e": [(1, 2)]}) == frozenset()
+
+    def test_all_constant_join_with_variables(self):
+        rule = parse_rule("q(X) :- e(1,2) & f(X)")
+        expression = cq_to_algebra(rule)
+        contents = {"e": [(1, 2)], "f": [(7,), (8,)]}
+        assert self.both_ways(expression, contents) == frozenset({(7,), (8,)})
+
+    def test_random_corner_rules_agree(self, rng):
+        rules = [
+            "q(X,Z) :- e(X,Y) & e(Y,Z)",
+            "q(X) :- e(X,A) & e(A,X)",
+            "q(hit) :- e(1,1)",
+            "q(X) :- e(2,X) & f(X)",
+        ]
+        for text in rules:
+            expression = cq_to_algebra(parse_rule(text))
+            for _ in range(15):
+                db = make_random_database(rng, {"e": 2, "f": 1}, domain_size=3)
+                contents = {
+                    pred: sorted(db.facts(pred)) for pred in db.predicates()
+                }
+                self.both_ways(expression, contents)

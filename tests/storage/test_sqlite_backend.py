@@ -1,0 +1,182 @@
+"""The SQLite backend's Database duck surface: mutation, transactional
+delta application with exact undo, snapshots, and typed value errors."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.datalog.database import Database, Delta
+from repro.errors import EvaluationError, ReproError, StorageError
+from repro.storage import MemoryBackend, SQLiteBackend, make_backend
+from repro.storage.sqlite import SQLiteDatabase
+
+
+class TestFactory:
+    def test_make_backend_names(self):
+        assert make_backend("memory").name == "memory"
+        assert make_backend("sqlite").name == "sqlite"
+
+    def test_unknown_backend_is_typed(self):
+        with pytest.raises(ReproError, match="unknown storage backend"):
+            make_backend("parchment")
+
+    def test_memory_backend_copies_database(self):
+        original = Database({"p": [(1, 2)]})
+        db = MemoryBackend().create_database(original)
+        db.insert("p", (3, 4))
+        assert original.facts("p") == frozenset({(1, 2)})
+
+    def test_sqlite_backend_preloads(self):
+        db = SQLiteBackend().create_database({"p": [(1, 2), (3, 4)], "q": [("a",)]})
+        assert db.facts("p") == frozenset({(1, 2), (3, 4)})
+        assert db.facts("q") == frozenset({("a",)})
+
+    def test_sqlite_backend_preloads_empty_relations(self):
+        source = Database({"p": [(1, 2)]})
+        source.insert("q", ("x",))
+        source.delete("q", ("x",))
+        db = SQLiteBackend().create_database(source)
+        assert db.arity_of("q") == 1
+        assert db.facts("q") == frozenset()
+
+
+class TestMutation:
+    def test_insert_delete_contains(self):
+        db = SQLiteDatabase()
+        assert db.insert("p", (1, "a"))
+        assert not db.insert("p", (1, "a"))  # duplicate
+        assert db.contains("p", (1, "a"))
+        assert not db.contains("p", (1, "b"))
+        assert db.delete("p", (1, "a"))
+        assert not db.delete("p", (1, "a"))
+        assert db.facts("p") == frozenset()
+
+    def test_numeric_equality_matches_memory(self):
+        """1 and 1.0 and True collapse exactly as the in-memory set does."""
+        mem, sql = Database(), SQLiteDatabase()
+        for db in (mem, sql):
+            assert db.insert("p", (1,))
+            assert not db.insert("p", (1.0,))
+            assert not db.insert("p", (True,))
+            assert db.contains("p", (1.0,))
+            assert db.delete("p", (True,))
+        assert mem.facts("p") == sql.facts("p") == frozenset()
+
+    def test_arity_mismatch_on_insert(self):
+        db = SQLiteDatabase(contents={"p": [(1, 2)]})
+        with pytest.raises(EvaluationError):
+            db.insert("p", (1,))
+
+    def test_wrong_arity_delete_and_contains_are_false(self):
+        db = SQLiteDatabase(contents={"p": [(1, 2)]})
+        assert not db.delete("p", (1,))
+        assert not db.contains("p", (1,))
+
+    def test_unstorable_value_is_typed(self):
+        db = SQLiteDatabase()
+        with pytest.raises(StorageError, match="Fraction"):
+            db.insert("p", (Fraction(1, 3),))
+
+    def test_zero_arity_relation(self):
+        db = SQLiteDatabase()
+        assert db.insert("flag", ())
+        assert db.facts("flag") == frozenset({()})
+        assert db.contains("flag", ())
+        assert not db.insert("flag", ())
+        assert db.delete("flag", ())
+        assert db.facts("flag") == frozenset()
+
+
+class TestDeltaTransactionality:
+    def test_apply_returns_effective_token(self):
+        db = SQLiteDatabase(contents={"p": [(1, 2)], "q": [("a",)]})
+        delta = Delta()
+        delta.insert("p", (1, 2))  # already present: not effective
+        delta.insert("p", (3, 4))
+        delta.delete("q", ("a",))
+        delta.delete("q", ("zz",))  # absent: not effective
+        token = db.apply(delta)
+        assert token.insertions == {"p": {(3, 4)}}
+        assert token.deletions == {"q": {("a",)}}
+
+    def test_undo_restores_exactly(self):
+        db = SQLiteDatabase(contents={"p": [(1, 2)], "q": [("a",)]})
+        before = {pred: db.facts(pred) for pred in db.predicates()}
+        delta = Delta()
+        delta.insert("p", (3, 4))
+        delta.delete("q", ("a",))
+        token = db.apply(delta)
+        db.undo(token)
+        assert {pred: db.facts(pred) for pred in db.predicates()} == before
+
+    def test_failed_apply_rolls_back_entirely(self):
+        """A delta is a transaction: a mid-batch failure leaves the
+        database byte-identical to the pre-apply state."""
+        db = SQLiteDatabase(contents={"p": [(1, 2)]})
+        delta = Delta()
+        delta.insert("p", (3, 4))
+        delta.insert("p", (Fraction(1, 3), 9))  # unstorable: fails mid-batch
+        with pytest.raises(StorageError):
+            db.apply(delta)
+        assert db.facts("p") == frozenset({(1, 2)})
+
+    def test_matches_memory_apply(self, rng):
+        mem = Database({"p": [(1, 2), (3, 4)]})
+        sql = SQLiteDatabase(contents={"p": [(1, 2), (3, 4)]})
+        delta = Delta()
+        for _ in range(30):
+            fact = (rng.randrange(5), rng.randrange(5))
+            if rng.random() < 0.5:
+                delta.insert("p", fact)
+            else:
+                delta.delete("p", fact)
+        token_mem = mem.apply(delta)
+        token_sql = sql.apply(delta)
+        assert token_mem.insertions == token_sql.insertions
+        assert token_mem.deletions == token_sql.deletions
+        assert mem == sql
+        sql.undo(token_sql)
+        mem.undo(token_mem)
+        assert mem == sql
+
+
+class TestAccess:
+    def test_relation_surface(self):
+        db = SQLiteDatabase(contents={"p": [(1, "a"), (2, "a"), (3, "b")]})
+        relation = db.relation("p")
+        assert relation is not None and db.relation("missing") is None
+        assert relation.arity == 2
+        assert len(relation) == 3
+        assert (1, "a") in relation
+        assert set(relation) == {(1, "a"), (2, "a"), (3, "b")}
+        assert relation.lookup(1, "a") == frozenset({(1, "a"), (2, "a")})
+        assert relation.lookup(1, "zz") == frozenset()
+        assert relation.as_frozenset() == db.facts("p")
+
+    def test_lookup_cache_tracks_mutation(self):
+        db = SQLiteDatabase(contents={"p": [(1, "a")]})
+        relation = db.relation("p")
+        assert relation.lookup(0, 1) == frozenset({(1, "a")})
+        db.insert("p", (1, "b"))
+        assert relation.lookup(0, 1) == frozenset({(1, "a"), (1, "b")})
+
+    def test_metadata(self):
+        db = SQLiteDatabase(contents={"p": [(1, 2)], "q": [("a",)]})
+        assert db.predicates() == {"p", "q"}
+        assert db.arity_of("p") == 2 and db.arity_of("missing") is None
+        assert db.size() == 2
+
+    def test_snapshots_are_plain_databases(self):
+        db = SQLiteDatabase(contents={"p": [(1, 2)], "q": [("a",)]})
+        assert isinstance(db.copy(), Database)
+        assert db.copy() == db and db.snapshot() == db
+        restricted = db.restricted_to({"p"})
+        assert restricted.facts("p") == frozenset({(1, 2)})
+        assert restricted.facts("q") == frozenset()
+
+    def test_equality_against_memory_database(self):
+        mem = Database({"p": [(1, 2)], "empty": []})
+        sql = SQLiteDatabase(contents={"p": [(1, 2)]})
+        assert sql == mem and mem == sql
+        sql.insert("p", (9, 9))
+        assert sql != mem and mem != sql
